@@ -1,0 +1,87 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: channel
+// encryption, generator kind, numeric arithmetic variant, and masking mode
+// are each toggled in isolation on a fixed workload.
+package ppclust_test
+
+import (
+	"testing"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/party"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+)
+
+func ablationParts(b *testing.B) []dataset.Partition {
+	b.Helper()
+	schema := dataset.Schema{Attrs: []dataset.Attribute{{Name: "x", Type: dataset.Numeric}}}
+	s := rng.NewXoshiro(rng.SeedFromUint64(77))
+	parts := make([]dataset.Partition, 2)
+	for i, site := range []string{"A", "B"} {
+		t := dataset.MustNewTable(schema)
+		for r := 0; r < 96; r++ {
+			t.MustAppendRow(float64(rng.Int64n(s, 1000)))
+		}
+		parts[i] = dataset.Partition{Site: site, Table: t}
+	}
+	return parts
+}
+
+func runAblation(b *testing.B, cfg party.Config, parts []dataset.Partition) {
+	b.Helper()
+	cfg.Schema = parts[0].Table.Schema()
+	for i := 0; i < b.N; i++ {
+		if _, err := party.RunInMemory(cfg, parts, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationChannels isolates the AES-GCM channel cost: the paper
+// mandates secured channels; this measures what that mandate costs.
+func BenchmarkAblationChannels(b *testing.B) {
+	parts := ablationParts(b)
+	b.Run("secured", func(b *testing.B) {
+		runAblation(b, party.Config{Variant: party.Float64Variant}, parts)
+	})
+	b.Run("plaintext", func(b *testing.B) {
+		runAblation(b, party.Config{Variant: party.Float64Variant, PlaintextChannels: true}, parts)
+	})
+}
+
+// BenchmarkAblationRNG isolates the shared-generator choice: the
+// cryptographic AES-CTR stream the privacy argument wants versus the fast
+// xoshiro stream.
+func BenchmarkAblationRNG(b *testing.B) {
+	parts := ablationParts(b)
+	b.Run("aesctr", func(b *testing.B) {
+		runAblation(b, party.Config{Variant: party.Float64Variant, RNG: rng.KindAESCTR}, parts)
+	})
+	b.Run("xoshiro", func(b *testing.B) {
+		runAblation(b, party.Config{Variant: party.Float64Variant, RNG: rng.KindXoshiro}, parts)
+	})
+}
+
+// BenchmarkAblationVariant isolates the numeric arithmetic: float64 and
+// int64 blind with bounded masks; mod-p pays big.Int costs for perfect
+// hiding.
+func BenchmarkAblationVariant(b *testing.B) {
+	parts := ablationParts(b)
+	for _, v := range []party.Variant{party.Float64Variant, party.Int64Variant, party.ModPVariant} {
+		b.Run(v.String(), func(b *testing.B) {
+			runAblation(b, party.Config{Variant: v}, parts)
+		})
+	}
+}
+
+// BenchmarkAblationMasking isolates batch vs per-pair masking end to end
+// (the security/traffic trade-off of paper Section 4.1).
+func BenchmarkAblationMasking(b *testing.B) {
+	parts := ablationParts(b)
+	b.Run("batch", func(b *testing.B) {
+		runAblation(b, party.Config{Variant: party.Float64Variant, Mode: protocol.Batch}, parts)
+	})
+	b.Run("per-pair", func(b *testing.B) {
+		runAblation(b, party.Config{Variant: party.Float64Variant, Mode: protocol.PerPair}, parts)
+	})
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"ppclust"
+	"ppclust/internal/alphabet"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+)
+
+// runFig3 traces the paper's Figure 3: x=3 at DHJ, y=8 at DHK, RJK=5,
+// RJT=7.
+func runFig3(w io.Writer) error {
+	params := protocol.DefaultIntParams
+	disguised, err := protocol.NumericInitiatorInt([]int64{3},
+		rng.Scripted(5), rng.Scripted(7), params, protocol.Batch, 0)
+	if err != nil {
+		return err
+	}
+	s, err := protocol.NumericResponderInt(disguised, []int64{8},
+		rng.Scripted(5), params, protocol.Batch)
+	if err != nil {
+		return err
+	}
+	dist, err := protocol.NumericThirdPartyInt(s, rng.Scripted(7), params, protocol.Batch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "site DHJ:  x = 3, RJK = 5 (odd -> DHJ negates), RJT = 7")
+	fmt.Fprintf(w, "           x' = -3, x'' = x' + RJT = %d          (paper: 4)\n", disguised.At(0, 0))
+	fmt.Fprintf(w, "site DHK:  y = 8, RJK = 5 -> DHK keeps sign; m = %d   (paper: 12)\n", s.At(0, 0))
+	fmt.Fprintf(w, "site TP:   |m - RJT| = |%d - 7| = %d               (paper: |x-y| = 5)\n",
+		s.At(0, 0), dist.At(0, 0))
+	if dist.At(0, 0) != 5 {
+		return fmt.Errorf("worked example diverged: got %d", dist.At(0, 0))
+	}
+	fmt.Fprintln(w, "MATCH: reproduces the paper exactly")
+	return nil
+}
+
+// runFig7 traces the paper's Figure 7: S="abc", T="bd" over A={a,b,c,d},
+// R="013".
+func runFig7(w io.Writer) error {
+	abcd := alphabet.MustNew("abcd", []rune("abcd"))
+	s := protocol.SymbolString(abcd.MustEncode("abc"))
+	t := protocol.SymbolString(abcd.MustEncode("bd"))
+
+	disguised := protocol.AlphaInitiator([]protocol.SymbolString{s}, abcd, rng.Scripted(0, 1, 3))
+	fmt.Fprintf(w, "site DHJ:  S = \"abc\", R = \"013\" -> S' = %q      (paper: \"acb\")\n",
+		abcd.Decode(disguised[0]))
+
+	inter := protocol.AlphaResponder([]protocol.SymbolString{t}, disguised, abcd)
+	m := inter[0][0]
+	fmt.Fprintf(w, "site DHK:  T = \"bd\"; difference matrix M:\n")
+	for q := 0; q < m.Rows; q++ {
+		fmt.Fprintf(w, "           ")
+		for p := 0; p < m.Cols; p++ {
+			fmt.Fprintf(w, "%c ", abcd.Rune(m.At(q, p)))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "           (paper: rows \"dba\" and \"bdc\")")
+
+	ccms, err := protocol.AlphaThirdPartyCCMs(inter, abcd, rng.Scripted(0, 1, 3))
+	if err != nil {
+		return err
+	}
+	ccm := ccms[0][0]
+	fmt.Fprintln(w, "site TP:   decoded CCM (0 = characters equal):")
+	for q := 0; q < ccm.Rows; q++ {
+		fmt.Fprintf(w, "           ")
+		for p := 0; p < ccm.Cols; p++ {
+			fmt.Fprintf(w, "%d ", ccm.At(q, p))
+		}
+		fmt.Fprintln(w)
+	}
+	if ccm.At(0, 1) != 0 {
+		return fmt.Errorf("CCM[0][1] != 0")
+	}
+	fmt.Fprintln(w, "           CCM[0][1] = 0 implies s[1] = t[0] = 'b'  (paper: same)")
+
+	dist, err := protocol.AlphaThirdParty(inter, abcd, rng.Scripted(0, 1, 3))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "site TP:   edit distance over CCM = %d (abc -> bd: delete 'a', substitute c->d)\n",
+		dist.At(0, 0))
+	fmt.Fprintln(w, "MATCH: reproduces the paper exactly")
+	return nil
+}
+
+// runFig13 publishes a small session's result in the Figure 13 layout.
+func runFig13(w io.Writer) error {
+	schema := ppclust.Schema{Attrs: []ppclust.Attribute{
+		{Name: "x", Type: ppclust.Numeric},
+		{Name: "tag", Type: ppclust.Categorical},
+	}}
+	a := ppclust.MustNewTable(schema)
+	a.MustAppendRow(1.0, "r")
+	a.MustAppendRow(30.0, "g")
+	a.MustAppendRow(2.0, "r")
+	b := ppclust.MustNewTable(schema)
+	b.MustAppendRow(31.0, "g")
+	b.MustAppendRow(3.0, "r")
+	b.MustAppendRow(29.0, "g")
+	c := ppclust.MustNewTable(schema)
+	c.MustAppendRow(1.5, "r")
+	c.MustAppendRow(30.5, "g")
+
+	out, err := ppclust.Cluster(schema,
+		[]ppclust.Partition{{Site: "A", Table: a}, {Site: "B", Table: b}, {Site: "C", Table: c}},
+		map[string]ppclust.ClusterRequest{"A": {Linkage: ppclust.Average, K: 3}},
+		ppclust.Options{})
+	if err != nil {
+		return err
+	}
+	res := out.Results["A"]
+	fmt.Fprintln(w, "published result (cluster membership lists only, per Figure 13):")
+	fmt.Fprint(w, res.Format())
+	fmt.Fprintln(w, "\npublished quality (\"average of square distance between members\"):")
+	for i, q := range res.Quality {
+		fmt.Fprintf(w, "  Cluster%d: size=%d avgSqDist=%.4f\n", i+1, q.Size, q.AvgSquaredDistance)
+	}
+	fmt.Fprintln(w, "the dissimilarity matrix itself stays at the third party")
+	return nil
+}

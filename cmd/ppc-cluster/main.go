@@ -1,0 +1,162 @@
+// ppc-cluster is the non-private baseline tool: it loads a centralized CSV
+// dataset, builds the per-attribute dissimilarity matrices directly from
+// plaintext, clusters, and reports — the single-trusted-site computation
+// the privacy-preserving protocol replaces. Useful for verifying protocol
+// outputs and for exploring linkage/k choices before a session.
+//
+// Usage:
+//
+//	ppc-cluster -data all.csv -schema "age:numeric,seq:alphanumeric:dna" \
+//	    -linkage average -k 3 [-newick] [-truth all.truth]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"ppclust"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "CSV dataset (required)")
+	schemaFlag := flag.String("schema", "", "schema spec (required)")
+	linkageFlag := flag.String("linkage", "average", "hierarchical linkage")
+	k := flag.Int("k", 2, "number of clusters")
+	newick := flag.Bool("newick", false, "also print the dendrogram in Newick format")
+	tree := flag.Bool("tree", false, "also print an ASCII dendrogram")
+	truthPath := flag.String("truth", "", "optional ground-truth label file (one label per row)")
+	flag.Parse()
+
+	if *dataPath == "" || *schemaFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	schema, err := ppclust.ParseSchema(*schemaFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := ppclust.ParseLinkage(*linkageFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := ppclust.ReadCSV(schema, f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if table.Len() < 1 {
+		log.Fatal("empty dataset")
+	}
+	if *k < 1 || *k > table.Len() {
+		log.Fatalf("k=%d out of range for %d objects", *k, table.Len())
+	}
+
+	parts := []ppclust.Partition{{Site: "X", Table: table}}
+	matrices, err := ppclust.CentralizedBaseline(schema, parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	merged, err := ppclust.MergeMatrices(matrices, schema.Weights())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dg, err := ppclust.HCluster(merged, link)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusters, err := dg.CutK(*k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d objects, %d attributes, linkage=%v, k=%d\n", table.Len(), len(schema.Attrs), link, *k)
+	for c, members := range clusters {
+		fmt.Printf("Cluster%d\t", c+1)
+		for i, m := range members {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%d", m+1)
+		}
+		fmt.Println()
+	}
+	quality, err := ppclust.Quality(merged, clusters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c, q := range quality {
+		fmt.Printf("Cluster%d quality: size=%d avgSqDist=%.4f diameter=%.4f\n",
+			c+1, q.Size, q.AvgSquaredDistance, q.Diameter)
+	}
+	if *k >= 2 {
+		labels, err := dg.Labels(*k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sil, err := ppclust.Silhouette(merged, labels); err == nil {
+			fmt.Printf("silhouette: %.4f\n", sil)
+		}
+		if *truthPath != "" {
+			truth, err := readTruth(*truthPath, table.Len())
+			if err != nil {
+				log.Fatal(err)
+			}
+			ari, err := ppclust.AdjustedRandIndex(truth, labels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nmi, _ := ppclust.NMI(truth, labels)
+			fmt.Printf("vs ground truth: ARI=%.4f NMI=%.4f\n", ari, nmi)
+		}
+	}
+	if *newick {
+		nw, err := dg.Newick(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(nw)
+	}
+	if *tree {
+		art, err := dg.Render(nil, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(art)
+	}
+}
+
+func readTruth(path string, want int) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("bad truth label %q: %w", line, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("%d truth labels for %d rows", len(out), want)
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+// ppc-holder runs one data holder of the privacy-preserving clustering
+// protocol over TCP. The holder loads its private partition from CSV,
+// connects to the third party and its peer holders, runs the session and
+// prints the clustering result it receives.
+//
+// Connection topology: every holder dials the third party; for each holder
+// pair the lexicographically larger name dials the smaller, which must be
+// listening (-listen). Example for holders A, B, C:
+//
+//	ppc-holder -name A -data a.csv -tp tp:9000 -listen :9001 \
+//	    -holders A,B,C -schema "age:numeric,seq:alphanumeric:dna"
+//	ppc-holder -name B -data b.csv -tp tp:9000 -listen :9002 \
+//	    -holders A,B,C -peers A=hostA:9001 -schema ...
+//	ppc-holder -name C -data c.csv -tp tp:9000 \
+//	    -holders A,B,C -peers A=hostA:9001,B=hostB:9002 -schema ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"strings"
+
+	"ppclust"
+	"ppclust/internal/netid"
+)
+
+func main() {
+	name := flag.String("name", "", "this holder's name (required)")
+	dataPath := flag.String("data", "", "CSV file with this holder's partition (required)")
+	tpAddr := flag.String("tp", "", "third party address (required)")
+	listen := flag.String("listen", "", "address to accept higher-named peers on")
+	peersFlag := flag.String("peers", "", "lower-named peer addresses, name=host:port pairs")
+	holdersFlag := flag.String("holders", "", "comma-separated names of all holders (required)")
+	schemaFlag := flag.String("schema", "", "schema spec (required)")
+	linkageFlag := flag.String("linkage", "average", "linkage for the agglomerative method")
+	methodFlag := flag.String("method", "agglomerative", "clustering method: agglomerative, diana or pam")
+	k := flag.Int("k", 2, "number of clusters to request")
+	perPair := flag.Bool("perpair", false, "use per-pair masking")
+	variant := flag.String("variant", "float64", "numeric arithmetic: float64, int64 or modp")
+	flag.Parse()
+
+	holders := splitNonEmpty(*holdersFlag)
+	if *name == "" || *dataPath == "" || *tpAddr == "" || len(holders) < 2 || *schemaFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sort.Strings(holders)
+
+	schema, err := ppclust.ParseSchema(*schemaFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := ppclust.ParseLinkage(*linkageFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var method ppclust.Method
+	switch *methodFlag {
+	case "agglomerative":
+		method = ppclust.MethodAgglomerative
+	case "diana":
+		method = ppclust.MethodDiana
+	case "pam":
+		method = ppclust.MethodPAM
+	default:
+		log.Fatalf("unknown method %q", *methodFlag)
+	}
+	opts, err := buildOptions(*perPair, *variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := ppclust.ReadCSV(schema, f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("holder %s loaded %d objects", *name, table.Len())
+
+	peers := map[string]string{}
+	for _, p := range splitNonEmpty(*peersFlag) {
+		kv := strings.SplitN(p, "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("bad -peers entry %q", p)
+		}
+		peers[kv[0]] = kv[1]
+	}
+
+	conns := map[string]net.Conn{}
+	// Dial the third party, announcing our name.
+	tpConn, err := net.Dial("tcp", *tpAddr)
+	if err != nil {
+		log.Fatalf("dialing third party: %v", err)
+	}
+	if err := netid.Announce(tpConn, *name); err != nil {
+		log.Fatal(err)
+	}
+	conns[ppclust.ThirdPartyName] = tpConn
+
+	// Dial every lower-named peer.
+	var expectHigher []string
+	for _, h := range holders {
+		switch {
+		case h == *name:
+		case h < *name:
+			addr, ok := peers[h]
+			if !ok {
+				log.Fatalf("no -peers address for lower-named holder %s", h)
+			}
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				log.Fatalf("dialing peer %s: %v", h, err)
+			}
+			if err := netid.Announce(c, *name); err != nil {
+				log.Fatal(err)
+			}
+			conns[h] = c
+		default:
+			expectHigher = append(expectHigher, h)
+		}
+	}
+
+	// Accept every higher-named peer.
+	if len(expectHigher) > 0 {
+		if *listen == "" {
+			log.Fatalf("holders %v will dial us; -listen is required", expectHigher)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("waiting for peers %v on %s", expectHigher, ln.Addr())
+		for pending := len(expectHigher); pending > 0; {
+			c, err := ln.Accept()
+			if err != nil {
+				log.Fatal(err)
+			}
+			peer, err := netid.Accept(c)
+			if err != nil || !contains(expectHigher, peer) || conns[peer] != nil {
+				log.Printf("rejecting connection (%v, peer %q)", err, peer)
+				c.Close()
+				continue
+			}
+			conns[peer] = c
+			pending--
+		}
+	}
+
+	sess, err := ppclust.NewHolderSession(*name, table, holders, schema, opts,
+		ppclust.ClusterRequest{Method: method, Linkage: link, K: *k}, conns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustering received by %s (linkage=%v, k=%d):\n%s", *name, res.Linkage, res.K, res.Format())
+	for i, q := range res.Quality {
+		fmt.Printf("Cluster%d quality: size=%d avgSqDist=%.4f diameter=%.4f\n",
+			i+1, q.Size, q.AvgSquaredDistance, q.Diameter)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func buildOptions(perPair bool, variant string) (ppclust.Options, error) {
+	var opts ppclust.Options
+	if perPair {
+		opts.Masking = ppclust.PerPairMasking
+	}
+	switch variant {
+	case "float64":
+		opts.Variant = ppclust.Float64Arithmetic
+	case "int64":
+		opts.Variant = ppclust.Int64Arithmetic
+	case "modp":
+		opts.Variant = ppclust.ModPArithmetic
+	default:
+		return opts, fmt.Errorf("unknown variant %q", variant)
+	}
+	return opts, nil
+}

@@ -1,0 +1,125 @@
+// ppc-tp runs the third party of the privacy-preserving clustering protocol
+// as a TCP server: it accepts one connection per expected data holder, runs
+// the session and prints what it published.
+//
+// Usage:
+//
+//	ppc-tp -listen :9000 -holders A,B,C \
+//	    -schema "age:numeric,diag:categorical,seq:alphanumeric:dna"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"strings"
+
+	"ppclust"
+	"ppclust/internal/netid"
+)
+
+func main() {
+	listen := flag.String("listen", ":9000", "address to listen on")
+	holdersFlag := flag.String("holders", "", "comma-separated data holder names (required)")
+	schemaFlag := flag.String("schema", "", "schema spec, e.g. age:numeric,seq:alphanumeric:dna (required)")
+	perPair := flag.Bool("perpair", false, "use per-pair masking (frequency-attack countermeasure)")
+	variant := flag.String("variant", "float64", "numeric arithmetic: float64, int64 or modp")
+	flag.Parse()
+
+	holders := splitNonEmpty(*holdersFlag)
+	if len(holders) < 2 || *schemaFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sort.Strings(holders)
+	schema, err := ppclust.ParseSchema(*schemaFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts, err := buildOptions(*perPair, *variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("third party listening on %s for holders %v", ln.Addr(), holders)
+
+	conns := make(map[string]net.Conn, len(holders))
+	for len(conns) < len(holders) {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		name, err := netid.Accept(conn)
+		if err != nil {
+			log.Printf("rejecting connection: %v", err)
+			conn.Close()
+			continue
+		}
+		if !contains(holders, name) || conns[name] != nil {
+			log.Printf("rejecting unexpected holder %q", name)
+			conn.Close()
+			continue
+		}
+		log.Printf("holder %s connected from %s", name, conn.RemoteAddr())
+		conns[name] = conn
+	}
+
+	sess, err := ppclust.NewThirdPartySession(holders, schema, opts, conns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session complete: %d objects, %d attribute matrices\n",
+		len(report.ObjectIDs), len(report.AttributeMatrices))
+	for holder, res := range report.Results {
+		fmt.Printf("\npublished to %s (linkage=%v, k=%d):\n%s", holder, res.Linkage, res.K, res.Format())
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func buildOptions(perPair bool, variant string) (ppclust.Options, error) {
+	var opts ppclust.Options
+	if perPair {
+		opts.Masking = ppclust.PerPairMasking
+	}
+	switch variant {
+	case "float64":
+		opts.Variant = ppclust.Float64Arithmetic
+	case "int64":
+		opts.Variant = ppclust.Int64Arithmetic
+	case "modp":
+		opts.Variant = ppclust.ModPArithmetic
+	default:
+		return opts, fmt.Errorf("unknown variant %q", variant)
+	}
+	return opts, nil
+}

@@ -1,0 +1,35 @@
+// Package ppclust is a from-scratch, stdlib-only implementation of
+// privacy-preserving clustering over horizontally partitioned data, after
+// İnan, Saygın, Savaş, Hintoğlu and Levi, "Privacy Preserving Clustering on
+// Horizontally Partitioned Data" (ICDE Workshops, 2006).
+//
+// Several data holders, each owning a horizontal partition of a data
+// matrix, and a semi-trusted third party jointly construct the global
+// dissimilarity matrix of all objects without revealing any attribute
+// values: numeric attributes through additively blinded comparison,
+// alphanumeric attributes through masked character-comparison matrices and
+// edit distance, and categorical attributes through deterministic
+// encryption. The third party then runs hierarchical clustering locally and
+// publishes only cluster memberships and aggregate quality statistics.
+//
+// # Quick start
+//
+//	schema := ppclust.Schema{Attrs: []ppclust.Attribute{
+//	    {Name: "age", Type: ppclust.Numeric},
+//	    {Name: "diagnosis", Type: ppclust.Categorical},
+//	    {Name: "dna", Type: ppclust.Alphanumeric, Alphabet: ppclust.DNA},
+//	}}
+//	// Each site builds its private partition...
+//	a := ppclust.MustNewTable(schema)
+//	a.MustAppendRow(23.0, "flu", "ACCGT")
+//	// ...and the session runs the full multi-party protocol:
+//	out, err := ppclust.Cluster(schema,
+//	    []ppclust.Partition{{Site: "A", Table: a}, {Site: "B", Table: b}},
+//	    map[string]ppclust.ClusterRequest{"A": {Linkage: ppclust.Average, K: 2}},
+//	    ppclust.Options{})
+//
+// Runnable scenarios live under examples/, command-line tools (including a
+// real TCP deployment of the three-role protocol) under cmd/, and the
+// experiment harness regenerating every figure and analysis of the paper is
+// cmd/ppc-bench plus the benchmarks in bench_test.go.
+package ppclust

@@ -1,0 +1,83 @@
+package ppclust_test
+
+import (
+	"testing"
+
+	"ppclust"
+)
+
+func TestEvalFacade(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	pred := []int{1, 1, 0, 0}
+	for name, fn := range map[string]func([]int, []int) (float64, error){
+		"rand": ppclust.RandIndex, "ari": ppclust.AdjustedRandIndex,
+		"purity": ppclust.Purity, "nmi": ppclust.NMI,
+	} {
+		v, err := fn(truth, pred)
+		if err != nil || v != 1 {
+			t.Fatalf("%s = %v, %v", name, v, err)
+		}
+	}
+}
+
+func TestLabelsFromClusters(t *testing.T) {
+	labels, err := ppclust.LabelsFromClusters([][]int{{0, 2}, {1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != 0 || labels[1] != 1 || labels[2] != 0 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if _, err := ppclust.LabelsFromClusters([][]int{{0}}, 2); err == nil {
+		t.Fatal("unassigned object accepted")
+	}
+	if _, err := ppclust.LabelsFromClusters([][]int{{0}, {0}}, 1); err == nil {
+		t.Fatal("double assignment accepted")
+	}
+	if _, err := ppclust.LabelsFromClusters([][]int{{5}}, 1); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestResultLabels(t *testing.T) {
+	ids := []ppclust.ObjectID{{Site: "A", Index: 0}, {Site: "A", Index: 1}, {Site: "B", Index: 0}}
+	res := &ppclust.Result{Clusters: [][]ppclust.ObjectID{
+		{{Site: "A", Index: 0}, {Site: "B", Index: 0}},
+		{{Site: "A", Index: 1}},
+	}}
+	labels, err := ppclust.ResultLabels(res, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != 0 || labels[1] != 1 || labels[2] != 0 {
+		t.Fatalf("labels = %v", labels)
+	}
+	bad := &ppclust.Result{Clusters: [][]ppclust.ObjectID{{{Site: "Z", Index: 9}}}}
+	if _, err := ppclust.ResultLabels(bad, ids); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+}
+
+func TestParseSchema(t *testing.T) {
+	s, err := ppclust.ParseSchema("age:numeric,city:categorical,seq:alphanumeric:dna,score:numeric:w=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Attrs) != 4 {
+		t.Fatalf("attrs: %+v", s.Attrs)
+	}
+	if s.Attrs[2].Alphabet == nil || s.Attrs[2].Alphabet.Name() != "dna" {
+		t.Fatal("alphabet not parsed")
+	}
+	if s.Attrs[3].Weight != 2.5 {
+		t.Fatalf("weight = %v", s.Attrs[3].Weight)
+	}
+	for _, bad := range []string{
+		"", "age", "age:float", "seq:alphanumeric", "seq:alphanumeric:klingon",
+		"age:numeric:w=x", "age:numeric:opt", "a:numeric,a:numeric",
+	} {
+		if _, err := ppclust.ParseSchema(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

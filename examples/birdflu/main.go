@@ -1,0 +1,62 @@
+// Bird flu: the paper's motivating scenario. "Several institutions are
+// gathering DNA data of individuals infected with bird flu and want to
+// cluster this data in order to diagnose the disease. Since DNA data is
+// private, these institutions can not simply aggregate their data."
+//
+// Three institutions hold strains descended from four viral lineages. The
+// session clusters all strains by edit distance without any institution
+// revealing a sequence, and the recovered clusters are scored against the
+// generating lineages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppclust"
+)
+
+func main() {
+	// Four lineages, ten strains each, scattered over three institutions.
+	data, err := ppclust.GenDNAFamilies(ppclust.DNASpec{
+		Families:  4,
+		PerFamily: 10,
+		Length:    60,
+		SubRate:   0.04,
+		IndelRate: 0.02,
+	}, 2006)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, truth, err := ppclust.SplitRandom(data, 3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range parts {
+		fmt.Printf("institution %s holds %d strains\n", p.Site, p.Table.Len())
+	}
+
+	schema := data.Table.Schema()
+	out, err := ppclust.Cluster(schema, parts, map[string]ppclust.ClusterRequest{
+		"A": {Linkage: ppclust.Average, K: 4},
+	}, ppclust.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := out.Results["A"]
+	fmt.Println("\nPublished clustering:")
+	fmt.Print(res.Format())
+
+	labels, err := ppclust.ResultLabels(res, out.Report.ObjectIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ari, err := ppclust.AdjustedRandIndex(truth, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nmi, _ := ppclust.NMI(truth, labels)
+	fmt.Printf("\nrecovery of the generating lineages: ARI=%.3f NMI=%.3f\n", ari, nmi)
+	fmt.Println("(1.0 = the private protocol recovered the lineages exactly)")
+}

@@ -1,0 +1,61 @@
+// Record linkage: two hospitals find which patients they share without
+// exchanging patient records — one of the additional applications the
+// paper claims for its dissimilarity-matrix protocols.
+//
+// Each hospital submits name (alphanumeric, edit distance), birth year
+// (numeric) and blood type (categorical). The third party constructs the
+// private dissimilarity matrix and reports only candidate (id, id) pairs
+// under a threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppclust"
+)
+
+func main() {
+	schema := ppclust.Schema{Attrs: []ppclust.Attribute{
+		{Name: "name", Type: ppclust.Alphanumeric, Alphabet: ppclust.AlphaNum, Weight: 3},
+		{Name: "birthyear", Type: ppclust.Numeric},
+		{Name: "blood", Type: ppclust.Categorical},
+	}}
+
+	a := ppclust.MustNewTable(schema)
+	a.MustAppendRow("ayse yilmaz", 1970.0, "A+")
+	a.MustAppendRow("mehmet demir", 1985.0, "O-")
+	a.MustAppendRow("fatma kaya", 1992.0, "B+")
+
+	b := ppclust.MustNewTable(schema)
+	b.MustAppendRow("ayse yilmaz", 1970.0, "A+")   // exact duplicate of A1
+	b.MustAppendRow("mehmet demi", 1985.0, "O-")   // typo'd duplicate of A2
+	b.MustAppendRow("zeynep arslan", 1988.0, "AB") // unique to B
+
+	parts := []ppclust.Partition{{Site: "A", Table: a}, {Site: "B", Table: b}}
+
+	matrices, ids, err := ppclust.BuildDissimilarity(schema, parts, ppclust.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	merged, err := ppclust.MergeMatrices(matrices, schema.Weights())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	matches, err := ppclust.Link(merged, ids, ppclust.LinkOptions{
+		Threshold:     0.15,
+		CrossSiteOnly: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("candidate cross-hospital links (neither side revealed a record):")
+	for _, m := range matches {
+		fmt.Printf("  %s <-> %s  distance %.4f\n", m.A, m.B, m.Distance)
+	}
+	if len(matches) == 0 {
+		fmt.Println("  none")
+	}
+}

@@ -1,0 +1,149 @@
+// TCP deployment: the full three-role protocol over real sockets. One
+// process plays all three parties on localhost to keep the example
+// self-contained; cmd/ppc-tp and cmd/ppc-holder run the same sessions as
+// separate processes on separate machines.
+//
+// Topology: the third party listens for both holders; holder A listens for
+// holder B; every channel is key-agreed and AES-GCM protected by the
+// session itself.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	"ppclust"
+)
+
+func main() {
+	schema := ppclust.Schema{Attrs: []ppclust.Attribute{
+		{Name: "age", Type: ppclust.Numeric},
+		{Name: "dna", Type: ppclust.Alphanumeric, Alphabet: ppclust.DNA},
+	}}
+	holders := []string{"A", "B"}
+
+	a := ppclust.MustNewTable(schema)
+	a.MustAppendRow(21.0, "ACGTACGT")
+	a.MustAppendRow(24.0, "ACGTACGA")
+	b := ppclust.MustNewTable(schema)
+	b.MustAppendRow(67.0, "TTGGTTGG")
+	b.MustAppendRow(71.0, "TTGGTTGA")
+
+	tpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tpLn.Close()
+	aLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer aLn.Close()
+	fmt.Printf("third party listening on %s, holder A on %s\n", tpLn.Addr(), aLn.Addr())
+
+	errs := make(chan error, 3)
+
+	// Third party: accept both holders (each dial starts with a one-byte
+	// holder index so the TP can label the connections).
+	go func() {
+		conns := map[string]net.Conn{}
+		for i := 0; i < 2; i++ {
+			conn, err := tpLn.Accept()
+			if err != nil {
+				errs <- err
+				return
+			}
+			var idx [1]byte
+			if _, err := io.ReadFull(conn, idx[:]); err != nil {
+				errs <- err
+				return
+			}
+			conns[holders[idx[0]]] = conn
+		}
+		sess, err := ppclust.NewThirdPartySession(holders, schema, ppclust.Options{}, conns)
+		if err != nil {
+			errs <- err
+			return
+		}
+		if _, err := sess.Run(); err != nil {
+			errs <- err
+			return
+		}
+		errs <- nil
+	}()
+
+	dialTP := func(idx byte) (net.Conn, error) {
+		conn, err := net.Dial("tcp", tpLn.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		_, err = conn.Write([]byte{idx})
+		return conn, err
+	}
+
+	// Holder A: dial the TP, accept holder B.
+	resCh := make(chan *ppclust.Result, 1)
+	go func() {
+		tpConn, err := dialTP(0)
+		if err != nil {
+			errs <- err
+			return
+		}
+		bConn, err := aLn.Accept()
+		if err != nil {
+			errs <- err
+			return
+		}
+		sess, err := ppclust.NewHolderSession("A", a, holders, schema, ppclust.Options{},
+			ppclust.ClusterRequest{Linkage: ppclust.Single, K: 2},
+			map[string]net.Conn{"B": bConn, ppclust.ThirdPartyName: tpConn})
+		if err != nil {
+			errs <- err
+			return
+		}
+		res, err := sess.Run()
+		if err != nil {
+			errs <- err
+			return
+		}
+		resCh <- res
+		errs <- nil
+	}()
+
+	// Holder B: dial the TP and holder A.
+	go func() {
+		tpConn, err := dialTP(1)
+		if err != nil {
+			errs <- err
+			return
+		}
+		aConn, err := net.Dial("tcp", aLn.Addr().String())
+		if err != nil {
+			errs <- err
+			return
+		}
+		sess, err := ppclust.NewHolderSession("B", b, holders, schema, ppclust.Options{},
+			ppclust.ClusterRequest{Linkage: ppclust.Single, K: 2},
+			map[string]net.Conn{"A": aConn, ppclust.ThirdPartyName: tpConn})
+		if err != nil {
+			errs <- err
+			return
+		}
+		if _, err := sess.Run(); err != nil {
+			errs <- err
+			return
+		}
+		errs <- nil
+	}()
+
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			log.Fatal(err)
+		}
+	}
+	res := <-resCh
+	fmt.Println("\nclustering received by holder A over TCP:")
+	fmt.Print(res.Format())
+}

@@ -1,0 +1,164 @@
+package ppclust_test
+
+import (
+	"math"
+	"testing"
+
+	"ppclust"
+)
+
+// TestOrderedHierarchicalFacade is E17 through the public API: the
+// future-work attribute types flow through a full session and match the
+// centralized baseline.
+func TestOrderedHierarchicalFacade(t *testing.T) {
+	severity := ppclust.MustNewOrdering("low", "mid", "high")
+	tax := ppclust.MustNewTaxonomy("root")
+	tax.MustAdd("left", "root").
+		MustAdd("l1", "left").
+		MustAdd("l2", "left").
+		MustAdd("right", "root").
+		MustAdd("r1", "right")
+
+	schema := ppclust.Schema{Attrs: []ppclust.Attribute{
+		{Name: "sev", Type: ppclust.Ordered, Order: severity},
+		{Name: "cat", Type: ppclust.Hierarchical, Taxonomy: tax},
+	}}
+	a := ppclust.MustNewTable(schema)
+	a.MustAppendRow("low", "l1")
+	a.MustAppendRow("high", "r1")
+	b := ppclust.MustNewTable(schema)
+	b.MustAppendRow("mid", "l2")
+	b.MustAppendRow("low", "l1")
+	parts := []ppclust.Partition{{Site: "A", Table: a}, {Site: "B", Table: b}}
+
+	ms, ids, err := ppclust.BuildDissimilarity(schema, parts, ppclust.Options{Random: detRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ppclust.CentralizedBaseline(schema, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		if !ms[i].EqualWithin(base[i], 1e-9) {
+			t.Fatalf("attr %d deviates from baseline", i)
+		}
+	}
+	if len(ids) != 4 {
+		t.Fatalf("ids: %v", ids)
+	}
+	// Identical (sev, cat) rows A1 and B2 are at merged distance 0.
+	merged, err := ppclust.MergeMatrices(ms, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := merged.At(0, 3); d != 0 {
+		t.Fatalf("identical rows at distance %v", d)
+	}
+	// Sibling-category rows are closer than cross-branch rows.
+	if !(ms[1].At(0, 2) < ms[1].At(0, 1)) {
+		t.Fatalf("taxonomy ordering violated: sibling %v vs cross-branch %v",
+			ms[1].At(0, 2), ms[1].At(0, 1))
+	}
+}
+
+func TestOrderedValidationFacade(t *testing.T) {
+	severity := ppclust.MustNewOrdering("low", "high")
+	schema := ppclust.Schema{Attrs: []ppclust.Attribute{
+		{Name: "sev", Type: ppclust.Ordered, Order: severity},
+	}}
+	tab := ppclust.MustNewTable(schema)
+	if err := tab.AppendRow("medium"); err == nil {
+		t.Fatal("out-of-order value accepted")
+	}
+	bad := ppclust.Schema{Attrs: []ppclust.Attribute{{Name: "sev", Type: ppclust.Ordered}}}
+	if _, err := ppclust.NewTable(bad); err == nil {
+		t.Fatal("ordered attribute without ordering accepted")
+	}
+	badTax := ppclust.Schema{Attrs: []ppclust.Attribute{{Name: "c", Type: ppclust.Hierarchical}}}
+	if _, err := ppclust.NewTable(badTax); err == nil {
+		t.Fatal("hierarchical attribute without taxonomy accepted")
+	}
+}
+
+func TestParseSchemaOrdered(t *testing.T) {
+	s, err := ppclust.ParseSchema("sev:ordered:low|mid|high,age:numeric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Attrs[0].Type != ppclust.Ordered || s.Attrs[0].Order == nil {
+		t.Fatalf("attrs: %+v", s.Attrs)
+	}
+	if s.Attrs[0].Order.Size() != 3 {
+		t.Fatalf("order size = %d", s.Attrs[0].Order.Size())
+	}
+	if _, err := ppclust.ParseSchema("sev:ordered"); err == nil {
+		t.Fatal("ordered without values accepted")
+	}
+	if _, err := ppclust.ParseSchema("sev:ordered:a|a"); err == nil {
+		t.Fatal("duplicate ordered values accepted")
+	}
+}
+
+// TestMethodsFacade exercises DIANA and PAM through the public API and
+// verifies they agree with agglomerative clustering on separated data.
+func TestMethodsFacade(t *testing.T) {
+	data, err := ppclust.GenGaussians([]ppclust.GaussianCluster{
+		{Center: []float64{0}, Stddev: 0.3, N: 8},
+		{Center: []float64{50}, Stddev: 0.3, N: 8},
+	}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, truth, err := ppclust.SplitRoundRobin(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []ppclust.Method{ppclust.MethodAgglomerative, ppclust.MethodDiana, ppclust.MethodPAM} {
+		out, err := ppclust.Cluster(data.Table.Schema(), parts,
+			map[string]ppclust.ClusterRequest{"A": {Method: method, Linkage: ppclust.Average, K: 2}},
+			ppclust.Options{Random: detRandom})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		labels, err := ppclust.ResultLabels(out.Results["A"], out.Report.ObjectIDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ari, err := ppclust.AdjustedRandIndex(truth, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ari < 0.999 {
+			t.Fatalf("%v ARI = %v on separated blobs", method, ari)
+		}
+	}
+
+	// Direct matrix-level access to the same algorithms.
+	ms, _, err := ppclust.BuildDissimilarity(data.Table.Schema(), parts, ppclust.Options{Random: detRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ppclust.HClusterDiana(ms[0]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ppclust.PAM(ms[0], 2, 1)
+	if err != nil || len(res.Medoids) != 2 {
+		t.Fatalf("PAM: %+v, %v", res, err)
+	}
+}
+
+// TestTaxonomyDistanceSemantics pins the Wu–Palmer-style values through the
+// public types.
+func TestTaxonomyDistanceSemantics(t *testing.T) {
+	tax := ppclust.MustNewTaxonomy("r")
+	tax.MustAdd("a", "r").MustAdd("a1", "a").MustAdd("a2", "a").MustAdd("b", "r")
+	d, err := tax.Distance("a1", "a2") // depths 3,3; LCA depth 2: 1-4/6
+	if err != nil || math.Abs(d-1.0/3.0) > 1e-12 {
+		t.Fatalf("sibling distance = %v, %v", d, err)
+	}
+	d, _ = tax.Distance("a1", "b") // depths 3,2; LCA root: 1-2/5
+	if math.Abs(d-0.6) > 1e-12 {
+		t.Fatalf("cross-branch distance = %v", d)
+	}
+}

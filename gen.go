@@ -1,0 +1,55 @@
+package ppclust
+
+import (
+	"ppclust/internal/gen"
+	"ppclust/internal/rng"
+)
+
+// Workload generation, re-exported for examples, benchmarks and downstream
+// experimentation. All generators are deterministic in their seed.
+
+type (
+	// LabeledData couples a generated table with ground-truth labels.
+	LabeledData = gen.Labeled
+	// GaussianCluster describes one numeric mixture component.
+	GaussianCluster = gen.GaussianCluster
+	// DNASpec configures GenDNAFamilies.
+	DNASpec = gen.DNASpec
+)
+
+func seeded(seed uint64) rng.Stream { return rng.NewAESCTR(rng.SeedFromUint64(seed)) }
+
+// GenGaussians samples a numeric table from a Gaussian mixture.
+func GenGaussians(clusters []GaussianCluster, seed uint64, names ...string) (*LabeledData, error) {
+	return gen.Gaussians(clusters, seeded(seed), names...)
+}
+
+// GenRings samples two concentric 2-D rings — the non-spherical workload of
+// the hierarchical-vs-k-means experiments.
+func GenRings(nInner, nOuter int, rInner, rOuter, noise float64, seed uint64) (*LabeledData, error) {
+	return gen.Rings(nInner, nOuter, rInner, rOuter, noise, seeded(seed))
+}
+
+// GenDNAFamilies generates families of sequences descended from mutated
+// ancestors — the paper's bird-flu motivation.
+func GenDNAFamilies(spec DNASpec, seed uint64) (*LabeledData, error) {
+	return gen.DNAFamilies(spec, seeded(seed))
+}
+
+// GenCategorical generates clustered categorical data.
+func GenCategorical(clusters, perCluster, attrs, paletteSize int, fidelity float64, seed uint64) (*LabeledData, error) {
+	return gen.CategoricalClusters(clusters, perCluster, attrs, paletteSize, fidelity, seeded(seed))
+}
+
+// SplitRoundRobin partitions labeled data over k sites ("A", "B", …) in
+// row order, returning the partitions and the truth labels permuted into
+// global order.
+func SplitRoundRobin(l *LabeledData, k int) ([]Partition, []int, error) {
+	return gen.Partition(l, k, gen.AssignRoundRobin(l.Table.Len(), k))
+}
+
+// SplitRandom partitions labeled data over k sites uniformly at random
+// (deterministic in seed).
+func SplitRandom(l *LabeledData, k int, seed uint64) ([]Partition, []int, error) {
+	return gen.Partition(l, k, gen.AssignRandom(l.Table.Len(), k, seeded(seed)))
+}

@@ -1,0 +1,217 @@
+// Package attack implements the adversary simulations for the paper's
+// security analysis (Section 4.1) and for the alphanumeric leak the paper
+// defers to future work:
+//
+//   - FrequencyAttack: the third party's frequency-analysis attack on the
+//     batch-mode numeric protocol ("if the range of values ... is limited
+//     and there is enough statistics ... TP can infer input values of site
+//     DHK"), together with its failure against per-pair masking;
+//   - eavesdropping inference: the candidate sets an observer recovers from
+//     the DHJ→DHK and DHK→TP channels when they are not secured;
+//   - RecoverStringsUpToShift: the third party's reconstruction of
+//     alphanumeric attribute values up to a single additive shift from the
+//     intermediary difference matrices.
+//
+// These are simulations for measurement, not tools: every function takes
+// only data an adversary in the stated position would hold.
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"ppclust/internal/alphabet"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+)
+
+// FrequencyPrior is the attacker's side knowledge for the frequency attack:
+// the approximate marginal distribution of the victim's attribute over a
+// bounded integer domain [Lo, Hi].
+type FrequencyPrior struct {
+	Lo, Hi int64
+	// Weight[v-Lo] is the (unnormalized) prior frequency of value v.
+	Weight []float64
+}
+
+// Validate checks domain consistency.
+func (p FrequencyPrior) Validate() error {
+	if p.Hi < p.Lo {
+		return fmt.Errorf("attack: empty domain [%d,%d]", p.Lo, p.Hi)
+	}
+	if int64(len(p.Weight)) != p.Hi-p.Lo+1 {
+		return fmt.Errorf("attack: %d weights for domain [%d,%d]", len(p.Weight), p.Lo, p.Hi)
+	}
+	return nil
+}
+
+// UniformPrior is a flat prior over [lo, hi].
+func UniformPrior(lo, hi int64) FrequencyPrior {
+	w := make([]float64, hi-lo+1)
+	for i := range w {
+		w[i] = 1
+	}
+	return FrequencyPrior{Lo: lo, Hi: hi, Weight: w}
+}
+
+// FrequencyAttack is the third party's batch-mode attack. The TP holds the
+// pair-wise comparison matrix s (as received from DHK) and regenerates the
+// masks from its shared generator with DHJ, exactly as in the legitimate
+// protocol. In batch mode the unmasked column n is σ_n·(x_n − y) for the
+// whole private vector y of DHK with a single unknown shift x_n and sign
+// σ_n, so the attacker scores every (shift, sign) hypothesis against the
+// prior and reads y off the best one. The same procedure applied to
+// per-pair traffic faces independent signs per cell and collapses.
+//
+// s is the received matrix, jt a fresh stream seeded with the TP–DHJ shared
+// seed, mode the protocol mode, and params the protocol's mask parameters.
+// The return value is the attacker's best guess of DHK's vector.
+func FrequencyAttack(s *protocol.Int64Matrix, jt rng.Stream, params protocol.IntParams, mode protocol.Mode, prior FrequencyPrior) ([]int64, error) {
+	if err := prior.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Rows == 0 || s.Cols == 0 {
+		return nil, fmt.Errorf("attack: empty matrix")
+	}
+	// Step 1: strip the masks the TP legitimately knows. v[m][n] = ±(x_n − y_m).
+	v := protocol.NewInt64Matrix(s.Rows, s.Cols)
+	for m := 0; m < s.Rows; m++ {
+		for n := 0; n < s.Cols; n++ {
+			mask := rng.Int64n(jt, params.MaskRange)
+			v.Set(m, n, s.At(m, n)-mask)
+		}
+		if mode == protocol.Batch {
+			jt.Reseed()
+		}
+	}
+	// Step 2: per column, hypothesize (shift x, sign σ) and score the
+	// implied y vector against the prior. Keep the best column overall —
+	// the attacker needs only one good column to read off all of y.
+	bestScore := math.Inf(-1)
+	var best []int64
+	for n := 0; n < s.Cols; n++ {
+		for _, sigma := range []int64{1, -1} {
+			// y_m = x − σ·v[m][n]; try every x in the domain.
+			for x := prior.Lo; x <= prior.Hi; x++ {
+				score := 0.0
+				ok := true
+				for m := 0; m < s.Rows; m++ {
+					y := x - sigma*v.At(m, n)
+					if y < prior.Lo || y > prior.Hi {
+						ok = false
+						break
+					}
+					w := prior.Weight[y-prior.Lo]
+					if w <= 0 {
+						ok = false
+						break
+					}
+					score += math.Log(w)
+				}
+				if ok && score > bestScore {
+					bestScore = score
+					cand := make([]int64, s.Rows)
+					for m := 0; m < s.Rows; m++ {
+						cand[m] = x - sigma*v.At(m, n)
+					}
+					best = cand
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("attack: no hypothesis fit the domain")
+	}
+	return best, nil
+}
+
+// RecoveryRate scores an attack output against the truth: the fraction of
+// exactly recovered positions, taking the better of the vector and its
+// best single-shift/reflection alignment is NOT allowed — the attacker
+// must commit to concrete values.
+func RecoveryRate(guess, truth []int64) float64 {
+	if len(guess) != len(truth) || len(truth) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range truth {
+		if guess[i] == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// EavesdropXCandidates is the inference of Section 4.1's channel analysis:
+// an observer of the *unsecured* DHJ→DHK channel who knows the mask R
+// (the third party is exactly such an observer) narrows DHJ's input to two
+// candidates: x ∈ {x″ − R, R − x″}.
+func EavesdropXCandidates(xDoublePrime, mask int64) [2]int64 {
+	return [2]int64{xDoublePrime - mask, mask - xDoublePrime}
+}
+
+// EavesdropYCandidates is the dual attack on the DHK→TP channel: DHJ knows
+// both the mask R and its own x, so observing m = R ± (x − y) narrows
+// DHK's input to two candidates per orientation; with the sign of its own
+// contribution known to DHJ, the candidates are y ∈ {x − (m − R), x + (m − R)}.
+func EavesdropYCandidates(m, mask, x int64) [2]int64 {
+	d := m - mask
+	return [2]int64{x - d, x + d}
+}
+
+// RecoverStringsUpToShift demonstrates the alphanumeric protocol's residual
+// leak. The third party's legitimate view after mask removal is the full
+// difference matrix D[q][p] = s[p] − t[q] (mod |A|) — strictly more than
+// the 0/1 CCM the paper describes as the output. Fixing t[0] = c for each
+// possible symbol c yields a consistent (s, t) reconstruction, so the
+// attacker recovers both strings up to one of |A| additive shifts.
+//
+// diff is the mask-stripped difference matrix for one string pair. The
+// return value contains |A| candidate (s, t) pairs, exactly one of which is
+// the truth.
+func RecoverStringsUpToShift(diff *protocol.SymbolMatrix, a *alphabet.Alphabet) (s, t [][]alphabet.Symbol, err error) {
+	if err := diff.Validate(a); err != nil {
+		return nil, nil, err
+	}
+	if diff.Rows == 0 || diff.Cols == 0 {
+		return nil, nil, fmt.Errorf("attack: empty difference matrix")
+	}
+	for c := 0; c < a.Size(); c++ {
+		t0 := alphabet.Symbol(c)
+		// s[p] = D[0][p] + t[0].
+		sc := make([]alphabet.Symbol, diff.Cols)
+		for p := 0; p < diff.Cols; p++ {
+			sc[p] = a.Add(diff.At(0, p), t0)
+		}
+		// t[q] = s[0] − D[q][0].
+		tc := make([]alphabet.Symbol, diff.Rows)
+		for q := 0; q < diff.Rows; q++ {
+			tc[q] = a.Sub(sc[0], diff.At(q, 0))
+		}
+		s = append(s, sc)
+		t = append(t, tc)
+	}
+	return s, t, nil
+}
+
+// StripAlphaMasks reproduces the third party's mask removal on an
+// intermediary matrix, returning the raw difference matrix the TP observes
+// before flattening to a CCM. jt must be freshly seeded with the
+// initiator–TP seed.
+func StripAlphaMasks(m *protocol.SymbolMatrix, a *alphabet.Alphabet, jt rng.Stream) (*protocol.SymbolMatrix, error) {
+	if err := m.Validate(a); err != nil {
+		return nil, err
+	}
+	out := protocol.NewSymbolMatrix(m.Rows, m.Cols)
+	for q := 0; q < m.Rows; q++ {
+		for p := 0; p < m.Cols; p++ {
+			mask := alphabet.Symbol(rng.Symbol(jt, a.Size()))
+			out.Set(q, p, a.Sub(m.At(q, p), mask))
+		}
+		jt.Reseed()
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package attack
+
+import (
+	"testing"
+
+	"ppclust/internal/alphabet"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+)
+
+// runNumericToTP executes DHJ and DHK and returns what the TP receives,
+// with fresh shared streams as the attacker-TP would hold them.
+func runNumericToTP(t *testing.T, xs, ys []int64, mode protocol.Mode, seedJK, seedJT uint64) *protocol.Int64Matrix {
+	t.Helper()
+	params := protocol.DefaultIntParams
+	rows := 0
+	if mode == protocol.PerPair {
+		rows = len(ys)
+	}
+	disguised, err := protocol.NumericInitiatorInt(xs,
+		rng.NewAESCTR(rng.SeedFromUint64(seedJK)), rng.NewAESCTR(rng.SeedFromUint64(seedJT)),
+		params, mode, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := protocol.NumericResponderInt(disguised, ys,
+		rng.NewAESCTR(rng.SeedFromUint64(seedJK)), params, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// skewedAges draws from an asymmetric distribution over [20, 50] that gives
+// the attacker usable frequency statistics. Asymmetry matters: under a
+// symmetric prior the reflected hypothesis (σ flipped, shift adjusted)
+// scores identically and the attacker recovers the vector only up to a
+// mirror image.
+func skewedAges(n int, seed uint64) ([]int64, FrequencyPrior) {
+	gen := rng.NewAESCTR(rng.SeedFromUint64(seed))
+	prior := FrequencyPrior{Lo: 20, Hi: 50, Weight: make([]float64, 31)}
+	for i := range prior.Weight {
+		// Monotone increasing: heavily skewed toward the top of the range.
+		prior.Weight[i] = float64((i + 1) * (i + 1))
+	}
+	out := make([]int64, n)
+	for i := range out {
+		// Sample the triangular prior by inverse weight accumulation.
+		total := 0.0
+		for _, w := range prior.Weight {
+			total += w
+		}
+		target := rng.Float64(gen) * total
+		acc := 0.0
+		for v, w := range prior.Weight {
+			acc += w
+			if acc >= target {
+				out[i] = prior.Lo + int64(v)
+				break
+			}
+		}
+	}
+	return out, prior
+}
+
+// TestFrequencyAttackBatchMode is experiment E11's first half: with batch
+// masking, a bounded domain and a frequency prior, the third party recovers
+// DHK's private values exactly.
+func TestFrequencyAttackBatchMode(t *testing.T) {
+	ys, prior := skewedAges(40, 1)
+	xs := []int64{25, 33, 47} // DHJ's values: any in-domain values work
+	s := runNumericToTP(t, xs, ys, protocol.Batch, 100, 200)
+	guess, err := FrequencyAttack(s, rng.NewAESCTR(rng.SeedFromUint64(200)),
+		protocol.DefaultIntParams, protocol.Batch, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := RecoveryRate(guess, ys)
+	if rate != 1 {
+		t.Fatalf("batch-mode recovery rate = %v, want 1.0 (guess %v truth %v)", rate, guess, ys)
+	}
+}
+
+// TestFrequencyAttackDefeatedPerPair is the second half: per-pair masking
+// (the paper's countermeasure) breaks the column structure and recovery
+// collapses.
+func TestFrequencyAttackDefeatedPerPair(t *testing.T) {
+	ys, prior := skewedAges(40, 2)
+	xs := []int64{25, 33, 47}
+	s := runNumericToTP(t, xs, ys, protocol.PerPair, 101, 201)
+	guess, err := FrequencyAttack(s, rng.NewAESCTR(rng.SeedFromUint64(201)),
+		protocol.DefaultIntParams, protocol.PerPair, prior)
+	if err != nil {
+		// No consistent hypothesis at all is also a defeat.
+		return
+	}
+	rate := RecoveryRate(guess, ys)
+	if rate > 0.5 {
+		t.Fatalf("per-pair recovery rate = %v, want ≤ 0.5", rate)
+	}
+}
+
+func TestFrequencyAttackValidation(t *testing.T) {
+	if _, err := FrequencyAttack(protocol.NewInt64Matrix(0, 0), rng.Scripted(1),
+		protocol.DefaultIntParams, protocol.Batch, UniformPrior(0, 1)); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	bad := FrequencyPrior{Lo: 5, Hi: 4}
+	if _, err := FrequencyAttack(protocol.NewInt64Matrix(1, 1), rng.Scripted(1),
+		protocol.DefaultIntParams, protocol.Batch, bad); err == nil {
+		t.Fatal("bad prior accepted")
+	}
+}
+
+// TestEavesdropXCandidates is experiment E12: the paper's stated inference
+// "the value of x is either (x″−r) or (r−x″)" holds for both parities.
+func TestEavesdropXCandidates(t *testing.T) {
+	for _, jkDraw := range []uint64{4, 5} { // even: no negation; odd: negation
+		x := int64(37)
+		jk := rng.Scripted(jkDraw)
+		jt := rng.Scripted(7)
+		d, err := protocol.NumericInitiatorInt([]int64{x}, jk, jt, protocol.DefaultIntParams, protocol.Batch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := EavesdropXCandidates(d.At(0, 0), 7)
+		if cands[0] != x && cands[1] != x {
+			t.Fatalf("true x=%d not in candidates %v (draw %d)", x, cands, jkDraw)
+		}
+	}
+}
+
+// TestEavesdropYCandidates: DHJ observing the unsecured DHK→TP channel
+// narrows y to two candidates.
+func TestEavesdropYCandidates(t *testing.T) {
+	x, y := int64(37), int64(90)
+	for _, jkDraw := range []uint64{4, 5} {
+		d, err := protocol.NumericInitiatorInt([]int64{x},
+			rng.Scripted(jkDraw), rng.Scripted(7), protocol.DefaultIntParams, protocol.Batch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := protocol.NumericResponderInt(d, []int64{y},
+			rng.Scripted(jkDraw), protocol.DefaultIntParams, protocol.Batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := EavesdropYCandidates(s.At(0, 0), 7, x)
+		if cands[0] != y && cands[1] != y {
+			t.Fatalf("true y=%d not in candidates %v (draw %d)", y, cands, jkDraw)
+		}
+	}
+}
+
+// TestAlphaDifferenceLeak: the TP's view of the alphanumeric protocol
+// reconstructs both strings up to an additive shift — the leak the paper
+// leaves to future work. Exactly one of the |A| candidates is the truth.
+func TestAlphaDifferenceLeak(t *testing.T) {
+	a := alphabet.DNA
+	sStr := protocol.SymbolString(a.MustEncode("ACGTAC"))
+	tStr := protocol.SymbolString(a.MustEncode("GGTA"))
+	seed := rng.SeedFromUint64(42)
+
+	disguised := protocol.AlphaInitiator([]protocol.SymbolString{sStr}, a, rng.NewAESCTR(seed))
+	inter := protocol.AlphaResponder([]protocol.SymbolString{tStr}, disguised, a)
+	diff, err := StripAlphaMasks(inter[0][0], a, rng.NewAESCTR(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCands, tCands, err := RecoverStringsUpToShift(diff, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sCands) != a.Size() {
+		t.Fatalf("%d candidates, want %d", len(sCands), a.Size())
+	}
+	hits := 0
+	for c := range sCands {
+		if symEq(sCands[c], []alphabet.Symbol(sStr)) && symEq(tCands[c], []alphabet.Symbol(tStr)) {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("truth appeared in %d of %d candidates", hits, len(sCands))
+	}
+}
+
+func symEq(a, b []alphabet.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecoverStringsValidation(t *testing.T) {
+	if _, _, err := RecoverStringsUpToShift(protocol.NewSymbolMatrix(0, 0), alphabet.DNA); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestRecoveryRateEdges(t *testing.T) {
+	if RecoveryRate(nil, nil) != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	if RecoveryRate([]int64{1}, []int64{1, 2}) != 0 {
+		t.Fatal("length mismatch should be 0")
+	}
+	if RecoveryRate([]int64{1, 2}, []int64{1, 3}) != 0.5 {
+		t.Fatal("half rate expected")
+	}
+}

@@ -1,0 +1,255 @@
+package catdist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/detenc"
+	"ppclust/internal/rng"
+)
+
+func TestOrderingBasics(t *testing.T) {
+	o := MustNewOrdering("low", "medium", "high", "critical")
+	if o.Size() != 4 {
+		t.Fatalf("Size = %d", o.Size())
+	}
+	if r, ok := o.Rank("high"); !ok || r != 2 {
+		t.Fatalf("Rank(high) = %d,%v", r, ok)
+	}
+	if _, ok := o.Rank("nope"); ok {
+		t.Fatal("unknown value ranked")
+	}
+	d, err := o.Distance("low", "critical")
+	if err != nil || d != 3 {
+		t.Fatalf("Distance = %v, %v", d, err)
+	}
+	if d, _ := o.Distance("high", "high"); d != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	if _, err := o.Distance("low", "nope"); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+}
+
+func TestOrderingValidation(t *testing.T) {
+	if _, err := NewOrdering(nil); err == nil {
+		t.Fatal("empty ordering accepted")
+	}
+	if _, err := NewOrdering([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := NewOrdering([]string{""}); err == nil {
+		t.Fatal("empty value accepted")
+	}
+}
+
+func TestOrderingRanks(t *testing.T) {
+	o := MustNewOrdering("s", "m", "l")
+	ranks, err := o.Ranks([]string{"l", "s", "m", "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0, 1, 0}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v", ranks)
+		}
+	}
+	if _, err := o.Ranks([]string{"xl"}); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+}
+
+func TestOrderingDistanceIsMetric(t *testing.T) {
+	o := MustNewOrdering("a", "b", "c", "d", "e")
+	vals := o.Values()
+	for _, x := range vals {
+		for _, y := range vals {
+			dxy, _ := o.Distance(x, y)
+			dyx, _ := o.Distance(y, x)
+			if dxy != dyx {
+				t.Fatal("asymmetric")
+			}
+			for _, z := range vals {
+				dxz, _ := o.Distance(x, z)
+				dzy, _ := o.Distance(z, y)
+				if dxy > dxz+dzy {
+					t.Fatal("triangle inequality violated")
+				}
+			}
+		}
+	}
+}
+
+// diseases builds the taxonomy used across the tests:
+//
+//	disease ── infectious ── viral ── influenza
+//	        │             │        └─ measles
+//	        │             └─ bacterial ── tuberculosis
+//	        └─ chronic ── diabetes
+func diseases() *Taxonomy {
+	return MustNewTaxonomy("disease").
+		MustAdd("infectious", "disease").
+		MustAdd("viral", "infectious").
+		MustAdd("influenza", "viral").
+		MustAdd("measles", "viral").
+		MustAdd("bacterial", "infectious").
+		MustAdd("tuberculosis", "bacterial").
+		MustAdd("chronic", "disease").
+		MustAdd("diabetes", "chronic")
+}
+
+func TestTaxonomyPaths(t *testing.T) {
+	tax := diseases()
+	p, err := tax.Path("influenza")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"disease", "infectious", "viral", "influenza"}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v", p)
+		}
+	}
+	if !tax.Contains("measles") || tax.Contains("cancer") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestTaxonomyValidation(t *testing.T) {
+	if _, err := NewTaxonomy(""); err == nil {
+		t.Fatal("empty root accepted")
+	}
+	tax := diseases()
+	if err := tax.Add("viral", "disease"); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := tax.Add("x", "nothere"); err == nil {
+		t.Fatal("missing parent accepted")
+	}
+	if err := tax.Add("", "disease"); err == nil {
+		t.Fatal("empty child accepted")
+	}
+}
+
+func TestTaxonomyDistances(t *testing.T) {
+	tax := diseases()
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"influenza", "influenza", 0},
+		// influenza (d4) vs measles (d4): LCA viral (d3): 1 − 6/8.
+		{"influenza", "measles", 0.25},
+		// influenza (4) vs tuberculosis (4): LCA infectious (2): 1 − 4/8.
+		{"influenza", "tuberculosis", 0.5},
+		// influenza (4) vs diabetes (3): LCA disease (1): 1 − 2/7.
+		{"influenza", "diabetes", 1 - 2.0/7.0},
+		// parent-child: viral (3) vs influenza (4): LCA viral: 1 − 6/7.
+		{"viral", "influenza", 1 - 6.0/7.0},
+	}
+	for _, c := range cases {
+		d, err := tax.Distance(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d-c.want) > 1e-12 {
+			t.Fatalf("d(%s,%s) = %v, want %v", c.a, c.b, d, c.want)
+		}
+		// Symmetry.
+		d2, _ := tax.Distance(c.b, c.a)
+		if d2 != d {
+			t.Fatalf("asymmetric d(%s,%s)", c.a, c.b)
+		}
+	}
+	if _, err := tax.Distance("influenza", "cancer"); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+}
+
+func TestTaxonomyOrderingOfSimilarity(t *testing.T) {
+	// Closer taxonomy relatives must be closer in distance.
+	tax := diseases()
+	sibling, _ := tax.Distance("influenza", "measles")
+	cousin, _ := tax.Distance("influenza", "tuberculosis")
+	far, _ := tax.Distance("influenza", "diabetes")
+	if !(sibling < cousin && cousin < far) {
+		t.Fatalf("ordering violated: %v %v %v", sibling, cousin, far)
+	}
+}
+
+func TestTagDistanceMatchesPlaintext(t *testing.T) {
+	tax := diseases()
+	enc := detenc.NewEncryptor(detenc.KeyFromBytes([]byte("group key")), "diag")
+	values := []string{"influenza", "measles", "tuberculosis", "diabetes", "viral", "disease"}
+	for _, a := range values {
+		for _, b := range values {
+			ta, err := PathTags(tax, enc, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := PathTags(tax, enc, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := tax.Distance(a, b)
+			if got := TagDistance(ta, tb); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("tag distance (%s,%s) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+	if _, err := PathTags(tax, enc, "unknown"); err == nil {
+		t.Fatal("unknown value tagged")
+	}
+}
+
+func TestTagDistanceCrossSite(t *testing.T) {
+	// Independently constructed encryptors under the same key agree.
+	tax := diseases()
+	key := detenc.KeyFromBytes([]byte("shared"))
+	a, _ := PathTags(tax, detenc.NewEncryptor(key, "diag"), "influenza")
+	b, _ := PathTags(tax, detenc.NewEncryptor(key, "diag"), "influenza")
+	if TagDistance(a, b) != 0 {
+		t.Fatal("same value across sites at distance > 0")
+	}
+}
+
+func TestFingerprintsDistinguishStructures(t *testing.T) {
+	o1 := MustNewOrdering("a", "b", "c")
+	o2 := MustNewOrdering("a", "c", "b")
+	if o1.Fingerprint() == o2.Fingerprint() {
+		t.Fatal("ordering fingerprints collide")
+	}
+	t1 := diseases()
+	t2 := MustNewTaxonomy("disease").MustAdd("infectious", "disease")
+	if t1.Fingerprint() == t2.Fingerprint() {
+		t.Fatal("taxonomy fingerprints collide")
+	}
+	// Deterministic across calls despite map iteration.
+	if t1.Fingerprint() != diseases().Fingerprint() {
+		t.Fatal("taxonomy fingerprint not deterministic")
+	}
+}
+
+func TestQuickTaxonomyDistanceBounds(t *testing.T) {
+	tax := diseases()
+	vals := []string{"disease", "infectious", "viral", "influenza", "measles", "bacterial", "tuberculosis", "chronic", "diabetes"}
+	s := rng.NewXoshiro(rng.SeedFromUint64(1))
+	f := func(ai, bi uint8) bool {
+		a := vals[int(ai)%len(vals)]
+		b := vals[int(bi)%len(vals)]
+		d, err := tax.Distance(a, b)
+		if err != nil {
+			return false
+		}
+		if a == b {
+			return d == 0
+		}
+		return d > 0 && d < 1
+	}
+	_ = s
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

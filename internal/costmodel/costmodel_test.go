@@ -1,0 +1,96 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNumericElems(t *testing.T) {
+	local, proto := NumericInitiatorElems(10, 7, false)
+	if local != 45 || proto != 10 {
+		t.Fatalf("batch initiator: %d/%d", local, proto)
+	}
+	_, protoPP := NumericInitiatorElems(10, 7, true)
+	if protoPP != 70 {
+		t.Fatalf("per-pair initiator proto = %d", protoPP)
+	}
+	local, proto = NumericResponderElems(10, 7)
+	if local != 21 || proto != 70 {
+		t.Fatalf("responder: %d/%d", local, proto)
+	}
+}
+
+func TestAlphaElems(t *testing.T) {
+	local, proto := AlphaInitiatorElems(10, 16)
+	if local != 45 || proto != 160 {
+		t.Fatalf("alpha initiator: %d/%d", local, proto)
+	}
+	local, proto = AlphaResponderElems(10, 16, 7, 12)
+	if local != 21 || proto != 7*12*10*16 {
+		t.Fatalf("alpha responder: %d/%d", local, proto)
+	}
+}
+
+func TestCategoricalElems(t *testing.T) {
+	if CategoricalElems(42) != 42 {
+		t.Fatal("categorical is O(n)")
+	}
+	if Bytes(CategoricalElems(42), TagWidth) != 42*32 {
+		t.Fatal("tag bytes")
+	}
+}
+
+func TestAtallahDominatesOurs(t *testing.T) {
+	// E14: for realistic sizes the homomorphic comparator costs orders of
+	// magnitude more traffic than the CCM protocol.
+	n, p, m, q := 50, 20, 50, 20
+	ours := OursAlphaTotalBytes(n, p, m, q)
+	theirs := DefaultAtallah.TotalBytes(n, p, m, q)
+	if theirs < 100*ours {
+		t.Fatalf("expected ≥100x gap, got ours=%d theirs=%d (%.1fx)", ours, theirs, float64(theirs)/float64(ours))
+	}
+}
+
+func TestAtallahPairBytes(t *testing.T) {
+	got := DefaultAtallah.PairBytes(20, 20)
+	want := int64(21*21) * 3 * 128
+	if got != want {
+		t.Fatalf("PairBytes = %d, want %d", got, want)
+	}
+}
+
+func TestFitScaleExactSeries(t *testing.T) {
+	pred := []float64{1, 4, 9, 16}
+	meas := []float64{2.5, 10, 22.5, 40} // exactly 2.5x
+	scale, dev, err := FitScale(meas, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scale-2.5) > 1e-12 || dev > 1e-12 {
+		t.Fatalf("scale=%v dev=%v", scale, dev)
+	}
+}
+
+func TestFitScaleDetectsWrongGrowth(t *testing.T) {
+	pred := []float64{1, 2, 3, 4}       // linear model
+	meas := []float64{1, 4, 9, 16}      // quadratic reality
+	_, dev, err := FitScale(meas, pred) // fit must show large deviation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev < 0.4 {
+		t.Fatalf("deviation %v too small for mismatched growth", dev)
+	}
+}
+
+func TestFitScaleErrors(t *testing.T) {
+	if _, _, err := FitScale(nil, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, _, err := FitScale([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero predictions accepted")
+	}
+	if _, _, err := FitScale([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

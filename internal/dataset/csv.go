@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV parses a headerless CSV stream into a table over the schema,
+// converting numeric columns with strconv and validating alphanumeric
+// values against their alphabets.
+func ReadCSV(schema Schema, r io.Reader) (*Table, error) {
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(schema.Attrs)
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line+1, err)
+		}
+		line++
+		vals := make([]any, len(rec))
+		for i, field := range rec {
+			if t.schema.Attrs[i].Type == Numeric {
+				f, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: csv line %d attribute %q: %w", line, t.schema.Attrs[i].Name, err)
+				}
+				vals[i] = f
+			} else {
+				vals[i] = field
+			}
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+		}
+	}
+}
+
+// WriteCSV emits the table as headerless CSV in schema order.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for r := 0; r < t.Len(); r++ {
+		row, err := t.Row(r)
+		if err != nil {
+			return err
+		}
+		rec := make([]string, len(row))
+		for i, v := range row {
+			switch x := v.(type) {
+			case float64:
+				rec[i] = strconv.FormatFloat(x, 'g', -1, 64)
+			case string:
+				rec[i] = x
+			default:
+				return fmt.Errorf("dataset: unexpected cell type %T", v)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,102 @@
+package detenc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	k := KeyFromBytes([]byte("holder group secret"))
+	e := NewEncryptor(k, "blood_type")
+	if e.Encrypt("A+") != e.Encrypt("A+") {
+		t.Fatal("equal values under one key produced different tags")
+	}
+	e2 := NewEncryptor(k, "blood_type")
+	if e.Encrypt("O-") != e2.Encrypt("O-") {
+		t.Fatal("independent encryptors with equal key/domain disagree")
+	}
+}
+
+func TestDistinctValuesDistinctTags(t *testing.T) {
+	e := NewEncryptor(KeyFromBytes([]byte("k")), "attr")
+	vals := []string{"", "a", "b", "ab", "ba", "A", "aa"}
+	seen := make(map[Tag]string)
+	for _, v := range vals {
+		tag := e.Encrypt(v)
+		if prev, dup := seen[tag]; dup {
+			t.Fatalf("tag collision between %q and %q", prev, v)
+		}
+		seen[tag] = v
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	a := NewEncryptor(KeyFromBytes([]byte("key one")), "attr")
+	b := NewEncryptor(KeyFromBytes([]byte("key two")), "attr")
+	if a.Encrypt("same") == b.Encrypt("same") {
+		t.Fatal("different keys produced equal tags")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	k := KeyFromBytes([]byte("k"))
+	a := NewEncryptor(k, "city")
+	b := NewEncryptor(k, "diagnosis")
+	if a.Encrypt("ankara") == b.Encrypt("ankara") {
+		t.Fatal("different domains produced equal tags")
+	}
+	// Length-prefix must prevent boundary shifting: ("ab","c") vs ("a","bc").
+	if NewEncryptor(k, "ab").Encrypt("c") == NewEncryptor(k, "a").Encrypt("bc") {
+		t.Fatal("domain/value boundary ambiguity")
+	}
+}
+
+func TestDistanceMatchesPlaintextEquality(t *testing.T) {
+	e := NewEncryptor(KeyFromBytes([]byte("k")), "attr")
+	f := func(a, b string) bool {
+		d := Distance(e.Encrypt(a), e.Encrypt(b))
+		if a == b {
+			return d == 0
+		}
+		return d == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptColumnOrderPreserving(t *testing.T) {
+	e := NewEncryptor(KeyFromBytes([]byte("k")), "attr")
+	col := []string{"x", "y", "x", "z"}
+	tags := e.EncryptColumn(col)
+	if len(tags) != len(col) {
+		t.Fatalf("column length %d, want %d", len(tags), len(col))
+	}
+	if tags[0] != tags[2] {
+		t.Fatal("equal plaintexts in a column produced different tags")
+	}
+	if tags[0] == tags[1] || tags[1] == tags[3] {
+		t.Fatal("distinct plaintexts collided")
+	}
+	for i, v := range col {
+		if tags[i] != e.Encrypt(v) {
+			t.Fatalf("column tag %d does not match scalar tag", i)
+		}
+	}
+}
+
+func TestTagString(t *testing.T) {
+	e := NewEncryptor(KeyFromBytes([]byte("k")), "attr")
+	s := e.Encrypt("v").String()
+	if len(s) != 2*TagSize {
+		t.Fatalf("hex tag length = %d, want %d", len(s), 2*TagSize)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	e := NewEncryptor(KeyFromBytes([]byte("bench")), "attr")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Encrypt("categorical-value")
+	}
+}

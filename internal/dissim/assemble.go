@@ -1,0 +1,108 @@
+package dissim
+
+import "fmt"
+
+// Assembler realizes the third party's side of the paper's Figure 11: it
+// collects each data holder's local dissimilarity matrix and, for every
+// holder pair (J, K) with K > J, the cross-party block produced by the
+// comparison protocol, then emits the global matrix over the concatenated
+// object ordering (party 0's objects first, then party 1's, …).
+//
+// Cross blocks arrive with the later party's objects as rows and the
+// earlier party's as columns — exactly the J_K orientation the protocol's
+// third-party step outputs — so every block lands below the diagonal.
+type Assembler struct {
+	sizes   []int
+	offsets []int
+	global  *Matrix
+
+	localSet []bool
+	crossSet [][]bool
+}
+
+// NewAssembler prepares assembly for the given per-party object counts, in
+// global party order.
+func NewAssembler(sizes []int) (*Assembler, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("dissim: no parties")
+	}
+	offsets := make([]int, len(sizes))
+	total := 0
+	for i, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("dissim: negative size %d for party %d", s, i)
+		}
+		offsets[i] = total
+		total += s
+	}
+	crossSet := make([][]bool, len(sizes))
+	for k := range crossSet {
+		crossSet[k] = make([]bool, len(sizes))
+	}
+	return &Assembler{
+		sizes:    sizes,
+		offsets:  offsets,
+		global:   New(total),
+		localSet: make([]bool, len(sizes)),
+		crossSet: crossSet,
+	}, nil
+}
+
+// Total returns the global object count.
+func (a *Assembler) Total() int { return a.global.N() }
+
+// Offset returns the global index of party p's first object.
+func (a *Assembler) Offset(p int) int { return a.offsets[p] }
+
+// SetLocal installs party p's local dissimilarity matrix.
+func (a *Assembler) SetLocal(p int, local *Matrix) error {
+	if p < 0 || p >= len(a.sizes) {
+		return fmt.Errorf("dissim: party %d out of range", p)
+	}
+	if local.N() != a.sizes[p] {
+		return fmt.Errorf("dissim: party %d local matrix has %d objects, want %d", p, local.N(), a.sizes[p])
+	}
+	off := a.offsets[p]
+	for i := 1; i < local.N(); i++ {
+		for j := 0; j < i; j++ {
+			a.global.Set(off+i, off+j, local.At(i, j))
+		}
+	}
+	a.localSet[p] = true
+	return nil
+}
+
+// SetCross installs the protocol output block for the pair (j, k), k > j:
+// at(m, n) is the distance between party k's object m and party j's object
+// n, matching the J_K matrix of Figures 6 and 10.
+func (a *Assembler) SetCross(j, k int, at func(m, n int) float64) error {
+	if j < 0 || k >= len(a.sizes) || k <= j {
+		return fmt.Errorf("dissim: invalid pair (%d,%d)", j, k)
+	}
+	offK, offJ := a.offsets[k], a.offsets[j]
+	for m := 0; m < a.sizes[k]; m++ {
+		for n := 0; n < a.sizes[j]; n++ {
+			a.global.Set(offK+m, offJ+n, at(m, n))
+		}
+	}
+	a.crossSet[k][j] = true
+	return nil
+}
+
+// Done verifies that every local matrix and every cross block has been
+// installed and returns the assembled global matrix.
+func (a *Assembler) Done() (*Matrix, error) {
+	for p, ok := range a.localSet {
+		if !ok {
+			return nil, fmt.Errorf("dissim: missing local matrix for party %d", p)
+		}
+	}
+	for k := range a.crossSet {
+		for j := 0; j < k; j++ {
+			if !a.crossSet[k][j] {
+				return nil, fmt.Errorf("dissim: missing cross block (%d,%d)", j, k)
+			}
+		}
+	}
+	return a.global, nil
+}

@@ -1,0 +1,220 @@
+// Package dissim implements the dissimilarity matrix — the object-by-object
+// structure at the heart of the İnan et al. protocol — together with the
+// paper's local construction (Figure 12), global assembly (Figure 11),
+// max-normalization and weighted multi-attribute merging.
+//
+// A dissimilarity matrix is symmetric with a zero diagonal, so only the
+// entries below the diagonal are stored (paper Figure 2): d[i][j] with
+// i > j lives at packed index i(i−1)/2 + j.
+package dissim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a symmetric object-by-object dissimilarity matrix with zero
+// diagonal, stored as a packed lower triangle.
+type Matrix struct {
+	n    int
+	cell []float64
+}
+
+// New allocates an n×n zero matrix.
+func New(n int) *Matrix {
+	if n < 0 {
+		panic(fmt.Sprintf("dissim: negative size %d", n))
+	}
+	return &Matrix{n: n, cell: make([]float64, n*(n-1)/2)}
+}
+
+// N returns the number of objects.
+func (m *Matrix) N() int { return m.n }
+
+func (m *Matrix) index(i, j int) int {
+	if i < 0 || j < 0 || i >= m.n || j >= m.n {
+		panic(fmt.Sprintf("dissim: index (%d,%d) out of range for n=%d", i, j, m.n))
+	}
+	if j > i {
+		i, j = j, i
+	}
+	return i*(i-1)/2 + j
+}
+
+// At returns d[i][j]. The diagonal is always 0.
+func (m *Matrix) At(i, j int) float64 {
+	if i == j {
+		m.index(i, j) // bounds check
+		return 0
+	}
+	return m.cell[m.index(i, j)]
+}
+
+// Set assigns d[i][j] = d[j][i] = v. Diagonal entries may only be set to 0;
+// negative or non-finite dissimilarities are rejected by panic, as they
+// indicate a protocol-layer bug rather than a recoverable condition.
+func (m *Matrix) Set(i, j int, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		panic(fmt.Sprintf("dissim: invalid dissimilarity %v at (%d,%d)", v, i, j))
+	}
+	if i == j {
+		m.index(i, j)
+		if v != 0 {
+			panic(fmt.Sprintf("dissim: nonzero diagonal %v at %d", v, i))
+		}
+		return
+	}
+	m.cell[m.index(i, j)] = v
+}
+
+// Max returns the largest entry (0 for matrices with fewer than 2 objects).
+func (m *Matrix) Max() float64 {
+	max := 0.0
+	for _, v := range m.cell {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Normalize scales all entries into [0, 1] by dividing by the maximum
+// entry, the final step of the paper's Figure 11 ("d[m][n] = d[m][n] /
+// maximum value in d"). A zero matrix is left unchanged. It returns the
+// maximum that was used, so callers can report the scale.
+func (m *Matrix) Normalize() float64 {
+	max := m.Max()
+	if max == 0 {
+		return 0
+	}
+	for i := range m.cell {
+		m.cell[i] /= max
+	}
+	return max
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.n)
+	copy(c.cell, m.cell)
+	return c
+}
+
+// EqualWithin reports whether the two matrices have the same size and all
+// entries within tol of each other.
+func (m *Matrix) EqualWithin(o *Matrix, tol float64) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.cell {
+		if math.Abs(m.cell[i]-o.cell[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDifference returns the largest absolute entry-wise difference between
+// two same-sized matrices, for accuracy reporting.
+func (m *Matrix) MaxDifference(o *Matrix) (float64, error) {
+	if m.n != o.n {
+		return 0, fmt.Errorf("dissim: size mismatch %d vs %d", m.n, o.n)
+	}
+	max := 0.0
+	for i := range m.cell {
+		if d := math.Abs(m.cell[i] - o.cell[i]); d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// String renders the lower triangle, for small matrices in examples and
+// debugging output.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := 0; j <= i; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%6.3f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Packed returns a copy of the packed lower triangle, the wire form in
+// which data holders send local matrices to the third party.
+func (m *Matrix) Packed() []float64 {
+	return append([]float64(nil), m.cell...)
+}
+
+// FromPacked reconstructs an n-object matrix from its packed lower
+// triangle, validating length and entry ranges.
+func FromPacked(n int, cells []float64) (*Matrix, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dissim: negative size %d", n)
+	}
+	if len(cells) != n*(n-1)/2 {
+		return nil, fmt.Errorf("dissim: %d cells for n=%d, want %d", len(cells), n, n*(n-1)/2)
+	}
+	for i, v := range cells {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("dissim: invalid packed entry %v at %d", v, i)
+		}
+	}
+	m := New(n)
+	copy(m.cell, cells)
+	return m, nil
+}
+
+// FromLocal is the paper's Figure 12: build a local dissimilarity matrix
+// for n objects from a pairwise distance function. The distance function is
+// consulted only for i > j.
+func FromLocal(n int, dist func(i, j int) float64) *Matrix {
+	m := New(n)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			m.Set(i, j, dist(i, j))
+		}
+	}
+	return m
+}
+
+// WeightedMerge combines per-attribute dissimilarity matrices into the
+// final matrix using the data holders' weight vector (paper Section 5):
+// result = Σ wᵢ·dᵢ / Σ wᵢ. Weights must be non-negative with a positive
+// sum; matrices must agree in size.
+func WeightedMerge(ms []*Matrix, weights []float64) (*Matrix, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("dissim: no matrices to merge")
+	}
+	if len(weights) != len(ms) {
+		return nil, fmt.Errorf("dissim: %d weights for %d matrices", len(weights), len(ms))
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dissim: invalid weight %v at %d", w, i)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("dissim: weights sum to zero")
+	}
+	n := ms[0].n
+	out := New(n)
+	for i, mi := range ms {
+		if mi.n != n {
+			return nil, fmt.Errorf("dissim: matrix %d has %d objects, want %d", i, mi.n, n)
+		}
+		w := weights[i] / sum
+		for c := range out.cell {
+			out.cell[c] += w * mi.cell[c]
+		}
+	}
+	return out, nil
+}

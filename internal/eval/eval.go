@@ -1,0 +1,199 @@
+// Package eval provides external cluster-validation indices used by the
+// accuracy experiments: Rand index, adjusted Rand index, purity, pairwise
+// F-measure and normalized mutual information, all comparing a predicted
+// labeling against ground truth.
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// contingency builds the contingency table between two labelings plus the
+// marginals, remapping arbitrary label values to dense indices.
+func contingency(truth, pred []int) (table [][]int, rowSums, colSums []int, n int, err error) {
+	if len(truth) != len(pred) {
+		return nil, nil, nil, 0, fmt.Errorf("eval: %d truth labels vs %d predicted", len(truth), len(pred))
+	}
+	if len(truth) == 0 {
+		return nil, nil, nil, 0, fmt.Errorf("eval: empty labelings")
+	}
+	tIdx := make(map[int]int)
+	pIdx := make(map[int]int)
+	for _, l := range truth {
+		if _, ok := tIdx[l]; !ok {
+			tIdx[l] = len(tIdx)
+		}
+	}
+	for _, l := range pred {
+		if _, ok := pIdx[l]; !ok {
+			pIdx[l] = len(pIdx)
+		}
+	}
+	table = make([][]int, len(tIdx))
+	for i := range table {
+		table[i] = make([]int, len(pIdx))
+	}
+	rowSums = make([]int, len(tIdx))
+	colSums = make([]int, len(pIdx))
+	for i := range truth {
+		r, c := tIdx[truth[i]], pIdx[pred[i]]
+		table[r][c]++
+		rowSums[r]++
+		colSums[c]++
+	}
+	return table, rowSums, colSums, len(truth), nil
+}
+
+func choose2(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+// RandIndex returns the Rand index in [0, 1]: the fraction of object pairs
+// on which the two labelings agree.
+func RandIndex(truth, pred []int) (float64, error) {
+	table, rowSums, colSums, n, err := contingency(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	if n < 2 {
+		return 1, nil
+	}
+	var sumCells, sumRows, sumCols float64
+	for i := range table {
+		for _, v := range table[i] {
+			sumCells += choose2(v)
+		}
+	}
+	for _, v := range rowSums {
+		sumRows += choose2(v)
+	}
+	for _, v := range colSums {
+		sumCols += choose2(v)
+	}
+	total := choose2(n)
+	// Agreements: pairs together in both + pairs apart in both.
+	return (total + 2*sumCells - sumRows - sumCols) / total, nil
+}
+
+// AdjustedRandIndex returns the chance-corrected Rand index: 1 for
+// identical partitions, ≈0 for independent ones, possibly negative.
+func AdjustedRandIndex(truth, pred []int) (float64, error) {
+	table, rowSums, colSums, n, err := contingency(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	if n < 2 {
+		return 1, nil
+	}
+	var index, sumRows, sumCols float64
+	for i := range table {
+		for _, v := range table[i] {
+			index += choose2(v)
+		}
+	}
+	for _, v := range rowSums {
+		sumRows += choose2(v)
+	}
+	for _, v := range colSums {
+		sumCols += choose2(v)
+	}
+	expected := sumRows * sumCols / choose2(n)
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		return 1, nil // both partitions trivial (all-singletons or single cluster)
+	}
+	return (index - expected) / (maxIndex - expected), nil
+}
+
+// Purity returns the weighted fraction of objects belonging to their
+// predicted cluster's majority truth class, in (0, 1].
+func Purity(truth, pred []int) (float64, error) {
+	table, _, _, n, err := contingency(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	cols := len(table[0])
+	for c := 0; c < cols; c++ {
+		best := 0
+		for r := range table {
+			if table[r][c] > best {
+				best = table[r][c]
+			}
+		}
+		total += best
+	}
+	return float64(total) / float64(n), nil
+}
+
+// PairwiseF1 returns precision, recall and F1 over object pairs: a pair is
+// "positive" when both labelings co-cluster it.
+func PairwiseF1(truth, pred []int) (precision, recall, f1 float64, err error) {
+	table, rowSums, colSums, n, err := contingency(truth, pred)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if n < 2 {
+		return 1, 1, 1, nil
+	}
+	var tp, predPos, truePos float64
+	for i := range table {
+		for _, v := range table[i] {
+			tp += choose2(v)
+		}
+	}
+	for _, v := range colSums {
+		predPos += choose2(v)
+	}
+	for _, v := range rowSums {
+		truePos += choose2(v)
+	}
+	if predPos == 0 || truePos == 0 {
+		return 0, 0, 0, nil
+	}
+	precision = tp / predPos
+	recall = tp / truePos
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1, nil
+}
+
+// NMI returns the normalized mutual information (arithmetic-mean
+// normalization) between the labelings, in [0, 1].
+func NMI(truth, pred []int) (float64, error) {
+	table, rowSums, colSums, n, err := contingency(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	fn := float64(n)
+	var mi, hT, hP float64
+	for i := range table {
+		for j, v := range table[i] {
+			if v == 0 {
+				continue
+			}
+			p := float64(v) / fn
+			mi += p * math.Log(p*fn*fn/(float64(rowSums[i])*float64(colSums[j])))
+		}
+	}
+	for _, v := range rowSums {
+		if v > 0 {
+			p := float64(v) / fn
+			hT -= p * math.Log(p)
+		}
+	}
+	for _, v := range colSums {
+		if v > 0 {
+			p := float64(v) / fn
+			hP -= p * math.Log(p)
+		}
+	}
+	if hT == 0 && hP == 0 {
+		return 1, nil // both partitions trivial and identical in structure
+	}
+	denom := (hT + hP) / 2
+	if denom == 0 {
+		return 0, nil
+	}
+	return mi / denom, nil
+}

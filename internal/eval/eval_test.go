@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/rng"
+)
+
+func TestPerfectAgreement(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	pred := []int{5, 5, 9, 9, 7, 7} // same partition, different label values
+	for name, fn := range map[string]func([]int, []int) (float64, error){
+		"rand": RandIndex, "ari": AdjustedRandIndex, "purity": Purity, "nmi": NMI,
+	} {
+		v, err := fn(truth, pred)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("%s = %v, want 1", name, v)
+		}
+	}
+	p, r, f1, err := PairwiseF1(truth, pred)
+	if err != nil || p != 1 || r != 1 || f1 != 1 {
+		t.Fatalf("F1 on identical partitions: %v %v %v %v", p, r, f1, err)
+	}
+}
+
+func TestKnownRandIndex(t *testing.T) {
+	// Classic worked example: truth {a,a,a,b,b,b}, pred splits one object.
+	truth := []int{0, 0, 0, 1, 1, 1}
+	pred := []int{0, 0, 1, 1, 1, 1}
+	// Pairs: C(6,2)=15. Agreements: pairs co-clustered in both:
+	// truth clusters {0,1,2},{3,4,5}; pred {0,1},{2,3,4,5}.
+	// together-both: (0,1) and (3,4),(3,5),(4,5) = 4.
+	// apart-both: count pairs apart in both = 15 - together_t(6) -
+	// together_p(7) + together_both(4) = 6. RI = (4+6)/15 = 2/3.
+	ri, err := RandIndex(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ri-2.0/3.0) > 1e-12 {
+		t.Fatalf("RI = %v, want 2/3", ri)
+	}
+}
+
+func TestKnownPurity(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1, 1}
+	pred := []int{0, 0, 1, 1, 1, 1}
+	// Cluster 0: majority truth 0 (2/2). Cluster 1: majority truth 1 (3/4).
+	// Purity = (2+3)/6.
+	p, err := Purity(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-5.0/6.0) > 1e-12 {
+		t.Fatalf("purity = %v, want 5/6", p)
+	}
+}
+
+func TestARIIndependentPartitionsNearZero(t *testing.T) {
+	gen := rng.NewXoshiro(rng.SeedFromUint64(1))
+	n := 2000
+	truth := make([]int, n)
+	pred := make([]int, n)
+	for i := range truth {
+		truth[i] = int(rng.Uint64n(gen, 4))
+		pred[i] = int(rng.Uint64n(gen, 4))
+	}
+	ari, err := AdjustedRandIndex(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari) > 0.05 {
+		t.Fatalf("ARI of independent labelings = %v, want ≈0", ari)
+	}
+	// Unadjusted Rand does NOT vanish for independent partitions — that's
+	// why ARI exists; sanity-check it is substantially positive.
+	ri, _ := RandIndex(truth, pred)
+	if ri < 0.5 {
+		t.Fatalf("RI = %v, expected > 0.5 for 4x4 independent", ri)
+	}
+}
+
+func TestNMIPermutationInvariant(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2, 2}
+	pred := []int{1, 1, 2, 2, 0, 0, 0}
+	v, err := NMI(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-12 {
+		t.Fatalf("NMI under label permutation = %v, want 1", v)
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	if _, err := RandIndex([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NMI(nil, nil); err == nil {
+		t.Fatal("empty labelings accepted")
+	}
+	if _, _, _, err := PairwiseF1([]int{1}, []int{1, 2}); err == nil {
+		t.Fatal("F1 length mismatch accepted")
+	}
+}
+
+func TestQuickIndicesBounded(t *testing.T) {
+	gen := rng.NewXoshiro(rng.SeedFromUint64(2))
+	f := func(n uint8, kt, kp uint8) bool {
+		size := int(n%30) + 2
+		ktc := int(kt%4) + 1
+		kpc := int(kp%4) + 1
+		truth := make([]int, size)
+		pred := make([]int, size)
+		for i := range truth {
+			truth[i] = int(rng.Uint64n(gen, uint64(ktc)))
+			pred[i] = int(rng.Uint64n(gen, uint64(kpc)))
+		}
+		ri, err := RandIndex(truth, pred)
+		if err != nil || ri < 0 || ri > 1 {
+			return false
+		}
+		ari, err := AdjustedRandIndex(truth, pred)
+		if err != nil || ari > 1+1e-12 {
+			return false
+		}
+		p, err := Purity(truth, pred)
+		if err != nil || p <= 0 || p > 1 {
+			return false
+		}
+		nmi, err := NMI(truth, pred)
+		if err != nil || nmi < -1e-9 || nmi > 1+1e-9 {
+			return false
+		}
+		pr, rc, f1, err := PairwiseF1(truth, pred)
+		if err != nil || pr < 0 || pr > 1 || rc < 0 || rc > 1 || f1 < 0 || f1 > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingletonEdgeCases(t *testing.T) {
+	// n=1: all indices defined as perfect agreement.
+	if ri, err := RandIndex([]int{0}, []int{3}); err != nil || ri != 1 {
+		t.Fatalf("n=1 RI = %v, %v", ri, err)
+	}
+	// All singletons in both partitions.
+	truth := []int{0, 1, 2, 3}
+	if ari, err := AdjustedRandIndex(truth, []int{9, 8, 7, 6}); err != nil || ari != 1 {
+		t.Fatalf("all-singleton ARI = %v, %v", ari, err)
+	}
+}

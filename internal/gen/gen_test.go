@@ -1,0 +1,239 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"ppclust/internal/alphabet"
+	"ppclust/internal/dataset"
+	"ppclust/internal/editdist"
+	"ppclust/internal/rng"
+)
+
+func stream(seed uint64) rng.Stream { return rng.NewAESCTR(rng.SeedFromUint64(seed)) }
+
+func TestGaussiansShapeAndDeterminism(t *testing.T) {
+	spec := []GaussianCluster{
+		{Center: []float64{0, 0}, Stddev: 1, N: 50},
+		{Center: []float64{10, 10}, Stddev: 1, N: 30},
+	}
+	a, err := Gaussians(spec, stream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.Len() != 80 || len(a.Truth) != 80 {
+		t.Fatalf("size %d/%d", a.Table.Len(), len(a.Truth))
+	}
+	b, _ := Gaussians(spec, stream(1))
+	colA, _ := a.Table.NumericCol(0)
+	colB, _ := b.Table.NumericCol(0)
+	for i := range colA {
+		if colA[i] != colB[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	// Cluster means near the centers.
+	var mean0 float64
+	for i := 0; i < 50; i++ {
+		mean0 += colA[i]
+	}
+	mean0 /= 50
+	if math.Abs(mean0) > 0.8 {
+		t.Fatalf("cluster 0 mean = %v, want ≈0", mean0)
+	}
+}
+
+func TestGaussiansValidation(t *testing.T) {
+	if _, err := Gaussians(nil, stream(1)); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := Gaussians([]GaussianCluster{{Center: nil, N: 1}}, stream(1)); err == nil {
+		t.Fatal("zero-dim accepted")
+	}
+	if _, err := Gaussians([]GaussianCluster{{Center: []float64{1}, N: 1}, {Center: []float64{1, 2}, N: 1}}, stream(1)); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+	if _, err := Gaussians([]GaussianCluster{{Center: []float64{1}, N: -1}}, stream(1)); err == nil {
+		t.Fatal("negative N accepted")
+	}
+	if _, err := Gaussians([]GaussianCluster{{Center: []float64{1}, N: 1}}, stream(1), "a", "b"); err == nil {
+		t.Fatal("name count mismatch accepted")
+	}
+}
+
+func TestRingsGeometry(t *testing.T) {
+	l, err := Rings(40, 80, 1, 5, 0.05, stream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, _ := l.Table.NumericCol(0)
+	ys, _ := l.Table.NumericCol(1)
+	for i := 0; i < l.Table.Len(); i++ {
+		r := math.Hypot(xs[i], ys[i])
+		want := 1.0
+		if l.Truth[i] == 1 {
+			want = 5
+		}
+		if math.Abs(r-want) > 0.4 {
+			t.Fatalf("point %d radius %v, want ≈%v", i, r, want)
+		}
+	}
+	if _, err := Rings(10, 10, 5, 1, 0, stream(1)); err == nil {
+		t.Fatal("inverted radii accepted")
+	}
+}
+
+func TestDNAFamiliesStructure(t *testing.T) {
+	spec := DNASpec{Families: 3, PerFamily: 5, Length: 40, SubRate: 0.05, IndelRate: 0.02}
+	l, err := DNAFamilies(spec, stream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Table.Len() != 15 {
+		t.Fatalf("size = %d", l.Table.Len())
+	}
+	col, err := l.Table.SymbolCol(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-family distances must be clearly below between-family ones.
+	var within, between []int
+	for i := 0; i < 15; i++ {
+		for j := 0; j < i; j++ {
+			d := editdist.Distance(col[i], col[j])
+			if l.Truth[i] == l.Truth[j] {
+				within = append(within, d)
+			} else {
+				between = append(between, d)
+			}
+		}
+	}
+	maxWithin, minBetween := 0, 1<<30
+	for _, d := range within {
+		if d > maxWithin {
+			maxWithin = d
+		}
+	}
+	for _, d := range between {
+		if d < minBetween {
+			minBetween = d
+		}
+	}
+	if maxWithin >= minBetween {
+		t.Fatalf("families not separated: maxWithin=%d minBetween=%d", maxWithin, minBetween)
+	}
+}
+
+func TestDNAFamiliesValidation(t *testing.T) {
+	if _, err := DNAFamilies(DNASpec{}, stream(1)); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+	if _, err := DNAFamilies(DNASpec{Families: 1, PerFamily: 1, Length: 5, SubRate: 2}, stream(1)); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestDNAFamiliesCustomAlphabet(t *testing.T) {
+	spec := DNASpec{Families: 2, PerFamily: 2, Length: 10, SubRate: 0.1, Alphabet: alphabet.Protein, AttrName: "prot"}
+	l, err := DNAFamilies(spec, stream(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Table.Schema().Attrs[0].Name != "prot" {
+		t.Fatal("attr name not honoured")
+	}
+	col, _ := l.Table.StringCol(0)
+	for _, s := range col {
+		if !alphabet.Protein.Contains(s) {
+			t.Fatalf("sequence %q outside protein alphabet", s)
+		}
+	}
+}
+
+func TestCategoricalClusters(t *testing.T) {
+	l, err := CategoricalClusters(3, 20, 4, 8, 0.9, stream(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Table.Len() != 60 {
+		t.Fatalf("size = %d", l.Table.Len())
+	}
+	// High fidelity: most values in cluster 0 equal "v00".
+	col, _ := l.Table.StringCol(0)
+	hits := 0
+	for i := 0; i < 20; i++ {
+		if col[i] == "v00" {
+			hits++
+		}
+	}
+	if hits < 14 {
+		t.Fatalf("cluster 0 fidelity too low: %d/20", hits)
+	}
+	if _, err := CategoricalClusters(5, 1, 1, 3, 0.5, stream(1)); err == nil {
+		t.Fatal("palette smaller than clusters accepted")
+	}
+}
+
+func TestAssigners(t *testing.T) {
+	rr := AssignRoundRobin(7, 3)
+	if rr[0] != 0 || rr[1] != 1 || rr[2] != 2 || rr[3] != 0 {
+		t.Fatalf("round robin: %v", rr)
+	}
+	rd := AssignRandom(1000, 4, stream(6))
+	counts := make([]int, 4)
+	for _, a := range rd {
+		counts[a]++
+	}
+	for s, c := range counts {
+		if c < 180 || c > 320 {
+			t.Fatalf("random assignment skewed: site %d got %d", s, c)
+		}
+	}
+	sk := AssignSkewed(1000, 3, 0.8, stream(7))
+	c0 := 0
+	for _, a := range sk {
+		if a == 0 {
+			c0++
+		}
+	}
+	if c0 < 700 || c0 > 900 {
+		t.Fatalf("skewed share = %d/1000", c0)
+	}
+}
+
+func TestSiteNames(t *testing.T) {
+	names := SiteNames(3)
+	if names[0] != "A" || names[2] != "C" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestPartitionPermutesTruth(t *testing.T) {
+	l, err := Gaussians([]GaussianCluster{
+		{Center: []float64{0}, Stddev: 0.1, N: 4},
+		{Center: []float64{10}, Stddev: 0.1, N: 4},
+	}, stream(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	parts, truth, err := Partition(l, 2, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].Table.Len() != 4 || parts[1].Table.Len() != 4 {
+		t.Fatal("bad split sizes")
+	}
+	// Global order: site A rows (original 0,2,4,6) then B (1,3,5,7).
+	wantTruth := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	for i, w := range wantTruth {
+		if truth[i] != w {
+			t.Fatalf("truth[%d] = %d, want %d (%v)", i, truth[i], w, truth)
+		}
+	}
+	// The permuted truth must match values found in the partitions.
+	idx := dataset.GlobalIndex(parts)
+	if len(idx) != 8 {
+		t.Fatalf("global index size %d", len(idx))
+	}
+}

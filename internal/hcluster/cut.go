@@ -1,0 +1,134 @@
+package hcluster
+
+import (
+	"fmt"
+	"sort"
+
+	"ppclust/internal/dissim"
+)
+
+// CutK cuts the dendrogram into exactly k clusters by undoing the last k−1
+// merges. Clusters are returned as leaf-index lists, each sorted, ordered
+// by their smallest leaf.
+func (dg *Dendrogram) CutK(k int) ([][]int, error) {
+	if k < 1 || k > dg.NLeaves {
+		return nil, fmt.Errorf("hcluster: cannot cut %d leaves into %d clusters", dg.NLeaves, k)
+	}
+	return dg.clustersAfter(dg.NLeaves - k), nil
+}
+
+// CutHeight cuts the dendrogram at height h: merges with Height ≤ h are
+// applied in execution order. For monotonic linkages this is the usual
+// horizontal dendrogram cut.
+func (dg *Dendrogram) CutHeight(h float64) [][]int {
+	uf := newUnionFind(dg.NLeaves)
+	for _, m := range dg.Merges {
+		if m.Height <= h {
+			uf.unionNodes(dg, m)
+		}
+	}
+	return uf.clusters()
+}
+
+// Labels returns a leaf→cluster assignment for a k-cluster cut, with
+// cluster ids numbered by each cluster's smallest leaf.
+func (dg *Dendrogram) Labels(k int) ([]int, error) {
+	cs, err := dg.CutK(k)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, dg.NLeaves)
+	for c, members := range cs {
+		for _, leaf := range members {
+			labels[leaf] = c
+		}
+	}
+	return labels, nil
+}
+
+// clustersAfter applies the first `steps` merges and reports the resulting
+// partition.
+func (dg *Dendrogram) clustersAfter(steps int) [][]int {
+	uf := newUnionFind(dg.NLeaves)
+	for s := 0; s < steps; s++ {
+		uf.unionNodes(dg, dg.Merges[s])
+	}
+	return uf.clusters()
+}
+
+// Cophenetic returns the cophenetic dissimilarity matrix: entry (i, j) is
+// the height of the first merge that joins leaves i and j. Useful for
+// validating dendrograms (single-linkage cophenetic distances are the
+// minimax path distances of the input).
+func (dg *Dendrogram) Cophenetic() *dissim.Matrix {
+	out := dissim.New(dg.NLeaves)
+	// members[node] = leaves below that node, built in merge order.
+	members := make(map[int][]int, 2*dg.NLeaves)
+	for i := 0; i < dg.NLeaves; i++ {
+		members[i] = []int{i}
+	}
+	for _, m := range dg.Merges {
+		la, lb := members[m.A], members[m.B]
+		for _, i := range la {
+			for _, j := range lb {
+				out.Set(i, j, m.Height)
+			}
+		}
+		merged := make([]int, 0, len(la)+len(lb))
+		merged = append(merged, la...)
+		merged = append(merged, lb...)
+		members[m.Node] = merged
+		delete(members, m.A)
+		delete(members, m.B)
+	}
+	return out
+}
+
+// unionFind with node-id tracking: dendrogram merges reference node ids, so
+// the structure maps node ids to their current leaf sets through roots.
+type unionFind struct {
+	parent []int
+	// rootOfNode maps a dendrogram node id to the union-find root of its
+	// leaves (lazily: only ids that exist as roots matter).
+	rootOfNode map[int]int
+	n          int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rootOfNode: make(map[int]int, 2*n), n: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.rootOfNode[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) unionNodes(dg *Dendrogram, m Merge) {
+	ra := uf.find(uf.rootOfNode[m.A])
+	rb := uf.find(uf.rootOfNode[m.B])
+	uf.parent[rb] = ra
+	uf.rootOfNode[m.Node] = ra
+}
+
+func (uf *unionFind) clusters() [][]int {
+	byRoot := make(map[int][]int)
+	for leaf := 0; leaf < uf.n; leaf++ {
+		r := uf.find(leaf)
+		byRoot[r] = append(byRoot[r], leaf)
+	}
+	out := make([][]int, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

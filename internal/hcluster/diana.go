@@ -1,0 +1,189 @@
+package hcluster
+
+import (
+	"fmt"
+	"sort"
+
+	"ppclust/internal/dissim"
+)
+
+// Diana runs the DIANA divisive hierarchical algorithm (Kaufman &
+// Rousseeuw) over a dissimilarity matrix: start from one all-object
+// cluster and repeatedly split the cluster with the largest diameter by
+// growing a splinter group around its most-estranged member. The split
+// history is returned as a Dendrogram — the splits reversed are merges, so
+// CutK, Labels, Cophenetic and Newick apply unchanged.
+//
+// DIANA complements the agglomerative linkages: it tends to find large
+// top-level structure first, and offering both directions substantiates
+// the paper's claim of generality over "different clustering methods"
+// consuming the dissimilarity matrix.
+func Diana(d *dissim.Matrix) (*Dendrogram, error) {
+	n := d.N()
+	if n < 1 {
+		return nil, fmt.Errorf("hcluster: empty dissimilarity matrix")
+	}
+	dg := &Dendrogram{NLeaves: n, Linkage: -1, Merges: make([]Merge, 0, n-1)}
+	if n == 1 {
+		return dg, nil
+	}
+
+	type split struct {
+		left, right []int
+		height      float64 // diameter of the parent cluster
+	}
+	var splits []split
+
+	// Active clusters; split the one with the largest diameter each round.
+	clusters := [][]int{allIndices(n)}
+	for len(clusters) < n {
+		// Find the cluster with the largest diameter.
+		best, bestDiam := -1, -1.0
+		for ci, members := range clusters {
+			if len(members) < 2 {
+				continue
+			}
+			if diam := diameter(d, members); diam > bestDiam {
+				best, bestDiam = ci, diam
+			}
+		}
+		if best < 0 {
+			break // all singletons
+		}
+		left, right := dianaSplit(d, clusters[best])
+		splits = append(splits, split{left: left, right: right, height: bestDiam})
+		clusters[best] = left
+		clusters = append(clusters, right)
+	}
+
+	// Reverse splits into merges, numbering internal nodes bottom-up. Each
+	// cluster (as an index set) gets a node id once it has been fully
+	// assembled; leaves are their own ids.
+	nodeOf := make(map[string]int, 2*n)
+	for i := 0; i < n; i++ {
+		nodeOf[keyOf([]int{i})] = i
+	}
+	next := n
+	for si := len(splits) - 1; si >= 0; si-- {
+		s := splits[si]
+		a, okA := nodeOf[keyOf(s.left)]
+		b, okB := nodeOf[keyOf(s.right)]
+		if !okA || !okB {
+			return nil, fmt.Errorf("hcluster: internal DIANA bookkeeping error")
+		}
+		if a > b {
+			a, b = b, a
+		}
+		parent := append(append([]int{}, s.left...), s.right...)
+		sort.Ints(parent)
+		dg.Merges = append(dg.Merges, Merge{
+			A: a, B: b, Height: s.height, Size: len(parent), Node: next,
+		})
+		nodeOf[keyOf(parent)] = next
+		next++
+	}
+	return dg, nil
+}
+
+// dianaSplit divides one cluster: the object with the largest average
+// dissimilarity to the rest seeds the splinter group, which then absorbs
+// every object closer (on average) to the splinter than to the remainder.
+func dianaSplit(d *dissim.Matrix, members []int) (remainder, splinter []int) {
+	// Seed: object with max average dissimilarity to the others.
+	seed, seedAvg := members[0], -1.0
+	for _, i := range members {
+		avg := avgDissim(d, i, members)
+		if avg > seedAvg {
+			seed, seedAvg = i, avg
+		}
+	}
+	inSplinter := map[int]bool{seed: true}
+	for {
+		moved := false
+		for _, i := range members {
+			if inSplinter[i] {
+				continue
+			}
+			var toSplinter, toRest, ns, nr float64
+			for _, j := range members {
+				if j == i {
+					continue
+				}
+				if inSplinter[j] {
+					toSplinter += d.At(i, j)
+					ns++
+				} else {
+					toRest += d.At(i, j)
+					nr++
+				}
+			}
+			if ns == 0 {
+				continue
+			}
+			avgS := toSplinter / ns
+			// If i is the last non-splinter object, nr is 0 and it stays.
+			if nr == 0 {
+				continue
+			}
+			if avgS < toRest/nr {
+				inSplinter[i] = true
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	for _, i := range members {
+		if inSplinter[i] {
+			splinter = append(splinter, i)
+		} else {
+			remainder = append(remainder, i)
+		}
+	}
+	sort.Ints(remainder)
+	sort.Ints(splinter)
+	return remainder, splinter
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func diameter(d *dissim.Matrix, members []int) float64 {
+	max := 0.0
+	for a := 1; a < len(members); a++ {
+		for b := 0; b < a; b++ {
+			if v := d.At(members[a], members[b]); v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+func avgDissim(d *dissim.Matrix, i int, members []int) float64 {
+	if len(members) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for _, j := range members {
+		if j != i {
+			sum += d.At(i, j)
+		}
+	}
+	return sum / float64(len(members)-1)
+}
+
+// keyOf canonicalizes a sorted index set for map lookup.
+func keyOf(sorted []int) string {
+	b := make([]byte, 0, len(sorted)*3)
+	for _, v := range sorted {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(b)
+}

@@ -1,0 +1,144 @@
+package hcluster
+
+import (
+	"math"
+	"testing"
+
+	"ppclust/internal/dissim"
+)
+
+func TestDianaTwoGroups(t *testing.T) {
+	// Two tight groups: the first split must separate them.
+	pos := []float64{0, 1, 2, 100, 101, 102}
+	d := dissim.FromLocal(6, func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) })
+	dg, err := Diana(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg.Merges) != 5 {
+		t.Fatalf("%d merges, want 5", len(dg.Merges))
+	}
+	cs, err := dg.CutK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs[0]) != 3 || len(cs[1]) != 3 {
+		t.Fatalf("clusters: %v", cs)
+	}
+	for _, m := range cs[0] {
+		if m > 2 {
+			t.Fatalf("group separation failed: %v", cs)
+		}
+	}
+	// The final merge (first split) happens at the global diameter.
+	if last := dg.Merges[len(dg.Merges)-1]; last.Height != 102 {
+		t.Fatalf("top split height = %v, want 102", last.Height)
+	}
+}
+
+func TestDianaPartitionInvariants(t *testing.T) {
+	d := randomMatrix(18, 11)
+	dg, err := Diana(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 18; k++ {
+		cs, err := dg.CutK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cs) != k {
+			t.Fatalf("CutK(%d) = %d clusters", k, len(cs))
+		}
+		seen := make([]bool, 18)
+		for _, members := range cs {
+			for _, m := range members {
+				if seen[m] {
+					t.Fatalf("leaf %d twice at k=%d", m, k)
+				}
+				seen[m] = true
+			}
+		}
+		for leaf, ok := range seen {
+			if !ok {
+				t.Fatalf("leaf %d missing at k=%d", leaf, k)
+			}
+		}
+	}
+	// Refinement property holds for the divisive tree too.
+	for k := 1; k < 18; k++ {
+		coarse, _ := dg.Labels(k)
+		fine, _ := dg.Labels(k + 1)
+		for i := 0; i < 18; i++ {
+			for j := 0; j < 18; j++ {
+				if fine[i] == fine[j] && coarse[i] != coarse[j] {
+					t.Fatalf("k=%d: refinement violated", k)
+				}
+			}
+		}
+	}
+}
+
+func TestDianaSingletonAndPair(t *testing.T) {
+	dg, err := Diana(dissim.New(1))
+	if err != nil || len(dg.Merges) != 0 {
+		t.Fatalf("singleton: %v %v", dg, err)
+	}
+	d2 := dissim.New(2)
+	d2.Set(1, 0, 7)
+	dg2, err := Diana(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg2.Merges) != 1 || dg2.Merges[0].Height != 7 {
+		t.Fatalf("pair merges: %+v", dg2.Merges)
+	}
+}
+
+func TestDianaEmpty(t *testing.T) {
+	if _, err := Diana(dissim.New(0)); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestDianaNewickCompatible(t *testing.T) {
+	d := randomMatrix(8, 12)
+	dg, err := Diana(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := dg.Newick(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw) == 0 || nw[len(nw)-1] != ';' {
+		t.Fatalf("newick = %q", nw)
+	}
+}
+
+func TestDianaVsAgglomerativeOnSeparatedData(t *testing.T) {
+	// On clearly separated data both directions find the same 2-partition.
+	d := dissim.FromLocal(10, func(i, j int) float64 {
+		if i/5 == j/5 {
+			return 0.1
+		}
+		return 9
+	})
+	diana, err := Diana(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agnes, err := Cluster(d, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, _ := diana.Labels(2)
+	la, _ := agnes.Labels(2)
+	for i := range ld {
+		for j := range ld {
+			if (ld[i] == ld[j]) != (la[i] == la[j]) {
+				t.Fatalf("DIANA and AGNES disagree on separated data")
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package hcluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Newick renders the dendrogram in Newick tree format with branch lengths,
+// the interchange format of phylogenetics tools — a natural export for the
+// paper's bioinformatics motivation (clustering DNA across institutions).
+// labels names the leaves; nil uses "0", "1", …. Branch lengths are the
+// height differences between a node and its parent merge (non-monotonic
+// linkages may produce negative lengths, which Newick permits).
+func (dg *Dendrogram) Newick(labels []string) (string, error) {
+	if labels == nil {
+		labels = make([]string, dg.NLeaves)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("%d", i)
+		}
+	}
+	if len(labels) != dg.NLeaves {
+		return "", fmt.Errorf("hcluster: %d labels for %d leaves", len(labels), dg.NLeaves)
+	}
+	for _, l := range labels {
+		if strings.ContainsAny(l, "(),:;") {
+			return "", fmt.Errorf("hcluster: label %q contains Newick metacharacters", l)
+		}
+	}
+	if dg.NLeaves == 1 {
+		return labels[0] + ";", nil
+	}
+	// height[node] is the merge height at which the node was created
+	// (leaves at 0).
+	height := make(map[int]float64, 2*dg.NLeaves)
+	sub := make(map[int]string, 2*dg.NLeaves)
+	for i := 0; i < dg.NLeaves; i++ {
+		height[i] = 0
+		sub[i] = labels[i]
+	}
+	var rootNode int
+	for _, m := range dg.Merges {
+		la := fmt.Sprintf("%s:%g", sub[m.A], m.Height-height[m.A])
+		lb := fmt.Sprintf("%s:%g", sub[m.B], m.Height-height[m.B])
+		sub[m.Node] = "(" + la + "," + lb + ")"
+		height[m.Node] = m.Height
+		delete(sub, m.A)
+		delete(sub, m.B)
+		rootNode = m.Node
+	}
+	return sub[rootNode] + ";", nil
+}

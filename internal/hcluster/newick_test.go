@@ -1,0 +1,78 @@
+package hcluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ppclust/internal/dissim"
+)
+
+func TestNewickKnownTree(t *testing.T) {
+	// Points 0,1,3 on a line, single linkage: (0,1) at 1, then +{3} at 2.
+	pts := []float64{0, 1, 3}
+	d := dissim.FromLocal(3, func(i, j int) float64 { return math.Abs(pts[i] - pts[j]) })
+	dg, err := Cluster(d, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := dg.Newick([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Children render in (A, B) node-id order: the leaf c (id 2) precedes
+	// the internal node (id 3).
+	if nw != "(c:2,(a:1,b:1):1);" {
+		t.Fatalf("newick = %q", nw)
+	}
+}
+
+func TestNewickDefaultsAndValidation(t *testing.T) {
+	d := dissim.New(2)
+	d.Set(1, 0, 4)
+	dg, _ := Cluster(d, Average)
+	nw, err := dg.Newick(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw != "(0:4,1:4);" {
+		t.Fatalf("default-label newick = %q", nw)
+	}
+	if _, err := dg.Newick([]string{"only-one"}); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, err := dg.Newick([]string{"a:b", "c"}); err == nil {
+		t.Fatal("metacharacter label accepted")
+	}
+}
+
+func TestNewickSingleton(t *testing.T) {
+	dg, _ := Cluster(dissim.New(1), Single)
+	nw, err := dg.Newick([]string{"x"})
+	if err != nil || nw != "x;" {
+		t.Fatalf("singleton newick = %q, %v", nw, err)
+	}
+}
+
+func TestNewickContainsAllLeavesBalanced(t *testing.T) {
+	d := randomMatrix(12, 3)
+	dg, _ := Cluster(d, Complete)
+	nw, err := dg.Newick(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if !strings.Contains(nw, ",") {
+			t.Fatal("no separators")
+		}
+	}
+	if strings.Count(nw, "(") != strings.Count(nw, ")") {
+		t.Fatalf("unbalanced parens: %q", nw)
+	}
+	if strings.Count(nw, "(") != 11 { // n-1 internal nodes
+		t.Fatalf("want 11 internal nodes: %q", nw)
+	}
+	if !strings.HasSuffix(nw, ";") {
+		t.Fatal("missing terminator")
+	}
+}

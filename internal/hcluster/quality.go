@@ -1,0 +1,105 @@
+package hcluster
+
+import (
+	"fmt"
+
+	"ppclust/internal/dissim"
+)
+
+// ClusterQuality is the per-cluster statistic the third party may publish
+// alongside memberships (paper Section 5: "clustering quality parameters
+// such as average of square distance between members") — safe to release
+// because it reveals aggregates, not the dissimilarity matrix.
+type ClusterQuality struct {
+	// Size is the number of members.
+	Size int
+	// AvgSquaredDistance is the mean of d(i,j)² over member pairs; 0 for
+	// singletons.
+	AvgSquaredDistance float64
+	// Diameter is the maximum pairwise distance within the cluster.
+	Diameter float64
+}
+
+// Quality computes per-cluster statistics over the dissimilarity matrix.
+func Quality(d *dissim.Matrix, clusters [][]int) ([]ClusterQuality, error) {
+	out := make([]ClusterQuality, len(clusters))
+	for c, members := range clusters {
+		q := ClusterQuality{Size: len(members)}
+		pairs := 0
+		for a := 1; a < len(members); a++ {
+			for b := 0; b < a; b++ {
+				i, j := members[a], members[b]
+				if i < 0 || i >= d.N() {
+					return nil, fmt.Errorf("hcluster: member %d out of range", i)
+				}
+				v := d.At(i, j)
+				q.AvgSquaredDistance += v * v
+				if v > q.Diameter {
+					q.Diameter = v
+				}
+				pairs++
+			}
+		}
+		if pairs > 0 {
+			q.AvgSquaredDistance /= float64(pairs)
+		}
+		out[c] = q
+	}
+	return out, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of a labeling over the
+// dissimilarity matrix, in [−1, 1]; larger is better. Singleton clusters
+// contribute 0, matching the usual convention.
+func Silhouette(d *dissim.Matrix, labels []int) (float64, error) {
+	n := d.N()
+	if len(labels) != n {
+		return 0, fmt.Errorf("hcluster: %d labels for %d objects", len(labels), n)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("hcluster: empty matrix")
+	}
+	// Cluster sizes.
+	sizes := make(map[int]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	if len(sizes) < 2 {
+		return 0, fmt.Errorf("hcluster: silhouette needs at least 2 clusters")
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		own := labels[i]
+		if sizes[own] == 1 {
+			continue // contributes 0
+		}
+		sums := make(map[int]float64)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[labels[j]] += d.At(i, j)
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := 0.0
+		first := true
+		for l, s := range sums {
+			if l == own {
+				continue
+			}
+			avg := s / float64(sizes[l])
+			if first || avg < b {
+				b = avg
+				first = false
+			}
+		}
+		max := a
+		if b > max {
+			max = b
+		}
+		if max > 0 {
+			total += (b - a) / max
+		}
+	}
+	return total / float64(n), nil
+}

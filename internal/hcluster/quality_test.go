@@ -1,0 +1,93 @@
+package hcluster
+
+import (
+	"math"
+	"testing"
+
+	"ppclust/internal/dissim"
+)
+
+func TestQualityKnownValues(t *testing.T) {
+	// Cluster {0,1,2} with pairwise distances 1,2,3 and singleton {3}.
+	d := dissim.New(4)
+	d.Set(1, 0, 1)
+	d.Set(2, 0, 2)
+	d.Set(2, 1, 3)
+	d.Set(3, 0, 10)
+	d.Set(3, 1, 10)
+	d.Set(3, 2, 10)
+	qs, err := Quality(d, [][]int{{0, 1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of squares: (1+4+9)/3 = 14/3.
+	if math.Abs(qs[0].AvgSquaredDistance-14.0/3.0) > 1e-12 {
+		t.Fatalf("avg sq = %v", qs[0].AvgSquaredDistance)
+	}
+	if qs[0].Diameter != 3 || qs[0].Size != 3 {
+		t.Fatalf("cluster 0 quality: %+v", qs[0])
+	}
+	if qs[1].Size != 1 || qs[1].AvgSquaredDistance != 0 || qs[1].Diameter != 0 {
+		t.Fatalf("singleton quality: %+v", qs[1])
+	}
+}
+
+func TestQualityOutOfRange(t *testing.T) {
+	d := dissim.New(2)
+	if _, err := Quality(d, [][]int{{0, 5}}); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	// Well-separated pair of tight clusters: silhouette near 1.
+	d := dissim.FromLocal(6, func(i, j int) float64 {
+		if i/3 == j/3 {
+			return 0.05
+		}
+		return 5
+	})
+	s, err := Silhouette(d, []int{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.9 {
+		t.Fatalf("separated silhouette = %v, want > 0.9", s)
+	}
+	// Same data with a deliberately wrong labeling: much worse score.
+	bad, err := Silhouette(d, []int{0, 1, 0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad >= s-0.5 {
+		t.Fatalf("bad labeling silhouette %v not clearly below good %v", bad, s)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	d := dissim.New(3)
+	if _, err := Silhouette(d, []int{0, 0}); err == nil {
+		t.Fatal("label length mismatch accepted")
+	}
+	if _, err := Silhouette(d, []int{0, 0, 0}); err == nil {
+		t.Fatal("single-cluster labeling accepted")
+	}
+	if _, err := Silhouette(dissim.New(0), nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestSilhouetteSingletonConvention(t *testing.T) {
+	d := dissim.New(3)
+	d.Set(1, 0, 0.1)
+	d.Set(2, 0, 5)
+	d.Set(2, 1, 5)
+	// Cluster {0,1} and singleton {2}: the singleton contributes 0.
+	s, err := Silhouette(d, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s > 1 {
+		t.Fatalf("silhouette with singleton = %v", s)
+	}
+}

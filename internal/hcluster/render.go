@@ -1,0 +1,135 @@
+package hcluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the dendrogram as ASCII art, one leaf per line, with merge
+// brackets positioned by height scaled to width columns. labels names the
+// leaves (nil = indices). It is intentionally simple: readable for tens of
+// leaves, for CLI inspection of clustering structure.
+//
+//	a ──┐
+//	b ──┴──┐
+//	c ─────┴
+func (dg *Dendrogram) Render(labels []string, width int) (string, error) {
+	if labels == nil {
+		labels = make([]string, dg.NLeaves)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("%d", i)
+		}
+	}
+	if len(labels) != dg.NLeaves {
+		return "", fmt.Errorf("hcluster: %d labels for %d leaves", len(labels), dg.NLeaves)
+	}
+	if width < 8 {
+		width = 8
+	}
+	if dg.NLeaves == 1 {
+		return labels[0] + "\n", nil
+	}
+
+	// Order leaves so merged clusters are contiguous: walk the tree.
+	order := dg.leafOrder()
+	rowOf := make([]int, dg.NLeaves)
+	for row, leaf := range order {
+		rowOf[leaf] = row
+	}
+
+	maxH := 0.0
+	for _, m := range dg.Merges {
+		if m.Height > maxH {
+			maxH = m.Height
+		}
+	}
+	col := func(h float64) int {
+		if maxH == 0 {
+			return width - 1
+		}
+		c := int(h / maxH * float64(width-1))
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	grid := make([][]byte, dg.NLeaves)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+
+	// Track, for each active cluster node, its representative row and the
+	// column its horizontal line has reached.
+	type tip struct{ row, col int }
+	tips := make(map[int]tip, 2*dg.NLeaves)
+	for leaf := 0; leaf < dg.NLeaves; leaf++ {
+		tips[leaf] = tip{row: rowOf[leaf], col: 0}
+	}
+	hline := func(row, from, to int) {
+		for c := from; c <= to && c < width; c++ {
+			if grid[row][c] == ' ' {
+				grid[row][c] = '-'
+			}
+		}
+	}
+	for _, m := range dg.Merges {
+		a, b := tips[m.A], tips[m.B]
+		c := col(m.Height)
+		hline(a.row, a.col, c)
+		hline(b.row, b.col, c)
+		top, bottom := a.row, b.row
+		if top > bottom {
+			top, bottom = bottom, top
+		}
+		for r := top + 1; r < bottom; r++ {
+			if grid[r][c] == ' ' || grid[r][c] == '-' {
+				grid[r][c] = '|'
+			}
+		}
+		grid[top][c] = '+'
+		grid[bottom][c] = '+'
+		// The merged cluster continues from the midpoint row.
+		tips[m.Node] = tip{row: (a.row + b.row) / 2, col: c}
+		delete(tips, m.A)
+		delete(tips, m.B)
+	}
+
+	var out strings.Builder
+	for row := 0; row < dg.NLeaves; row++ {
+		leaf := order[row]
+		fmt.Fprintf(&out, "%-*s %s\n", labelW, labels[leaf], strings.TrimRight(string(grid[row]), " "))
+	}
+	return out.String(), nil
+}
+
+// leafOrder returns leaves arranged so every merged cluster occupies a
+// contiguous block of rows.
+func (dg *Dendrogram) leafOrder() []int {
+	if len(dg.Merges) == 0 {
+		out := make([]int, dg.NLeaves)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	members := make(map[int][]int, 2*dg.NLeaves)
+	for i := 0; i < dg.NLeaves; i++ {
+		members[i] = []int{i}
+	}
+	var root int
+	for _, m := range dg.Merges {
+		merged := append(append([]int{}, members[m.A]...), members[m.B]...)
+		members[m.Node] = merged
+		delete(members, m.A)
+		delete(members, m.B)
+		root = m.Node
+	}
+	return members[root]
+}

@@ -1,0 +1,123 @@
+package hcluster
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"ppclust/internal/dissim"
+)
+
+func TestRenderBasicStructure(t *testing.T) {
+	pos := []float64{0, 1, 10}
+	d := dissim.FromLocal(3, func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) })
+	dg, err := Cluster(d, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dg.Render([]string{"a", "b", "c"}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render:\n%s", out)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing label %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "-") {
+		t.Fatalf("no tree glyphs:\n%s", out)
+	}
+	// The close pair (a, b) must merge left of the far merge with c:
+	// a's first bracket column < c's first bracket column.
+	lineFor := func(name string) string {
+		for _, l := range lines {
+			if strings.HasPrefix(l, name+" ") {
+				return l
+			}
+		}
+		t.Fatalf("no line for %s:\n%s", name, out)
+		return ""
+	}
+	aPlus := strings.Index(lineFor("a"), "+")
+	cPlus := strings.Index(lineFor("c"), "+")
+	if aPlus < 0 || cPlus < 0 || aPlus >= cPlus {
+		t.Fatalf("merge columns not ordered by height (a at %d, c at %d):\n%s", aPlus, cPlus, out)
+	}
+}
+
+func TestRenderLeafOrderContiguity(t *testing.T) {
+	d := randomMatrix(10, 21)
+	dg, err := Cluster(d, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := dg.leafOrder()
+	if len(order) != 10 {
+		t.Fatalf("order: %v", order)
+	}
+	sorted := append([]int{}, order...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("order is not a permutation: %v", order)
+		}
+	}
+	// Every cut cluster must occupy contiguous rows in the render order.
+	rowOf := make([]int, 10)
+	for row, leaf := range order {
+		rowOf[leaf] = row
+	}
+	for k := 1; k <= 10; k++ {
+		cs, _ := dg.CutK(k)
+		for _, members := range cs {
+			rows := make([]int, len(members))
+			for i, m := range members {
+				rows[i] = rowOf[m]
+			}
+			sort.Ints(rows)
+			for i := 1; i < len(rows); i++ {
+				if rows[i] != rows[i-1]+1 {
+					t.Fatalf("cluster rows not contiguous at k=%d: %v", k, rows)
+				}
+			}
+		}
+	}
+}
+
+func TestRenderValidationAndEdges(t *testing.T) {
+	dg, _ := Cluster(dissim.New(1), Single)
+	out, err := dg.Render([]string{"only"}, 20)
+	if err != nil || out != "only\n" {
+		t.Fatalf("singleton render %q, %v", out, err)
+	}
+	d := dissim.New(2)
+	d.Set(1, 0, 1)
+	dg2, _ := Cluster(d, Single)
+	if _, err := dg2.Render([]string{"x"}, 20); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	// Tiny width is clamped, not an error.
+	if _, err := dg2.Render(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderDiana(t *testing.T) {
+	d := randomMatrix(6, 22)
+	dg, err := Diana(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dg.Render(nil, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "\n") != 6 {
+		t.Fatalf("diana render:\n%s", out)
+	}
+}

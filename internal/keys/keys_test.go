@@ -1,0 +1,221 @@
+package keys
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"testing"
+
+	"ppclust/internal/rng"
+)
+
+// TestHKDFRFC5869Vector1 checks the package HKDF against RFC 5869 test case 1.
+func TestHKDFRFC5869Vector1(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt, _ := hex.DecodeString("000102030405060708090a0b0c")
+	info, _ := hex.DecodeString("f0f1f2f3f4f5f6f7f8f9")
+	want, _ := hex.DecodeString(
+		"3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+	got := HKDF(ikm, salt, info, 42)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HKDF = %x\nwant  %x", got, want)
+	}
+}
+
+// TestHKDFRFC5869Vector3 checks the zero-salt path (salt defaulting).
+func TestHKDFRFC5869Vector3(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	want, _ := hex.DecodeString(
+		"8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+	got := HKDF(ikm, nil, nil, 42)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HKDF = %x\nwant  %x", got, want)
+	}
+}
+
+func TestHKDFLongOutput(t *testing.T) {
+	out := HKDF([]byte("secret"), nil, []byte("info"), 100)
+	if len(out) != 100 {
+		t.Fatalf("length = %d", len(out))
+	}
+	// Prefix property: shorter requests are prefixes of longer ones.
+	short := HKDF([]byte("secret"), nil, []byte("info"), 32)
+	if !bytes.Equal(out[:32], short) {
+		t.Fatal("HKDF is not prefix-consistent")
+	}
+}
+
+func TestHKDFPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero length")
+		}
+	}()
+	HKDF([]byte("s"), nil, nil, 0)
+}
+
+func testIdentities(t *testing.T) (*Identity, *Identity, *Identity) {
+	t.Helper()
+	r := StreamReader(rng.NewAESCTR(rng.SeedFromUint64(1)))
+	a, err := NewIdentity("A", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIdentity("B", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := NewIdentity("TP", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, tp
+}
+
+func TestECDHAgreement(t *testing.T) {
+	a, b, _ := testIdentities(t)
+	ab, err := a.Master(b.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := b.Master(a.PublicBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, ba) {
+		t.Fatal("pairwise masters disagree")
+	}
+}
+
+func TestMasterRejectsGarbagePublicKey(t *testing.T) {
+	a, _, _ := testIdentities(t)
+	if _, err := a.Master([]byte("short")); err == nil {
+		t.Fatal("invalid public key accepted")
+	}
+}
+
+func TestSeedDerivationOrderIndependent(t *testing.T) {
+	a, b, _ := testIdentities(t)
+	m, _ := a.Master(b.PublicBytes())
+	s1 := DeriveSeed(m, PurposePairRNG, "A", "B")
+	s2 := DeriveSeed(m, PurposePairRNG, "B", "A")
+	if s1 != s2 {
+		t.Fatal("seed derivation depends on pair order")
+	}
+}
+
+func TestPurposeSeparation(t *testing.T) {
+	a, b, _ := testIdentities(t)
+	m, _ := a.Master(b.PublicBytes())
+	pair := DeriveSeed(m, PurposePairRNG, "A", "B")
+	mask := DeriveSeed(m, PurposeMaskRNG, "A", "B")
+	chn := DeriveKey(m, PurposeChannel, "A", "B")
+	wrap := DeriveKey(m, PurposeGroupWrap, "A", "B")
+	if pair == mask {
+		t.Fatal("pair and mask seeds collide")
+	}
+	if chn == wrap || chn == [32]byte(pair) {
+		t.Fatal("channel key collides with another purpose")
+	}
+}
+
+func TestDistinctPairsDistinctSecrets(t *testing.T) {
+	a, b, tp := testIdentities(t)
+	mab, _ := a.Master(b.PublicBytes())
+	mat, _ := a.Master(tp.PublicBytes())
+	if bytes.Equal(mab, mat) {
+		t.Fatal("distinct pairs share a master secret")
+	}
+	sab := DeriveSeed(mab, PurposeMaskRNG, "A", "B")
+	sat := DeriveSeed(mat, PurposeMaskRNG, "A", "TP")
+	if sab == sat {
+		t.Fatal("distinct pairs derive equal seeds")
+	}
+}
+
+func TestEndToEndSharedGenerator(t *testing.T) {
+	// The full flow the protocols rely on: handshake, derive rJT, and
+	// confirm both ends observe the same PRNG stream.
+	a, _, tp := testIdentities(t)
+	mj, _ := a.Master(tp.PublicBytes())
+	mt, _ := tp.Master(a.PublicBytes())
+	gj := rng.NewAESCTR(DeriveSeed(mj, PurposeMaskRNG, a.ID(), tp.ID()))
+	gt := rng.NewAESCTR(DeriveSeed(mt, PurposeMaskRNG, tp.ID(), a.ID()))
+	for i := 0; i < 100; i++ {
+		if gj.Next() != gt.Next() {
+			t.Fatalf("shared stream diverged at %d", i)
+		}
+	}
+}
+
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	var key [32]byte
+	copy(key[:], []byte("0123456789abcdef0123456789abcdef"))
+	secret := []byte("the-group-categorical-key-material")
+	box, err := Wrap(key, secret, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unwrap(key, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("unwrap mismatch")
+	}
+}
+
+func TestUnwrapDetectsTamperingAndWrongKey(t *testing.T) {
+	var key, other [32]byte
+	key[0], other[0] = 1, 2
+	box, err := Wrap(key, []byte("payload"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unwrap(other, box); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+	box[len(box)-1] ^= 1
+	if _, err := Unwrap(key, box); err == nil {
+		t.Fatal("tampered box accepted")
+	}
+	if _, err := Unwrap(key, box[:4]); err == nil {
+		t.Fatal("truncated box accepted")
+	}
+}
+
+func TestWrapNonceVariety(t *testing.T) {
+	var key [32]byte
+	b1, _ := Wrap(key, []byte("x"), rand.Reader)
+	b2, _ := Wrap(key, []byte("x"), rand.Reader)
+	if bytes.Equal(b1, b2) {
+		t.Fatal("two wraps produced identical boxes (nonce reuse?)")
+	}
+}
+
+func TestNewIdentityValidation(t *testing.T) {
+	if _, err := NewIdentity("", rand.Reader); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestStreamReaderDeterminism(t *testing.T) {
+	r1 := StreamReader(rng.NewXoshiro(rng.SeedFromUint64(5)))
+	r2 := StreamReader(rng.NewXoshiro(rng.SeedFromUint64(5)))
+	b1 := make([]byte, 100)
+	b2 := make([]byte, 100)
+	if _, err := r1.Read(b1); err != nil {
+		t.Fatal(err)
+	}
+	// Read in odd chunks to exercise the leftover path.
+	for off := 0; off < 100; {
+		n, err := r2.Read(b2[off:min(off+7, 100)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("stream reader chunking changed output")
+	}
+}

@@ -1,0 +1,122 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistributedResult augments a k-means result with the communication
+// round count of the distributed protocol.
+type DistributedResult struct {
+	Result
+	// Rounds is the number of center-broadcast/aggregate exchanges.
+	Rounds int
+	// MessagesPerRound is k·(dim+1) values per site per round — the
+	// abstract traffic of a Kruger-style secure-aggregation round.
+	MessagesPerRound int
+}
+
+// Distributed runs k-means over horizontally partitioned numeric data in
+// the style of the privacy-preserving protocol of Jha, Kruger and McDaniel
+// [7]: each round, every site computes local per-cluster sums and counts
+// against the broadcast centers; the sums are aggregated (in [7], under
+// secure summation — here, simulated exactly) and new centers derived.
+// Given identical initial centers it computes exactly the centralized Lloyd
+// result, which the tests assert.
+func Distributed(partitions [][][]float64, initial [][]float64, cfg Config) (*DistributedResult, error) {
+	var all [][]float64
+	for _, p := range partitions {
+		all = append(all, p...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("kmeans: no points in any partition")
+	}
+	k := len(initial)
+	if err := validate(all, k); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	dim := len(all[0])
+	centers := make([][]float64, k)
+	for i, c := range initial {
+		if len(c) != dim {
+			return nil, fmt.Errorf("kmeans: center dimension %d, want %d", len(c), dim)
+		}
+		centers[i] = clonePoint(c)
+	}
+
+	res := &DistributedResult{MessagesPerRound: k * (dim + 1)}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.Rounds = iter + 1
+		// Each site computes local aggregates against the shared centers;
+		// the aggregation below stands in for [7]'s secure summation.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for _, site := range partitions {
+			localSums, localCounts := localAggregate(site, centers)
+			for c := 0; c < k; c++ {
+				counts[c] += localCounts[c]
+				for d := 0; d < dim; d++ {
+					sums[c][d] += localSums[c][d]
+				}
+			}
+		}
+		movement := 0.0
+		for c := range centers {
+			if counts[c] == 0 {
+				continue // keep the stale center; matches a common variant
+			}
+			next := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				next[d] = sums[c][d] / float64(counts[c])
+			}
+			movement += math.Sqrt(sqDist(centers[c], next))
+			centers[c] = next
+		}
+		if movement <= cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Centers = centers
+	res.Labels = make([]int, len(all))
+	res.Iterations = res.Rounds
+	for i, p := range all {
+		best, bestD := 0, math.Inf(1)
+		for c := range centers {
+			if v := sqDist(p, centers[c]); v < bestD {
+				best, bestD = c, v
+			}
+		}
+		res.Labels[i] = best
+		res.Inertia += bestD
+	}
+	return res, nil
+}
+
+func localAggregate(points [][]float64, centers [][]float64) ([][]float64, []int) {
+	k := len(centers)
+	dim := len(centers[0])
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for _, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c := range centers {
+			if v := sqDist(p, centers[c]); v < bestD {
+				best, bestD = c, v
+			}
+		}
+		counts[best]++
+		for d := 0; d < dim; d++ {
+			sums[best][d] += p[d]
+		}
+	}
+	return sums, counts
+}

@@ -1,0 +1,230 @@
+// Package kmeans implements Lloyd's k-means with k-means++ seeding, plus a
+// distributed variant over horizontal partitions in the style of Jha,
+// Kruger and McDaniel [7] — the prior work the İnan et al. paper positions
+// itself against.
+//
+// The paper's argument for hierarchical clustering over partitioning
+// methods is twofold: partitioning algorithms "tend to result in spherical
+// clusters", and they "can not handle string data type for which a 'mean'
+// is not defined". This package exists to make those comparisons runnable:
+// it operates only on numeric vectors (the type system enforces the paper's
+// second point) and the shape experiments (E13) demonstrate the first.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"ppclust/internal/rng"
+)
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	// Labels assigns each input point to a center index.
+	Labels []int
+	// Centers holds the k final centroids.
+	Centers [][]float64
+	// Inertia is the sum of squared distances of points to their centers.
+	Inertia float64
+	// Iterations is the number of Lloyd rounds executed.
+	Iterations int
+	// Converged reports whether the run stopped by movement tolerance
+	// rather than the iteration cap.
+	Converged bool
+}
+
+// Config bounds a run. The zero value is usable: 100 iterations max and a
+// 1e-9 movement tolerance.
+type Config struct {
+	MaxIterations int
+	Tolerance     float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-9
+	}
+	return c
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// SeedPlusPlus chooses k initial centers with the k-means++ scheme, drawing
+// randomness from stream.
+func SeedPlusPlus(points [][]float64, k int, stream rng.Stream) ([][]float64, error) {
+	if err := validate(points, k); err != nil {
+		return nil, err
+	}
+	centers := make([][]float64, 0, k)
+	first := int(rng.Uint64n(stream, uint64(len(points))))
+	centers = append(centers, clonePoint(points[first]))
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		total := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if v := sqDist(p, c); v < best {
+					best = v
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			// All remaining points coincide with centers; pick uniformly.
+			idx = int(rng.Uint64n(stream, uint64(len(points))))
+		} else {
+			target := rng.Float64(stream) * total
+			acc := 0.0
+			idx = len(points) - 1
+			for i, v := range d2 {
+				acc += v
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		centers = append(centers, clonePoint(points[idx]))
+	}
+	return centers, nil
+}
+
+// KMeans clusters points into k groups with Lloyd iterations from
+// k-means++ seeds.
+func KMeans(points [][]float64, k int, stream rng.Stream, cfg Config) (*Result, error) {
+	centers, err := SeedPlusPlus(points, k, stream)
+	if err != nil {
+		return nil, err
+	}
+	return Lloyd(points, centers, cfg)
+}
+
+// Lloyd iterates assignment and centroid updates from the given initial
+// centers until movement falls below tolerance or the iteration cap hits.
+// Empty clusters are re-seeded with the point farthest from its center.
+func Lloyd(points [][]float64, initial [][]float64, cfg Config) (*Result, error) {
+	k := len(initial)
+	if err := validate(points, k); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	dim := len(points[0])
+	for _, c := range initial {
+		if len(c) != dim {
+			return nil, fmt.Errorf("kmeans: center dimension %d, want %d", len(c), dim)
+		}
+	}
+	centers := make([][]float64, k)
+	for i, c := range initial {
+		centers[i] = clonePoint(c)
+	}
+	labels := make([]int, len(points))
+	res := &Result{Labels: labels, Centers: centers}
+
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		// Assignment step.
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if v := sqDist(p, centers[c]); v < bestD {
+					best, bestD = c, v
+				}
+			}
+			labels[i] = best
+		}
+		// Update step.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				sums[c][d] += p[d]
+			}
+		}
+		movement := 0.0
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with the worst-fitted point.
+				worst, worstD := 0, -1.0
+				for i, p := range points {
+					if v := sqDist(p, centers[labels[i]]); v > worstD {
+						worst, worstD = i, v
+					}
+				}
+				movement += math.Sqrt(sqDist(centers[c], points[worst]))
+				centers[c] = clonePoint(points[worst])
+				labels[worst] = c
+				continue
+			}
+			next := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				next[d] = sums[c][d] / float64(counts[c])
+			}
+			movement += math.Sqrt(sqDist(centers[c], next))
+			centers[c] = next
+		}
+		if movement <= cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	// Final assignment and inertia.
+	res.Inertia = 0
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c := range centers {
+			if v := sqDist(p, centers[c]); v < bestD {
+				best, bestD = c, v
+			}
+		}
+		labels[i] = best
+		res.Inertia += bestD
+	}
+	return res, nil
+}
+
+func validate(points [][]float64, k int) error {
+	if len(points) == 0 {
+		return fmt.Errorf("kmeans: no points")
+	}
+	if k < 1 || k > len(points) {
+		return fmt.Errorf("kmeans: k=%d with %d points", k, len(points))
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return fmt.Errorf("kmeans: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("kmeans: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("kmeans: non-finite coordinate in point %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+func clonePoint(p []float64) []float64 {
+	return append([]float64(nil), p...)
+}

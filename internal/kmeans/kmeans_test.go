@@ -1,0 +1,231 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"ppclust/internal/rng"
+)
+
+// blobs generates three well-separated 2-D clusters of size m each.
+func blobs(m int, seed uint64) (points [][]float64, truth []int) {
+	gen := rng.NewAESCTR(rng.SeedFromUint64(seed))
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for c, ctr := range centers {
+		for i := 0; i < m; i++ {
+			points = append(points, []float64{
+				ctr[0] + rng.NormFloat64(gen)*0.5,
+				ctr[1] + rng.NormFloat64(gen)*0.5,
+			})
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	points, truth := blobs(30, 1)
+	res, err := KMeans(points, 3, rng.NewXoshiro(rng.SeedFromUint64(2)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge on trivial blobs")
+	}
+	// Every truth cluster must map to exactly one predicted label.
+	seen := map[int]map[int]bool{}
+	for i, l := range res.Labels {
+		if seen[truth[i]] == nil {
+			seen[truth[i]] = map[int]bool{}
+		}
+		seen[truth[i]][l] = true
+	}
+	for c, ls := range seen {
+		if len(ls) != 1 {
+			t.Fatalf("truth cluster %d split across labels %v", c, ls)
+		}
+	}
+}
+
+func TestKMeansDeterministicGivenStream(t *testing.T) {
+	points, _ := blobs(20, 3)
+	a, err := KMeans(points, 3, rng.NewXoshiro(rng.SeedFromUint64(7)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 3, rng.NewXoshiro(rng.SeedFromUint64(7)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labelings")
+		}
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatal("same seed produced different inertia")
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	points, _ := blobs(20, 4)
+	prev := math.Inf(1)
+	for k := 1; k <= 5; k++ {
+		res, err := KMeans(points, k, rng.NewXoshiro(rng.SeedFromUint64(5)), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Fatalf("inertia rose from %v to %v at k=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	s := rng.NewXoshiro(rng.SeedFromUint64(1))
+	if _, err := KMeans(nil, 1, s, Config{}); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	if _, err := KMeans([][]float64{{1}}, 2, s, Config{}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, s, Config{}); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+	if _, err := KMeans([][]float64{{math.NaN()}}, 1, s, Config{}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := KMeans([][]float64{{}}, 1, s, Config{}); err == nil {
+		t.Fatal("zero-dim accepted")
+	}
+	if _, err := Lloyd([][]float64{{1, 2}}, [][]float64{{1}}, Config{}); err == nil {
+		t.Fatal("center dimension mismatch accepted")
+	}
+}
+
+func TestLloydKnownFixture(t *testing.T) {
+	// 1-D points {0, 2, 10, 12} with k=2 from centers {0, 12}: converges
+	// to centers {1, 11}, inertia = 4·1 = 4.
+	points := [][]float64{{0}, {2}, {10}, {12}}
+	res, err := Lloyd(points, [][]float64{{0}, {12}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centers[0][0]-1) > 1e-12 || math.Abs(res.Centers[1][0]-11) > 1e-12 {
+		t.Fatalf("centers = %v", res.Centers)
+	}
+	if math.Abs(res.Inertia-4) > 1e-12 {
+		t.Fatalf("inertia = %v", res.Inertia)
+	}
+	if res.Labels[0] != res.Labels[1] || res.Labels[2] != res.Labels[3] || res.Labels[0] == res.Labels[2] {
+		t.Fatalf("labels = %v", res.Labels)
+	}
+}
+
+func TestEmptyClusterReseeded(t *testing.T) {
+	// Both initial centers coincide on the left blob; the empty cluster
+	// must be re-seeded rather than lost.
+	points := [][]float64{{0}, {0.1}, {100}, {100.1}}
+	res, err := Lloyd(points, [][]float64{{0}, {0}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centers[0][0] == res.Centers[1][0] {
+		t.Fatalf("degenerate centers persisted: %v", res.Centers)
+	}
+	if res.Inertia > 1 {
+		t.Fatalf("inertia = %v, want < 1 after reseeding", res.Inertia)
+	}
+}
+
+func TestSeedPlusPlusSpreadsCenters(t *testing.T) {
+	points, _ := blobs(10, 6)
+	centers, err := SeedPlusPlus(points, 3, rng.NewXoshiro(rng.SeedFromUint64(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 3 tight, distant blobs, k-means++ should pick one seed per blob
+	// with overwhelming probability.
+	blobOf := func(c []float64) int {
+		switch {
+		case c[0] > 5:
+			return 1
+		case c[1] > 5:
+			return 2
+		default:
+			return 0
+		}
+	}
+	seen := map[int]bool{}
+	for _, c := range centers {
+		seen[blobOf(c)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("seeds clumped: %v", centers)
+	}
+}
+
+func TestSeedPlusPlusIdenticalPoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	centers, err := SeedPlusPlus(pts, 2, rng.NewXoshiro(rng.SeedFromUint64(9)))
+	if err != nil || len(centers) != 2 {
+		t.Fatalf("identical points: %v %v", centers, err)
+	}
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	points, _ := blobs(15, 10)
+	initial, err := SeedPlusPlus(points, 3, rng.NewXoshiro(rng.SeedFromUint64(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := Lloyd(points, initial, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the same points across 3 sites (horizontal partitioning),
+	// preserving global order site-by-site for label comparison.
+	parts := [][][]float64{points[:15], points[15:30], points[30:]}
+	dist, err := Distributed(parts, initial, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(central.Inertia-dist.Inertia) > 1e-9 {
+		t.Fatalf("inertia: centralized %v vs distributed %v", central.Inertia, dist.Inertia)
+	}
+	for c := range central.Centers {
+		for d := range central.Centers[c] {
+			if math.Abs(central.Centers[c][d]-dist.Centers[c][d]) > 1e-9 {
+				t.Fatalf("center %d differs: %v vs %v", c, central.Centers[c], dist.Centers[c])
+			}
+		}
+	}
+	for i := range central.Labels {
+		if central.Labels[i] != dist.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	if dist.MessagesPerRound != 3*(2+1) {
+		t.Fatalf("MessagesPerRound = %d", dist.MessagesPerRound)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	if _, err := Distributed(nil, [][]float64{{1}}, Config{}); err == nil {
+		t.Fatal("no partitions accepted")
+	}
+	if _, err := Distributed([][][]float64{{{1, 2}}}, [][]float64{{1}}, Config{}); err == nil {
+		t.Fatal("center dimension mismatch accepted")
+	}
+}
+
+func BenchmarkKMeans300x2(b *testing.B) {
+	points, _ := blobs(100, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(points, 3, rng.NewXoshiro(rng.SeedFromUint64(uint64(i))), Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package linkage
+
+import (
+	"testing"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/dissim"
+)
+
+func fixture() (*dissim.Matrix, []dataset.ObjectID) {
+	// Objects: A1, A2 (site A), B1, B2 (site B).
+	// A1–B1 are near-duplicates (0.05); A2–B2 are (0.1); others far.
+	m := dissim.New(4)
+	m.Set(1, 0, 0.9) // A1-A2
+	m.Set(2, 0, 0.05)
+	m.Set(2, 1, 0.8)
+	m.Set(3, 0, 0.85)
+	m.Set(3, 1, 0.1)
+	m.Set(3, 2, 0.95)
+	ids := []dataset.ObjectID{
+		{Site: "A", Index: 0}, {Site: "A", Index: 1},
+		{Site: "B", Index: 0}, {Site: "B", Index: 1},
+	}
+	return m, ids
+}
+
+func TestLinkFindsPlantedPairs(t *testing.T) {
+	m, ids := fixture()
+	matches, err := Link(m, ids, Options{Threshold: 0.2, CrossSiteOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches: %+v", matches)
+	}
+	// Ascending distance: A1-B1 first.
+	if matches[0].Distance != 0.05 || PairKey(matches[0].A, matches[0].B) != "A1|B1" {
+		t.Fatalf("first match: %+v", matches[0])
+	}
+	if PairKey(matches[1].A, matches[1].B) != "A2|B2" {
+		t.Fatalf("second match: %+v", matches[1])
+	}
+}
+
+func TestCrossSiteOnlyFilter(t *testing.T) {
+	m, ids := fixture()
+	m.Set(1, 0, 0.01) // make A1-A2 near-duplicates too
+	all, err := Link(m, ids, Options{Threshold: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := Link(m, ids, Options{Threshold: 0.2, CrossSiteOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || len(cross) != 2 {
+		t.Fatalf("all=%d cross=%d", len(all), len(cross))
+	}
+}
+
+func TestLimitKeepsBest(t *testing.T) {
+	m, ids := fixture()
+	matches, err := Link(m, ids, Options{Threshold: 1.0, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].Distance != 0.05 {
+		t.Fatalf("limited matches: %+v", matches)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	m, ids := fixture()
+	if _, err := Link(m, ids[:2], Options{Threshold: 1}); err == nil {
+		t.Fatal("id length mismatch accepted")
+	}
+	if _, err := Link(m, ids, Options{Threshold: -1}); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m, ids := fixture()
+	matches, _ := Link(m, ids, Options{Threshold: 0.2, CrossSiteOnly: true})
+	truth := map[string]bool{
+		PairKey(dataset.ObjectID{Site: "A", Index: 0}, dataset.ObjectID{Site: "B", Index: 0}): true,
+		PairKey(dataset.ObjectID{Site: "A", Index: 1}, dataset.ObjectID{Site: "B", Index: 1}): true,
+	}
+	p, r, f1 := Evaluate(matches, truth)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Fatalf("perfect linkage scored %v/%v/%v", p, r, f1)
+	}
+	// A spurious truth pair lowers recall.
+	truth[PairKey(ids[0], ids[3])] = true
+	_, r, _ = Evaluate(matches, truth)
+	if r >= 1 {
+		t.Fatalf("recall %v should drop", r)
+	}
+	// No matches.
+	p, r, f1 = Evaluate(nil, truth)
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Fatal("empty matches against non-empty truth should score 0")
+	}
+	p, r, f1 = Evaluate(nil, nil)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Fatal("empty/empty should score 1")
+	}
+}
+
+func TestPairKeyCanonical(t *testing.T) {
+	a := dataset.ObjectID{Site: "A", Index: 0}
+	b := dataset.ObjectID{Site: "B", Index: 4}
+	if PairKey(a, b) != PairKey(b, a) {
+		t.Fatal("PairKey not symmetric")
+	}
+}

@@ -1,0 +1,182 @@
+// Package modp provides arithmetic in the prime field Z_p used by the
+// hardened variant of the numeric comparison protocol.
+//
+// The paper's numeric protocol (Section 4.1) blinds a value x by adding a
+// pseudo-random number R drawn from the generator's native integer range:
+// x″ = R ± x over the plain integers. Over unbounded integers the mask
+// hides x only statistically (the magnitude of x″ leaks information when R
+// has bounded range). Embedding the values in Z_p for a public 256-bit
+// prime p and drawing R uniformly from Z_p makes the blinding a one-time
+// pad: R ± x mod p is exactly uniform whatever x is. Recovery of |x−y|
+// is unambiguous whenever |x−y| < p/2, which holds for any realistic
+// attribute domain.
+//
+// The field is fixed to p = 2^255 − 19 (the Curve25519 prime), chosen
+// because it is public, large and fast to reduce; nothing in the protocol
+// depends on its specific structure.
+package modp
+
+import (
+	"fmt"
+	"math/big"
+
+	"ppclust/internal/rng"
+)
+
+// P is the field modulus, 2^255 − 19. Treat as read-only.
+var P = func() *big.Int {
+	p := new(big.Int).Lsh(big.NewInt(1), 255)
+	return p.Sub(p, big.NewInt(19))
+}()
+
+// halfP is ⌊p/2⌋, the threshold separating "positive" from "negative"
+// residues when decoding signed embeddings.
+var halfP = new(big.Int).Rsh(new(big.Int).Set(P), 1)
+
+// Element is a field element in [0, P). The zero value is the field's zero.
+// Elements are immutable: all operations return fresh values.
+type Element struct {
+	v *big.Int // nil means 0
+}
+
+// Zero returns the additive identity.
+func Zero() Element { return Element{} }
+
+// FromBig reduces v modulo P into an Element. v is not retained.
+func FromBig(v *big.Int) Element {
+	r := new(big.Int).Mod(v, P)
+	return Element{v: r}
+}
+
+// FromInt64 embeds a signed 64-bit value: negative x maps to P − |x|.
+func FromInt64(x int64) Element {
+	return FromBig(big.NewInt(x))
+}
+
+// Big returns a copy of the element's canonical representative in [0, P).
+func (e Element) Big() *big.Int {
+	if e.v == nil {
+		return new(big.Int)
+	}
+	return new(big.Int).Set(e.v)
+}
+
+// Add returns e + f mod P.
+func (e Element) Add(f Element) Element {
+	r := e.Big()
+	r.Add(r, f.bigRef())
+	if r.Cmp(P) >= 0 {
+		r.Sub(r, P)
+	}
+	return Element{v: r}
+}
+
+// Sub returns e − f mod P.
+func (e Element) Sub(f Element) Element {
+	r := e.Big()
+	r.Sub(r, f.bigRef())
+	if r.Sign() < 0 {
+		r.Add(r, P)
+	}
+	return Element{v: r}
+}
+
+// Neg returns −e mod P.
+func (e Element) Neg() Element {
+	if e.v == nil || e.v.Sign() == 0 {
+		return Element{}
+	}
+	return Element{v: new(big.Int).Sub(P, e.v)}
+}
+
+// Equal reports whether e and f are the same field element.
+func (e Element) Equal(f Element) bool {
+	return e.bigRef().Cmp(f.bigRef()) == 0
+}
+
+// SignedInt64 decodes the signed embedding: residues ≤ p/2 are returned as
+// themselves, larger residues as negative values. It fails if the magnitude
+// exceeds int64 range.
+func (e Element) SignedInt64() (int64, error) {
+	v := e.Big()
+	neg := false
+	if v.Cmp(halfP) > 0 {
+		v.Sub(P, v)
+		neg = true
+	}
+	if !v.IsInt64() {
+		return 0, fmt.Errorf("modp: residue magnitude %s exceeds int64", v)
+	}
+	x := v.Int64()
+	if neg {
+		x = -x
+	}
+	return x, nil
+}
+
+// AbsInt64 decodes |e| under the signed embedding: min(e, P−e) as an int64.
+// This is the third party's final step recovering |x−y| from ±(x−y) mod P.
+func (e Element) AbsInt64() (int64, error) {
+	x, err := e.SignedInt64()
+	if err != nil {
+		return 0, err
+	}
+	if x < 0 {
+		x = -x
+	}
+	return x, nil
+}
+
+// String implements fmt.Stringer.
+func (e Element) String() string { return e.bigRef().String() }
+
+func (e Element) bigRef() *big.Int {
+	if e.v == nil {
+		return zeroBig
+	}
+	return e.v
+}
+
+var zeroBig = new(big.Int)
+
+// Random returns an element drawn uniformly from [0, P) using rejection
+// sampling over 256-bit stream draws. Both ends of a shared stream obtain
+// the same sequence of elements, which is what the protocol's shared-mask
+// construction requires.
+func Random(s rng.Stream) Element {
+	var buf [32]byte
+	for {
+		for i := 0; i < 32; i += 8 {
+			w := s.Next()
+			buf[i] = byte(w)
+			buf[i+1] = byte(w >> 8)
+			buf[i+2] = byte(w >> 16)
+			buf[i+3] = byte(w >> 24)
+			buf[i+4] = byte(w >> 32)
+			buf[i+5] = byte(w >> 40)
+			buf[i+6] = byte(w >> 48)
+			buf[i+7] = byte(w >> 56)
+		}
+		v := new(big.Int).SetBytes(buf[:])
+		if v.Cmp(P) < 0 {
+			return Element{v: v}
+		}
+	}
+}
+
+// Bytes returns the 32-byte big-endian fixed-width encoding of e, the wire
+// format used by the mod-p numeric protocol.
+func (e Element) Bytes() [32]byte {
+	var out [32]byte
+	e.bigRef().FillBytes(out[:])
+	return out
+}
+
+// FromBytes decodes a 32-byte big-endian encoding, rejecting values ≥ P.
+func FromBytes(b [32]byte) (Element, error) {
+	v := new(big.Int).SetBytes(b[:])
+	if v.Cmp(P) >= 0 {
+		return Element{}, fmt.Errorf("modp: encoding %x is not a canonical residue", b)
+	}
+	return Element{v: v}, nil
+}

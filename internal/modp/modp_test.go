@@ -1,0 +1,193 @@
+package modp
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/rng"
+)
+
+func TestPIsTheCurve25519Prime(t *testing.T) {
+	want, ok := new(big.Int).SetString(
+		"57896044618658097711785492504343953926634992332820282019728792003956564819949", 10)
+	if !ok {
+		t.Fatal("bad literal")
+	}
+	if P.Cmp(want) != 0 {
+		t.Fatalf("P = %s", P)
+	}
+	if !P.ProbablyPrime(64) {
+		t.Fatal("P is not prime")
+	}
+}
+
+func TestZeroValueIsAdditiveIdentity(t *testing.T) {
+	var z Element
+	x := FromInt64(12345)
+	if !x.Add(z).Equal(x) || !z.Add(x).Equal(x) {
+		t.Fatal("zero is not the additive identity")
+	}
+	if !x.Sub(x).Equal(Zero()) {
+		t.Fatal("x - x != 0")
+	}
+	if got := z.String(); got != "0" {
+		t.Fatalf("zero String = %q", got)
+	}
+}
+
+func TestSignedEmbeddingRoundTrip(t *testing.T) {
+	for _, x := range []int64{0, 1, -1, 42, -42, 1 << 62, -(1 << 62)} {
+		got, err := FromInt64(x).SignedInt64()
+		if err != nil {
+			t.Fatalf("SignedInt64(%d): %v", x, err)
+		}
+		if got != x {
+			t.Fatalf("round trip %d -> %d", x, got)
+		}
+	}
+}
+
+func TestAbsRecoversBlindedDifference(t *testing.T) {
+	// The mod-p protocol's core identity: for mask r and inputs x, y,
+	// (r + x - y) - r ≡ x - y, and Abs decodes |x - y|.
+	s := rng.NewAESCTR(rng.SeedFromUint64(1))
+	for i := 0; i < 200; i++ {
+		r := Random(s)
+		x := rng.Int64Range(s, -1_000_000, 1_000_000)
+		y := rng.Int64Range(s, -1_000_000, 1_000_000)
+		blinded := r.Add(FromInt64(x)).Sub(FromInt64(y))
+		diff := blinded.Sub(r)
+		abs, err := diff.AbsInt64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := x - y
+		if want < 0 {
+			want = -want
+		}
+		if abs != want {
+			t.Fatalf("|%d-%d| recovered as %d", x, y, abs)
+		}
+		// The negated orientation (DHK negates instead) must give the
+		// same absolute value.
+		neg, err := diff.Neg().AbsInt64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if neg != want {
+			t.Fatalf("negated orientation |%d-%d| recovered as %d", x, y, neg)
+		}
+	}
+}
+
+func TestQuickFieldAxioms(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		ea, eb, ec := FromInt64(a), FromInt64(b), FromInt64(c)
+		comm := ea.Add(eb).Equal(eb.Add(ea))
+		assoc := ea.Add(eb).Add(ec).Equal(ea.Add(eb.Add(ec)))
+		inv := ea.Add(ea.Neg()).Equal(Zero())
+		subIsAddNeg := ea.Sub(eb).Equal(ea.Add(eb.Neg()))
+		return comm && assoc && inv && subIsAddNeg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIsSharedAcrossStreamCopies(t *testing.T) {
+	a := rng.NewAESCTR(rng.SeedFromUint64(7))
+	b := rng.NewAESCTR(rng.SeedFromUint64(7))
+	for i := 0; i < 50; i++ {
+		if !Random(a).Equal(Random(b)) {
+			t.Fatalf("draw %d diverged between shared-seed streams", i)
+		}
+	}
+}
+
+func TestRandomInRange(t *testing.T) {
+	s := rng.NewXoshiro(rng.SeedFromUint64(9))
+	for i := 0; i < 500; i++ {
+		e := Random(s)
+		if e.Big().Sign() < 0 || e.Big().Cmp(P) >= 0 {
+			t.Fatalf("Random out of range: %s", e)
+		}
+	}
+}
+
+func TestRandomLooksUniform(t *testing.T) {
+	// Coarse uniformity check: the top residue bit should be ~0.5 after
+	// accounting for P being just below 2^255.
+	s := rng.NewAESCTR(rng.SeedFromUint64(10))
+	high := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if Random(s).Big().Cmp(halfP) > 0 {
+			high++
+		}
+	}
+	ratio := float64(high) / n
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("upper-half ratio = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	s := rng.NewXoshiro(rng.SeedFromUint64(11))
+	for i := 0; i < 100; i++ {
+		e := Random(s)
+		got, err := FromBytes(e.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(e) {
+			t.Fatalf("Bytes round trip failed for %s", e)
+		}
+	}
+}
+
+func TestFromBytesRejectsNonCanonical(t *testing.T) {
+	var b [32]byte
+	for i := range b {
+		b[i] = 0xff
+	}
+	if _, err := FromBytes(b); err == nil {
+		t.Fatal("non-canonical encoding accepted")
+	}
+}
+
+func TestSignedInt64Overflow(t *testing.T) {
+	big63 := new(big.Int).Lsh(big.NewInt(1), 64)
+	if _, err := FromBig(big63).SignedInt64(); err == nil {
+		t.Fatal("overflowing residue decoded without error")
+	}
+}
+
+func TestFromBigReducesAndDoesNotAlias(t *testing.T) {
+	v := new(big.Int).Add(P, big.NewInt(5))
+	e := FromBig(v)
+	if x, _ := e.SignedInt64(); x != 5 {
+		t.Fatalf("FromBig(P+5) = %v", e)
+	}
+	v.SetInt64(999) // mutating the input must not affect the element
+	if x, _ := e.SignedInt64(); x != 5 {
+		t.Fatal("FromBig aliased its input")
+	}
+}
+
+func BenchmarkRandom(b *testing.B) {
+	s := rng.NewAESCTR(rng.SeedFromUint64(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Random(s)
+	}
+}
+
+func BenchmarkAddSub(b *testing.B) {
+	s := rng.NewXoshiro(rng.SeedFromUint64(2))
+	x, y := Random(s), Random(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y).Sub(y)
+	}
+}

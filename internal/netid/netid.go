@@ -1,0 +1,39 @@
+// Package netid is the tiny connection-labeling preamble the TCP
+// deployment tools use: the dialing party announces its protocol name
+// before the session handshake so the acceptor can route the connection.
+package netid
+
+import (
+	"fmt"
+	"io"
+	"net"
+)
+
+// maxName bounds announced names.
+const maxName = 64
+
+// Announce writes the caller's party name on a fresh connection.
+func Announce(conn net.Conn, name string) error {
+	if name == "" || len(name) > maxName {
+		return fmt.Errorf("netid: invalid name %q", name)
+	}
+	buf := append([]byte{byte(len(name))}, name...)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// Accept reads the peer's announced name from a fresh connection.
+func Accept(conn net.Conn) (string, error) {
+	var l [1]byte
+	if _, err := io.ReadFull(conn, l[:]); err != nil {
+		return "", fmt.Errorf("netid: reading name length: %w", err)
+	}
+	if l[0] == 0 || int(l[0]) > maxName {
+		return "", fmt.Errorf("netid: invalid name length %d", l[0])
+	}
+	name := make([]byte, l[0])
+	if _, err := io.ReadFull(conn, name); err != nil {
+		return "", fmt.Errorf("netid: reading name: %w", err)
+	}
+	return string(name), nil
+}

@@ -1,0 +1,47 @@
+package netid
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestAnnounceAccept(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- Announce(a, "HolderA") }()
+	name, err := Accept(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "HolderA" {
+		t.Fatalf("name = %q", name)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnounceValidation(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := Announce(a, ""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Announce(a, strings.Repeat("x", 65)); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}
+
+func TestAcceptRejectsGarbage(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte{0})
+	if _, err := Accept(b); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Package outlier implements distance-based outlier detection on top of
+// the dissimilarity matrix — the other additional application the paper
+// claims ("various other application areas ... such as record linkage and
+// outlier detection problems").
+//
+// Scores follow the classic k-nearest-neighbour definition: an object's
+// outlier score is its distance to its k-th nearest neighbour; the objects
+// with the largest scores are reported. The third party can compute all of
+// this locally on the private matrix.
+package outlier
+
+import (
+	"fmt"
+	"sort"
+
+	"ppclust/internal/dissim"
+)
+
+// Score is one object's outlier statistic.
+type Score struct {
+	// Object is the global object index.
+	Object int
+	// KDist is the distance to the k-th nearest neighbour.
+	KDist float64
+	// AvgKDist is the mean distance to the k nearest neighbours.
+	AvgKDist float64
+}
+
+// KNNScores computes every object's k-NN outlier statistics.
+func KNNScores(m *dissim.Matrix, k int) ([]Score, error) {
+	n := m.N()
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("outlier: k=%d with %d objects", k, n)
+	}
+	out := make([]Score, n)
+	dists := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				dists = append(dists, m.At(i, j))
+			}
+		}
+		sort.Float64s(dists)
+		sum := 0.0
+		for _, d := range dists[:k] {
+			sum += d
+		}
+		out[i] = Score{Object: i, KDist: dists[k-1], AvgKDist: sum / float64(k)}
+	}
+	return out, nil
+}
+
+// TopN returns the n highest-scoring objects by KDist (ties broken by
+// AvgKDist, then index), most anomalous first.
+func TopN(scores []Score, n int) []Score {
+	sorted := append([]Score(nil), scores...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].KDist != sorted[b].KDist {
+			return sorted[a].KDist > sorted[b].KDist
+		}
+		if sorted[a].AvgKDist != sorted[b].AvgKDist {
+			return sorted[a].AvgKDist > sorted[b].AvgKDist
+		}
+		return sorted[a].Object < sorted[b].Object
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}

@@ -1,0 +1,76 @@
+package outlier
+
+import (
+	"math"
+	"testing"
+
+	"ppclust/internal/dissim"
+)
+
+// lineFixture puts objects at positions 0,1,2,3 and one at 100.
+func lineFixture() *dissim.Matrix {
+	pos := []float64{0, 1, 2, 3, 100}
+	return dissim.FromLocal(len(pos), func(i, j int) float64 {
+		return math.Abs(pos[i] - pos[j])
+	})
+}
+
+func TestKNNScoresFlagThePlantedOutlier(t *testing.T) {
+	m := lineFixture()
+	scores, err := KNNScores(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopN(scores, 1)
+	if top[0].Object != 4 {
+		t.Fatalf("top outlier = %+v", top[0])
+	}
+	// Object 4's 2-NN distance: neighbours at 97, 98 → KDist 98.
+	if top[0].KDist != 98 || top[0].AvgKDist != 97.5 {
+		t.Fatalf("outlier stats: %+v", top[0])
+	}
+	// An inlier: object 1 has neighbours at distance 1, 1 → KDist 1.
+	if scores[1].KDist != 1 || scores[1].AvgKDist != 1 {
+		t.Fatalf("inlier stats: %+v", scores[1])
+	}
+}
+
+func TestKNNScoresValidation(t *testing.T) {
+	m := lineFixture()
+	if _, err := KNNScores(m, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KNNScores(m, 5); err == nil {
+		t.Fatal("k=n accepted")
+	}
+}
+
+func TestTopNOrderingAndBounds(t *testing.T) {
+	m := lineFixture()
+	scores, _ := KNNScores(m, 1)
+	top := TopN(scores, 100)
+	if len(top) != 5 {
+		t.Fatalf("TopN overflow: %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].KDist > top[i-1].KDist {
+			t.Fatal("TopN not descending")
+		}
+	}
+	// TopN must not mutate its input order.
+	if scores[0].Object != 0 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestTieBreaking(t *testing.T) {
+	// Four equidistant objects: deterministic ordering by index.
+	m := dissim.FromLocal(4, func(i, j int) float64 { return 1 })
+	scores, _ := KNNScores(m, 2)
+	top := TopN(scores, 4)
+	for i, s := range top {
+		if s.Object != i {
+			t.Fatalf("tie ordering: %+v", top)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package pam implements Partitioning Around Medoids (k-medoids,
+// Kaufman & Rousseeuw): a partitioning clustering algorithm that — unlike
+// the k-means baseline — operates directly on a dissimilarity matrix.
+//
+// This matters for the İnan et al. system: the paper argues that
+// partitioning algorithms "can not handle string data type for which a
+// 'mean' is not defined", which is true of k-means; PAM sidesteps the
+// objection because medoids are data objects, not means. Offering it to the
+// third party demonstrates the protocol's claimed "generality in
+// applicability to different clustering methods": any algorithm consuming
+// the dissimilarity matrix works, including partitioning ones.
+package pam
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ppclust/internal/dissim"
+	"ppclust/internal/rng"
+)
+
+// Result is a PAM clustering outcome.
+type Result struct {
+	// Medoids holds the k medoid object indices, sorted.
+	Medoids []int
+	// Labels assigns each object to a medoid position (0..k-1).
+	Labels []int
+	// Cost is the sum of dissimilarities of objects to their medoids.
+	Cost float64
+	// SwapIterations counts completed swap rounds.
+	SwapIterations int
+}
+
+// Config bounds a run; the zero value gives 100 swap iterations.
+type Config struct {
+	MaxIterations int
+}
+
+// Cluster runs PAM (BUILD + SWAP) on the matrix. The stream breaks cost
+// ties during BUILD, keeping runs deterministic for a given seed.
+func Cluster(d *dissim.Matrix, k int, stream rng.Stream, cfg Config) (*Result, error) {
+	n := d.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("pam: k=%d with %d objects", k, n)
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 100
+	}
+
+	// BUILD: greedily add the medoid that reduces total cost most.
+	medoids := make([]int, 0, k)
+	isMedoid := make([]bool, n)
+	// nearest[i] = dissimilarity of i to its closest chosen medoid.
+	nearest := make([]float64, n)
+	for i := range nearest {
+		nearest[i] = math.Inf(1)
+	}
+	for len(medoids) < k {
+		best, bestGain := -1, math.Inf(-1)
+		for c := 0; c < n; c++ {
+			if isMedoid[c] {
+				continue
+			}
+			gain := 0.0
+			for i := 0; i < n; i++ {
+				if isMedoid[i] || i == c {
+					continue
+				}
+				if diff := nearest[i] - d.At(i, c); diff > 0 && !math.IsInf(nearest[i], 1) {
+					gain += diff
+				} else if math.IsInf(nearest[i], 1) {
+					gain += -d.At(i, c) // first medoid: minimize total distance
+				}
+			}
+			if gain > bestGain || (gain == bestGain && best >= 0 && rng.Bool(stream)) {
+				best, bestGain = c, gain
+			}
+		}
+		medoids = append(medoids, best)
+		isMedoid[best] = true
+		for i := 0; i < n; i++ {
+			if v := d.At(i, best); v < nearest[i] {
+				nearest[i] = v
+			}
+		}
+	}
+
+	// SWAP: replace a medoid with a non-medoid while total cost improves.
+	assign := func() ([]int, float64) {
+		labels := make([]int, n)
+		cost := 0.0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for mi, m := range medoids {
+				if v := d.At(i, m); v < bestD {
+					best, bestD = mi, v
+				}
+			}
+			labels[i] = best
+			cost += bestD
+		}
+		return labels, cost
+	}
+	labels, cost := assign()
+	res := &Result{}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.SwapIterations = iter + 1
+		improved := false
+		for mi := range medoids {
+			for c := 0; c < n; c++ {
+				if isMedoid[c] {
+					continue
+				}
+				old := medoids[mi]
+				medoids[mi] = c
+				_, newCost := assign()
+				if newCost < cost-1e-15 {
+					isMedoid[old] = false
+					isMedoid[c] = true
+					labels, cost = assign()
+					improved = true
+				} else {
+					medoids[mi] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	// Canonicalize: sort medoids and remap labels accordingly.
+	order := make([]int, len(medoids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return medoids[order[a]] < medoids[order[b]] })
+	remap := make([]int, len(medoids))
+	sortedMedoids := make([]int, len(medoids))
+	for newPos, oldPos := range order {
+		remap[oldPos] = newPos
+		sortedMedoids[newPos] = medoids[oldPos]
+	}
+	for i := range labels {
+		labels[i] = remap[labels[i]]
+	}
+	res.Medoids = sortedMedoids
+	res.Labels = labels
+	res.Cost = cost
+	return res, nil
+}
+
+// Clusters converts a Result into member lists ordered by medoid.
+func (r *Result) Clusters() [][]int {
+	out := make([][]int, len(r.Medoids))
+	for i, l := range r.Labels {
+		out[l] = append(out[l], i)
+	}
+	return out
+}

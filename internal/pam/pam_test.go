@@ -1,0 +1,144 @@
+package pam
+
+import (
+	"math"
+	"testing"
+
+	"ppclust/internal/dissim"
+	"ppclust/internal/editdist"
+	"ppclust/internal/eval"
+	"ppclust/internal/gen"
+	"ppclust/internal/rng"
+)
+
+func stream(seed uint64) rng.Stream { return rng.NewXoshiro(rng.SeedFromUint64(seed)) }
+
+func TestPAMSeparatedClusters(t *testing.T) {
+	// Two tight groups on a line.
+	pos := []float64{0, 1, 2, 100, 101, 102}
+	d := dissim.FromLocal(len(pos), func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) })
+	res, err := Cluster(d, 2, stream(1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 {
+		t.Fatalf("medoids: %v", res.Medoids)
+	}
+	// Optimal medoids are the group centers 1 and 101 (indices 1, 4).
+	if res.Medoids[0] != 1 || res.Medoids[1] != 4 {
+		t.Fatalf("medoids = %v, want [1 4]", res.Medoids)
+	}
+	if res.Cost != 4 {
+		t.Fatalf("cost = %v, want 4", res.Cost)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Labels[i] != 0 || res.Labels[i+3] != 1 {
+			t.Fatalf("labels = %v", res.Labels)
+		}
+	}
+	cs := res.Clusters()
+	if len(cs[0]) != 3 || len(cs[1]) != 3 {
+		t.Fatalf("clusters: %v", cs)
+	}
+}
+
+func TestPAMHandlesStrings(t *testing.T) {
+	// The point of PAM here: a partitioning method over edit distances —
+	// something k-means cannot do. Families of DNA sequences must separate.
+	l, err := gen.DNAFamilies(gen.DNASpec{Families: 3, PerFamily: 6, Length: 40, SubRate: 0.05}, stream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := l.Table.SymbolCol(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dissim.FromLocal(len(col), func(i, j int) float64 {
+		return float64(editdist.Distance(col[i], col[j]))
+	})
+	res, err := Cluster(d, 3, stream(3), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := eval.AdjustedRandIndex(l.Truth, res.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Fatalf("PAM on edit distances ARI = %v, want ≥ 0.95", ari)
+	}
+}
+
+func TestPAMValidation(t *testing.T) {
+	d := dissim.New(3)
+	if _, err := Cluster(d, 0, stream(1), Config{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Cluster(d, 4, stream(1), Config{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestPAMKEqualsN(t *testing.T) {
+	d := dissim.New(3)
+	d.Set(1, 0, 1)
+	d.Set(2, 0, 2)
+	d.Set(2, 1, 3)
+	res, err := Cluster(d, 3, stream(4), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("k=n cost = %v", res.Cost)
+	}
+	for i, l := range res.Labels {
+		if res.Medoids[l] != i {
+			t.Fatalf("object %d not its own medoid: %v %v", i, res.Medoids, res.Labels)
+		}
+	}
+}
+
+func TestPAMDeterministicGivenSeed(t *testing.T) {
+	gen := rng.NewXoshiro(rng.SeedFromUint64(5))
+	d := dissim.New(20)
+	for i := 1; i < 20; i++ {
+		for j := 0; j < i; j++ {
+			d.Set(i, j, rng.Float64(gen)+0.01)
+		}
+	}
+	a, err := Cluster(d, 4, stream(6), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(d, 4, stream(6), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labelings")
+		}
+	}
+}
+
+func TestPAMCostConsistency(t *testing.T) {
+	// Reported cost equals the recomputed assignment cost.
+	gen := rng.NewXoshiro(rng.SeedFromUint64(7))
+	d := dissim.New(15)
+	for i := 1; i < 15; i++ {
+		for j := 0; j < i; j++ {
+			d.Set(i, j, rng.Float64(gen))
+		}
+	}
+	res, err := Cluster(d, 3, stream(8), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := 0.0
+	for i, l := range res.Labels {
+		cost += d.At(i, res.Medoids[l])
+	}
+	if math.Abs(cost-res.Cost) > 1e-12 {
+		t.Fatalf("cost %v vs recomputed %v", res.Cost, cost)
+	}
+}

@@ -1,0 +1,226 @@
+package party
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/dissim"
+	"ppclust/internal/editdist"
+	"ppclust/internal/wire"
+)
+
+// Traffic maps directed link names ("A->B", "B->TP", …) to the byte
+// counters observed at the sending end's outermost (wire) layer.
+type Traffic map[string]*wire.Counter
+
+// LinkName renders the directed link key used in Traffic.
+func LinkName(from, to string) string { return from + "->" + to }
+
+// SessionOutcome bundles everything a completed in-memory session produced.
+type SessionOutcome struct {
+	// Results maps holder name to the result it received.
+	Results map[string]*Result
+	// Report is the third party's internal state (for experiments).
+	Report *TPReport
+	// Traffic holds per-endpoint byte counters, keyed by LinkName. Each
+	// conduit end counts both directions; "A->B" is A's view of the A–B
+	// link.
+	Traffic Traffic
+}
+
+// RandomSource supplies per-party randomness; nil readers fall back to
+// crypto/rand. Tests inject deterministic streams.
+type RandomSource func(party string) io.Reader
+
+// RunInMemory executes a complete session over in-memory conduits: one
+// goroutine per party, full handshake, comparison protocols, assembly and
+// clustering. parts must be in ascending site-name order; reqs maps holder
+// name to its clustering request (missing entries get defaults).
+func RunInMemory(cfg Config, parts []dataset.Partition, reqs map[string]ClusterRequest, random RandomSource) (*SessionOutcome, error) {
+	holders := make([]string, len(parts))
+	for i, p := range parts {
+		holders[i] = p.Site
+	}
+	if err := validHolderNames(holders); err != nil {
+		return nil, err
+	}
+	if random == nil {
+		random = func(string) io.Reader { return nil }
+	}
+
+	traffic := make(Traffic)
+	// conduitFor[a][b] is a's end of the a–b link, metered.
+	conduitFor := make(map[string]map[string]wire.Conduit)
+	raw := []wire.Conduit{}
+	addLink := func(a, b string) {
+		ca, cb := wire.Pipe()
+		raw = append(raw, ca, cb)
+		ctrA, ctrB := &wire.Counter{}, &wire.Counter{}
+		traffic[LinkName(a, b)] = ctrA
+		traffic[LinkName(b, a)] = ctrB
+		if conduitFor[a] == nil {
+			conduitFor[a] = map[string]wire.Conduit{}
+		}
+		if conduitFor[b] == nil {
+			conduitFor[b] = map[string]wire.Conduit{}
+		}
+		conduitFor[a][b] = wire.Meter(ca, ctrA)
+		conduitFor[b][a] = wire.Meter(cb, ctrB)
+	}
+	for i := range holders {
+		for j := i + 1; j < len(holders); j++ {
+			addLink(holders[i], holders[j])
+		}
+		addLink(holders[i], TPName)
+	}
+	closeAll := func() {
+		for _, c := range raw {
+			c.Close()
+		}
+	}
+	defer closeAll()
+
+	type holderOut struct {
+		name string
+		res  *Result
+		err  error
+	}
+	var wg sync.WaitGroup
+	holderCh := make(chan holderOut, len(parts))
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p dataset.Partition) {
+			defer wg.Done()
+			req := reqs[p.Site]
+			h, err := NewHolder(p.Site, p.Table, holders, cfg, req, conduitFor[p.Site], random(p.Site))
+			if err != nil {
+				holderCh <- holderOut{name: p.Site, err: err}
+				closeAll()
+				return
+			}
+			res, err := h.Run()
+			holderCh <- holderOut{name: p.Site, res: res, err: err}
+			if err != nil {
+				closeAll()
+			}
+		}(p)
+	}
+
+	var report *TPReport
+	var tpErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tp, err := NewThirdParty(holders, cfg, conduitFor[TPName], random(TPName))
+		if err != nil {
+			tpErr = err
+			closeAll()
+			return
+		}
+		report, tpErr = tp.Run()
+		if tpErr != nil {
+			closeAll()
+		}
+	}()
+	wg.Wait()
+	close(holderCh)
+
+	outcome := &SessionOutcome{Results: make(map[string]*Result), Report: report, Traffic: traffic}
+	var errs []error
+	if tpErr != nil {
+		errs = append(errs, fmt.Errorf("third party: %w", tpErr))
+	}
+	for out := range holderCh {
+		if out.err != nil {
+			errs = append(errs, fmt.Errorf("holder %s: %w", out.name, out.err))
+			continue
+		}
+		outcome.Results[out.name] = out.res
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return outcome, nil
+}
+
+// CentralizedMatrices is the non-private baseline: concatenate all
+// partitions and build each attribute's global dissimilarity matrix
+// directly from plaintext (Figure 12 over the merged data), normalized like
+// the third party's. Experiment E9 compares the private session's matrices
+// against these.
+func CentralizedMatrices(schema dataset.Schema, parts []dataset.Partition) ([]*dissim.Matrix, []float64, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, nil, err
+	}
+	all, err := dataset.Concat(parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := all.Len()
+	matrices := make([]*dissim.Matrix, len(schema.Attrs))
+	scales := make([]float64, len(schema.Attrs))
+	for attr, a := range schema.Attrs {
+		var m *dissim.Matrix
+		switch a.Type {
+		case dataset.Numeric:
+			col, err := all.NumericCol(attr)
+			if err != nil {
+				return nil, nil, err
+			}
+			m = dissim.FromLocal(n, func(i, j int) float64 {
+				return math.Abs(col[i] - col[j])
+			})
+		case dataset.Categorical:
+			col, err := all.StringCol(attr)
+			if err != nil {
+				return nil, nil, err
+			}
+			m = dissim.FromLocal(n, func(i, j int) float64 {
+				if col[i] == col[j] {
+					return 0
+				}
+				return 1
+			})
+		case dataset.Alphanumeric:
+			col, err := all.SymbolCol(attr)
+			if err != nil {
+				return nil, nil, err
+			}
+			m = dissim.FromLocal(n, func(i, j int) float64 {
+				return float64(editdist.Distance(col[i], col[j]))
+			})
+		case dataset.Ordered:
+			col, err := all.RanksCol(attr)
+			if err != nil {
+				return nil, nil, err
+			}
+			m = dissim.FromLocal(n, func(i, j int) float64 {
+				return math.Abs(col[i] - col[j])
+			})
+		case dataset.Hierarchical:
+			col, err := all.StringCol(attr)
+			if err != nil {
+				return nil, nil, err
+			}
+			tax := a.Taxonomy
+			var derr error
+			m = dissim.FromLocal(n, func(i, j int) float64 {
+				d, err := tax.Distance(col[i], col[j])
+				if err != nil && derr == nil {
+					derr = err
+				}
+				return d
+			})
+			if derr != nil {
+				return nil, nil, derr
+			}
+		}
+		scales[attr] = m.Normalize()
+		matrices[attr] = m
+	}
+	return matrices, scales, nil
+}

@@ -1,0 +1,572 @@
+package party
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"ppclust/internal/catdist"
+	"ppclust/internal/dataset"
+	"ppclust/internal/detenc"
+	"ppclust/internal/dissim"
+	"ppclust/internal/editdist"
+	"ppclust/internal/hcluster"
+	"ppclust/internal/keys"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+	"ppclust/internal/wire"
+)
+
+// Holder runs one data holder's side of the session.
+type Holder struct {
+	name    string
+	index   int
+	holders []string
+	table   *dataset.Table
+	cfg     Config
+	req     ClusterRequest
+	random  io.Reader
+
+	identity *keys.Identity
+	tp       *wire.Endpoint
+	peers    map[string]*wire.Endpoint
+	masters  map[string][]byte // pairwise master secrets by peer name
+	counts   map[string]int
+	groupKey detenc.Key
+}
+
+// NewHolder prepares a data holder named name holding table, with direct
+// conduits to every other holder and to the third party in conduits
+// (keyed by peer name). random sources identity and group-key material;
+// nil uses crypto/rand.
+func NewHolder(name string, table *dataset.Table, holders []string, cfg Config, req ClusterRequest, conduits map[string]wire.Conduit, random io.Reader) (*Holder, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := validHolderNames(holders); err != nil {
+		return nil, err
+	}
+	idx, err := holderIndex(holders, name)
+	if err != nil {
+		return nil, err
+	}
+	if schemaFingerprint(table.Schema()) != schemaFingerprint(cfg.Schema) {
+		return nil, fmt.Errorf("party: holder %s table schema does not match session schema", name)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	for _, h := range holders {
+		if h != name {
+			if conduits[h] == nil {
+				return nil, fmt.Errorf("party: holder %s missing conduit to %s", name, h)
+			}
+		}
+	}
+	if conduits[TPName] == nil {
+		return nil, fmt.Errorf("party: holder %s missing conduit to %s", name, TPName)
+	}
+	h := &Holder{
+		name:    name,
+		index:   idx,
+		holders: holders,
+		table:   table,
+		cfg:     cfg,
+		req:     req,
+		random:  random,
+		peers:   make(map[string]*wire.Endpoint),
+		masters: make(map[string][]byte),
+		counts:  make(map[string]int),
+	}
+	if err := h.handshakeAll(conduits); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// handshakeAll exchanges public keys on every conduit, derives the pairwise
+// masters and wraps the conduits in AES-GCM channels.
+func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
+	var err error
+	h.identity, err = keys.NewIdentity(h.name, h.random)
+	if err != nil {
+		return err
+	}
+	fp := schemaFingerprint(h.cfg.Schema)
+	hello := helloBody{Public: h.identity.PublicBytes(), Fingerprint: fp}
+
+	peerNames := append([]string{}, h.holders...)
+	peerNames = append(peerNames, TPName)
+	for _, peer := range peerNames {
+		if peer == h.name {
+			continue
+		}
+		ep := wire.NewEndpoint(conduits[peer])
+		if err := ep.SendBody(wire.Message{From: h.name, To: peer, Kind: kindHello, Attr: -1}, hello); err != nil {
+			return fmt.Errorf("party: %s hello to %s: %w", h.name, peer, err)
+		}
+		var peerHello helloBody
+		if _, err := ep.Expect(kindHello, &peerHello); err != nil {
+			return fmt.Errorf("party: %s hello from %s: %w", h.name, peer, err)
+		}
+		if peerHello.Fingerprint != fp {
+			return fmt.Errorf("party: %s and %s disagree on the schema", h.name, peer)
+		}
+		master, err := h.identity.Master(peerHello.Public)
+		if err != nil {
+			return fmt.Errorf("party: %s master with %s: %w", h.name, peer, err)
+		}
+		h.masters[peer] = master
+
+		secured := conduits[peer]
+		if !h.cfg.PlaintextChannels {
+			key := keys.DeriveKey(master, keys.PurposeChannel, h.name, peer)
+			// Initiator: the lexicographically smaller holder name, or the
+			// holder on a holder-TP link.
+			initiator := peer == TPName || h.name < peer
+			secured, err = wire.Secure(conduits[peer], key, initiator)
+			if err != nil {
+				return err
+			}
+		}
+		ep = wire.NewEndpoint(secured)
+		if peer == TPName {
+			h.tp = ep
+		} else {
+			h.peers[peer] = ep
+		}
+	}
+	return nil
+}
+
+// Run executes the holder's side of the session and returns the clustering
+// result published by the third party.
+func (h *Holder) Run() (*Result, error) {
+	if err := h.exchangeCensus(); err != nil {
+		return nil, err
+	}
+	if err := h.exchangeGroupKey(); err != nil {
+		return nil, err
+	}
+	if err := h.sendLocalMatrices(); err != nil {
+		return nil, err
+	}
+	for attr := range h.cfg.Schema.Attrs {
+		if err := h.runAttribute(attr); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.sendRequest(); err != nil {
+		return nil, err
+	}
+	return h.recvResult()
+}
+
+func (h *Holder) exchangeCensus() error {
+	err := h.tp.SendBody(wire.Message{From: h.name, To: TPName, Kind: kindCount, Attr: -1},
+		countBody{Count: h.table.Len()})
+	if err != nil {
+		return err
+	}
+	var census censusBody
+	if _, err := h.tp.Expect(kindCensus, &census); err != nil {
+		return err
+	}
+	if len(census.Holders) != len(h.holders) {
+		return fmt.Errorf("party: census names %v do not match session holders", census.Holders)
+	}
+	for i, name := range census.Holders {
+		if name != h.holders[i] {
+			return fmt.Errorf("party: census names %v do not match session holders", census.Holders)
+		}
+		h.counts[name] = census.Counts[i]
+	}
+	if h.counts[h.name] != h.table.Len() {
+		return fmt.Errorf("party: census miscounts %s", h.name)
+	}
+	return nil
+}
+
+// exchangeGroupKey has the first holder generate the categorical key and
+// distribute it to its peers, wrapped under pairwise keys (the third party
+// never sees it; paper Section 4.3).
+func (h *Holder) exchangeGroupKey() error {
+	leader := h.holders[0]
+	if h.name == leader {
+		var raw [32]byte
+		if _, err := io.ReadFull(h.random, raw[:]); err != nil {
+			return fmt.Errorf("party: generating group key: %w", err)
+		}
+		h.groupKey = detenc.KeyFromBytes(raw[:])
+		for _, peer := range h.holders[1:] {
+			wrapKey := keys.DeriveKey(h.masters[peer], keys.PurposeGroupWrap, h.name, peer)
+			box, err := keys.Wrap(wrapKey, h.groupKey[:], h.random)
+			if err != nil {
+				return err
+			}
+			msg := wire.Message{From: h.name, To: peer, Kind: kindGroupKey, Attr: -1}
+			if err := h.peers[peer].SendBody(msg, groupKeyBody{Box: box}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var body groupKeyBody
+	if _, err := h.peers[leader].Expect(kindGroupKey, &body); err != nil {
+		return err
+	}
+	wrapKey := keys.DeriveKey(h.masters[leader], keys.PurposeGroupWrap, leader, h.name)
+	raw, err := keys.Unwrap(wrapKey, body.Box)
+	if err != nil {
+		return fmt.Errorf("party: unwrapping group key: %w", err)
+	}
+	if len(raw) != 32 {
+		return fmt.Errorf("party: group key has %d bytes", len(raw))
+	}
+	copy(h.groupKey[:], raw)
+	return nil
+}
+
+// numericValues returns the float column the numeric protocol runs on for
+// attribute attr: raw values for numeric attributes, public-order ranks for
+// ordered ones.
+func (h *Holder) numericValues(attr int) ([]float64, error) {
+	if h.cfg.Schema.Attrs[attr].Type == dataset.Ordered {
+		return h.table.RanksCol(attr)
+	}
+	return h.table.NumericCol(attr)
+}
+
+// localDistance returns the plaintext distance function for attribute attr,
+// used for the Figure 12 local matrix.
+func (h *Holder) localDistance(attr int) (func(i, j int) float64, error) {
+	a := h.cfg.Schema.Attrs[attr]
+	switch a.Type {
+	case dataset.Numeric, dataset.Ordered:
+		col, err := h.numericValues(attr)
+		if err != nil {
+			return nil, err
+		}
+		return func(i, j int) float64 {
+			d := col[i] - col[j]
+			if d < 0 {
+				d = -d
+			}
+			return d
+		}, nil
+	case dataset.Alphanumeric:
+		col, err := h.table.SymbolCol(attr)
+		if err != nil {
+			return nil, err
+		}
+		return func(i, j int) float64 {
+			return float64(editdist.Distance(col[i], col[j]))
+		}, nil
+	default:
+		return nil, fmt.Errorf("party: no local distance for %v", a.Type)
+	}
+}
+
+// tagBased reports whether an attribute's global matrix is built by the
+// third party from encrypted submissions (no local matrices, no pairwise
+// protocol).
+func tagBased(t dataset.AttrType) bool {
+	return t == dataset.Categorical || t == dataset.Hierarchical
+}
+
+// sendLocalMatrices implements the holder side of Figure 11 step 1 for
+// numeric, ordered and alphanumeric attributes. Tag-based attributes are
+// excluded: their global matrices are built by the third party from
+// encrypted columns.
+func (h *Holder) sendLocalMatrices() error {
+	for attr, a := range h.cfg.Schema.Attrs {
+		if tagBased(a.Type) {
+			continue
+		}
+		distFn, err := h.localDistance(attr)
+		if err != nil {
+			return err
+		}
+		local := dissim.FromLocal(h.table.Len(), distFn)
+		msg := wire.Message{From: h.name, To: TPName, Kind: kindLocal, Attr: attr}
+		if err := h.tp.SendBody(msg, localBody{N: local.N(), Cells: local.Packed()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seedJK returns the generator seed shared by holders j and k for attr.
+func (h *Holder) seedJK(peer string, attr int) rng.Seed {
+	base := keys.DeriveSeed(h.masters[peer], keys.PurposePairRNG, h.name, peer)
+	return ctxSeed(base, fmt.Sprintf("attr/%d", attr))
+}
+
+// seedJT returns the generator seed shared by initiator j and the third
+// party for (attr, pair). Deriving per pair (rather than the paper's single
+// rJT) prevents two responders from jointly cancelling the masks.
+func (h *Holder) seedJT(attr int, j, k string) rng.Seed {
+	base := keys.DeriveSeed(h.masters[TPName], keys.PurposeMaskRNG, h.name, TPName)
+	return ctxSeed(base, fmt.Sprintf("attr/%d/pair/%s/%s", attr, j, k))
+}
+
+func ctxSeed(base rng.Seed, ctx string) rng.Seed {
+	buf := make([]byte, 0, len(base)+len(ctx))
+	buf = append(buf, base[:]...)
+	buf = append(buf, ctx...)
+	return rng.SeedFromBytes(buf)
+}
+
+// runAttribute performs this holder's part of the comparison protocol for
+// one attribute.
+func (h *Holder) runAttribute(attr int) error {
+	a := h.cfg.Schema.Attrs[attr]
+	if a.Type == dataset.Categorical {
+		col, err := h.table.StringCol(attr)
+		if err != nil {
+			return err
+		}
+		enc := detenc.NewEncryptor(h.groupKey, a.Name)
+		tags := protocol.CategoricalEncryptColumn(col, enc)
+		raw := make([][32]byte, len(tags))
+		for i, t := range tags {
+			raw[i] = t
+		}
+		msg := wire.Message{From: h.name, To: TPName, Kind: kindCatTags, Attr: attr}
+		return h.tp.SendBody(msg, catTagsBody{Tags: raw})
+	}
+	if a.Type == dataset.Hierarchical {
+		col, err := h.table.StringCol(attr)
+		if err != nil {
+			return err
+		}
+		enc := detenc.NewEncryptor(h.groupKey, a.Name)
+		paths := make([][][32]byte, len(col))
+		for i, v := range col {
+			tags, err := catdist.PathTags(a.Taxonomy, enc, v)
+			if err != nil {
+				return err
+			}
+			raw := make([][32]byte, len(tags))
+			for j, t := range tags {
+				raw[j] = t
+			}
+			paths[i] = raw
+		}
+		msg := wire.Message{From: h.name, To: TPName, Kind: kindPathTags, Attr: attr}
+		return h.tp.SendBody(msg, pathTagsBody{Paths: paths})
+	}
+
+	for _, pair := range sortedPairs(h.holders) {
+		j, k := h.holders[pair[0]], h.holders[pair[1]]
+		switch h.name {
+		case j:
+			if err := h.initiate(attr, j, k); err != nil {
+				return fmt.Errorf("party: %s initiating (%s,%s) attr %d: %w", h.name, j, k, attr, err)
+			}
+		case k:
+			if err := h.respond(attr, j, k); err != nil {
+				return fmt.Errorf("party: %s responding (%s,%s) attr %d: %w", h.name, j, k, attr, err)
+			}
+		}
+	}
+	return nil
+}
+
+// initiate is the DHJ role for one (attribute, pair).
+func (h *Holder) initiate(attr int, j, k string) error {
+	a := h.cfg.Schema.Attrs[attr]
+	jk := rng.New(h.cfg.RNG, h.seedJK(k, attr))
+	jt := rng.New(h.cfg.RNG, h.seedJT(attr, j, k))
+	msg := wire.Message{From: j, To: k, Kind: kindNumDisg, Attr: attr, PairJ: j, PairK: k}
+
+	if a.Type == dataset.Alphanumeric {
+		col, err := h.table.SymbolCol(attr)
+		if err != nil {
+			return err
+		}
+		strs := make([]protocol.SymbolString, len(col))
+		for i, s := range col {
+			strs[i] = protocol.SymbolString(s)
+		}
+		disguised := protocol.AlphaInitiator(strs, a.Alphabet, jt)
+		msg.Kind = kindAlphaDisg
+		return h.peers[k].SendBody(msg, alphaDisguisedBody{Strings: disguised})
+	}
+
+	col, err := h.numericValues(attr)
+	if err != nil {
+		return err
+	}
+	responderRows := h.counts[k]
+	var body numDisguisedBody
+	switch h.cfg.Variant {
+	case Float64Variant:
+		body.Float, err = protocol.NumericInitiatorFloat(col, jk, jt, h.cfg.FloatParams, h.cfg.Mode, responderRows)
+	case Int64Variant:
+		ints, cerr := toInts(col, h.cfg.IntParams)
+		if cerr != nil {
+			return cerr
+		}
+		body.Int, err = protocol.NumericInitiatorInt(ints, jk, jt, h.cfg.IntParams, h.cfg.Mode, responderRows)
+	case ModPVariant:
+		ints, cerr := toIntsUnbounded(col)
+		if cerr != nil {
+			return cerr
+		}
+		body.ModP, err = protocol.NumericInitiatorModP(ints, jk, jt, h.cfg.Mode, responderRows)
+	}
+	if err != nil {
+		return err
+	}
+	return h.peers[k].SendBody(msg, body)
+}
+
+// respond is the DHK role for one (attribute, pair).
+func (h *Holder) respond(attr int, j, k string) error {
+	a := h.cfg.Schema.Attrs[attr]
+	msg := wire.Message{From: k, To: TPName, Kind: kindNumS, Attr: attr, PairJ: j, PairK: k}
+
+	if a.Type == dataset.Alphanumeric {
+		var disg alphaDisguisedBody
+		if _, err := h.peers[j].Expect(kindAlphaDisg, &disg); err != nil {
+			return err
+		}
+		col, err := h.table.SymbolCol(attr)
+		if err != nil {
+			return err
+		}
+		own := make([]protocol.SymbolString, len(col))
+		for i, s := range col {
+			own[i] = protocol.SymbolString(s)
+		}
+		for _, s := range disg.Strings {
+			for _, sym := range s {
+				if int(sym) >= a.Alphabet.Size() {
+					return fmt.Errorf("party: disguised symbol %d outside alphabet", sym)
+				}
+			}
+		}
+		m := protocol.AlphaResponder(own, disg.Strings, a.Alphabet)
+		msg.Kind = kindAlphaM
+		return h.tp.SendBody(msg, alphaMBody{M: m})
+	}
+
+	var disg numDisguisedBody
+	if _, err := h.peers[j].Expect(kindNumDisg, &disg); err != nil {
+		return err
+	}
+	jk := rng.New(h.cfg.RNG, h.seedJK(j, attr))
+	col, err := h.numericValues(attr)
+	if err != nil {
+		return err
+	}
+	var body numSBody
+	switch h.cfg.Variant {
+	case Float64Variant:
+		if disg.Float == nil {
+			return fmt.Errorf("party: missing float payload from %s", j)
+		}
+		body.Float, err = protocol.NumericResponderFloat(disg.Float, col, jk, h.cfg.FloatParams, h.cfg.Mode)
+	case Int64Variant:
+		if disg.Int == nil {
+			return fmt.Errorf("party: missing int payload from %s", j)
+		}
+		ints, cerr := toInts(col, h.cfg.IntParams)
+		if cerr != nil {
+			return cerr
+		}
+		body.Int, err = protocol.NumericResponderInt(disg.Int, ints, jk, h.cfg.IntParams, h.cfg.Mode)
+	case ModPVariant:
+		if disg.ModP == nil {
+			return fmt.Errorf("party: missing modp payload from %s", j)
+		}
+		ints, cerr := toIntsUnbounded(col)
+		if cerr != nil {
+			return cerr
+		}
+		body.ModP, err = protocol.NumericResponderModP(disg.ModP, ints, jk, h.cfg.Mode)
+	}
+	if err != nil {
+		return err
+	}
+	return h.tp.SendBody(msg, body)
+}
+
+func (h *Holder) sendRequest() error {
+	weights := h.req.Weights
+	if weights == nil {
+		weights = h.cfg.Schema.Weights()
+	}
+	if len(weights) != len(h.cfg.Schema.Attrs) {
+		return fmt.Errorf("party: %d weights for %d attributes", len(weights), len(h.cfg.Schema.Attrs))
+	}
+	k := h.req.K
+	if k <= 0 {
+		k = 2
+	}
+	msg := wire.Message{From: h.name, To: TPName, Kind: kindRequest, Attr: -1}
+	return h.tp.SendBody(msg, requestBody{
+		Weights: weights, Method: int(h.req.Method), Linkage: int(h.req.Linkage), K: k,
+	})
+}
+
+func (h *Holder) recvResult() (*Result, error) {
+	var body resultBody
+	if _, err := h.tp.Expect(kindResult, &body); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Quality:    body.Quality,
+		Silhouette: body.Silhouette,
+		Method:     Method(body.Method),
+		Linkage:    hcluster.Linkage(body.Linkage),
+		K:          body.K,
+	}
+	for c := range body.ClusterSites {
+		if len(body.ClusterSites[c]) != len(body.ClusterIndices[c]) {
+			return nil, fmt.Errorf("party: ragged result cluster %d", c)
+		}
+		var members []dataset.ObjectID
+		for i := range body.ClusterSites[c] {
+			members = append(members, dataset.ObjectID{
+				Site:  body.ClusterSites[c][i],
+				Index: body.ClusterIndices[c][i],
+			})
+		}
+		res.Clusters = append(res.Clusters, members)
+	}
+	return res, nil
+}
+
+// toInts converts a numeric column for the integer variant, requiring
+// integral values within the magnitude bound.
+func toInts(col []float64, params protocol.IntParams) ([]int64, error) {
+	out := make([]int64, len(col))
+	for i, v := range col {
+		iv := int64(v)
+		if float64(iv) != v {
+			return nil, fmt.Errorf("party: value %v at row %d is not integral (required by the int64/modp variants)", v, i)
+		}
+		if iv > params.MaxMagnitude || iv < -params.MaxMagnitude {
+			return nil, fmt.Errorf("party: value %v at row %d exceeds magnitude bound", v, i)
+		}
+		out[i] = iv
+	}
+	return out, nil
+}
+
+// toIntsUnbounded converts for the mod-p variant, which has no magnitude
+// bound beyond int64 itself.
+func toIntsUnbounded(col []float64) ([]int64, error) {
+	out := make([]int64, len(col))
+	for i, v := range col {
+		iv := int64(v)
+		if float64(iv) != v {
+			return nil, fmt.Errorf("party: value %v at row %d is not integral (required by the int64/modp variants)", v, i)
+		}
+		out[i] = iv
+	}
+	return out, nil
+}

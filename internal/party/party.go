@@ -1,0 +1,366 @@
+// Package party orchestrates the full İnan et al. session: k data holders
+// and a third party jointly construct per-attribute global dissimilarity
+// matrices with the internal/protocol comparison protocols, after which the
+// third party normalizes, merges, clusters and publishes results
+// (paper Sections 3 and 5).
+//
+// The message flow is strictly deterministic, which keeps the protocol
+// deadlock-free over both in-memory and TCP transports:
+//
+//  1. handshake on every conduit (X25519 key agreement, then AES-GCM);
+//  2. every holder reports its object count to the third party, which
+//     broadcasts the full census;
+//  3. the first holder distributes the group categorical key to its peers;
+//  4. every holder sends its local dissimilarity matrices (numeric and
+//     alphanumeric attributes, Figure 12);
+//  5. per attribute in schema order: categorical columns go to the third
+//     party encrypted; for other types every holder pair (J, K), J < K,
+//     runs the comparison protocol (J disguises → K combines → TP decodes);
+//  6. every holder submits its weight vector and clustering request;
+//  7. the third party answers each holder with its clustering result
+//     (Figure 13 format plus quality parameters).
+//
+// On holder-to-holder conduits data only ever flows from the lower-indexed
+// to the higher-indexed holder, and the third party never sends until all
+// protocol traffic is received, so no cycle of blocking sends can form.
+package party
+
+import (
+	"fmt"
+	"sort"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/hcluster"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+	"ppclust/internal/wire"
+)
+
+// TPName is the third party's protocol name. Holder names must differ from
+// it.
+const TPName = "TP"
+
+// Variant selects the arithmetic of the numeric comparison protocol.
+type Variant int
+
+const (
+	// Float64Variant runs the protocol over IEEE-754 doubles (the paper's
+	// "real values" remark). Distances are recovered to ≈1e-9 of the
+	// plaintext value at unit scale.
+	Float64Variant Variant = iota
+	// Int64Variant runs the protocol over integers; numeric attribute
+	// values must be integral and within IntParams.MaxMagnitude. Exact.
+	Int64Variant
+	// ModPVariant runs the protocol in Z_p with perfectly hiding masks;
+	// values must be integral. Exact.
+	ModPVariant
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Float64Variant:
+		return "float64"
+	case Int64Variant:
+		return "int64"
+	case ModPVariant:
+		return "modp"
+	default:
+		return "unknown"
+	}
+}
+
+// Config is the session agreement all parties share out of band (paper
+// Section 3: parties "have previously agreed on the list of attributes").
+type Config struct {
+	// Schema is the agreed attribute list.
+	Schema dataset.Schema
+	// Mode is the numeric protocol's masking mode (batch or per-pair).
+	Mode protocol.Mode
+	// Variant selects the numeric protocol arithmetic.
+	Variant Variant
+	// RNG selects the shared generator implementation; defaults to the
+	// AES-CTR generator, matching the paper's "high quality,
+	// unpredictable" requirement.
+	RNG rng.Kind
+	// IntParams bounds the integer variant (zero value = defaults).
+	IntParams protocol.IntParams
+	// FloatParams bounds the float variant (zero value = defaults).
+	FloatParams protocol.FloatParams
+	// PlaintextChannels disables AES-GCM channel protection. Only the
+	// eavesdropping experiments set this; the paper requires secured
+	// channels.
+	PlaintextChannels bool
+}
+
+// normalized validates the config and fills defaults.
+func (c Config) normalized() (Config, error) {
+	if err := c.Schema.Validate(); err != nil {
+		return c, err
+	}
+	if c.Variant < Float64Variant || c.Variant > ModPVariant {
+		return c, fmt.Errorf("party: invalid variant %d", c.Variant)
+	}
+	if c.IntParams == (protocol.IntParams{}) {
+		c.IntParams = protocol.DefaultIntParams
+	}
+	if c.FloatParams == (protocol.FloatParams{}) {
+		c.FloatParams = protocol.DefaultFloatParams
+	}
+	return c, nil
+}
+
+// Method selects the clustering algorithm the third party runs for a
+// holder. All methods consume only the dissimilarity matrix, which is the
+// paper's generality argument.
+type Method int
+
+const (
+	// MethodAgglomerative is bottom-up hierarchical clustering under the
+	// request's Linkage (the paper's primary focus).
+	MethodAgglomerative Method = iota
+	// MethodDiana is top-down divisive hierarchical clustering.
+	MethodDiana
+	// MethodPAM is partitioning around medoids — a partitioning algorithm
+	// that, unlike k-means, works on dissimilarities and hence on every
+	// attribute type.
+	MethodPAM
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodAgglomerative:
+		return "agglomerative"
+	case MethodDiana:
+		return "diana"
+	case MethodPAM:
+		return "pam"
+	default:
+		return "unknown"
+	}
+}
+
+// ClusterRequest is one holder's choice of weights and algorithm (paper
+// Section 5: "Every data holder can impose a different weight vector and
+// clustering algorithm of his own choice").
+type ClusterRequest struct {
+	// Weights is the per-attribute weight vector; nil uses the schema's
+	// weights.
+	Weights []float64
+	// Method selects the clustering algorithm (agglomerative by default).
+	Method Method
+	// Linkage selects the hierarchical rule for MethodAgglomerative.
+	Linkage hcluster.Linkage
+	// K is the number of clusters to report.
+	K int
+}
+
+// Result is what the third party publishes to a holder: cluster
+// memberships by global object id plus aggregate quality — never the
+// dissimilarity matrix itself (paper Section 5: "Dissimilarity matrices
+// must be kept secret by the third party").
+type Result struct {
+	// Clusters lists the members of each cluster (Figure 13).
+	Clusters [][]dataset.ObjectID
+	// Quality carries the per-cluster statistics the paper allows the
+	// third party to convey ("average of square distance between
+	// members").
+	Quality []hcluster.ClusterQuality
+	// Silhouette is the mean silhouette coefficient of the published
+	// partition — another aggregate quality parameter in the paper's
+	// sense. Zero when undefined (fewer than two clusters).
+	Silhouette float64
+	// Method, Linkage and K echo the request.
+	Method  Method
+	Linkage hcluster.Linkage
+	K       int
+}
+
+// Format renders the result in the paper's Figure 13 layout.
+func (r *Result) Format() string {
+	out := ""
+	for i, members := range r.Clusters {
+		out += fmt.Sprintf("Cluster%d\t", i+1)
+		for j, m := range members {
+			if j > 0 {
+				out += ", "
+			}
+			out += m.String()
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Message kinds of the session protocol.
+const (
+	kindHello     wire.Kind = "ppc/hello"
+	kindCount     wire.Kind = "ppc/count"
+	kindCensus    wire.Kind = "ppc/census"
+	kindGroupKey  wire.Kind = "ppc/groupkey"
+	kindLocal     wire.Kind = "ppc/local"
+	kindNumDisg   wire.Kind = "ppc/numeric-disguised"
+	kindNumS      wire.Kind = "ppc/numeric-s"
+	kindAlphaDisg wire.Kind = "ppc/alpha-disguised"
+	kindAlphaM    wire.Kind = "ppc/alpha-m"
+	kindCatTags   wire.Kind = "ppc/categorical-tags"
+	kindPathTags  wire.Kind = "ppc/taxonomy-tags"
+	kindRequest   wire.Kind = "ppc/cluster-request"
+	kindResult    wire.Kind = "ppc/result"
+)
+
+// helloBody carries a party's public key and schema fingerprint.
+type helloBody struct {
+	Public      []byte
+	Fingerprint string
+}
+
+// countBody reports a holder's object count.
+type countBody struct {
+	Count int
+}
+
+// censusBody broadcasts all holders' counts, in holder order.
+type censusBody struct {
+	Holders []string
+	Counts  []int
+}
+
+// groupKeyBody carries the wrapped categorical group key.
+type groupKeyBody struct {
+	Box []byte
+}
+
+// localBody is one attribute's local dissimilarity matrix in packed form.
+type localBody struct {
+	N     int
+	Cells []float64
+}
+
+// numDisguisedBody is the initiator→responder numeric message.
+type numDisguisedBody struct {
+	Int   *protocol.Int64Matrix
+	Float *protocol.Float64Matrix
+	ModP  *protocol.ElementMatrix
+}
+
+// numSBody is the responder→TP numeric message.
+type numSBody struct {
+	Int   *protocol.Int64Matrix
+	Float *protocol.Float64Matrix
+	ModP  *protocol.ElementMatrix
+}
+
+// alphaDisguisedBody is the initiator→responder alphanumeric message.
+type alphaDisguisedBody struct {
+	Strings []protocol.SymbolString
+}
+
+// alphaMBody is the responder→TP alphanumeric message.
+type alphaMBody struct {
+	M [][]*protocol.SymbolMatrix
+}
+
+// catTagsBody is a holder's encrypted categorical column.
+type catTagsBody struct {
+	Tags [][32]byte
+}
+
+// pathTagsBody is a holder's encrypted hierarchical column: one root-path
+// tag sequence per object.
+type pathTagsBody struct {
+	Paths [][][32]byte
+}
+
+// requestBody is a holder's weights and clustering choice.
+type requestBody struct {
+	Weights []float64
+	Method  int
+	Linkage int
+	K       int
+}
+
+// resultBody is the published clustering result.
+type resultBody struct {
+	ClusterSites   [][]string
+	ClusterIndices [][]int
+	Quality        []hcluster.ClusterQuality
+	Silhouette     float64
+	Method         int
+	Linkage        int
+	K              int
+}
+
+// schemaFingerprint summarizes the schema for the agreement check in the
+// handshake; a mismatch aborts the session before any data moves. Public
+// category structures (orders, taxonomies) are part of the agreement, so
+// they are folded in.
+func schemaFingerprint(s dataset.Schema) string {
+	fp := ""
+	for _, a := range s.Attrs {
+		fp += a.Name + "/" + a.Type.String()
+		if a.Alphabet != nil {
+			fp += "/" + a.Alphabet.Name()
+		}
+		if a.Order != nil {
+			fp += "/" + a.Order.Fingerprint()
+		}
+		if a.Taxonomy != nil {
+			fp += "/" + a.Taxonomy.Fingerprint()
+		}
+		fp += fmt.Sprintf("/%g;", a.Weight)
+	}
+	return fp
+}
+
+// attrSeed derives the per-attribute stream seed from a pairwise base seed,
+// so masks never repeat across attributes.
+func attrSeed(base rng.Seed, attr int) rng.Seed {
+	buf := make([]byte, 0, len(base)+16)
+	buf = append(buf, base[:]...)
+	buf = append(buf, []byte(fmt.Sprintf("/attr/%d", attr))...)
+	return rng.SeedFromBytes(buf)
+}
+
+// sortedPairs enumerates holder pairs (J, K) with J < K in holder order.
+func sortedPairs(holders []string) [][2]int {
+	var out [][2]int
+	for j := 0; j < len(holders); j++ {
+		for k := j + 1; k < len(holders); k++ {
+			out = append(out, [2]int{j, k})
+		}
+	}
+	return out
+}
+
+// holderIndex locates name within holders.
+func holderIndex(holders []string, name string) (int, error) {
+	for i, h := range holders {
+		if h == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("party: holder %q not in session", name)
+}
+
+// validHolderNames checks the holder name list for ordering and collisions.
+func validHolderNames(holders []string) error {
+	if len(holders) < 2 {
+		return fmt.Errorf("party: need at least 2 data holders, have %d", len(holders))
+	}
+	if !sort.StringsAreSorted(holders) {
+		return fmt.Errorf("party: holder names must be sorted: %v", holders)
+	}
+	seen := map[string]bool{}
+	for _, h := range holders {
+		if h == "" || h == TPName {
+			return fmt.Errorf("party: invalid holder name %q", h)
+		}
+		if seen[h] {
+			return fmt.Errorf("party: duplicate holder name %q", h)
+		}
+		seen[h] = true
+	}
+	return nil
+}

@@ -1,0 +1,479 @@
+package party
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"ppclust/internal/catdist"
+	"ppclust/internal/dataset"
+	"ppclust/internal/detenc"
+	"ppclust/internal/dissim"
+	"ppclust/internal/hcluster"
+	"ppclust/internal/keys"
+	"ppclust/internal/pam"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+	"ppclust/internal/wire"
+)
+
+// ThirdParty runs the TP side of the session: it "does not have any data
+// but serves as a means of computation power and storage space" (paper
+// Section 3), governing communication, assembling the dissimilarity
+// matrices and publishing clustering results.
+type ThirdParty struct {
+	holders []string
+	cfg     Config
+	random  io.Reader
+
+	identity *keys.Identity
+	eps      map[string]*wire.Endpoint
+	masters  map[string][]byte
+	counts   []int
+}
+
+// TPReport is the third party's session outcome. AttributeMatrices and
+// Scales expose the assembled (normalized) per-attribute matrices for
+// experiments and tests; in a deployment they remain TP-internal state —
+// the paper requires that only Results leave the third party.
+type TPReport struct {
+	// ObjectIDs is the global object ordering.
+	ObjectIDs []dataset.ObjectID
+	// AttributeMatrices holds the normalized global matrix per attribute.
+	AttributeMatrices []*dissim.Matrix
+	// Scales holds each attribute matrix's normalization divisor.
+	Scales []float64
+	// Results maps holder name to the result published to that holder.
+	Results map[string]*Result
+}
+
+// NewThirdParty prepares the third party with conduits keyed by holder
+// name. random sources the TP identity; nil uses crypto/rand.
+func NewThirdParty(holders []string, cfg Config, conduits map[string]wire.Conduit, random io.Reader) (*ThirdParty, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := validHolderNames(holders); err != nil {
+		return nil, err
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	for _, h := range holders {
+		if conduits[h] == nil {
+			return nil, fmt.Errorf("party: third party missing conduit to %s", h)
+		}
+	}
+	tp := &ThirdParty{
+		holders: holders,
+		cfg:     cfg,
+		random:  random,
+		eps:     make(map[string]*wire.Endpoint),
+		masters: make(map[string][]byte),
+	}
+	if err := tp.handshakeAll(conduits); err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
+func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
+	var err error
+	tp.identity, err = keys.NewIdentity(TPName, tp.random)
+	if err != nil {
+		return err
+	}
+	fp := schemaFingerprint(tp.cfg.Schema)
+	hello := helloBody{Public: tp.identity.PublicBytes(), Fingerprint: fp}
+	for _, h := range tp.holders {
+		ep := wire.NewEndpoint(conduits[h])
+		if err := ep.SendBody(wire.Message{From: TPName, To: h, Kind: kindHello, Attr: -1}, hello); err != nil {
+			return err
+		}
+		var peerHello helloBody
+		if _, err := ep.Expect(kindHello, &peerHello); err != nil {
+			return fmt.Errorf("party: TP hello from %s: %w", h, err)
+		}
+		if peerHello.Fingerprint != fp {
+			return fmt.Errorf("party: TP and %s disagree on the schema", h)
+		}
+		master, err := tp.identity.Master(peerHello.Public)
+		if err != nil {
+			return err
+		}
+		tp.masters[h] = master
+		secured := conduits[h]
+		if !tp.cfg.PlaintextChannels {
+			key := keys.DeriveKey(master, keys.PurposeChannel, h, TPName)
+			secured, err = wire.Secure(conduits[h], key, false)
+			if err != nil {
+				return err
+			}
+		}
+		tp.eps[h] = wire.NewEndpoint(secured)
+	}
+	return nil
+}
+
+// seedJT mirrors Holder.seedJT for the initiator j of pair (j, k).
+func (tp *ThirdParty) seedJT(attr int, j, k string) rng.Seed {
+	base := keys.DeriveSeed(tp.masters[j], keys.PurposeMaskRNG, j, TPName)
+	return ctxSeed(base, fmt.Sprintf("attr/%d/pair/%s/%s", attr, j, k))
+}
+
+// Run executes the third party's side and returns the session report.
+func (tp *ThirdParty) Run() (*TPReport, error) {
+	if err := tp.census(); err != nil {
+		return nil, err
+	}
+	locals, err := tp.collectLocals()
+	if err != nil {
+		return nil, err
+	}
+	matrices := make([]*dissim.Matrix, len(tp.cfg.Schema.Attrs))
+	scales := make([]float64, len(tp.cfg.Schema.Attrs))
+	for attr, a := range tp.cfg.Schema.Attrs {
+		var m *dissim.Matrix
+		var err error
+		switch a.Type {
+		case dataset.Categorical:
+			m, err = tp.assembleCategorical(attr)
+		case dataset.Hierarchical:
+			m, err = tp.assembleHierarchical(attr)
+		default:
+			m, err = tp.assembleComparison(attr, locals[attr])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("party: assembling attribute %q: %w", a.Name, err)
+		}
+		scales[attr] = m.Normalize()
+		matrices[attr] = m
+	}
+
+	report := &TPReport{
+		ObjectIDs:         tp.objectIDs(),
+		AttributeMatrices: matrices,
+		Scales:            scales,
+		Results:           make(map[string]*Result),
+	}
+	// Requests arrive after all protocol traffic; answer each holder.
+	for _, h := range tp.holders {
+		var req requestBody
+		if _, err := tp.eps[h].Expect(kindRequest, &req); err != nil {
+			return nil, err
+		}
+		res, err := tp.cluster(matrices, req)
+		if err != nil {
+			return nil, fmt.Errorf("party: clustering for %s: %w", h, err)
+		}
+		report.Results[h] = res
+	}
+	for _, h := range tp.holders {
+		res := report.Results[h]
+		body := resultBody{Quality: res.Quality, Silhouette: res.Silhouette,
+			Method: int(res.Method), Linkage: int(res.Linkage), K: res.K}
+		for _, members := range res.Clusters {
+			sites := make([]string, len(members))
+			idxs := make([]int, len(members))
+			for i, m := range members {
+				sites[i] = m.Site
+				idxs[i] = m.Index
+			}
+			body.ClusterSites = append(body.ClusterSites, sites)
+			body.ClusterIndices = append(body.ClusterIndices, idxs)
+		}
+		msg := wire.Message{From: TPName, To: h, Kind: kindResult, Attr: -1}
+		if err := tp.eps[h].SendBody(msg, body); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+func (tp *ThirdParty) census() error {
+	tp.counts = make([]int, len(tp.holders))
+	for i, h := range tp.holders {
+		var c countBody
+		if _, err := tp.eps[h].Expect(kindCount, &c); err != nil {
+			return err
+		}
+		if c.Count < 0 {
+			return fmt.Errorf("party: negative count from %s", h)
+		}
+		tp.counts[i] = c.Count
+	}
+	census := censusBody{Holders: tp.holders, Counts: tp.counts}
+	for _, h := range tp.holders {
+		msg := wire.Message{From: TPName, To: h, Kind: kindCensus, Attr: -1}
+		if err := tp.eps[h].SendBody(msg, census); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectLocals receives every holder's local matrices for attributes with
+// comparison protocols (numeric, ordered, alphanumeric), keyed
+// [attr][holderIndex].
+func (tp *ThirdParty) collectLocals() (map[int][]*dissim.Matrix, error) {
+	locals := make(map[int][]*dissim.Matrix)
+	for attr, a := range tp.cfg.Schema.Attrs {
+		if !tagBased(a.Type) {
+			locals[attr] = make([]*dissim.Matrix, len(tp.holders))
+		}
+	}
+	for hi, h := range tp.holders {
+		for attr, a := range tp.cfg.Schema.Attrs {
+			if tagBased(a.Type) {
+				continue
+			}
+			var body localBody
+			m, err := tp.eps[h].Expect(kindLocal, &body)
+			if err != nil {
+				return nil, err
+			}
+			if m.Attr != attr {
+				return nil, fmt.Errorf("party: %s sent local matrix for attr %d, want %d", h, m.Attr, attr)
+			}
+			if body.N != tp.counts[hi] {
+				return nil, fmt.Errorf("party: %s local matrix has %d objects, census says %d", h, body.N, tp.counts[hi])
+			}
+			local, err := dissim.FromPacked(body.N, body.Cells)
+			if err != nil {
+				return nil, err
+			}
+			locals[attr][hi] = local
+		}
+	}
+	return locals, nil
+}
+
+// assembleComparison builds one numeric or alphanumeric attribute's global
+// matrix: locals from the holders plus protocol-decoded cross blocks.
+func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*dissim.Matrix, error) {
+	asm, err := dissim.NewAssembler(tp.counts)
+	if err != nil {
+		return nil, err
+	}
+	for hi := range tp.holders {
+		if err := asm.SetLocal(hi, locals[hi]); err != nil {
+			return nil, err
+		}
+	}
+	a := tp.cfg.Schema.Attrs[attr]
+	for _, pair := range sortedPairs(tp.holders) {
+		ji, ki := pair[0], pair[1]
+		j, k := tp.holders[ji], tp.holders[ki]
+		jt := rng.New(tp.cfg.RNG, tp.seedJT(attr, j, k))
+
+		var block func(m, n int) float64
+		var rows, cols int
+		if a.Type == dataset.Alphanumeric {
+			var body alphaMBody
+			if _, err := tp.eps[k].Expect(kindAlphaM, &body); err != nil {
+				return nil, err
+			}
+			dists, err := protocol.AlphaThirdParty(body.M, a.Alphabet, jt)
+			if err != nil {
+				return nil, err
+			}
+			rows, cols = dists.Rows, dists.Cols
+			block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+		} else {
+			var body numSBody
+			if _, err := tp.eps[k].Expect(kindNumS, &body); err != nil {
+				return nil, err
+			}
+			switch tp.cfg.Variant {
+			case Float64Variant:
+				if body.Float == nil {
+					return nil, fmt.Errorf("party: missing float payload from %s", k)
+				}
+				dists, err := protocol.NumericThirdPartyFloat(body.Float, jt, tp.cfg.FloatParams, tp.cfg.Mode)
+				if err != nil {
+					return nil, err
+				}
+				rows, cols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return dists.At(m, n) }
+			case Int64Variant:
+				if body.Int == nil {
+					return nil, fmt.Errorf("party: missing int payload from %s", k)
+				}
+				dists, err := protocol.NumericThirdPartyInt(body.Int, jt, tp.cfg.IntParams, tp.cfg.Mode)
+				if err != nil {
+					return nil, err
+				}
+				rows, cols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+			case ModPVariant:
+				if body.ModP == nil {
+					return nil, fmt.Errorf("party: missing modp payload from %s", k)
+				}
+				dists, err := protocol.NumericThirdPartyModP(body.ModP, jt, tp.cfg.Mode)
+				if err != nil {
+					return nil, err
+				}
+				rows, cols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+			}
+		}
+		// A zero-row block (empty responder) carries no usable column
+		// count and is never consulted during assembly.
+		if rows != tp.counts[ki] || (rows > 0 && cols != tp.counts[ji]) {
+			return nil, fmt.Errorf("party: block (%s,%s) is %dx%d, census says %dx%d", j, k, rows, cols, tp.counts[ki], tp.counts[ji])
+		}
+		if err := asm.SetCross(ji, ki, block); err != nil {
+			return nil, err
+		}
+	}
+	return asm.Done()
+}
+
+// assembleCategorical merges the holders' encrypted columns and runs the
+// Figure 12 construction over the combined tags (paper Section 5:
+// "Construction algorithm for categorical data is much simpler").
+func (tp *ThirdParty) assembleCategorical(attr int) (*dissim.Matrix, error) {
+	var all []detenc.Tag
+	for hi, h := range tp.holders {
+		var body catTagsBody
+		m, err := tp.eps[h].Expect(kindCatTags, &body)
+		if err != nil {
+			return nil, err
+		}
+		if m.Attr != attr {
+			return nil, fmt.Errorf("party: %s sent tags for attr %d, want %d", h, m.Attr, attr)
+		}
+		if len(body.Tags) != tp.counts[hi] {
+			return nil, fmt.Errorf("party: %s sent %d tags, census says %d", h, len(body.Tags), tp.counts[hi])
+		}
+		for _, t := range body.Tags {
+			all = append(all, detenc.Tag(t))
+		}
+	}
+	return dissim.FromLocal(len(all), func(i, j int) float64 {
+		return detenc.Distance(all[i], all[j])
+	}), nil
+}
+
+// assembleHierarchical merges the holders' encrypted path columns and
+// evaluates the taxonomy distance on tag sequences — the future-work
+// extension of Section 4.3 realized with the same trust structure as
+// categorical attributes.
+func (tp *ThirdParty) assembleHierarchical(attr int) (*dissim.Matrix, error) {
+	var all [][]detenc.Tag
+	for hi, h := range tp.holders {
+		var body pathTagsBody
+		m, err := tp.eps[h].Expect(kindPathTags, &body)
+		if err != nil {
+			return nil, err
+		}
+		if m.Attr != attr {
+			return nil, fmt.Errorf("party: %s sent path tags for attr %d, want %d", h, m.Attr, attr)
+		}
+		if len(body.Paths) != tp.counts[hi] {
+			return nil, fmt.Errorf("party: %s sent %d paths, census says %d", h, len(body.Paths), tp.counts[hi])
+		}
+		for _, raw := range body.Paths {
+			if len(raw) == 0 {
+				return nil, fmt.Errorf("party: %s sent an empty taxonomy path", h)
+			}
+			path := make([]detenc.Tag, len(raw))
+			for j, t := range raw {
+				path[j] = detenc.Tag(t)
+			}
+			all = append(all, path)
+		}
+	}
+	return dissim.FromLocal(len(all), func(i, j int) float64 {
+		return catdist.TagDistance(all[i], all[j])
+	}), nil
+}
+
+func (tp *ThirdParty) objectIDs() []dataset.ObjectID {
+	var out []dataset.ObjectID
+	for hi, h := range tp.holders {
+		for i := 0; i < tp.counts[hi]; i++ {
+			out = append(out, dataset.ObjectID{Site: h, Index: i})
+		}
+	}
+	return out
+}
+
+// cluster merges the attribute matrices under the request's weights, runs
+// the requested clustering algorithm and packages the published result.
+func (tp *ThirdParty) cluster(matrices []*dissim.Matrix, req requestBody) (*Result, error) {
+	merged, err := dissim.WeightedMerge(matrices, req.Weights)
+	if err != nil {
+		return nil, err
+	}
+	method := Method(req.Method)
+	link := hcluster.Linkage(req.Linkage)
+	if merged.N() == 0 {
+		// A census of zero objects (all holders empty) publishes an empty
+		// result rather than failing the session.
+		return &Result{Method: method, Linkage: link, K: 0}, nil
+	}
+	k := req.K
+	if k < 1 {
+		k = 1
+	}
+	if k > merged.N() {
+		k = merged.N()
+	}
+
+	var clusters [][]int
+	var labels []int
+	switch method {
+	case MethodAgglomerative, MethodDiana:
+		var dg *hcluster.Dendrogram
+		if method == MethodDiana {
+			dg, err = hcluster.Diana(merged)
+		} else {
+			dg, err = hcluster.Cluster(merged, link)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if clusters, err = dg.CutK(k); err != nil {
+			return nil, err
+		}
+		if labels, err = dg.Labels(k); err != nil {
+			return nil, err
+		}
+	case MethodPAM:
+		// PAM's tie-breaking stream is derived deterministically from the
+		// problem shape so results reproduce across runs and deployments.
+		seed := rng.SeedFromBytes([]byte(fmt.Sprintf("ppc/pam/%d/%d", merged.N(), k)))
+		res, err := pam.Cluster(merged, k, rng.NewXoshiro(seed), pam.Config{})
+		if err != nil {
+			return nil, err
+		}
+		clusters = res.Clusters()
+		labels = res.Labels
+	default:
+		return nil, fmt.Errorf("party: unknown clustering method %d", req.Method)
+	}
+
+	quality, err := hcluster.Quality(merged, clusters)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Quality: quality, Method: method, Linkage: link, K: k}
+	if k >= 2 {
+		// Silhouette is undefined for degenerate partitions; publish 0
+		// rather than failing the session.
+		if s, err := hcluster.Silhouette(merged, labels); err == nil {
+			res.Silhouette = s
+		}
+	}
+	ids := tp.objectIDs()
+	for _, members := range clusters {
+		objs := make([]dataset.ObjectID, len(members))
+		for i, m := range members {
+			objs[i] = ids[m]
+		}
+		res.Clusters = append(res.Clusters, objs)
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package protocol
+
+import (
+	"fmt"
+
+	"ppclust/internal/alphabet"
+	"ppclust/internal/editdist"
+	"ppclust/internal/rng"
+)
+
+// Alphanumeric comparison protocol (paper Section 4.2, Figures 8–10).
+//
+// The initiator DHJ disguises each of its strings by adding a shared random
+// symbol vector modulo the alphabet size, re-initializing the generator
+// after every string so that all strings are masked by the same stream
+// prefix R. The responder DHK forms, for every (own, disguised) string
+// pair, the matrix of symbol differences s′[p] − t[q]. The third party,
+// which shares R's seed with the initiator, subtracts R and flattens the
+// result into the 0/1 character comparison matrix (CCM), over which it runs
+// the edit-distance DP of internal/editdist.
+//
+// Faithfulness note: as published, the third party observes the full
+// difference s[p] − t[q] (mod |A|) before flattening it to 0/1 — a leak the
+// paper defers to future work ("we plan to expand our privacy analysis for
+// the comparison protocol of alphanumeric attributes"). internal/attack
+// demonstrates the resulting string-recovery-up-to-rotation inference.
+
+// SymbolString is one attribute value as alphabet symbol indices.
+type SymbolString []alphabet.Symbol
+
+// SymbolMatrix is the intermediary matrix the responder sends for one
+// string pair: Rows indexes the responder string's characters, Cols the
+// initiator string's. Cell values are symbol differences modulo the
+// alphabet size.
+type SymbolMatrix struct {
+	Rows, Cols int
+	Cell       []alphabet.Symbol
+}
+
+// NewSymbolMatrix allocates a zeroed rows×cols matrix.
+func NewSymbolMatrix(rows, cols int) *SymbolMatrix {
+	checkDims(rows, cols)
+	return &SymbolMatrix{Rows: rows, Cols: cols, Cell: make([]alphabet.Symbol, rows*cols)}
+}
+
+// At returns the cell at row q, column p.
+func (m *SymbolMatrix) At(q, p int) alphabet.Symbol { return m.Cell[q*m.Cols+p] }
+
+// Set assigns the cell at row q, column p.
+func (m *SymbolMatrix) Set(q, p int, v alphabet.Symbol) { m.Cell[q*m.Cols+p] = v }
+
+// Validate checks storage consistency and symbol range.
+func (m *SymbolMatrix) Validate(a *alphabet.Alphabet) error {
+	if m.Rows < 0 || m.Cols < 0 || len(m.Cell) != m.Rows*m.Cols {
+		return fmt.Errorf("protocol: inconsistent SymbolMatrix %dx%d with %d cells", m.Rows, m.Cols, len(m.Cell))
+	}
+	for i, s := range m.Cell {
+		if int(s) >= a.Size() {
+			return fmt.Errorf("protocol: symbol %d at cell %d outside %s", s, i, a)
+		}
+	}
+	return nil
+}
+
+// AlphaInitiator is Figure 8, run at site DHJ: disguise every string with
+// the shared mask stream, re-initializing jt after each string so all
+// strings share the mask prefix. jt must be freshly seeded.
+func AlphaInitiator(strings []SymbolString, a *alphabet.Alphabet, jt rng.Stream) []SymbolString {
+	out := make([]SymbolString, len(strings))
+	for m, s := range strings {
+		d := make(SymbolString, len(s))
+		for p, sym := range s {
+			mask := alphabet.Symbol(rng.Symbol(jt, a.Size()))
+			d[p] = a.Add(sym, mask)
+		}
+		jt.Reseed()
+		out[m] = d
+	}
+	return out
+}
+
+// AlphaResponder is Figure 9, run at site DHK: build the intermediary
+// difference matrix for every (own, disguised) string pair. The result is
+// indexed result[m][n] for own string m versus disguised string n; each
+// matrix has the own string's characters as rows.
+func AlphaResponder(own []SymbolString, disguised []SymbolString, a *alphabet.Alphabet) [][]*SymbolMatrix {
+	out := make([][]*SymbolMatrix, len(own))
+	for m, t := range own {
+		row := make([]*SymbolMatrix, len(disguised))
+		for n, sp := range disguised {
+			mat := NewSymbolMatrix(len(t), len(sp))
+			for q, tq := range t {
+				for p, spp := range sp {
+					mat.Set(q, p, a.Sub(spp, tq))
+				}
+			}
+			row[n] = mat
+		}
+		out[m] = row
+	}
+	return out
+}
+
+// AlphaThirdParty is Figure 10, run at site TP: regenerate the mask prefix,
+// decode each intermediary matrix into a CCM, and run the edit-distance DP.
+// The returned block has out[m][n] = editdist(own string m, initiator
+// string n). jt must be freshly seeded with the initiator-TP shared seed.
+func AlphaThirdParty(m [][]*SymbolMatrix, a *alphabet.Alphabet, jt rng.Stream) (*Int64Matrix, error) {
+	ccms, err := AlphaThirdPartyCCMs(m, a, jt)
+	if err != nil {
+		return nil, err
+	}
+	out := NewInt64Matrix(len(ccms), cols2d(ccms))
+	for i, row := range ccms {
+		if len(row) != out.Cols {
+			return nil, fmt.Errorf("protocol: ragged intermediary matrix row %d", i)
+		}
+		for j, ccm := range row {
+			out.Set(i, j, int64(editdist.FromCCM(ccm)))
+		}
+	}
+	return out, nil
+}
+
+// AlphaThirdPartyCCMs performs only the mask-stripping half of Figure 10,
+// returning the decoded CCM for every pair. Exposed separately so that the
+// attack experiments can inspect exactly what the third party sees.
+func AlphaThirdPartyCCMs(m [][]*SymbolMatrix, a *alphabet.Alphabet, jt rng.Stream) ([][]editdist.CCM, error) {
+	out := make([][]editdist.CCM, len(m))
+	for i, row := range m {
+		outRow := make([]editdist.CCM, len(row))
+		for j, mat := range row {
+			if mat == nil {
+				return nil, fmt.Errorf("protocol: nil intermediary matrix at (%d,%d)", i, j)
+			}
+			if err := mat.Validate(a); err != nil {
+				return nil, fmt.Errorf("protocol: intermediary (%d,%d): %w", i, j, err)
+			}
+			ccm := editdist.NewCCM(mat.Rows, mat.Cols)
+			for q := 0; q < mat.Rows; q++ {
+				for p := 0; p < mat.Cols; p++ {
+					mask := alphabet.Symbol(rng.Symbol(jt, a.Size()))
+					if a.Sub(mat.At(q, p), mask) != 0 {
+						ccm.Set(q, p, 1)
+					}
+				}
+				// "Re-initialize rngJT with seed rJT" after each CCM row:
+				// every row consumes the same mask prefix the initiator
+				// used for one string.
+				jt.Reseed()
+			}
+			outRow[j] = ccm
+		}
+		out[i] = outRow
+	}
+	return out, nil
+}
+
+func cols2d(rows [][]editdist.CCM) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return len(rows[0])
+}

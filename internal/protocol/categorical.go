@@ -1,0 +1,36 @@
+package protocol
+
+import (
+	"ppclust/internal/detenc"
+)
+
+// Categorical comparison protocol (paper Section 4.3).
+//
+// Data holders share a secret key unknown to the third party and submit
+// their categorical columns deterministically encrypted. Equal plaintexts
+// map to equal tags, so the third party evaluates the paper's categorical
+// distance — 0 if equal, 1 otherwise — directly on ciphertexts, merging all
+// parties' columns and running the local dissimilarity construction of
+// Figure 12 over the combined data.
+
+// CategoricalEncryptColumn is the data-holder side: tag every value of a
+// column under the holder-group key held by enc.
+func CategoricalEncryptColumn(values []string, enc *detenc.Encryptor) []detenc.Tag {
+	return enc.EncryptColumn(values)
+}
+
+// CategoricalDistances is the third-party side for one cross-party block:
+// out[m][n] = 0 iff responder tag m equals initiator tag n. (Within-party
+// entries are produced by the same comparison during global assembly; the
+// third party holds every party's tags.)
+func CategoricalDistances(responder, initiator []detenc.Tag) *Int64Matrix {
+	out := NewInt64Matrix(len(responder), len(initiator))
+	for m, tm := range responder {
+		for n, tn := range initiator {
+			if tm != tn {
+				out.Set(m, n, 1)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package protocol
+
+import (
+	"testing"
+
+	"ppclust/internal/detenc"
+)
+
+// TestCategoricalProtocolMatchesPlaintext is experiment E5: distances over
+// tags equal the paper's categorical distance over plaintexts.
+func TestCategoricalProtocolMatchesPlaintext(t *testing.T) {
+	key := detenc.KeyFromBytes([]byte("holder group key"))
+	enc := detenc.NewEncryptor(key, "species")
+
+	j := []string{"duck", "chicken", "goose", "duck"}
+	k := []string{"chicken", "duck", "swan"}
+	tagsJ := CategoricalEncryptColumn(j, enc)
+	tagsK := CategoricalEncryptColumn(k, enc)
+
+	dist := CategoricalDistances(tagsK, tagsJ)
+	if dist.Rows != len(k) || dist.Cols != len(j) {
+		t.Fatalf("block %dx%d", dist.Rows, dist.Cols)
+	}
+	for m := range k {
+		for n := range j {
+			want := int64(1)
+			if k[m] == j[n] {
+				want = 0
+			}
+			if got := dist.At(m, n); got != want {
+				t.Fatalf("d(%q,%q) = %d, want %d", k[m], j[n], got, want)
+			}
+		}
+	}
+}
+
+// TestCategoricalCrossSiteEquality: values encrypted independently at two
+// sites under the shared key still match at the third party.
+func TestCategoricalCrossSiteEquality(t *testing.T) {
+	key := detenc.KeyFromBytes([]byte("shared"))
+	siteA := detenc.NewEncryptor(key, "attr")
+	siteB := detenc.NewEncryptor(key, "attr")
+	ta := CategoricalEncryptColumn([]string{"x"}, siteA)
+	tb := CategoricalEncryptColumn([]string{"x", "y"}, siteB)
+	dist := CategoricalDistances(tb, ta)
+	if dist.At(0, 0) != 0 {
+		t.Fatal("equal cross-site values at distance 1")
+	}
+	if dist.At(1, 0) != 1 {
+		t.Fatal("distinct cross-site values at distance 0")
+	}
+}
+
+// TestCategoricalThirdPartyCannotInvert: without the key, recomputing any
+// candidate tag requires the key; distinct keys give unrelated tags, so the
+// TP's view is a pure equality pattern.
+func TestCategoricalThirdPartyCannotInvert(t *testing.T) {
+	kHolders := detenc.KeyFromBytes([]byte("holders"))
+	kGuess := detenc.KeyFromBytes([]byte("tp guess"))
+	tag := detenc.NewEncryptor(kHolders, "attr").Encrypt("influenza")
+	guess := detenc.NewEncryptor(kGuess, "attr").Encrypt("influenza")
+	if tag == guess {
+		t.Fatal("tags match across keys; dictionary attack without the key would work")
+	}
+}
+
+func TestCategoricalEmptyColumns(t *testing.T) {
+	key := detenc.KeyFromBytes([]byte("k"))
+	enc := detenc.NewEncryptor(key, "attr")
+	dist := CategoricalDistances(nil, CategoricalEncryptColumn([]string{"a"}, enc))
+	if dist.Rows != 0 || dist.Cols != 1 {
+		t.Fatalf("block %dx%d, want 0x1", dist.Rows, dist.Cols)
+	}
+}

@@ -1,0 +1,287 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+
+	"ppclust/internal/rng"
+)
+
+// Mode selects how the numeric and alphanumeric protocols consume their
+// shared random streams.
+type Mode int
+
+const (
+	// Batch is the paper's default (Figures 4–6): the initiator disguises
+	// each of its n values once, and the same masks are reused across all
+	// of the responder's rows (the responder and third party re-initialize
+	// their generators at each row boundary). Communication at the
+	// initiator is O(n), but the reuse opens the frequency-analysis attack
+	// the paper acknowledges in Section 4.1.
+	Batch Mode = iota
+	// PerPair uses "unique random numbers for each object pair", the
+	// countermeasure the paper offers against the frequency attack. The
+	// initiator disguises its vector once per responder row (m·n masks,
+	// row-major) and nobody re-initializes mid-protocol. Communication at
+	// the initiator grows to O(m·n).
+	PerPair
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Batch:
+		return "batch"
+	case PerPair:
+		return "per-pair"
+	default:
+		return "unknown"
+	}
+}
+
+// IntParams bounds the integer numeric protocol. Masks are drawn uniformly
+// from [0, MaskRange); inputs must satisfy |x| ≤ MaxMagnitude. The defaults
+// guarantee that every intermediate sum mask ± x ∓ y stays clear of int64
+// overflow.
+type IntParams struct {
+	MaskRange    int64
+	MaxMagnitude int64
+}
+
+// DefaultIntParams gives masks 2^62 of head-room and admits inputs up to
+// 2^40 in magnitude.
+var DefaultIntParams = IntParams{MaskRange: 1 << 62, MaxMagnitude: 1 << 40}
+
+// validate checks the parameter invariants and that every value is in range.
+func (p IntParams) validate(values []int64) error {
+	if p.MaskRange <= 0 {
+		return fmt.Errorf("protocol: MaskRange %d must be positive", p.MaskRange)
+	}
+	if p.MaxMagnitude <= 0 {
+		return fmt.Errorf("protocol: MaxMagnitude %d must be positive", p.MaxMagnitude)
+	}
+	// mask + x - y must fit: MaskRange + 2·MaxMagnitude < 2^63.
+	if p.MaskRange > math.MaxInt64-2*p.MaxMagnitude {
+		return fmt.Errorf("protocol: MaskRange %d with MaxMagnitude %d risks overflow", p.MaskRange, p.MaxMagnitude)
+	}
+	for i, v := range values {
+		if v > p.MaxMagnitude || v < -p.MaxMagnitude {
+			return fmt.Errorf("protocol: value %d at index %d exceeds magnitude bound %d", v, i, p.MaxMagnitude)
+		}
+	}
+	return nil
+}
+
+// negSignInitiator maps a shared rngJK draw to the initiator's sign: the
+// paper negates DHJ's input when the draw is odd (Figure 4's −1^(R%2)).
+func negSignInitiator(draw uint64) int64 {
+	if draw&1 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// negSignResponder is the complement: DHK negates when the draw is even
+// (Figure 5's −1^((R+1)%2)), so exactly one side negates for every pair.
+func negSignResponder(draw uint64) int64 {
+	if draw&1 == 0 {
+		return -1
+	}
+	return 1
+}
+
+// NumericInitiatorInt is Figure 4, run at site DHJ over integer data.
+//
+// Batch mode emits one disguised value per input: out[n] = R_JT(n) + x[n]·σ(n)
+// where σ(n) = ±1 follows the shared rngJK parity stream. PerPair mode emits
+// a responderRows×n matrix of independently disguised copies, row-major, so
+// every (row, value) pair gets a fresh mask and parity; responderRows must
+// then be the responder's object count.
+//
+// jk is the generator shared with the responder (seed rJK), jt the generator
+// shared with the third party (seed rJT); both must be freshly seeded.
+func NumericInitiatorInt(values []int64, jk, jt rng.Stream, params IntParams, mode Mode, responderRows int) (*Int64Matrix, error) {
+	if err := params.validate(values); err != nil {
+		return nil, err
+	}
+	rows := 1
+	if mode == PerPair {
+		if responderRows < 0 {
+			return nil, fmt.Errorf("protocol: negative responderRows %d", responderRows)
+		}
+		rows = responderRows
+	}
+	out := NewInt64Matrix(rows, len(values))
+	for r := 0; r < rows; r++ {
+		for n, x := range values {
+			mask := rng.Int64n(jt, params.MaskRange)
+			out.Set(r, n, mask+x*negSignInitiator(jk.Next()))
+		}
+	}
+	return out, nil
+}
+
+// NumericResponderInt is Figure 5, run at site DHK over integer data. It
+// combines the initiator's disguised matrix with DHK's own values into the
+// pairwise comparison matrix s with s[m][n] = disguised(m,n) + y[m]·σ̄:
+// masked copies of ±(x−y). In batch mode the responder re-initializes the
+// shared rngJK at every row boundary, exactly as the paper prescribes, so
+// its parities line up with the initiator's single pass.
+func NumericResponderInt(disguised *Int64Matrix, values []int64, jk rng.Stream, params IntParams, mode Mode) (*Int64Matrix, error) {
+	if err := disguised.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.validate(values); err != nil {
+		return nil, err
+	}
+	if mode == Batch && disguised.Rows != 1 {
+		return nil, fmt.Errorf("protocol: batch mode expects a 1-row disguised vector, got %d rows", disguised.Rows)
+	}
+	if mode == PerPair && disguised.Rows != len(values) {
+		return nil, fmt.Errorf("protocol: per-pair mode expects %d disguised rows, got %d", len(values), disguised.Rows)
+	}
+	cols := disguised.Cols
+	s := NewInt64Matrix(len(values), cols)
+	for m, y := range values {
+		srcRow := 0
+		if mode == PerPair {
+			srcRow = m
+		}
+		for n := 0; n < cols; n++ {
+			s.Set(m, n, disguised.At(srcRow, n)+y*negSignResponder(jk.Next()))
+		}
+		if mode == Batch {
+			jk.Reseed()
+		}
+	}
+	return s, nil
+}
+
+// NumericThirdPartyInt is Figure 6, run at site TP over integer data. It
+// strips the masks it can regenerate from the shared rngJT and recovers the
+// distance block: out[m][n] = |x_n − y_m|. Rows index the responder's
+// objects, columns the initiator's.
+func NumericThirdPartyInt(s *Int64Matrix, jt rng.Stream, params IntParams, mode Mode) (*Int64Matrix, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if params.MaskRange <= 0 {
+		return nil, fmt.Errorf("protocol: MaskRange %d must be positive", params.MaskRange)
+	}
+	out := NewInt64Matrix(s.Rows, s.Cols)
+	for m := 0; m < s.Rows; m++ {
+		for n := 0; n < s.Cols; n++ {
+			mask := rng.Int64n(jt, params.MaskRange)
+			d := s.At(m, n) - mask
+			if d < 0 {
+				d = -d
+			}
+			out.Set(m, n, d)
+		}
+		if mode == Batch {
+			jt.Reseed()
+		}
+	}
+	return out, nil
+}
+
+// FloatParams bounds the real-valued numeric protocol. Masks are drawn
+// uniformly from [0, MaskRange). Because IEEE-754 addition is lossy, the
+// mask range trades privacy margin against precision: with MaskRange = 2^20
+// and data of unit scale, recovered distances are exact to ≈2^-32. The
+// paper's protocol for reals is otherwise identical to the integer one
+// ("only [the] data type of the vector DH'J and the random numbers ... need
+// to be changed").
+type FloatParams struct {
+	MaskRange float64
+}
+
+// DefaultFloatParams masks with 2^20 of range, adequate for unit-scale data.
+var DefaultFloatParams = FloatParams{MaskRange: 1 << 20}
+
+func (p FloatParams) validate(values []float64) error {
+	if !(p.MaskRange > 0) || math.IsInf(p.MaskRange, 0) {
+		return fmt.Errorf("protocol: MaskRange %v must be positive and finite", p.MaskRange)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("protocol: non-finite value at index %d", i)
+		}
+	}
+	return nil
+}
+
+// NumericInitiatorFloat is Figure 4 over real-valued data; see
+// NumericInitiatorInt for the contract.
+func NumericInitiatorFloat(values []float64, jk, jt rng.Stream, params FloatParams, mode Mode, responderRows int) (*Float64Matrix, error) {
+	if err := params.validate(values); err != nil {
+		return nil, err
+	}
+	rows := 1
+	if mode == PerPair {
+		if responderRows < 0 {
+			return nil, fmt.Errorf("protocol: negative responderRows %d", responderRows)
+		}
+		rows = responderRows
+	}
+	out := NewFloat64Matrix(rows, len(values))
+	for r := 0; r < rows; r++ {
+		for n, x := range values {
+			mask := rng.Float64(jt) * params.MaskRange
+			out.Set(r, n, mask+x*float64(negSignInitiator(jk.Next())))
+		}
+	}
+	return out, nil
+}
+
+// NumericResponderFloat is Figure 5 over real-valued data.
+func NumericResponderFloat(disguised *Float64Matrix, values []float64, jk rng.Stream, params FloatParams, mode Mode) (*Float64Matrix, error) {
+	if err := disguised.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.validate(values); err != nil {
+		return nil, err
+	}
+	if mode == Batch && disguised.Rows != 1 {
+		return nil, fmt.Errorf("protocol: batch mode expects a 1-row disguised vector, got %d rows", disguised.Rows)
+	}
+	if mode == PerPair && disguised.Rows != len(values) {
+		return nil, fmt.Errorf("protocol: per-pair mode expects %d disguised rows, got %d", len(values), disguised.Rows)
+	}
+	cols := disguised.Cols
+	s := NewFloat64Matrix(len(values), cols)
+	for m, y := range values {
+		srcRow := 0
+		if mode == PerPair {
+			srcRow = m
+		}
+		for n := 0; n < cols; n++ {
+			s.Set(m, n, disguised.At(srcRow, n)+y*float64(negSignResponder(jk.Next())))
+		}
+		if mode == Batch {
+			jk.Reseed()
+		}
+	}
+	return s, nil
+}
+
+// NumericThirdPartyFloat is Figure 6 over real-valued data.
+func NumericThirdPartyFloat(s *Float64Matrix, jt rng.Stream, params FloatParams, mode Mode) (*Float64Matrix, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !(params.MaskRange > 0) {
+		return nil, fmt.Errorf("protocol: MaskRange %v must be positive", params.MaskRange)
+	}
+	out := NewFloat64Matrix(s.Rows, s.Cols)
+	for m := 0; m < s.Rows; m++ {
+		for n := 0; n < s.Cols; n++ {
+			mask := rng.Float64(jt) * params.MaskRange
+			out.Set(m, n, math.Abs(s.At(m, n)-mask))
+		}
+		if mode == Batch {
+			jt.Reseed()
+		}
+	}
+	return out, nil
+}

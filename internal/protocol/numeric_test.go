@@ -1,0 +1,430 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/rng"
+)
+
+// quickCheck runs a property with a bounded count to keep the suite fast.
+func quickCheck(f any) error {
+	return quick.Check(f, &quick.Config{MaxCount: 200})
+}
+
+// TestFigure3WorkedExample reproduces the paper's Figure 3 numeric example
+// exactly: x=3, y=8, RJK=5, RJT=7 gives x′=−3, x″=4, m=12 and the third
+// party recovers |x−y| = 5. (Experiment E1.)
+func TestFigure3WorkedExample(t *testing.T) {
+	params := DefaultIntParams // MaskRange 2^62 passes small draws through
+
+	jk := rng.Scripted(5)
+	jt := rng.Scripted(7)
+	disguised, err := NumericInitiatorInt([]int64{3}, jk, jt, params, Batch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RJK = 5 is odd, so DHJ negates: x′ = −3; x″ = −3 + 7 = 4.
+	if got := disguised.At(0, 0); got != 4 {
+		t.Fatalf("x″ = %d, want 4", got)
+	}
+
+	s, err := NumericResponderInt(disguised, []int64{8}, rng.Scripted(5), params, Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DHK does not negate (5 odd): m = 8 + 4 = 12.
+	if got := s.At(0, 0); got != 12 {
+		t.Fatalf("m = %d, want 12", got)
+	}
+
+	dist, err := NumericThirdPartyInt(s, rng.Scripted(7), params, Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dist.At(0, 0); got != 5 {
+		t.Fatalf("|x−y| = %d, want 5", got)
+	}
+}
+
+// TestFigure3OppositeParity covers the even-draw orientation: DHK negates
+// instead of DHJ and TP still recovers the distance.
+func TestFigure3OppositeParity(t *testing.T) {
+	params := DefaultIntParams
+	disguised, err := NumericInitiatorInt([]int64{3}, rng.Scripted(4), rng.Scripted(7), params, Batch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := disguised.At(0, 0); got != 10 { // 7 + 3
+		t.Fatalf("x″ = %d, want 10", got)
+	}
+	s, err := NumericResponderInt(disguised, []int64{8}, rng.Scripted(4), params, Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(0, 0); got != 2 { // 10 − 8
+		t.Fatalf("m = %d, want 2", got)
+	}
+	dist, err := NumericThirdPartyInt(s, rng.Scripted(7), params, Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dist.At(0, 0); got != 5 {
+		t.Fatalf("|x−y| = %d, want 5", got)
+	}
+}
+
+// runIntProtocol executes the full three-site integer protocol with fresh
+// shared streams, mirroring what the orchestration layer does.
+func runIntProtocol(t *testing.T, xs, ys []int64, params IntParams, mode Mode, kind rng.Kind) *Int64Matrix {
+	t.Helper()
+	seedJK := rng.SeedFromUint64(1001)
+	seedJT := rng.SeedFromUint64(2002)
+
+	rows := 0
+	if mode == PerPair {
+		rows = len(ys)
+	}
+	disguised, err := NumericInitiatorInt(xs, rng.New(kind, seedJK), rng.New(kind, seedJT), params, mode, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NumericResponderInt(disguised, ys, rng.New(kind, seedJK), params, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := NumericThirdPartyInt(s, rng.New(kind, seedJT), params, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dist
+}
+
+// TestNumericProtocolMatchesPlaintextInt verifies E2 for the integer
+// variant: the third party's block equals |x−y| for every pair, in both
+// masking modes and with both generator kinds.
+func TestNumericProtocolMatchesPlaintextInt(t *testing.T) {
+	gen := rng.NewXoshiro(rng.SeedFromUint64(7))
+	xs := make([]int64, 23)
+	ys := make([]int64, 17)
+	for i := range xs {
+		xs[i] = rng.Int64Range(gen, -1_000_000, 1_000_000)
+	}
+	for i := range ys {
+		ys[i] = rng.Int64Range(gen, -1_000_000, 1_000_000)
+	}
+	for _, mode := range []Mode{Batch, PerPair} {
+		for _, kind := range []rng.Kind{rng.KindXoshiro, rng.KindAESCTR} {
+			t.Run(mode.String()+"/"+kind.String(), func(t *testing.T) {
+				dist := runIntProtocol(t, xs, ys, DefaultIntParams, mode, kind)
+				if dist.Rows != len(ys) || dist.Cols != len(xs) {
+					t.Fatalf("block is %dx%d, want %dx%d", dist.Rows, dist.Cols, len(ys), len(xs))
+				}
+				for m, y := range ys {
+					for n, x := range xs {
+						want := x - y
+						if want < 0 {
+							want = -want
+						}
+						if got := dist.At(m, n); got != want {
+							t.Fatalf("d(x[%d]=%d, y[%d]=%d) = %d, want %d", n, x, m, y, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestNumericProtocolEdgeValues(t *testing.T) {
+	p := DefaultIntParams
+	xs := []int64{0, p.MaxMagnitude, -p.MaxMagnitude, 1, -1}
+	ys := []int64{p.MaxMagnitude, -p.MaxMagnitude, 0}
+	dist := runIntProtocol(t, xs, ys, p, Batch, rng.KindAESCTR)
+	for m, y := range ys {
+		for n, x := range xs {
+			want := x - y
+			if want < 0 {
+				want = -want
+			}
+			if got := dist.At(m, n); got != want {
+				t.Fatalf("edge d(%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestNumericProtocolEmptyVectors(t *testing.T) {
+	dist := runIntProtocol(t, nil, nil, DefaultIntParams, Batch, rng.KindXoshiro)
+	if dist.Rows != 0 || dist.Cols != 0 {
+		t.Fatalf("empty protocol produced %dx%d", dist.Rows, dist.Cols)
+	}
+	dist = runIntProtocol(t, []int64{5}, nil, DefaultIntParams, Batch, rng.KindXoshiro)
+	if dist.Rows != 0 || dist.Cols != 1 {
+		t.Fatalf("half-empty protocol produced %dx%d", dist.Rows, dist.Cols)
+	}
+}
+
+func TestNumericValidationErrors(t *testing.T) {
+	jk, jt := rng.Scripted(1), rng.Scripted(1)
+	if _, err := NumericInitiatorInt([]int64{1 << 50}, jk, jt, DefaultIntParams, Batch, 0); err == nil {
+		t.Fatal("magnitude violation accepted")
+	}
+	if _, err := NumericInitiatorInt([]int64{1}, jk, jt, IntParams{MaskRange: 0, MaxMagnitude: 1}, Batch, 0); err == nil {
+		t.Fatal("zero mask range accepted")
+	}
+	if _, err := NumericInitiatorInt([]int64{1}, jk, jt, IntParams{MaskRange: math.MaxInt64, MaxMagnitude: 1 << 40}, Batch, 0); err == nil {
+		t.Fatal("overflow-risking params accepted")
+	}
+	if _, err := NumericInitiatorInt([]int64{1}, jk, jt, DefaultIntParams, PerPair, -1); err == nil {
+		t.Fatal("negative responderRows accepted")
+	}
+
+	// Responder shape mismatches.
+	d, err := NumericInitiatorInt([]int64{1, 2}, rng.Scripted(1), rng.Scripted(1), DefaultIntParams, Batch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NumericResponderInt(d, []int64{3, 4, 5}, rng.Scripted(1), DefaultIntParams, PerPair); err == nil {
+		t.Fatal("per-pair mode accepted a disguised matrix with the wrong row count")
+	}
+	dp, err := NumericInitiatorInt([]int64{1, 2}, rng.Scripted(1), rng.Scripted(1), DefaultIntParams, PerPair, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NumericResponderInt(dp, []int64{3}, rng.Scripted(1), DefaultIntParams, Batch); err == nil {
+		t.Fatal("batch mode accepted 3-row disguised matrix")
+	}
+	bad := &Int64Matrix{Rows: 2, Cols: 2, Cell: []int64{1}}
+	if _, err := NumericResponderInt(bad, []int64{1, 2}, rng.Scripted(1), DefaultIntParams, Batch); err == nil {
+		t.Fatal("inconsistent matrix accepted")
+	}
+	if _, err := NumericThirdPartyInt(bad, rng.Scripted(1), DefaultIntParams, Batch); err == nil {
+		t.Fatal("TP accepted inconsistent matrix")
+	}
+}
+
+// TestNumericDisguiseHidesValue checks the blinding property the paper's
+// privacy argument rests on: with a CSPRNG mask, the disguised outputs for
+// two very different inputs are statistically indistinguishable (coarse
+// mean/occupancy checks).
+func TestNumericDisguiseHidesValue(t *testing.T) {
+	const trials = 4000
+	countsLow, countsHigh := 0, 0
+	for i := 0; i < trials; i++ {
+		seedJK := rng.SeedFromUint64(uint64(10_000 + i))
+		seedJT := rng.SeedFromUint64(uint64(20_000 + i))
+		dLow, err := NumericInitiatorInt([]int64{0}, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), DefaultIntParams, Batch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dHigh, err := NumericInitiatorInt([]int64{1 << 40}, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), DefaultIntParams, Batch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid := int64(1) << 61 // median of the mask range [0, 2^62)
+		if dLow.At(0, 0) > mid {
+			countsLow++
+		}
+		if dHigh.At(0, 0) > mid {
+			countsHigh++
+		}
+	}
+	// Both should sit near 50% above the midpoint; the 2^40 shift is
+	// negligible against the 2^62 mask range.
+	for name, c := range map[string]int{"low": countsLow, "high": countsHigh} {
+		ratio := float64(c) / trials
+		if ratio < 0.45 || ratio > 0.55 {
+			t.Fatalf("%s input: above-midpoint ratio %v, want ≈0.5", name, ratio)
+		}
+	}
+}
+
+func TestNumericProtocolMatchesPlaintextFloat(t *testing.T) {
+	gen := rng.NewXoshiro(rng.SeedFromUint64(8))
+	xs := make([]float64, 19)
+	ys := make([]float64, 13)
+	for i := range xs {
+		xs[i] = rng.Float64(gen)*200 - 100
+	}
+	for i := range ys {
+		ys[i] = rng.Float64(gen)*200 - 100
+	}
+	for _, mode := range []Mode{Batch, PerPair} {
+		t.Run(mode.String(), func(t *testing.T) {
+			seedJK := rng.SeedFromUint64(31)
+			seedJT := rng.SeedFromUint64(32)
+			rows := 0
+			if mode == PerPair {
+				rows = len(ys)
+			}
+			disguised, err := NumericInitiatorFloat(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), DefaultFloatParams, mode, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NumericResponderFloat(disguised, ys, rng.NewAESCTR(seedJK), DefaultFloatParams, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := NumericThirdPartyFloat(s, rng.NewAESCTR(seedJT), DefaultFloatParams, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m, y := range ys {
+				for n, x := range xs {
+					want := math.Abs(x - y)
+					if got := dist.At(m, n); math.Abs(got-want) > 1e-7 {
+						t.Fatalf("d(%v,%v) = %v, want %v (err %g)", x, y, got, want, math.Abs(got-want))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNumericFloatValidation(t *testing.T) {
+	jk, jt := rng.Scripted(1), rng.Scripted(1)
+	if _, err := NumericInitiatorFloat([]float64{math.NaN()}, jk, jt, DefaultFloatParams, Batch, 0); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := NumericInitiatorFloat([]float64{math.Inf(1)}, jk, jt, DefaultFloatParams, Batch, 0); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	if _, err := NumericInitiatorFloat([]float64{1}, jk, jt, FloatParams{MaskRange: -1}, Batch, 0); err == nil {
+		t.Fatal("negative mask range accepted")
+	}
+}
+
+func TestNumericProtocolMatchesPlaintextModP(t *testing.T) {
+	gen := rng.NewXoshiro(rng.SeedFromUint64(9))
+	xs := make([]int64, 11)
+	ys := make([]int64, 9)
+	for i := range xs {
+		xs[i] = rng.Int64Range(gen, -1<<45, 1<<45) // beyond the int mode's default bound
+	}
+	for i := range ys {
+		ys[i] = rng.Int64Range(gen, -1<<45, 1<<45)
+	}
+	for _, mode := range []Mode{Batch, PerPair} {
+		t.Run(mode.String(), func(t *testing.T) {
+			seedJK := rng.SeedFromUint64(41)
+			seedJT := rng.SeedFromUint64(42)
+			rows := 0
+			if mode == PerPair {
+				rows = len(ys)
+			}
+			disguised, err := NumericInitiatorModP(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), mode, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NumericResponderModP(disguised, ys, rng.NewAESCTR(seedJK), mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dist, err := NumericThirdPartyModP(s, rng.NewAESCTR(seedJT), mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m, y := range ys {
+				for n, x := range xs {
+					want := x - y
+					if want < 0 {
+						want = -want
+					}
+					if got := dist.At(m, n); got != want {
+						t.Fatalf("modp d(%d,%d) = %d, want %d", x, y, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestModPValidation(t *testing.T) {
+	if _, err := NumericInitiatorModP([]int64{1}, rng.Scripted(1), rng.Scripted(1), PerPair, -2); err == nil {
+		t.Fatal("negative responderRows accepted")
+	}
+	bad := &ElementMatrix{Rows: 1, Cols: 2, Cell: make([][32]byte, 1)}
+	if _, err := NumericResponderModP(bad, []int64{1}, rng.Scripted(1), Batch); err == nil {
+		t.Fatal("inconsistent element matrix accepted")
+	}
+	// Non-canonical residue on the wire must be rejected.
+	m := NewElementMatrix(1, 1)
+	for i := range m.Cell[0] {
+		m.Cell[0][i] = 0xff
+	}
+	if _, err := NumericResponderModP(m, []int64{1}, rng.Scripted(1), Batch); err == nil {
+		t.Fatal("non-canonical residue accepted by responder")
+	}
+	if _, err := NumericThirdPartyModP(m, rng.Scripted(1), Batch); err == nil {
+		t.Fatal("non-canonical residue accepted by TP")
+	}
+}
+
+// TestQuickNumericProtocolRoundTrip property-tests the full three-site
+// integer protocol on arbitrary in-range inputs and seeds.
+func TestQuickNumericProtocolRoundTrip(t *testing.T) {
+	f := func(x, y int32, seedJK, seedJT uint64, perPair bool) bool {
+		mode := Batch
+		if perPair {
+			mode = PerPair
+		}
+		xs := []int64{int64(x)}
+		ys := []int64{int64(y)}
+		rows := 0
+		if mode == PerPair {
+			rows = 1
+		}
+		sjk := rng.SeedFromUint64(seedJK)
+		sjt := rng.SeedFromUint64(seedJT)
+		d, err := NumericInitiatorInt(xs, rng.NewXoshiro(sjk), rng.NewXoshiro(sjt), DefaultIntParams, mode, rows)
+		if err != nil {
+			return false
+		}
+		s, err := NumericResponderInt(d, ys, rng.NewXoshiro(sjk), DefaultIntParams, mode)
+		if err != nil {
+			return false
+		}
+		out, err := NumericThirdPartyInt(s, rng.NewXoshiro(sjt), DefaultIntParams, mode)
+		if err != nil {
+			return false
+		}
+		want := int64(x) - int64(y)
+		if want < 0 {
+			want = -want
+		}
+		return out.At(0, 0) == want
+	}
+	if err := quickCheck(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Batch.String() != "batch" || PerPair.String() != "per-pair" || Mode(9).String() != "unknown" {
+		t.Fatal("Mode.String mismatch")
+	}
+}
+
+func TestMatrixValidateAndAccessors(t *testing.T) {
+	m := NewInt64Matrix(2, 3)
+	m.Set(1, 2, -7)
+	if m.At(1, 2) != -7 {
+		t.Fatal("Int64Matrix accessor mismatch")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFloat64Matrix(3, 2)
+	f.Set(2, 1, 1.5)
+	if f.At(2, 1) != 1.5 {
+		t.Fatal("Float64Matrix accessor mismatch")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Float64Matrix{Rows: 1, Cols: 1}).Validate(); err == nil {
+		t.Fatal("short float matrix accepted")
+	}
+}

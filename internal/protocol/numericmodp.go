@@ -1,0 +1,134 @@
+package protocol
+
+import (
+	"fmt"
+
+	"ppclust/internal/modp"
+	"ppclust/internal/rng"
+)
+
+// The mod-p numeric protocol is the hardened variant of Figures 4–6: the
+// same message flow, but with values embedded in Z_p (p = 2^255−19) and
+// masks drawn uniformly from the whole field. A uniform additive mask over
+// Z_p is a one-time pad, so the disguised value x″ = R + σx mod p carries
+// *no* information about x — strengthening the plain-integer variant, whose
+// bounded mask range only hides x statistically. Recovery of |x−y| is exact
+// whenever |x−y| < p/2.
+
+// ElementMatrix is a dense row-major matrix of Z_p elements in fixed 32-byte
+// wire encoding, exchanged by the mod-p protocol.
+type ElementMatrix struct {
+	Rows, Cols int
+	Cell       [][32]byte
+}
+
+// NewElementMatrix allocates a zeroed rows×cols element matrix.
+func NewElementMatrix(rows, cols int) *ElementMatrix {
+	checkDims(rows, cols)
+	return &ElementMatrix{Rows: rows, Cols: cols, Cell: make([][32]byte, rows*cols)}
+}
+
+// At decodes the element at row i, column j.
+func (m *ElementMatrix) At(i, j int) (modp.Element, error) {
+	return modp.FromBytes(m.Cell[i*m.Cols+j])
+}
+
+// Set stores the element at row i, column j.
+func (m *ElementMatrix) Set(i, j int, e modp.Element) {
+	m.Cell[i*m.Cols+j] = e.Bytes()
+}
+
+// Validate checks storage consistency.
+func (m *ElementMatrix) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 || len(m.Cell) != m.Rows*m.Cols {
+		return fmt.Errorf("protocol: inconsistent ElementMatrix %dx%d with %d cells", m.Rows, m.Cols, len(m.Cell))
+	}
+	return nil
+}
+
+// NumericInitiatorModP is Figure 4 with perfect-hiding masks: out(r, n) =
+// R + σ·x_n in Z_p. See NumericInitiatorInt for the batch/per-pair contract.
+func NumericInitiatorModP(values []int64, jk, jt rng.Stream, mode Mode, responderRows int) (*ElementMatrix, error) {
+	rows := 1
+	if mode == PerPair {
+		if responderRows < 0 {
+			return nil, fmt.Errorf("protocol: negative responderRows %d", responderRows)
+		}
+		rows = responderRows
+	}
+	out := NewElementMatrix(rows, len(values))
+	for r := 0; r < rows; r++ {
+		for n, x := range values {
+			mask := modp.Random(jt)
+			e := modp.FromInt64(x)
+			if negSignInitiator(jk.Next()) < 0 {
+				e = e.Neg()
+			}
+			out.Set(r, n, mask.Add(e))
+		}
+	}
+	return out, nil
+}
+
+// NumericResponderModP is Figure 5 in Z_p.
+func NumericResponderModP(disguised *ElementMatrix, values []int64, jk rng.Stream, mode Mode) (*ElementMatrix, error) {
+	if err := disguised.Validate(); err != nil {
+		return nil, err
+	}
+	if mode == Batch && disguised.Rows != 1 {
+		return nil, fmt.Errorf("protocol: batch mode expects a 1-row disguised vector, got %d rows", disguised.Rows)
+	}
+	if mode == PerPair && disguised.Rows != len(values) {
+		return nil, fmt.Errorf("protocol: per-pair mode expects %d disguised rows, got %d", len(values), disguised.Rows)
+	}
+	cols := disguised.Cols
+	s := NewElementMatrix(len(values), cols)
+	for m, y := range values {
+		srcRow := 0
+		if mode == PerPair {
+			srcRow = m
+		}
+		for n := 0; n < cols; n++ {
+			d, err := disguised.At(srcRow, n)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: disguised(%d,%d): %w", srcRow, n, err)
+			}
+			e := modp.FromInt64(y)
+			if negSignResponder(jk.Next()) < 0 {
+				e = e.Neg()
+			}
+			s.Set(m, n, d.Add(e))
+		}
+		if mode == Batch {
+			jk.Reseed()
+		}
+	}
+	return s, nil
+}
+
+// NumericThirdPartyModP is Figure 6 in Z_p: subtract the regenerated mask
+// and decode |x−y| from the signed embedding.
+func NumericThirdPartyModP(s *ElementMatrix, jt rng.Stream, mode Mode) (*Int64Matrix, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := NewInt64Matrix(s.Rows, s.Cols)
+	for m := 0; m < s.Rows; m++ {
+		for n := 0; n < s.Cols; n++ {
+			mask := modp.Random(jt)
+			v, err := s.At(m, n)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: s(%d,%d): %w", m, n, err)
+			}
+			abs, err := v.Sub(mask).AbsInt64()
+			if err != nil {
+				return nil, fmt.Errorf("protocol: decoding distance (%d,%d): %w", m, n, err)
+			}
+			out.Set(m, n, abs)
+		}
+		if mode == Batch {
+			jt.Reseed()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package rng
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+)
+
+// AESCTR is a cryptographically secure stream built from the AES-128-CTR
+// keystream. Without the seed the output is computationally unpredictable,
+// which is exactly the property the İnan et al. privacy argument assumes of
+// its shared generators: the blinded value x″ = R + x is "practically a
+// random number" only if R cannot be anticipated.
+//
+// The first 16 bytes of the Seed form the AES key and the next 16 bytes the
+// initial counter block, so distinct seeds yield independent keystreams.
+type AESCTR struct {
+	block cipher.Block
+	iv    [aes.BlockSize]byte
+	ctr   cipher.Stream
+	buf   [512]byte // decrypted keystream buffer
+	avail []byte    // unread portion of buf
+}
+
+var _ Stream = (*AESCTR)(nil)
+
+// NewAESCTR returns an AES-CTR stream seeded from seed.
+func NewAESCTR(seed Seed) *AESCTR {
+	block, err := aes.NewCipher(seed[:16])
+	if err != nil {
+		// aes.NewCipher only fails on invalid key sizes; 16 is valid.
+		panic("rng: aes.NewCipher: " + err.Error())
+	}
+	a := &AESCTR{block: block}
+	copy(a.iv[:], seed[16:32])
+	a.Reseed()
+	return a
+}
+
+// Next returns the next 64-bit keystream word.
+func (a *AESCTR) Next() uint64 {
+	if len(a.avail) < 8 {
+		a.refill()
+	}
+	v := binary.LittleEndian.Uint64(a.avail)
+	a.avail = a.avail[8:]
+	return v
+}
+
+// Reseed rewinds the keystream to counter zero.
+func (a *AESCTR) Reseed() {
+	a.ctr = cipher.NewCTR(a.block, a.iv[:])
+	a.avail = nil
+}
+
+func (a *AESCTR) refill() {
+	for i := range a.buf {
+		a.buf[i] = 0
+	}
+	a.ctr.XORKeyStream(a.buf[:], a.buf[:])
+	a.avail = a.buf[:]
+}

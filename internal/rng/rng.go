@@ -1,0 +1,198 @@
+// Package rng provides the deterministic, re-seedable pseudo-random number
+// streams that the ppclust comparison protocols are built on.
+//
+// The İnan et al. protocols assume that pairs of parties share "a secret
+// number that will be used as the seed of a pseudo-random number generator"
+// and that the generator is "of high quality, has a long period and is not
+// predictable". Two interchangeable implementations are provided behind the
+// Stream interface:
+//
+//   - Xoshiro: xoshiro256** — a fast, statistically strong, non-cryptographic
+//     generator. Appropriate for tests, workload generation and benchmarks.
+//   - AESCTR: an AES-128-CTR keystream generator — unpredictable without the
+//     seed, which is the property the protocol's privacy argument needs.
+//
+// Both are deterministic functions of a 32-byte Seed, and both support
+// Reseed, which rewinds the stream to its beginning. Reseed matters because
+// the paper's batch protocols re-initialize shared generators at row
+// boundaries so that independently operating sites observe identical draws
+// (Figures 4–6 and 8–10 of the paper).
+package rng
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// Seed is the shared secret from which a Stream's entire output is derived.
+// Two parties holding equal Seeds observe identical streams.
+type Seed [32]byte
+
+// SeedFromUint64 expands a 64-bit value into a full Seed. It is intended for
+// tests and examples; production sessions derive seeds from the key-agreement
+// substrate (internal/keys).
+func SeedFromUint64(v uint64) Seed {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return sha256.Sum256(b[:])
+}
+
+// SeedFromBytes derives a Seed from arbitrary secret bytes.
+func SeedFromBytes(b []byte) Seed {
+	return sha256.Sum256(b)
+}
+
+// Stream is a deterministic, rewindable source of 64-bit words.
+//
+// Implementations are NOT safe for concurrent use; each protocol role owns
+// its streams exclusively.
+type Stream interface {
+	// Next returns the next 64-bit word of the stream.
+	Next() uint64
+	// Reseed rewinds the stream to its first word, as the paper's batch
+	// protocols require at each row boundary ("re-initialize rngJK with
+	// seed rJK").
+	Reseed()
+}
+
+// Kind selects a Stream implementation.
+type Kind int
+
+const (
+	// KindXoshiro selects the xoshiro256** generator.
+	KindXoshiro Kind = iota
+	// KindAESCTR selects the AES-128-CTR keystream generator.
+	KindAESCTR
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindXoshiro:
+		return "xoshiro256**"
+	case KindAESCTR:
+		return "aes-ctr"
+	default:
+		return "unknown"
+	}
+}
+
+// New constructs a Stream of the given kind from seed.
+func New(kind Kind, seed Seed) Stream {
+	switch kind {
+	case KindAESCTR:
+		return NewAESCTR(seed)
+	default:
+		return NewXoshiro(seed)
+	}
+}
+
+// Uint64n returns a uniform value in [0, n) drawn from s, using rejection
+// sampling so that the result is unbiased. It panics if n == 0.
+func Uint64n(s Stream, n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	if n&(n-1) == 0 { // power of two: mask is exact
+		return s.Next() & (n - 1)
+	}
+	// Reject draws from the final, partially covered block.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := s.Next()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Int63 returns a non-negative int64 drawn from s.
+func Int63(s Stream) int64 {
+	return int64(s.Next() >> 1)
+}
+
+// Int64n returns a uniform value in [0, n) for n > 0.
+func Int64n(s Stream, n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int64n with n <= 0")
+	}
+	return int64(Uint64n(s, uint64(n)))
+}
+
+// Int64Range returns a uniform value in [lo, hi] inclusive. It panics when
+// lo > hi.
+func Int64Range(s Stream, lo, hi int64) int64 {
+	if lo > hi {
+		panic("rng: Int64Range with lo > hi")
+	}
+	span := uint64(hi-lo) + 1
+	if span == 0 { // full 64-bit range
+		return int64(s.Next())
+	}
+	return lo + int64(Uint64n(s, span))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func Float64(s Stream) float64 {
+	return float64(s.Next()>>11) * (1.0 / (1 << 53))
+}
+
+// NormFloat64 returns a standard normal draw using the Marsaglia polar
+// method. It consumes a variable (even) number of stream words but is fully
+// deterministic given the stream position.
+func NormFloat64(s Stream) float64 {
+	for {
+		u := 2*Float64(s) - 1
+		v := 2*Float64(s) - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Symbol returns a uniform alphabet index in [0, size). It is the draw used
+// by the alphanumeric protocol's disguise vector.
+func Symbol(s Stream, size int) int {
+	if size <= 0 {
+		panic("rng: Symbol with size <= 0")
+	}
+	return int(Uint64n(s, uint64(size)))
+}
+
+// Bool returns a uniform boolean, consuming one stream word.
+func Bool(s Stream) bool {
+	return s.Next()&1 == 1
+}
+
+// Perm returns a uniform random permutation of [0, n), Fisher–Yates shuffled.
+func Perm(s Stream, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(Uint64n(s, uint64(i+1)))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices in place via swap, Fisher–Yates.
+func Shuffle(s Stream, n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := int(Uint64n(s, uint64(i+1)))
+		swap(i, j)
+	}
+}
+
+// splitmix64 is the seeding expander recommended by the xoshiro authors.
+// It advances *state and returns the next output.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,327 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var kinds = []struct {
+	name string
+	kind Kind
+}{
+	{"xoshiro", KindXoshiro},
+	{"aesctr", KindAESCTR},
+}
+
+func TestSplitMix64KnownAnswers(t *testing.T) {
+	// Canonical splitmix64 outputs for seed 0, as published with the
+	// reference implementation.
+	state := uint64(0)
+	want := []uint64{0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F}
+	for i, w := range want {
+		if got := splitmix64(&state); got != w {
+			t.Fatalf("splitmix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminismAcrossInstances(t *testing.T) {
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			seed := SeedFromUint64(42)
+			a, b := New(k.kind, seed), New(k.kind, seed)
+			for i := 0; i < 1000; i++ {
+				if av, bv := a.Next(), b.Next(); av != bv {
+					t.Fatalf("draw %d diverged: %#x vs %#x", i, av, bv)
+				}
+			}
+		})
+	}
+}
+
+func TestReseedRewindsToFirstWord(t *testing.T) {
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			s := New(k.kind, SeedFromUint64(7))
+			first := make([]uint64, 257) // AESCTR buffer is 64 words; cross it
+			for i := range first {
+				first[i] = s.Next()
+			}
+			s.Reseed()
+			for i := range first {
+				if got := s.Next(); got != first[i] {
+					t.Fatalf("post-Reseed draw %d = %#x, want %#x", i, got, first[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			a := New(k.kind, SeedFromUint64(1))
+			b := New(k.kind, SeedFromUint64(2))
+			same := 0
+			for i := 0; i < 64; i++ {
+				if a.Next() == b.Next() {
+					same++
+				}
+			}
+			if same > 0 {
+				t.Fatalf("streams with distinct seeds agreed on %d of 64 draws", same)
+			}
+		})
+	}
+}
+
+func TestSeedFromBytesMatchesContent(t *testing.T) {
+	a := SeedFromBytes([]byte("shared secret"))
+	b := SeedFromBytes([]byte("shared secret"))
+	c := SeedFromBytes([]byte("other secret"))
+	if a != b {
+		t.Fatal("equal inputs produced different seeds")
+	}
+	if a == c {
+		t.Fatal("different inputs produced equal seeds")
+	}
+}
+
+func TestUint64nBoundsAndReachability(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(3))
+	seen := make(map[uint64]bool)
+	const n = 7
+	for i := 0; i < 10000; i++ {
+		v := Uint64n(s, n)
+		if v >= n {
+			t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d of %d residues observed", len(seen), n)
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(4))
+	for i := 0; i < 1000; i++ {
+		if v := Uint64n(s, 16); v >= 16 {
+			t.Fatalf("Uint64n(16) = %d", v)
+		}
+	}
+}
+
+func TestInt64RangeInclusive(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(5))
+	sawLo, sawHi := false, false
+	for i := 0; i < 20000; i++ {
+		v := Int64Range(s, -3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("Int64Range(-3,3) = %d", v)
+		}
+		sawLo = sawLo || v == -3
+		sawHi = sawHi || v == 3
+	}
+	if !sawLo || !sawHi {
+		t.Fatalf("range endpoints not reached: lo=%v hi=%v", sawLo, sawHi)
+	}
+}
+
+func TestInt64RangeFullWidth(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(6))
+	// Must not panic or loop on the span that overflows uint64.
+	v := Int64Range(s, math.MinInt64, math.MaxInt64)
+	_ = v
+}
+
+func TestFloat64UnitInterval(t *testing.T) {
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			s := New(k.kind, SeedFromUint64(8))
+			sum := 0.0
+			const n = 50000
+			for i := 0; i < n; i++ {
+				f := Float64(s)
+				if f < 0 || f >= 1 {
+					t.Fatalf("Float64 = %v outside [0,1)", f)
+				}
+				sum += f
+			}
+			if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+				t.Fatalf("Float64 mean = %v, want ≈0.5", mean)
+			}
+		})
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := NewAESCTR(SeedFromUint64(9))
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := NormFloat64(s)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestSymbolUniformity(t *testing.T) {
+	s := NewAESCTR(SeedFromUint64(10))
+	const size, n = 4, 40000
+	counts := make([]int, size)
+	for i := 0; i < n; i++ {
+		counts[Symbol(s, size)]++
+	}
+	// Chi-square with 3 dof; 16.27 is the 0.1% critical value.
+	expected := float64(n) / size
+	chi := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi += d * d / expected
+	}
+	if chi > 16.27 {
+		t.Fatalf("symbol chi-square = %v over 0.1%% critical value; counts=%v", chi, counts)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(11))
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := Perm(s, n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(12))
+	trues := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if Bool(s) {
+			trues++
+		}
+	}
+	if ratio := float64(trues) / n; math.Abs(ratio-0.5) > 0.02 {
+		t.Fatalf("Bool ratio = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestParityStreamSharedAcrossParties(t *testing.T) {
+	// The numeric protocol depends on DHJ and DHK deriving identical
+	// parity decisions from the shared rngJK stream, including after the
+	// responder re-initializes at each row boundary.
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			seed := SeedFromUint64(99)
+			j := New(k.kind, seed)
+			kx := New(k.kind, seed)
+			var jPar []bool
+			for i := 0; i < 37; i++ {
+				jPar = append(jPar, j.Next()&1 == 1)
+			}
+			for row := 0; row < 5; row++ {
+				kx.Reseed()
+				for i := 0; i < 37; i++ {
+					if got := kx.Next()&1 == 1; got != jPar[i] {
+						t.Fatalf("row %d draw %d parity mismatch", row, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQuickUint64nAlwaysInRange(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(13))
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		return Uint64n(s, n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInt64RangeAlwaysInRange(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(14))
+	f := func(a, b int64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := Int64Range(s, lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindXoshiro.String() != "xoshiro256**" || KindAESCTR.String() != "aes-ctr" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown Kind should stringify to unknown")
+	}
+}
+
+func TestPanicsOnDegenerateArguments(t *testing.T) {
+	s := NewXoshiro(SeedFromUint64(15))
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Uint64n zero", func() { Uint64n(s, 0) }},
+		{"Int64n zero", func() { Int64n(s, 0) }},
+		{"Int64Range inverted", func() { Int64Range(s, 2, 1) }},
+		{"Symbol zero", func() { Symbol(s, 0) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", c.name)
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func BenchmarkXoshiroNext(b *testing.B) {
+	s := NewXoshiro(SeedFromUint64(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Next()
+	}
+}
+
+func BenchmarkAESCTRNext(b *testing.B) {
+	s := NewAESCTR(SeedFromUint64(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Next()
+	}
+}

@@ -1,0 +1,31 @@
+package rng
+
+// ScriptedStream replays a fixed sequence of words, cycling when exhausted.
+// It exists to reproduce the paper's worked examples (Figure 3 fixes RJK=5,
+// RJT=7; Figure 7 fixes R="013") and for deterministic failure-injection in
+// tests. Not for production use.
+type ScriptedStream struct {
+	words []uint64
+	pos   int
+}
+
+var _ Stream = (*ScriptedStream)(nil)
+
+// Scripted returns a stream that yields words in order, cycling at the end.
+// It panics on an empty script.
+func Scripted(words ...uint64) *ScriptedStream {
+	if len(words) == 0 {
+		panic("rng: empty script")
+	}
+	return &ScriptedStream{words: append([]uint64(nil), words...)}
+}
+
+// Next returns the next scripted word.
+func (s *ScriptedStream) Next() uint64 {
+	w := s.words[s.pos]
+	s.pos = (s.pos + 1) % len(s.words)
+	return w
+}
+
+// Reseed rewinds to the beginning of the script.
+func (s *ScriptedStream) Reseed() { s.pos = 0 }

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP adapts a net.Conn into a Conduit using 4-byte big-endian length
+// framing. The caller owns connection establishment (Dial/Accept); see
+// cmd/ppc-tp and cmd/ppc-holder for the deployment wiring.
+func TCP(c net.Conn) Conduit {
+	return &tcpConduit{conn: c}
+}
+
+type tcpConduit struct {
+	conn    net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	closeMu sync.Mutex
+	closed  bool
+}
+
+func (t *tcpConduit) Send(frame []byte) error {
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(frame))
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := t.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := t.conn.Write(frame); err != nil {
+		return fmt.Errorf("wire: writing frame body: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpConduit) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+		if err == io.EOF || t.isClosed() {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(t.conn, frame); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return frame, nil
+}
+
+func (t *tcpConduit) Close() error {
+	t.closeMu.Lock()
+	t.closed = true
+	t.closeMu.Unlock()
+	return t.conn.Close()
+}
+
+func (t *tcpConduit) isClosed() bool {
+	t.closeMu.Lock()
+	defer t.closeMu.Unlock()
+	return t.closed
+}

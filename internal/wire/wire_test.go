@@ -1,0 +1,490 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	want := []byte("hello")
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPipeIsCopying(t *testing.T) {
+	a, b := Pipe()
+	buf := []byte("mutate-me")
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	got, _ := b.Recv()
+	if string(got) != "mutate-me" {
+		t.Fatalf("send did not copy: %q", got)
+	}
+}
+
+func TestPipeOrderingAndBuffering(t *testing.T) {
+	a, b := Pipe()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := a.Send([]byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(f[0])|int(f[1])<<8 != i {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+}
+
+func TestPipeCloseSemantics(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Send([]byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := b.Recv(); err != nil {
+		t.Fatalf("queued frame lost after close: %v", err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := b.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("send on closed pipe: %v", err)
+	}
+}
+
+func TestPipeConcurrent(t *testing.T) {
+	a, b := Pipe()
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send([]byte{1}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	got := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, err := b.Recv(); err != nil {
+				t.Error(err)
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	if got != n {
+		t.Fatalf("received %d of %d", got, n)
+	}
+}
+
+func TestMeterCountsBothDirections(t *testing.T) {
+	a, b := Pipe()
+	var ca, cb Counter
+	ma, mb := Meter(a, &ca), Meter(b, &cb)
+	ma.Send(make([]byte, 100))
+	mb.Recv()
+	mb.Send(make([]byte, 7))
+	ma.Recv()
+	if bytes1, frames := ca.Sent(); bytes1 != 100 || frames != 1 {
+		t.Fatalf("ca sent = %d/%d", bytes1, frames)
+	}
+	if bytes1, frames := ca.Received(); bytes1 != 7 || frames != 1 {
+		t.Fatalf("ca recv = %d/%d", bytes1, frames)
+	}
+	if bytes1, _ := cb.Received(); bytes1 != 100 {
+		t.Fatalf("cb recv = %d", bytes1)
+	}
+	ca.Reset()
+	if bytes1, frames := ca.Sent(); bytes1 != 0 || frames != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+	if (&ca).String() == "" {
+		t.Fatal("empty Counter.String")
+	}
+}
+
+func TestTapObservesFrames(t *testing.T) {
+	a, b := Pipe()
+	var seen [][]byte
+	ta := Tap(a, func(dir string, frame []byte) {
+		cp := append([]byte(nil), frame...)
+		seen = append(seen, append([]byte(dir+":"), cp...))
+	})
+	ta.Send([]byte("out"))
+	b.Send([]byte("in"))
+	ta.Recv()
+	if len(seen) != 2 {
+		t.Fatalf("tap saw %d frames", len(seen))
+	}
+	if string(seen[0]) != "send:out" || string(seen[1]) != "recv:in" {
+		t.Fatalf("tap contents: %q %q", seen[0], seen[1])
+	}
+}
+
+func TestSecureRoundTripAndOpacity(t *testing.T) {
+	a, b := Pipe()
+	var key [32]byte
+	key[5] = 9
+	var observed [][]byte
+	tapped := Tap(a, func(dir string, frame []byte) {
+		observed = append(observed, append([]byte(nil), frame...))
+	})
+	sa, err := Secure(tapped, key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Secure(b, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("x = 42 is private")
+	if err := sa.Send(secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("secure round trip: %q", got)
+	}
+	if len(observed) != 1 {
+		t.Fatalf("tap saw %d frames", len(observed))
+	}
+	if bytes.Contains(observed[0], secret) || bytes.Contains(observed[0], []byte("42")) {
+		t.Fatal("plaintext visible on the wire under Secure")
+	}
+	// Reply direction.
+	if err := sb.Send([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sa.Recv(); string(got) != "ack" {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestSecureRejectsWrongKeyAndTampering(t *testing.T) {
+	a, b := Pipe()
+	var k1, k2 [32]byte
+	k1[0], k2[0] = 1, 2
+	sa, _ := Secure(a, k1, true)
+	sb, _ := Secure(b, k2, false)
+	sa.Send([]byte("payload"))
+	if _, err := sb.Recv(); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+
+	// Tampering: flip a ciphertext bit in transit.
+	c, d := Pipe()
+	sc, _ := Secure(&flipper{c}, k1, true)
+	sd, _ := Secure(d, k1, false)
+	sc.Send([]byte("payload"))
+	if _, err := sd.Recv(); err == nil {
+		t.Fatal("tampered frame accepted")
+	}
+}
+
+// flipper corrupts the last byte of every outgoing frame.
+type flipper struct{ Conduit }
+
+func (f *flipper) Send(frame []byte) error {
+	cp := append([]byte(nil), frame...)
+	cp[len(cp)-1] ^= 1
+	return f.Conduit.Send(cp)
+}
+
+func TestSecureDetectsReplayViaSequence(t *testing.T) {
+	a, b := Pipe()
+	var key [32]byte
+	var frames [][]byte
+	ta := Tap(a, func(dir string, fr []byte) {
+		if dir == "send" {
+			frames = append(frames, append([]byte(nil), fr...))
+		}
+	})
+	sa, _ := Secure(ta, key, true)
+	sb, _ := Secure(b, key, false)
+	sa.Send([]byte("one"))
+	sb.Recv()
+	// Replay the captured frame: receiver's sequence has advanced, so the
+	// nonce no longer matches and authentication fails.
+	b2 := b // raw end: inject the replayed ciphertext
+	_ = b2
+	a.Send(frames[0])
+	if _, err := sb.Recv(); err == nil {
+		t.Fatal("replayed frame accepted")
+	}
+}
+
+func TestSecureMisconfiguredDirections(t *testing.T) {
+	// Both endpoints claiming the initiator role puts their nonce spaces
+	// in collision course: the receiver opens with the wrong direction
+	// byte and authentication must fail rather than silently decrypt.
+	a, b := Pipe()
+	var key [32]byte
+	sa, _ := Secure(a, key, true)
+	sb, _ := Secure(b, key, true)
+	sa.Send([]byte("misconfigured"))
+	if _, err := sb.Recv(); err == nil {
+		t.Fatal("both-initiator configuration accepted")
+	}
+}
+
+func TestMessageEndpointRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	ea, eb := NewEndpoint(a), NewEndpoint(b)
+	type body struct {
+		Values []int64
+		Note   string
+	}
+	in := body{Values: []int64{1, -2, 3}, Note: "hi"}
+	err := ea.SendBody(Message{From: "A", To: "TP", Kind: "test/body", Attr: 2}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out body
+	m, err := eb.Expect("test/body", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != "A" || m.To != "TP" || m.Attr != 2 {
+		t.Fatalf("envelope corrupted: %+v", m)
+	}
+	if out.Note != in.Note || len(out.Values) != 3 || out.Values[1] != -2 {
+		t.Fatalf("body corrupted: %+v", out)
+	}
+}
+
+func TestExpectKindMismatch(t *testing.T) {
+	a, b := Pipe()
+	ea, eb := NewEndpoint(a), NewEndpoint(b)
+	if err := ea.SendBody(Message{Kind: "kind/a"}, struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eb.Expect("kind/b", nil); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestTCPConduit(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		c := TCP(conn)
+		defer c.Close()
+		f, err := c.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- c.Send(append([]byte("echo:"), f...))
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TCP(conn)
+	defer c.Close()
+	if err := c.Send([]byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:over tcp" {
+		t.Fatalf("got %q", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCloseYieldsErrClosed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	server.Close()
+	c := TCP(conn)
+	if _, err := c.Recv(); err != ErrClosed {
+		t.Fatalf("want ErrClosed after peer close, got %v", err)
+	}
+}
+
+func TestTCPSecureStack(t *testing.T) {
+	// Full production stack: TCP + Secure + Endpoint + Meter.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var key [32]byte
+	key[1] = 7
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		sc, err := Secure(TCP(conn), key, false)
+		if err != nil {
+			done <- err
+			return
+		}
+		ep := NewEndpoint(sc)
+		defer ep.Close()
+		var v []int64
+		if _, err := ep.Expect("stack/test", &v); err != nil {
+			done <- err
+			return
+		}
+		done <- ep.SendBody(Message{Kind: "stack/reply"}, len(v))
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctr Counter
+	sc, err := Secure(Meter(TCP(conn), &ctr), key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := NewEndpoint(sc)
+	defer ep.Close()
+	if err := ep.SendBody(Message{Kind: "stack/test"}, []int64{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if _, err := ep.Expect("stack/reply", &n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("reply = %d", n)
+	}
+	if b, _ := ctr.Sent(); b == 0 {
+		t.Fatal("meter did not count TCP bytes")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendOversizeFrameRejected(t *testing.T) {
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go func() {
+		c, _ := ln.Accept()
+		if c != nil {
+			defer c.Close()
+			buf := make([]byte, 16)
+			c.Read(buf)
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := TCP(conn)
+	defer c.Close()
+	if err := c.Send(make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func BenchmarkPipeRoundTrip(b *testing.B) {
+	a, p := Pipe()
+	frame := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Send(frame)
+		p.Recv()
+	}
+}
+
+func BenchmarkSecureSeal1KiB(b *testing.B) {
+	a, p := Pipe()
+	var key [32]byte
+	sa, _ := Secure(a, key, true)
+	go func() {
+		for {
+			if _, err := p.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	frame := make([]byte, 1024)
+	b.ReportAllocs()
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		if err := sa.Send(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	a.Close()
+}
+
+func ExampleCounter() {
+	a, b := Pipe()
+	var ctr Counter
+	m := Meter(a, &ctr)
+	m.Send([]byte("12345"))
+	b.Recv()
+	fmt.Println(ctr.String())
+	// Output: sent 5 B in 1 frames, received 0 B in 0 frames
+}

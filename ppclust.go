@@ -1,0 +1,306 @@
+package ppclust
+
+import (
+	"io"
+
+	"ppclust/internal/alphabet"
+	"ppclust/internal/catdist"
+	"ppclust/internal/dataset"
+	"ppclust/internal/dissim"
+	"ppclust/internal/hcluster"
+	"ppclust/internal/linkage"
+	"ppclust/internal/outlier"
+	"ppclust/internal/pam"
+	"ppclust/internal/party"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+)
+
+// Data-model types, re-exported from the internal packages so that the
+// whole public surface lives in one import.
+type (
+	// Schema is the attribute list all parties agree on.
+	Schema = dataset.Schema
+	// Attribute describes one column: name, type, alphabet, weight.
+	Attribute = dataset.Attribute
+	// AttrType classifies an attribute.
+	AttrType = dataset.AttrType
+	// Table is one site's horizontal partition.
+	Table = dataset.Table
+	// Partition couples a site name with its table.
+	Partition = dataset.Partition
+	// ObjectID globally names an object as (site, index).
+	ObjectID = dataset.ObjectID
+	// Alphabet is a finite symbol set for alphanumeric attributes.
+	Alphabet = alphabet.Alphabet
+	// Ordering is a public total order for Ordered attributes.
+	Ordering = catdist.Ordering
+	// Taxonomy is a public category tree for Hierarchical attributes.
+	Taxonomy = catdist.Taxonomy
+
+	// ClusterRequest is a holder's weights and algorithm choice.
+	ClusterRequest = party.ClusterRequest
+	// Method selects the clustering algorithm the third party runs.
+	Method = party.Method
+	// Result is the published clustering outcome.
+	Result = party.Result
+	// SessionOutcome bundles results, the third-party report and traffic.
+	SessionOutcome = party.SessionOutcome
+	// TPReport is the third party's assembled state.
+	TPReport = party.TPReport
+	// Traffic maps directed links to byte counters.
+	Traffic = party.Traffic
+
+	// DissimilarityMatrix is the symmetric object-by-object structure at
+	// the core of the protocol.
+	DissimilarityMatrix = dissim.Matrix
+	// Dendrogram is a hierarchical clustering merge history.
+	Dendrogram = hcluster.Dendrogram
+	// Linkage selects the hierarchical method.
+	Linkage = hcluster.Linkage
+	// ClusterQuality is the per-cluster statistic the third party may
+	// publish.
+	ClusterQuality = hcluster.ClusterQuality
+
+	// Match is a record-linkage candidate pair.
+	Match = linkage.Match
+	// LinkOptions tunes record linkage.
+	LinkOptions = linkage.Options
+	// OutlierScore is one object's k-NN outlier statistic.
+	OutlierScore = outlier.Score
+)
+
+// Attribute types.
+const (
+	// Numeric attributes compare by |x−y|.
+	Numeric = dataset.Numeric
+	// Categorical attributes compare by equality.
+	Categorical = dataset.Categorical
+	// Alphanumeric attributes compare by edit distance.
+	Alphanumeric = dataset.Alphanumeric
+	// Ordered attributes compare by rank distance over a public total
+	// order (extension of the paper's future work).
+	Ordered = dataset.Ordered
+	// Hierarchical attributes compare by tree distance over a public
+	// taxonomy (extension of the paper's future work).
+	Hierarchical = dataset.Hierarchical
+)
+
+// NewOrdering builds the public total order of an Ordered attribute.
+func NewOrdering(values ...string) (*Ordering, error) { return catdist.NewOrdering(values) }
+
+// MustNewOrdering is NewOrdering panicking on error.
+func MustNewOrdering(values ...string) *Ordering { return catdist.MustNewOrdering(values...) }
+
+// NewTaxonomy builds the public category tree of a Hierarchical attribute;
+// grow it with Add/MustAdd.
+func NewTaxonomy(root string) (*Taxonomy, error) { return catdist.NewTaxonomy(root) }
+
+// MustNewTaxonomy is NewTaxonomy panicking on error.
+func MustNewTaxonomy(root string) *Taxonomy { return catdist.MustNewTaxonomy(root) }
+
+// Hierarchical linkages.
+const (
+	Single   = hcluster.Single
+	Complete = hcluster.Complete
+	Average  = hcluster.Average
+	Weighted = hcluster.Weighted
+	Centroid = hcluster.Centroid
+	Median   = hcluster.Median
+	Ward     = hcluster.Ward
+)
+
+// Clustering methods a holder may request.
+const (
+	// MethodAgglomerative is bottom-up hierarchical clustering (default).
+	MethodAgglomerative = party.MethodAgglomerative
+	// MethodDiana is top-down divisive hierarchical clustering.
+	MethodDiana = party.MethodDiana
+	// MethodPAM is k-medoids: a partitioning method that, unlike k-means,
+	// consumes dissimilarities and so handles every attribute type.
+	MethodPAM = party.MethodPAM
+)
+
+// HClusterDiana builds a divisive (DIANA) dendrogram of a dissimilarity
+// matrix.
+func HClusterDiana(m *DissimilarityMatrix) (*Dendrogram, error) {
+	return hcluster.Diana(m)
+}
+
+// PAMResult is a k-medoids outcome.
+type PAMResult = pam.Result
+
+// PAM clusters a dissimilarity matrix around k medoids; seed breaks build
+// ties deterministically.
+func PAM(m *DissimilarityMatrix, k int, seed uint64) (*PAMResult, error) {
+	return pam.Cluster(m, k, rng.NewXoshiro(rng.SeedFromUint64(seed)), pam.Config{})
+}
+
+// Predefined alphabets.
+var (
+	// DNA is the four-letter nucleotide alphabet.
+	DNA = alphabet.DNA
+	// Protein is the 20-letter amino-acid alphabet.
+	Protein = alphabet.Protein
+	// Lower is the lowercase Latin alphabet.
+	Lower = alphabet.Lower
+	// Digits is the decimal digit alphabet.
+	Digits = alphabet.Digits
+	// AlphaNum is lowercase letters, digits and space.
+	AlphaNum = alphabet.AlphaNum
+)
+
+// NewAlphabet builds a custom alphabet over the given runes.
+func NewAlphabet(name string, runes []rune) (*Alphabet, error) {
+	return alphabet.New(name, runes)
+}
+
+// AlphabetByName resolves a predefined alphabet ("dna", "protein", "lower",
+// "digits", "alphanum").
+func AlphabetByName(name string) (*Alphabet, error) { return alphabet.ByName(name) }
+
+// NewTable returns an empty table over the schema.
+func NewTable(schema Schema) (*Table, error) { return dataset.NewTable(schema) }
+
+// MustNewTable is NewTable panicking on error.
+func MustNewTable(schema Schema) *Table { return dataset.MustNewTable(schema) }
+
+// ReadCSV parses headerless CSV into a table over the schema.
+func ReadCSV(schema Schema, r io.Reader) (*Table, error) { return dataset.ReadCSV(schema, r) }
+
+// WriteCSV emits a table as headerless CSV.
+func WriteCSV(t *Table, w io.Writer) error { return dataset.WriteCSV(t, w) }
+
+// GlobalIndex returns the global object ordering of a partition list.
+func GlobalIndex(parts []Partition) []ObjectID { return dataset.GlobalIndex(parts) }
+
+// ParseLinkage resolves a linkage name ("single", "complete", "average",
+// "weighted", "centroid", "median", "ward").
+func ParseLinkage(name string) (Linkage, error) { return hcluster.ParseLinkage(name) }
+
+// MaskingMode selects how the numeric protocol consumes its shared
+// random streams.
+type MaskingMode int
+
+const (
+	// BatchMasking is the paper's default: O(n) initiator traffic, but
+	// mask reuse admits a frequency-analysis attack when the attribute
+	// domain is small (paper Section 4.1).
+	BatchMasking MaskingMode = iota
+	// PerPairMasking uses unique masks per object pair, the paper's
+	// countermeasure, at O(m·n) initiator traffic.
+	PerPairMasking
+)
+
+// NumericVariant selects the numeric protocol arithmetic.
+type NumericVariant int
+
+const (
+	// Float64Arithmetic recovers distances to ≈1e-9 at unit scale.
+	Float64Arithmetic NumericVariant = iota
+	// Int64Arithmetic is exact; values must be integral and bounded.
+	Int64Arithmetic
+	// ModPArithmetic is exact with perfectly hiding masks; values must be
+	// integral.
+	ModPArithmetic
+)
+
+// Options tunes a session. The zero value is the recommended
+// configuration: float64 arithmetic, batch masking, AES-CTR generators and
+// AES-GCM channels.
+type Options struct {
+	// Masking selects batch or per-pair numeric masking.
+	Masking MaskingMode
+	// Variant selects the numeric arithmetic.
+	Variant NumericVariant
+	// InsecureChannels disables channel encryption. Never enable outside
+	// experiments; the paper's privacy analysis requires secured channels.
+	InsecureChannels bool
+	// Random supplies per-party randomness (nil = crypto/rand), used by
+	// tests and reproducible experiments.
+	Random func(partyName string) io.Reader
+}
+
+func (o Options) toConfig(schema Schema) party.Config {
+	cfg := party.Config{
+		Schema:            schema,
+		Variant:           party.Variant(o.Variant),
+		PlaintextChannels: o.InsecureChannels,
+		RNG:               rng.KindAESCTR,
+	}
+	if o.Masking == PerPairMasking {
+		cfg.Mode = protocol.PerPair
+	}
+	return cfg
+}
+
+// Cluster runs the complete multi-party session in-process: key agreement,
+// the three comparison protocols, dissimilarity assembly, hierarchical
+// clustering and result publication. parts must be in ascending site-name
+// order; reqs maps holder names to their clustering requests (missing
+// entries default to average linkage with k=2).
+func Cluster(schema Schema, parts []Partition, reqs map[string]ClusterRequest, opts Options) (*SessionOutcome, error) {
+	var random party.RandomSource
+	if opts.Random != nil {
+		random = opts.Random
+	}
+	return party.RunInMemory(opts.toConfig(schema), parts, reqs, random)
+}
+
+// BuildDissimilarity runs the session's construction phase and returns the
+// third party's normalized per-attribute matrices together with the global
+// object index — the substrate for record linkage, outlier detection or a
+// caller-supplied clustering algorithm. One clustering request is still
+// exchanged to complete the protocol; its result is discarded.
+func BuildDissimilarity(schema Schema, parts []Partition, opts Options) ([]*DissimilarityMatrix, []ObjectID, error) {
+	out, err := Cluster(schema, parts, nil, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Report.AttributeMatrices, out.Report.ObjectIDs, nil
+}
+
+// MergeMatrices combines per-attribute matrices under a weight vector, as
+// the third party does before clustering.
+func MergeMatrices(ms []*DissimilarityMatrix, weights []float64) (*DissimilarityMatrix, error) {
+	return dissim.WeightedMerge(ms, weights)
+}
+
+// HCluster builds the dendrogram of a dissimilarity matrix.
+func HCluster(m *DissimilarityMatrix, link Linkage) (*Dendrogram, error) {
+	return hcluster.Cluster(m, link)
+}
+
+// Quality computes the per-cluster statistics the third party publishes.
+func Quality(m *DissimilarityMatrix, clusters [][]int) ([]ClusterQuality, error) {
+	return hcluster.Quality(m, clusters)
+}
+
+// Silhouette scores a labeling over a dissimilarity matrix.
+func Silhouette(m *DissimilarityMatrix, labels []int) (float64, error) {
+	return hcluster.Silhouette(m, labels)
+}
+
+// Link performs threshold record linkage over a dissimilarity matrix.
+func Link(m *DissimilarityMatrix, ids []ObjectID, opts LinkOptions) ([]Match, error) {
+	return linkage.Link(m, ids, opts)
+}
+
+// OutlierScores computes k-NN outlier statistics over a dissimilarity
+// matrix.
+func OutlierScores(m *DissimilarityMatrix, k int) ([]OutlierScore, error) {
+	return outlier.KNNScores(m, k)
+}
+
+// TopOutliers returns the n most anomalous objects.
+func TopOutliers(scores []OutlierScore, n int) []OutlierScore {
+	return outlier.TopN(scores, n)
+}
+
+// CentralizedBaseline computes the per-attribute matrices a single trusted
+// site would build from the pooled plaintext — the non-private reference
+// the paper's "no loss of accuracy" claim is measured against.
+func CentralizedBaseline(schema Schema, parts []Partition) ([]*DissimilarityMatrix, error) {
+	ms, _, err := party.CentralizedMatrices(schema, parts)
+	return ms, err
+}

@@ -1,0 +1,51 @@
+package ppclust
+
+import (
+	"io"
+	"net"
+
+	"ppclust/internal/party"
+	"ppclust/internal/wire"
+)
+
+// ThirdPartyName is the reserved protocol name of the third party.
+const ThirdPartyName = party.TPName
+
+// HolderSession is a data holder's side of a session over
+// caller-established connections (TCP deployment).
+type HolderSession = party.Holder
+
+// ThirdPartySession is the third party's side of a session over
+// caller-established connections.
+type ThirdPartySession = party.ThirdParty
+
+// NewHolderSession prepares a data holder over live network connections:
+// conns maps every other holder's name, and ThirdPartyName, to an open
+// net.Conn. The session performs key agreement and channel encryption on
+// these connections; call Run on the returned session to execute the
+// protocol and receive the clustering result.
+func NewHolderSession(name string, table *Table, holders []string, schema Schema, opts Options, req ClusterRequest, conns map[string]net.Conn) (*HolderSession, error) {
+	conduits := make(map[string]wire.Conduit, len(conns))
+	for peer, c := range conns {
+		conduits[peer] = wire.TCP(c)
+	}
+	return party.NewHolder(name, table, holders, opts.toConfig(schema), req, conduits, optRandom(opts, name))
+}
+
+// NewThirdPartySession prepares the third party over live network
+// connections: conns maps each holder name to an open net.Conn. Call Run
+// on the returned session to serve the protocol.
+func NewThirdPartySession(holders []string, schema Schema, opts Options, conns map[string]net.Conn) (*ThirdPartySession, error) {
+	conduits := make(map[string]wire.Conduit, len(conns))
+	for peer, c := range conns {
+		conduits[peer] = wire.TCP(c)
+	}
+	return party.NewThirdParty(holders, opts.toConfig(schema), conduits, optRandom(opts, ThirdPartyName))
+}
+
+func optRandom(opts Options, name string) io.Reader {
+	if opts.Random == nil {
+		return nil
+	}
+	return opts.Random(name)
+}
