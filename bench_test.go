@@ -35,34 +35,45 @@ func benchNumericVectors(n int, seed uint64) ([]int64, []int64) {
 }
 
 // BenchmarkE2NumericProtocol times one full three-site numeric comparison
-// (initiator + responder + third party) per mode and size.
+// (initiator + responder + third party) per mode, size and engine worker
+// count. workers=1 is the serial engine (already batching mask
+// generation); workers=all adds the parallel fan-out; the serial-vs-
+// parallel pairs at n=256 are the regression families the perf harness
+// tracks.
 func BenchmarkE2NumericProtocol(b *testing.B) {
 	for _, mode := range []protocol.Mode{protocol.Batch, protocol.PerPair} {
 		for _, n := range []int{64, 256} {
-			b.Run(fmt.Sprintf("%v/n=%d", mode, n), func(b *testing.B) {
-				xs, ys := benchNumericVectors(n, uint64(n))
-				seedJK := rng.SeedFromUint64(1)
-				seedJT := rng.SeedFromUint64(2)
-				rows := 0
-				if mode == protocol.PerPair {
-					rows = n
+			for _, workers := range []int{1, 0} {
+				label := "serial"
+				if workers == 0 {
+					label = "parallel"
 				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					d, err := protocol.NumericInitiatorInt(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), protocol.DefaultIntParams, mode, rows)
-					if err != nil {
-						b.Fatal(err)
+				b.Run(fmt.Sprintf("%v/n=%d/%s", mode, n, label), func(b *testing.B) {
+					xs, ys := benchNumericVectors(n, uint64(n))
+					seedJK := rng.SeedFromUint64(1)
+					seedJT := rng.SeedFromUint64(2)
+					rows := 0
+					if mode == protocol.PerPair {
+						rows = n
 					}
-					s, err := protocol.NumericResponderInt(d, ys, rng.NewAESCTR(seedJK), protocol.DefaultIntParams, mode)
-					if err != nil {
-						b.Fatal(err)
+					eng := protocol.NewEngine(workers)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						d, err := eng.NumericInitiatorInt(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), protocol.DefaultIntParams, mode, rows)
+						if err != nil {
+							b.Fatal(err)
+						}
+						s, err := eng.NumericResponderInt(d, ys, rng.NewAESCTR(seedJK), protocol.DefaultIntParams, mode)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if _, err := eng.NumericThirdPartyInt(s, rng.NewAESCTR(seedJT), protocol.DefaultIntParams, mode); err != nil {
+							b.Fatal(err)
+						}
 					}
-					if _, err := protocol.NumericThirdPartyInt(s, rng.NewAESCTR(seedJT), protocol.DefaultIntParams, mode); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
@@ -144,6 +155,91 @@ func BenchmarkE4EditDistance(b *testing.B) {
 			editdist.FromCCM(ccm)
 		}
 	})
+	// The third party's production path: one Scratch reused across the
+	// n²/2 DP calls — zero allocs/op.
+	sc := editdist.MustUnitScratch()
+	b.Run("ccm-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.FromCCM(ccm)
+		}
+	})
+	b.Run("strings-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.Distance(a, c)
+		}
+	})
+}
+
+// BenchmarkSessionMatrixConstruction times the session's dominant O(n²)
+// stages — local dissimilarity construction (numeric and edit-distance),
+// weighted merge and normalization — serial versus the parallel engine,
+// at the n=256 scale the perf-regression criteria are pinned to.
+func BenchmarkSessionMatrixConstruction(b *testing.B) {
+	const n = 256
+	s := rng.NewXoshiro(rng.SeedFromUint64(31))
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = rng.Float64(s) * 100
+	}
+	strs := make([][]alphabet.Symbol, n)
+	for i := range strs {
+		strs[i] = make([]alphabet.Symbol, 24)
+		for j := range strs[i] {
+			strs[i][j] = alphabet.Symbol(rng.Symbol(s, 4))
+		}
+	}
+	numDist := func(i, j int) float64 {
+		d := col[i] - col[j]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run("local-numeric/n=256/"+bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dissim.FromLocalPar(n, bench.workers, func(int) func(i, j int) float64 { return numDist })
+			}
+		})
+		b.Run("local-editdist/n=256/"+bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dissim.FromLocalPar(n, bench.workers, func(int) func(i, j int) float64 {
+					sc := editdist.MustUnitScratch()
+					return func(i, j int) float64 {
+						return float64(sc.Distance(strs[i], strs[j]))
+					}
+				})
+			}
+		})
+	}
+	ms := []*dissim.Matrix{
+		dissim.FromLocal(n, numDist),
+		dissim.FromLocal(n, func(i, j int) float64 { return numDist(j, i) + 1 }),
+		dissim.FromLocal(n, func(i, j int) float64 { return float64((i + j) % 97) }),
+	}
+	weights := []float64{1, 2, 0.5}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run("merge-normalize/n=256/"+bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := dissim.WeightedMergePar(ms, weights, bench.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.NormalizePar(bench.workers)
+			}
+		})
+	}
 }
 
 // BenchmarkE6CommCostNumeric reports a full session's wire bytes as custom

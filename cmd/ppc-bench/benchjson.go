@@ -1,0 +1,164 @@
+// The -json flag turns ppc-bench into a machine-readable perf-regression
+// harness: it runs the performance-critical benchmark families under
+// testing.Benchmark and writes ns/op, allocs/op and bytes/op per family
+// to a JSON file (BENCH_1.json by convention), so future changes can be
+// checked against the recorded trajectory.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"ppclust/internal/alphabet"
+	"ppclust/internal/dissim"
+	"ppclust/internal/editdist"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+)
+
+// benchResult is one family's measurement.
+type benchResult struct {
+	Family    string  `json:"family"`
+	N         int     `json:"n"`
+	Iters     int     `json:"iters"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	BytesOp   int64   `json:"bytes_per_op"`
+	GoMaxProc int     `json:"gomaxprocs"`
+}
+
+// benchFamilies are the hot paths the perf trajectory tracks: the numeric
+// comparison protocol (serial engine vs all-core engine), the third
+// party's edit-distance DP, local matrix construction and the
+// merge+normalize pipeline.
+func benchFamilies() []struct {
+	name string
+	n    int
+	fn   func(b *testing.B)
+} {
+	const n = 256
+	seedJK := rng.SeedFromUint64(1)
+	seedJT := rng.SeedFromUint64(2)
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for i := range xs {
+		xs[i], ys[i] = int64(i%1000), int64((3*i)%1000)
+	}
+	numericRound := func(b *testing.B, workers int) {
+		eng := protocol.NewEngine(workers)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := eng.NumericInitiatorInt(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), protocol.DefaultIntParams, protocol.Batch, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := eng.NumericResponderInt(d, ys, rng.NewAESCTR(seedJK), protocol.DefaultIntParams, protocol.Batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.NumericThirdPartyInt(s, rng.NewAESCTR(seedJT), protocol.DefaultIntParams, protocol.Batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	st := rng.NewXoshiro(rng.SeedFromUint64(8))
+	strs := make([][]alphabet.Symbol, n)
+	for i := range strs {
+		strs[i] = make([]alphabet.Symbol, 24)
+		for j := range strs[i] {
+			strs[i][j] = alphabet.Symbol(rng.Symbol(st, 4))
+		}
+	}
+	localEdit := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dissim.FromLocalPar(n, workers, func(int) func(i, j int) float64 {
+				sc := editdist.MustUnitScratch()
+				return func(i, j int) float64 {
+					return float64(sc.Distance(strs[i], strs[j]))
+				}
+			})
+		}
+	}
+
+	ccm := editdist.BuildCCM(strs[0], strs[1])
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = float64(i % 97)
+	}
+	numDist := func(i, j int) float64 {
+		d := col[i] - col[j]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	ms := []*dissim.Matrix{
+		dissim.FromLocal(n, numDist),
+		dissim.FromLocal(n, func(i, j int) float64 { return numDist(i, j) + 1 }),
+	}
+	weights := []float64{1, 2}
+	mergeNorm := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := dissim.WeightedMergePar(ms, weights, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.NormalizePar(workers)
+		}
+	}
+
+	return []struct {
+		name string
+		n    int
+		fn   func(b *testing.B)
+	}{
+		{"numeric-batch/serial", n, func(b *testing.B) { numericRound(b, 1) }},
+		{"numeric-batch/parallel", n, func(b *testing.B) { numericRound(b, 0) }},
+		{"editdist-ccm-scratch", 24, func(b *testing.B) {
+			sc := editdist.MustUnitScratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc.FromCCM(ccm)
+			}
+		}},
+		{"local-editdist/serial", n, func(b *testing.B) { localEdit(b, 1) }},
+		{"local-editdist/parallel", n, func(b *testing.B) { localEdit(b, 0) }},
+		{"merge-normalize/serial", n, func(b *testing.B) { mergeNorm(b, 1) }},
+		{"merge-normalize/parallel", n, func(b *testing.B) { mergeNorm(b, 0) }},
+	}
+}
+
+// runBenchJSON measures every family and writes the JSON report to path.
+func runBenchJSON(w io.Writer, path string) error {
+	var results []benchResult
+	for _, fam := range benchFamilies() {
+		r := testing.Benchmark(fam.fn)
+		res := benchResult{
+			Family:    fam.name,
+			N:         fam.n,
+			Iters:     r.N,
+			NsPerOp:   float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp:  r.AllocsPerOp(),
+			BytesOp:   r.AllocedBytesPerOp(),
+			GoMaxProc: gomaxprocs(),
+		}
+		results = append(results, res)
+		fmt.Fprintf(w, "%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
+			res.Family, res.NsPerOp, res.AllocsOp, res.BytesOp)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,151 @@
+// Determinism tests for the parallel-execution engine: the Parallelism
+// knob must change scheduling only, never results. Sessions with workers
+// 1, 2 and GOMAXPROCS (0) are required to produce bit-identical
+// dissimilarity matrices and identical published clusterings. Running
+// this package under -race additionally exercises the in-memory driver's
+// parallel hot paths for data races.
+package ppclust_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ppclust"
+	"ppclust/internal/rng"
+)
+
+// determinismData builds a 3-holder mixed-type workload covering every
+// protocol path: numeric (blinded comparison), ordered (rank protocol),
+// alphanumeric (CCM edit distance), categorical and hierarchical
+// (deterministic encryption at the third party).
+func determinismData(t *testing.T) (ppclust.Schema, []ppclust.Partition) {
+	t.Helper()
+	tax := ppclust.MustNewTaxonomy("disease")
+	if err := tax.Add("viral", "disease"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.Add("bacterial", "disease"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.Add("flu", "viral"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.Add("measles", "viral"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tax.Add("strep", "bacterial"); err != nil {
+		t.Fatal(err)
+	}
+	schema := ppclust.Schema{Attrs: []ppclust.Attribute{
+		{Name: "age", Type: ppclust.Numeric},
+		{Name: "severity", Type: ppclust.Ordered, Order: ppclust.MustNewOrdering("mild", "moderate", "severe")},
+		{Name: "dna", Type: ppclust.Alphanumeric, Alphabet: ppclust.DNA},
+		{Name: "city", Type: ppclust.Categorical},
+		{Name: "diagnosis", Type: ppclust.Hierarchical, Taxonomy: tax},
+	}}
+
+	s := rng.NewXoshiro(rng.SeedFromUint64(2026))
+	severities := []string{"mild", "moderate", "severe"}
+	cities := []string{"ankara", "istanbul", "izmir", "bursa"}
+	diagnoses := []string{"flu", "measles", "strep", "viral", "disease"}
+	bases := "ACGT"
+	parts := make([]ppclust.Partition, 3)
+	for pi, site := range []string{"A", "B", "C"} {
+		tab := ppclust.MustNewTable(schema)
+		for r := 0; r < 12+3*pi; r++ {
+			dna := make([]byte, 6+rng.Symbol(s, 5))
+			for i := range dna {
+				dna[i] = bases[rng.Symbol(s, 4)]
+			}
+			tab.MustAppendRow(
+				float64(rng.Symbol(s, 90)),
+				severities[rng.Symbol(s, len(severities))],
+				string(dna),
+				cities[rng.Symbol(s, len(cities))],
+				diagnoses[rng.Symbol(s, len(diagnoses))],
+			)
+		}
+		parts[pi] = ppclust.Partition{Site: site, Table: tab}
+	}
+	return schema, parts
+}
+
+// TestParallelismDeterminism runs full sessions at Parallelism 1, 2 and
+// GOMAXPROCS and requires bit-identical attribute matrices
+// (EqualWithin(0)) and identical published results.
+func TestParallelismDeterminism(t *testing.T) {
+	schema, parts := determinismData(t)
+	type run struct {
+		ms  []*ppclust.DissimilarityMatrix
+		fmt string
+	}
+	runAt := func(workers int) run {
+		out, err := ppclust.Cluster(schema, parts,
+			map[string]ppclust.ClusterRequest{"A": {Linkage: ppclust.Average, K: 3}},
+			ppclust.Options{Parallelism: workers, Random: detRandom})
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", workers, err)
+		}
+		return run{ms: out.Report.AttributeMatrices, fmt: out.Results["A"].Format()}
+	}
+	ref := runAt(1)
+	for _, workers := range []int{2, 0} { // 0 = GOMAXPROCS
+		got := runAt(workers)
+		if got.fmt != ref.fmt {
+			t.Errorf("Parallelism=%d published different clusters:\n%s\nvs serial:\n%s", workers, got.fmt, ref.fmt)
+		}
+		for attr := range ref.ms {
+			if !got.ms[attr].EqualWithin(ref.ms[attr], 0) {
+				t.Errorf("Parallelism=%d: attribute %d matrix differs from serial (want bit-identical)", workers, attr)
+			}
+		}
+	}
+
+	// BuildDissimilarity goes through the same engine; pin it too.
+	refMs, _, err := ppclust.BuildDissimilarity(schema, parts, ppclust.Options{Parallelism: 1, Random: detRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 0} {
+		ms, _, err := ppclust.BuildDissimilarity(schema, parts, ppclust.Options{Parallelism: workers, Random: detRandom})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for attr := range refMs {
+			if !ms[attr].EqualWithin(refMs[attr], 0) {
+				t.Errorf("BuildDissimilarity Parallelism=%d: attribute %d differs", workers, attr)
+			}
+		}
+	}
+}
+
+// TestParallelismVariants checks determinism holds for the int64 and
+// mod-p protocol variants as well (numeric attributes only, since those
+// variants require integral values).
+func TestParallelismVariants(t *testing.T) {
+	schema := ppclust.Schema{Attrs: []ppclust.Attribute{{Name: "x", Type: ppclust.Numeric}}}
+	s := rng.NewXoshiro(rng.SeedFromUint64(7))
+	parts := make([]ppclust.Partition, 2)
+	for pi, site := range []string{"A", "B"} {
+		tab := ppclust.MustNewTable(schema)
+		for r := 0; r < 40; r++ {
+			tab.MustAppendRow(float64(rng.Symbol(s, 1 << 20)))
+		}
+		parts[pi] = ppclust.Partition{Site: site, Table: tab}
+	}
+	for _, v := range []ppclust.NumericVariant{ppclust.Int64Arithmetic, ppclust.ModPArithmetic} {
+		t.Run(fmt.Sprintf("variant=%d", v), func(t *testing.T) {
+			ref, _, err := ppclust.BuildDissimilarity(schema, parts, ppclust.Options{Variant: v, Parallelism: 1, Random: detRandom})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := ppclust.BuildDissimilarity(schema, parts, ppclust.Options{Variant: v, Parallelism: 0, Random: detRandom})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got[0].EqualWithin(ref[0], 0) {
+				t.Error("parallel output differs from serial")
+			}
+		})
+	}
+}

@@ -1,6 +1,11 @@
 package dissim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"ppclust/internal/parallel"
+)
 
 // Assembler realizes the third party's side of the paper's Figure 11: it
 // collects each data holder's local dissimilarity matrix and, for every
@@ -10,19 +15,41 @@ import "fmt"
 //
 // Cross blocks arrive with the later party's objects as rows and the
 // earlier party's as columns — exactly the J_K orientation the protocol's
-// third-party step outputs — so every block lands below the diagonal.
+// third-party step outputs — so every block lands below the diagonal. In
+// the packed lower-triangle storage, row m of a block is one contiguous
+// run of cells, which lets the assembler place whole rows at a time —
+// split across the engine's workers for the O(n²) cross blocks — instead
+// of going through the per-element Set bounds checks. Placement tracks
+// the running maximum, so the Normalize that follows Done needs no Max
+// pass of its own.
 type Assembler struct {
 	sizes   []int
 	offsets []int
 	global  *Matrix
+	workers int
+	max     float64
+	// maxStale is set when a block is installed twice: the incremental
+	// max only grows, so after an overwrite it may exceed the true
+	// maximum and Done must leave the matrix to rescan.
+	maxStale bool
+	// done records that the global matrix was handed out; a second Done
+	// must not re-prime the max cache (the caller may have normalized
+	// the matrix in the meantime).
+	done bool
 
 	localSet []bool
 	crossSet [][]bool
 }
 
-// NewAssembler prepares assembly for the given per-party object counts, in
-// global party order.
+// NewAssembler prepares assembly for the given per-party object counts,
+// in global party order, placing blocks serially.
 func NewAssembler(sizes []int) (*Assembler, error) {
+	return NewAssemblerPar(sizes, 1)
+}
+
+// NewAssemblerPar is NewAssembler with a worker count for block placement
+// (<= 0 = all cores).
+func NewAssemblerPar(sizes []int, workers int) (*Assembler, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("dissim: no parties")
 	}
@@ -43,6 +70,7 @@ func NewAssembler(sizes []int) (*Assembler, error) {
 		sizes:    sizes,
 		offsets:  offsets,
 		global:   New(total),
+		workers:  parallel.Workers(workers),
 		localSet: make([]bool, len(sizes)),
 		crossSet: crossSet,
 	}, nil
@@ -54,7 +82,10 @@ func (a *Assembler) Total() int { return a.global.N() }
 // Offset returns the global index of party p's first object.
 func (a *Assembler) Offset(p int) int { return a.offsets[p] }
 
-// SetLocal installs party p's local dissimilarity matrix.
+// SetLocal installs party p's local dissimilarity matrix. Row i of the
+// local triangle is copied into the contiguous global cells
+// [(off+i)(off+i−1)/2 + off, …+i); entries were validated when the local
+// matrix was built or unpacked.
 func (a *Assembler) SetLocal(p int, local *Matrix) error {
 	if p < 0 || p >= len(a.sizes) {
 		return fmt.Errorf("dissim: party %d out of range", p)
@@ -62,11 +93,18 @@ func (a *Assembler) SetLocal(p int, local *Matrix) error {
 	if local.N() != a.sizes[p] {
 		return fmt.Errorf("dissim: party %d local matrix has %d objects, want %d", p, local.N(), a.sizes[p])
 	}
+	if a.localSet[p] {
+		a.maxStale = true
+	}
 	off := a.offsets[p]
 	for i := 1; i < local.N(); i++ {
-		for j := 0; j < i; j++ {
-			a.global.Set(off+i, off+j, local.At(i, j))
-		}
+		gi := off + i
+		src := local.cell[i*(i-1)/2 : i*(i-1)/2+i]
+		dst := a.global.cell[gi*(gi-1)/2+off:]
+		copy(dst[:i], src)
+	}
+	if lm := local.Max(); lm > a.max {
+		a.max = lm
 	}
 	a.localSet[p] = true
 	return nil
@@ -74,23 +112,50 @@ func (a *Assembler) SetLocal(p int, local *Matrix) error {
 
 // SetCross installs the protocol output block for the pair (j, k), k > j:
 // at(m, n) is the distance between party k's object m and party j's object
-// n, matching the J_K matrix of Figures 6 and 10.
+// n, matching the J_K matrix of Figures 6 and 10. Rows are placed in
+// parallel; at must therefore be safe for concurrent calls (the decoded
+// protocol blocks are plain value lookups). Invalid entries — negative or
+// non-finite, indicating a protocol-layer bug — are reported as errors.
 func (a *Assembler) SetCross(j, k int, at func(m, n int) float64) error {
 	if j < 0 || k >= len(a.sizes) || k <= j {
 		return fmt.Errorf("dissim: invalid pair (%d,%d)", j, k)
 	}
+	if a.crossSet[k][j] {
+		a.maxStale = true
+	}
 	offK, offJ := a.offsets[k], a.offsets[j]
-	for m := 0; m < a.sizes[k]; m++ {
-		for n := 0; n < a.sizes[j]; n++ {
-			a.global.Set(offK+m, offJ+n, at(m, n))
+	rows, cols := a.sizes[k], a.sizes[j]
+	max, err := parallel.MaxRangeErr(a.workers, rows, func(_, lo, hi int) (float64, error) {
+		chunkMax := 0.0
+		for m := lo; m < hi; m++ {
+			gi := offK + m
+			dst := a.global.cell[gi*(gi-1)/2+offJ:]
+			for n := 0; n < cols; n++ {
+				v := at(m, n)
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return chunkMax, fmt.Errorf("dissim: invalid dissimilarity %v in cross block (%d,%d) at (%d,%d)", v, j, k, m, n)
+				}
+				dst[n] = v
+				if v > chunkMax {
+					chunkMax = v
+				}
+			}
 		}
+		return chunkMax, nil
+	})
+	if err != nil {
+		return err
+	}
+	if max > a.max {
+		a.max = max
 	}
 	a.crossSet[k][j] = true
 	return nil
 }
 
 // Done verifies that every local matrix and every cross block has been
-// installed and returns the assembled global matrix.
+// installed and returns the assembled global matrix with its maximum
+// already known.
 func (a *Assembler) Done() (*Matrix, error) {
 	for p, ok := range a.localSet {
 		if !ok {
@@ -103,6 +168,16 @@ func (a *Assembler) Done() (*Matrix, error) {
 				return nil, fmt.Errorf("dissim: missing cross block (%d,%d)", j, k)
 			}
 		}
+	}
+	if !a.done {
+		if a.maxStale {
+			// A block was overwritten; the incremental max may be too
+			// large. Drop the cache and let the next Max/Normalize rescan.
+			a.global.invalidateMax()
+		} else {
+			a.global.setMax(a.max)
+		}
+		a.done = true
 	}
 	return a.global, nil
 }

@@ -12,13 +12,26 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"ppclust/internal/parallel"
 )
 
 // Matrix is a symmetric object-by-object dissimilarity matrix with zero
 // diagonal, stored as a packed lower triangle.
+//
+// The matrix carries a maximum-entry cache so that Normalize — the final
+// step of the paper's Figure 11 — needs no separate Max pass when the
+// matrix came out of one of the package's builders (FromLocal,
+// FromPacked, WeightedMerge, the Assembler): those fuse max tracking into
+// the construction pass they already make. Set keeps the cache alive on
+// the grow-from-zero write patterns the builders use and invalidates it
+// otherwise.
 type Matrix struct {
 	n    int
 	cell []float64
+
+	maxOK    bool
+	maxCache float64
 }
 
 // New allocates an n×n zero matrix.
@@ -26,7 +39,7 @@ func New(n int) *Matrix {
 	if n < 0 {
 		panic(fmt.Sprintf("dissim: negative size %d", n))
 	}
-	return &Matrix{n: n, cell: make([]float64, n*(n-1)/2)}
+	return &Matrix{n: n, cell: make([]float64, n*(n-1)/2), maxOK: true}
 }
 
 // N returns the number of objects.
@@ -65,11 +78,29 @@ func (m *Matrix) Set(i, j int, v float64) {
 		}
 		return
 	}
-	m.cell[m.index(i, j)] = v
+	idx := m.index(i, j)
+	old := m.cell[idx]
+	m.cell[idx] = v
+	if m.maxOK {
+		if v >= m.maxCache {
+			m.maxCache = v
+		} else if old == m.maxCache {
+			// The overwritten entry may have been the unique maximum.
+			m.maxOK = false
+		}
+	}
 }
 
-// Max returns the largest entry (0 for matrices with fewer than 2 objects).
+// Max returns the largest entry (0 for matrices with fewer than 2
+// objects). Builders prime a cache during their construction pass, so
+// the usual construct-then-Normalize sequence needs no extra scan. When
+// the cache was invalidated by Set, Max rescans WITHOUT storing — the
+// method stays a pure read, safe for concurrent callers on a quiescent
+// matrix, exactly as before the cache existed.
 func (m *Matrix) Max() float64 {
+	if m.maxOK {
+		return m.maxCache
+	}
 	max := 0.0
 	for _, v := range m.cell {
 		if v > max {
@@ -79,18 +110,42 @@ func (m *Matrix) Max() float64 {
 	return max
 }
 
+// setMax primes the cache from a builder that tracked the maximum during
+// its construction pass.
+func (m *Matrix) setMax(max float64) {
+	m.maxCache, m.maxOK = max, true
+}
+
+// invalidateMax drops the cache; the next Max call rescans. Builders use
+// it when their incremental tracking can no longer be trusted (e.g. a
+// block overwrite in the Assembler).
+func (m *Matrix) invalidateMax() {
+	m.maxOK = false
+}
+
 // Normalize scales all entries into [0, 1] by dividing by the maximum
 // entry, the final step of the paper's Figure 11 ("d[m][n] = d[m][n] /
 // maximum value in d"). A zero matrix is left unchanged. It returns the
 // maximum that was used, so callers can report the scale.
 func (m *Matrix) Normalize() float64 {
+	return m.NormalizePar(1)
+}
+
+// NormalizePar is Normalize over the given worker count (<= 0 = all
+// cores). Scaling is element-wise, so the result is bit-identical at any
+// worker count.
+func (m *Matrix) NormalizePar(workers int) float64 {
 	max := m.Max()
 	if max == 0 {
 		return 0
 	}
-	for i := range m.cell {
-		m.cell[i] /= max
-	}
+	parallel.Range(parallel.Workers(workers), len(m.cell), func(_, lo, hi int) {
+		cells := m.cell[lo:hi]
+		for i := range cells {
+			cells[i] /= max
+		}
+	})
+	m.setMax(1)
 	return max
 }
 
@@ -98,6 +153,7 @@ func (m *Matrix) Normalize() float64 {
 func (m *Matrix) Clone() *Matrix {
 	c := New(m.n)
 	copy(c.cell, m.cell)
+	c.maxOK, c.maxCache = m.maxOK, m.maxCache
 	return c
 }
 
@@ -152,8 +208,17 @@ func (m *Matrix) Packed() []float64 {
 	return append([]float64(nil), m.cell...)
 }
 
+// PackedView returns the packed lower triangle without copying. The slice
+// aliases the matrix storage: callers must treat it as read-only and must
+// not retain it past the matrix's next mutation. It exists for the wire
+// path, where a holder serializes a local matrix it is about to discard.
+func (m *Matrix) PackedView() []float64 {
+	return m.cell
+}
+
 // FromPacked reconstructs an n-object matrix from its packed lower
-// triangle, validating length and entry ranges.
+// triangle, validating length and entry ranges. The validation pass
+// doubles as the max pass, so a later Normalize scans nothing.
 func FromPacked(n int, cells []float64) (*Matrix, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("dissim: negative size %d", n)
@@ -161,13 +226,18 @@ func FromPacked(n int, cells []float64) (*Matrix, error) {
 	if len(cells) != n*(n-1)/2 {
 		return nil, fmt.Errorf("dissim: %d cells for n=%d, want %d", len(cells), n, n*(n-1)/2)
 	}
+	max := 0.0
 	for i, v := range cells {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			return nil, fmt.Errorf("dissim: invalid packed entry %v at %d", v, i)
 		}
+		if v > max {
+			max = v
+		}
 	}
 	m := New(n)
 	copy(m.cell, cells)
+	m.setMax(max)
 	return m, nil
 }
 
@@ -175,12 +245,41 @@ func FromPacked(n int, cells []float64) (*Matrix, error) {
 // for n objects from a pairwise distance function. The distance function is
 // consulted only for i > j.
 func FromLocal(n int, dist func(i, j int) float64) *Matrix {
+	return FromLocalPar(n, 1, func(int) func(i, j int) float64 { return dist })
+}
+
+// FromLocalPar is Figure 12 over the parallel engine: the packed cell
+// range is split into contiguous chunks, one per worker, and newDist is
+// invoked once per worker so distance functions can carry private scratch
+// (the alphanumeric edit-distance DP rows). Every cell's value depends
+// only on its own (i, j), so output is bit-identical at any worker count.
+// The construction pass tracks the maximum entry, fusing the Max scan
+// Normalize would otherwise need.
+func FromLocalPar(n, workers int, newDist func(worker int) func(i, j int) float64) *Matrix {
 	m := New(n)
-	for i := 1; i < n; i++ {
-		for j := 0; j < i; j++ {
-			m.Set(i, j, dist(i, j))
+	total := len(m.cell)
+	max := parallel.MaxRange(workers, total, func(w, lo, hi int) float64 {
+		dist := newDist(w)
+		i, j := parallel.PairOf(lo)
+		chunkMax := 0.0
+		for k := lo; k < hi; k++ {
+			v := dist(i, j)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				panic(fmt.Sprintf("dissim: invalid dissimilarity %v at (%d,%d)", v, i, j))
+			}
+			m.cell[k] = v
+			if v > chunkMax {
+				chunkMax = v
+			}
+			j++
+			if j == i {
+				i++
+				j = 0
+			}
 		}
-	}
+		return chunkMax
+	})
+	m.setMax(max)
 	return m
 }
 
@@ -189,6 +288,15 @@ func FromLocal(n int, dist func(i, j int) float64) *Matrix {
 // result = Σ wᵢ·dᵢ / Σ wᵢ. Weights must be non-negative with a positive
 // sum; matrices must agree in size.
 func WeightedMerge(ms []*Matrix, weights []float64) (*Matrix, error) {
+	return WeightedMergePar(ms, weights, 1)
+}
+
+// WeightedMergePar is WeightedMerge over the parallel engine (<= 0 = all
+// cores). Each output cell is the same left-to-right weighted sum the
+// serial form computes, evaluated independently per cell, so results are
+// bit-identical at any worker count. The merge pass tracks the maximum,
+// fusing the scan a following Normalize would make.
+func WeightedMergePar(ms []*Matrix, weights []float64, workers int) (*Matrix, error) {
 	if len(ms) == 0 {
 		return nil, fmt.Errorf("dissim: no matrices to merge")
 	}
@@ -206,15 +314,30 @@ func WeightedMerge(ms []*Matrix, weights []float64) (*Matrix, error) {
 		return nil, fmt.Errorf("dissim: weights sum to zero")
 	}
 	n := ms[0].n
-	out := New(n)
 	for i, mi := range ms {
 		if mi.n != n {
 			return nil, fmt.Errorf("dissim: matrix %d has %d objects, want %d", i, mi.n, n)
 		}
-		w := weights[i] / sum
-		for c := range out.cell {
-			out.cell[c] += w * mi.cell[c]
-		}
 	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	out := New(n)
+	max := parallel.MaxRange(workers, len(out.cell), func(_, lo, hi int) float64 {
+		chunkMax := 0.0
+		for c := lo; c < hi; c++ {
+			v := 0.0
+			for i := range ms {
+				v += norm[i] * ms[i].cell[c]
+			}
+			out.cell[c] = v
+			if v > chunkMax {
+				chunkMax = v
+			}
+		}
+		return chunkMax
+	})
+	out.setMax(max)
 	return out, nil
 }

@@ -316,3 +316,218 @@ func BenchmarkNormalize1000(b *testing.B) {
 		m.Normalize()
 	}
 }
+
+// synthDist is a deterministic pure pairwise distance for builder tests.
+func synthDist(i, j int) float64 {
+	return float64((i*2654435761+j*40503) % 1000)
+}
+
+// TestFromLocalParBitIdentical checks the parallel builder against the
+// serial Figure 12 construction for several worker counts.
+func TestFromLocalParBitIdentical(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 64, 150} {
+		want := FromLocal(n, synthDist)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := FromLocalPar(n, workers, func(int) func(i, j int) float64 { return synthDist })
+			if !got.EqualWithin(want, 0) {
+				t.Fatalf("n=%d workers=%d: parallel build differs", n, workers)
+			}
+			if got.Max() != want.Max() {
+				t.Fatalf("n=%d workers=%d: max %v vs %v", n, workers, got.Max(), want.Max())
+			}
+		}
+	}
+}
+
+// TestWeightedMergeParBitIdentical checks the parallel merge against the
+// serial one, including the fused max.
+func TestWeightedMergeParBitIdentical(t *testing.T) {
+	s := rng.NewXoshiro(rng.SeedFromUint64(41))
+	n := 80
+	ms := make([]*Matrix, 3)
+	for a := range ms {
+		ms[a] = FromLocal(n, func(i, j int) float64 { return rng.Float64(s) })
+	}
+	weights := []float64{0.2, 1.7, 3.0}
+	want, err := WeightedMerge(ms, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 16} {
+		got, err := WeightedMergePar(ms, weights, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualWithin(want, 0) {
+			t.Fatalf("workers=%d: parallel merge differs", workers)
+		}
+		if got.Max() != want.Max() {
+			t.Fatalf("workers=%d: max differs", workers)
+		}
+	}
+}
+
+// TestMaxCache exercises the fused max bookkeeping: builder-primed
+// caches, Set updates that grow or invalidate, and Normalize reuse.
+func TestMaxCache(t *testing.T) {
+	m := New(4)
+	if m.Max() != 0 {
+		t.Fatal("zero matrix max")
+	}
+	m.Set(1, 0, 5)
+	m.Set(2, 1, 9)
+	if m.Max() != 9 {
+		t.Fatalf("max = %v, want 9", m.Max())
+	}
+	m.Set(2, 1, 1) // overwrite the maximum: cache must invalidate
+	if m.Max() != 5 {
+		t.Fatalf("max after overwrite = %v, want 5", m.Max())
+	}
+	m.Set(3, 0, 20)
+	if m.Max() != 20 {
+		t.Fatalf("max after growth = %v, want 20", m.Max())
+	}
+	if got := m.NormalizePar(3); got != 20 {
+		t.Fatalf("normalize scale = %v, want 20", got)
+	}
+	if m.Max() != 1 {
+		t.Fatalf("max after normalize = %v, want 1", m.Max())
+	}
+}
+
+// TestPackedViewAliases checks the no-copy wire accessor matches Packed.
+func TestPackedViewAliases(t *testing.T) {
+	m := FromLocal(10, synthDist)
+	view, copied := m.PackedView(), m.Packed()
+	if len(view) != len(copied) {
+		t.Fatalf("length mismatch %d vs %d", len(view), len(copied))
+	}
+	for i := range view {
+		if view[i] != copied[i] {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+	if &view[0] == &copied[0] {
+		t.Fatal("Packed must copy")
+	}
+	if &view[0] != &m.cell[0] {
+		t.Fatal("PackedView must alias")
+	}
+}
+
+// TestAssemblerParMatchesSerial assembles a 3-party global matrix with 1
+// and many workers and requires bit-identical output.
+func TestAssemblerParMatchesSerial(t *testing.T) {
+	sizes := []int{7, 11, 5}
+	build := func(workers int) *Matrix {
+		a, err := NewAssemblerPar(sizes, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, sz := range sizes {
+			local := FromLocal(sz, func(i, j int) float64 { return synthDist(i+p, j) })
+			if err := a.SetLocal(p, local); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 1; k < len(sizes); k++ {
+			for j := 0; j < k; j++ {
+				j, k := j, k
+				if err := a.SetCross(j, k, func(m, n int) float64 { return synthDist(m+10*k, n+j) }); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		g, err := a.Done()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	want := build(1)
+	for _, workers := range []int{2, 4} {
+		got := build(workers)
+		if !got.EqualWithin(want, 0) {
+			t.Fatalf("workers=%d: assembly differs", workers)
+		}
+		if got.Max() != want.Max() {
+			t.Fatalf("workers=%d: max differs", workers)
+		}
+	}
+	// Invalid cross entries surface as errors, not panics.
+	a, _ := NewAssembler([]int{2, 2})
+	if err := a.SetCross(0, 1, func(m, n int) float64 { return -1 }); err == nil {
+		t.Fatal("negative cross entry accepted")
+	}
+}
+
+// TestAssemblerReinstallInvalidatesMax overwrites a block with smaller
+// values: the fused max must not go stale (the pre-engine assembler
+// allowed overwrites, since Normalize always rescanned).
+func TestAssemblerReinstallInvalidatesMax(t *testing.T) {
+	a, err := NewAssembler([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := FromLocal(2, func(i, j int) float64 { return 10 })
+	small := FromLocal(2, func(i, j int) float64 { return 4 })
+	if err := a.SetLocal(0, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetLocal(1, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetCross(0, 1, func(m, n int) float64 { return 3 }); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the big local with the small one: true max is now 4.
+	if err := a.SetLocal(0, small); err != nil {
+		t.Fatal(err)
+	}
+	g, err := a.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Max(); got != 4 {
+		t.Fatalf("max after overwrite = %v, want 4", got)
+	}
+	if scale := g.Normalize(); scale != 4 {
+		t.Fatalf("normalize scale = %v, want 4", scale)
+	}
+	if g.Max() != 1 {
+		t.Fatalf("max after normalize = %v, want 1", g.Max())
+	}
+}
+
+// TestAssemblerDoneIdempotent: a second Done after the caller normalized
+// the returned matrix must not re-prime the stale pre-normalization max.
+func TestAssemblerDoneIdempotent(t *testing.T) {
+	a, err := NewAssembler([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromLocal(2, func(i, j int) float64 { return 40 })
+	if err := a.SetLocal(0, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetLocal(1, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetCross(0, 1, func(int, int) float64 { return 8 }); err != nil {
+		t.Fatal(err)
+	}
+	g, err := a.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale := g.Normalize(); scale != 40 {
+		t.Fatalf("scale = %v, want 40", scale)
+	}
+	g2, err := a.Done()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Max() != 1 {
+		t.Fatalf("max after second Done = %v, want 1 (stale cache re-primed)", g2.Max())
+	}
+}

@@ -44,23 +44,73 @@ func Distance(a, b []alphabet.Symbol) int {
 }
 
 // DistanceCosts returns the edit distance between a and b under the given
-// cost model, using the standard O(len(a)·len(b)) dynamic program with
-// two-row storage.
+// cost model. The costs are validated on every call; hot loops that run
+// the DP n²/2 times should construct a Scratch once instead, which
+// validates at construction and reuses its two DP rows across calls.
 func DistanceCosts(a, b []alphabet.Symbol, costs Costs) int {
-	if err := costs.valid(); err != nil {
+	s, err := NewScratch(costs)
+	if err != nil {
 		panic(err)
 	}
-	// prev[j] = distance between a[:i] and b[:j] for the previous i.
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	return s.Distance(a, b)
+}
+
+// Scratch is a reusable edit-distance evaluator: the cost model is
+// validated once at construction and the two DP rows are grown on demand
+// and reused, so repeated Distance/FromCCM calls allocate nothing. Not
+// safe for concurrent use — parallel evaluators hold one Scratch per
+// worker.
+type Scratch struct {
+	costs     Costs
+	prev, cur []int
+}
+
+// NewScratch validates the cost model once and returns a reusable
+// evaluator over it.
+func NewScratch(costs Costs) (*Scratch, error) {
+	if err := costs.valid(); err != nil {
+		return nil, err
+	}
+	return &Scratch{costs: costs}, nil
+}
+
+// MustUnitScratch returns a Scratch over the paper's unit costs, which
+// are always valid.
+func MustUnitScratch() *Scratch {
+	s, err := NewScratch(UnitCosts)
+	if err != nil {
+		panic(err) // unreachable: UnitCosts is valid
+	}
+	return s
+}
+
+// Costs returns the validated cost model.
+func (s *Scratch) Costs() Costs { return s.costs }
+
+// grow sizes the two DP rows for a column count of cols.
+func (s *Scratch) grow(cols int) {
+	if cap(s.prev) < cols+1 {
+		s.prev = make([]int, cols+1)
+		s.cur = make([]int, cols+1)
+	}
+	s.prev = s.prev[:cols+1]
+	s.cur = s.cur[:cols+1]
+}
+
+// Distance returns the edit distance between symbol vectors a and b under
+// the scratch's cost model, without allocating.
+func (s *Scratch) Distance(a, b []alphabet.Symbol) int {
+	s.grow(len(b))
+	prev, cur, costs := s.prev, s.cur, s.costs
 	for j := range prev {
 		prev[j] = j * costs.Insert
 	}
 	for i := 1; i <= len(a); i++ {
 		cur[0] = i * costs.Delete
+		ai := a[i-1]
 		for j := 1; j <= len(b); j++ {
 			sub := prev[j-1]
-			if a[i-1] != b[j-1] {
+			if ai != b[j-1] {
 				sub += costs.Substitute
 			}
 			cur[j] = min3(prev[j]+costs.Delete, cur[j-1]+costs.Insert, sub)
@@ -68,6 +118,30 @@ func DistanceCosts(a, b []alphabet.Symbol, costs Costs) int {
 		prev, cur = cur, prev
 	}
 	return prev[len(b)]
+}
+
+// FromCCM runs the edit-distance DP over a character comparison matrix
+// without allocating — the third party's per-pair evaluation (Figure 10),
+// called n²/2 times per alphanumeric attribute.
+func (s *Scratch) FromCCM(m CCM) int {
+	s.grow(m.Cols)
+	prev, cur, costs := s.prev, s.cur, s.costs
+	for j := range prev {
+		prev[j] = j * costs.Insert
+	}
+	for i := 1; i <= m.Rows; i++ {
+		cur[0] = i * costs.Delete
+		row := m.Cell[(i-1)*m.Cols : i*m.Cols]
+		for j := 1; j <= m.Cols; j++ {
+			sub := prev[j-1]
+			if row[j-1] != 0 {
+				sub += costs.Substitute
+			}
+			cur[j] = min3(prev[j]+costs.Delete, cur[j-1]+costs.Insert, sub)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m.Cols]
 }
 
 // DistanceStrings encodes s and t over a and returns their edit distance
@@ -151,27 +225,14 @@ func FromCCM(m CCM) int {
 // FromCCMCosts runs the edit-distance DP over a CCM with the given costs.
 // Rows of the CCM play the role of one string's positions, columns the
 // other's; for symmetric cost models the orientation does not matter.
+// Like DistanceCosts, this validates per call — batch evaluators use a
+// Scratch.
 func FromCCMCosts(m CCM, costs Costs) int {
-	if err := costs.valid(); err != nil {
+	s, err := NewScratch(costs)
+	if err != nil {
 		panic(err)
 	}
-	prev := make([]int, m.Cols+1)
-	cur := make([]int, m.Cols+1)
-	for j := range prev {
-		prev[j] = j * costs.Insert
-	}
-	for i := 1; i <= m.Rows; i++ {
-		cur[0] = i * costs.Delete
-		for j := 1; j <= m.Cols; j++ {
-			sub := prev[j-1]
-			if m.At(i-1, j-1) != 0 {
-				sub += costs.Substitute
-			}
-			cur[j] = min3(prev[j]+costs.Delete, cur[j-1]+costs.Insert, sub)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m.Cols]
+	return s.FromCCM(m)
 }
 
 func min3(a, b, c int) int {

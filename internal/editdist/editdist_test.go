@@ -271,3 +271,46 @@ func BenchmarkFromCCM32(b *testing.B) {
 		FromCCM(ccm)
 	}
 }
+
+// TestScratchMatchesOneShot checks the reusable evaluator against the
+// allocating entry points across many random pairs, reusing one Scratch.
+func TestScratchMatchesOneShot(t *testing.T) {
+	s := rng.NewXoshiro(rng.SeedFromUint64(77))
+	sc := MustUnitScratch()
+	weighted, err := NewScratch(Costs{Insert: 2, Delete: 3, Substitute: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := make([]alphabet.Symbol, rng.Symbol(s, 20))
+		b := make([]alphabet.Symbol, rng.Symbol(s, 20))
+		for i := range a {
+			a[i] = alphabet.Symbol(rng.Symbol(s, 4))
+		}
+		for i := range b {
+			b[i] = alphabet.Symbol(rng.Symbol(s, 4))
+		}
+		if got, want := sc.Distance(a, b), Distance(a, b); got != want {
+			t.Fatalf("Scratch.Distance = %d, want %d", got, want)
+		}
+		ccm := BuildCCM(a, b)
+		if got, want := sc.FromCCM(ccm), FromCCM(ccm); got != want {
+			t.Fatalf("Scratch.FromCCM = %d, want %d", got, want)
+		}
+		wc := weighted.Costs()
+		if got, want := weighted.Distance(a, b), DistanceCosts(a, b, wc); got != want {
+			t.Fatalf("weighted Scratch.Distance = %d, want %d", got, want)
+		}
+		if got, want := weighted.FromCCM(ccm), FromCCMCosts(ccm, wc); got != want {
+			t.Fatalf("weighted Scratch.FromCCM = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestScratchRejectsInvalidCosts checks validation happens once, at
+// construction.
+func TestScratchRejectsInvalidCosts(t *testing.T) {
+	if _, err := NewScratch(Costs{Insert: -1, Delete: 1, Substitute: 1}); err == nil {
+		t.Fatal("negative insert cost accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Package parallel is the chunked worker engine behind every O(n²) hot
+// path in ppclust: local dissimilarity construction, the third party's
+// CCM edit-distance evaluation, mask stripping, matrix assembly, merging
+// and normalization.
+//
+// The engine deliberately offers only deterministic-placement primitives:
+// an index range is split into one contiguous chunk per worker, every
+// element's value depends only on its own index, and every worker writes
+// exclusively to its own chunk of a preallocated output. Output is
+// therefore bit-identical for any worker count — the property the
+// protocol's determinism tests pin down — and no synchronization beyond
+// the final join is ever needed.
+package parallel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0) (the "all cores" default), everything else is
+// taken literally.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Range splits [0, n) into at most `workers` contiguous chunks and runs
+// fn(worker, lo, hi) for each, concurrently when more than one worker
+// results. Like every primitive here, workers <= 0 means all cores;
+// workers == 1 runs inline on the caller's goroutine. Chunk boundaries
+// are a pure function of (resolved workers, n). fn must write only to
+// the [lo, hi) slice of any shared output.
+//
+// The spawn decision deliberately ignores n's magnitude: callers index
+// Range by rows (protocol steps) as well as by cells, and a per-item
+// work estimate is theirs to make — a few hundred rows of edit-distance
+// DPs is exactly the workload that must fan out. Range is called once
+// per protocol step or matrix, so goroutine startup (~µs) is noise.
+func Range(workers, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	base, rem := n/workers, n%workers
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w*base + min(w, rem)
+			hi := lo + base
+			if w < rem {
+				hi++
+			}
+			fn(w, lo, hi)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// RangeErr is Range for fallible bodies: each worker may report one
+// error, and the lowest-indexed worker's error (closest to serial
+// first-error order) is returned after the join.
+func RangeErr(workers, n int, fn func(worker, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, workers)
+	Range(workers, n, func(w, lo, hi int) {
+		errs[w] = fn(w, lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxRange is Range with a per-chunk float64 max reduction: fn returns
+// the maximum it observed over [lo, hi) and MaxRange returns the overall
+// maximum (0 for an empty range, matching dissim's zero-matrix
+// convention). Max is exact and order-free, so the reduction is
+// bit-identical at any worker count.
+func MaxRange(workers, n int, fn func(worker, lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	maxes := make([]float64, workers)
+	Range(workers, n, func(w, lo, hi int) {
+		maxes[w] = fn(w, lo, hi)
+	})
+	max := 0.0
+	for _, v := range maxes {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MaxRangeErr combines MaxRange's reduction with RangeErr's error
+// collection: fn returns its chunk max and an optional error; the
+// overall max and the lowest-indexed worker's error are returned.
+func MaxRangeErr(workers, n int, fn func(worker, lo, hi int) (float64, error)) (float64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	maxes := make([]float64, workers)
+	errs := make([]error, workers)
+	Range(workers, n, func(w, lo, hi int) {
+		maxes[w], errs[w] = fn(w, lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	max := 0.0
+	for _, v := range maxes {
+		if v > max {
+			max = v
+		}
+	}
+	return max, nil
+}
+
+// PairOf maps a packed lower-triangle index k (the storage layout of
+// dissim.Matrix: d[i][j] with i > j at index i(i−1)/2 + j) back to its
+// (i, j) coordinates. It is the bridge that lets Range chunk the packed
+// cell array while workers still see object coordinates.
+func PairOf(k int) (i, j int) {
+	// i is the largest integer with i(i−1)/2 <= k. The float estimate is
+	// within ±1 of the truth for any k that fits in a float64 mantissa;
+	// the fixup loops make the result exact.
+	i = int((1 + math.Sqrt(1+8*float64(k))) / 2)
+	for i*(i-1)/2 > k {
+		i--
+	}
+	for (i+1)*i/2 <= k {
+		i++
+	}
+	j = k - i*(i-1)/2
+	return i, j
+}

@@ -1,0 +1,166 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+// TestRangeCoversExactlyOnce checks that every index in [0, n) is visited
+// exactly once for a spread of worker counts and sizes, including ranges
+// large enough to take the goroutine path.
+func TestRangeCoversExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 255, 256, 1000, 4096} {
+		for _, workers := range []int{1, 2, 3, 7, 64, 1000} {
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			seen := map[int]bool{}
+			Range(workers, n, func(w, lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Fatalf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				mu.Lock()
+				if seen[w] {
+					t.Errorf("workers=%d n=%d: worker %d ran twice", workers, n, w)
+				}
+				seen[w] = true
+				mu.Unlock()
+				for k := lo; k < hi; k++ {
+					hits[k]++ // chunks are disjoint, so no race
+				}
+			})
+			for k, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, k, h)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeDeterministicBounds checks chunk boundaries are a pure function
+// of (workers, n).
+func TestRangeDeterministicBounds(t *testing.T) {
+	record := func() [][2]int {
+		var mu sync.Mutex
+		out := make([][2]int, 4)
+		Range(4, 1000, func(w, lo, hi int) {
+			mu.Lock()
+			out[w] = [2]int{lo, hi}
+			mu.Unlock()
+		})
+		return out
+	}
+	a, b := record(), record()
+	for w := range a {
+		if a[w] != b[w] {
+			t.Fatalf("worker %d bounds differ across runs: %v vs %v", w, a[w], b[w])
+		}
+	}
+}
+
+func TestMaxRange(t *testing.T) {
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = float64((i * 2654435761) % 9973)
+	}
+	want := 0.0
+	for _, v := range vals {
+		if v > want {
+			want = v
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := MaxRange(workers, len(vals), func(w, lo, hi int) float64 {
+			m := 0.0
+			for k := lo; k < hi; k++ {
+				if vals[k] > m {
+					m = vals[k]
+				}
+			}
+			return m
+		})
+		if got != want {
+			t.Errorf("workers=%d: MaxRange = %v, want %v", workers, got, want)
+		}
+	}
+	if got := MaxRange(4, 0, nil); got != 0 {
+		t.Errorf("empty MaxRange = %v, want 0", got)
+	}
+}
+
+// TestPairOf checks the packed-index inverse over an exhaustive range and
+// at large offsets.
+func TestPairOf(t *testing.T) {
+	k := 0
+	for i := 1; i < 200; i++ {
+		for j := 0; j < i; j++ {
+			gi, gj := PairOf(k)
+			if gi != i || gj != j {
+				t.Fatalf("PairOf(%d) = (%d,%d), want (%d,%d)", k, gi, gj, i, j)
+			}
+			k++
+		}
+	}
+	// Spot-check at scale: n = 100_000 objects, last packed cell.
+	n := 100000
+	last := n*(n-1)/2 - 1
+	if i, j := PairOf(last); i != n-1 || j != n-2 {
+		t.Errorf("PairOf(last) = (%d,%d), want (%d,%d)", i, j, n-1, n-2)
+	}
+	if i, j := PairOf(0); i != 1 || j != 0 {
+		t.Errorf("PairOf(0) = (%d,%d)", i, j)
+	}
+}
+
+func TestRangeErr(t *testing.T) {
+	// Lowest-indexed worker's error wins; nil when all succeed.
+	err := RangeErr(4, 1000, func(w, lo, hi int) error {
+		if w >= 2 {
+			return errWorker(w)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "worker 2" {
+		t.Fatalf("RangeErr = %v, want worker 2", err)
+	}
+	if err := RangeErr(4, 1000, func(int, int, int) error { return nil }); err != nil {
+		t.Fatalf("RangeErr success = %v", err)
+	}
+	if err := RangeErr(4, 0, func(int, int, int) error { return errWorker(0) }); err != nil {
+		t.Fatalf("empty RangeErr = %v", err)
+	}
+}
+
+func TestMaxRangeErr(t *testing.T) {
+	max, err := MaxRangeErr(3, 900, func(w, lo, hi int) (float64, error) {
+		return float64(hi), nil
+	})
+	if err != nil || max != 900 {
+		t.Fatalf("MaxRangeErr = (%v, %v), want (900, nil)", max, err)
+	}
+	if _, err := MaxRangeErr(3, 900, func(w, lo, hi int) (float64, error) {
+		if w == 1 {
+			return 0, errWorker(1)
+		}
+		return 1, nil
+	}); err == nil {
+		t.Fatal("MaxRangeErr swallowed the error")
+	}
+}
+
+type errWorker int
+
+func (e errWorker) Error() string { return "worker " + string(rune('0'+e)) }

@@ -12,6 +12,7 @@ import (
 	"ppclust/internal/editdist"
 	"ppclust/internal/hcluster"
 	"ppclust/internal/keys"
+	"ppclust/internal/parallel"
 	"ppclust/internal/protocol"
 	"ppclust/internal/rng"
 	"ppclust/internal/wire"
@@ -26,6 +27,8 @@ type Holder struct {
 	cfg     Config
 	req     ClusterRequest
 	random  io.Reader
+	workers int
+	eng     *protocol.Engine
 
 	identity *keys.Identity
 	tp       *wire.Endpoint
@@ -75,6 +78,8 @@ func NewHolder(name string, table *dataset.Table, holders []string, cfg Config, 
 		cfg:     cfg,
 		req:     req,
 		random:  random,
+		workers: parallel.Workers(cfg.Parallelism),
+		eng:     protocol.NewEngine(cfg.Parallelism),
 		peers:   make(map[string]*wire.Endpoint),
 		masters: make(map[string][]byte),
 		counts:  make(map[string]int),
@@ -238,9 +243,12 @@ func (h *Holder) numericValues(attr int) ([]float64, error) {
 	return h.table.NumericCol(attr)
 }
 
-// localDistance returns the plaintext distance function for attribute attr,
-// used for the Figure 12 local matrix.
-func (h *Holder) localDistance(attr int) (func(i, j int) float64, error) {
+// localDistance returns a per-worker factory of plaintext distance
+// functions for attribute attr, used for the parallel Figure 12 local
+// matrix construction. Numeric distances are stateless and shared;
+// alphanumeric ones get a private edit-distance scratch per worker so the
+// DP never allocates.
+func (h *Holder) localDistance(attr int) (func(worker int) func(i, j int) float64, error) {
 	a := h.cfg.Schema.Attrs[attr]
 	switch a.Type {
 	case dataset.Numeric, dataset.Ordered:
@@ -248,20 +256,24 @@ func (h *Holder) localDistance(attr int) (func(i, j int) float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		return func(i, j int) float64 {
+		dist := func(i, j int) float64 {
 			d := col[i] - col[j]
 			if d < 0 {
 				d = -d
 			}
 			return d
-		}, nil
+		}
+		return func(int) func(i, j int) float64 { return dist }, nil
 	case dataset.Alphanumeric:
 		col, err := h.table.SymbolCol(attr)
 		if err != nil {
 			return nil, err
 		}
-		return func(i, j int) float64 {
-			return float64(editdist.Distance(col[i], col[j]))
+		return func(int) func(i, j int) float64 {
+			sc := editdist.MustUnitScratch()
+			return func(i, j int) float64 {
+				return float64(sc.Distance(col[i], col[j]))
+			}
 		}, nil
 	default:
 		return nil, fmt.Errorf("party: no local distance for %v", a.Type)
@@ -288,9 +300,11 @@ func (h *Holder) sendLocalMatrices() error {
 		if err != nil {
 			return err
 		}
-		local := dissim.FromLocal(h.table.Len(), distFn)
+		local := dissim.FromLocalPar(h.table.Len(), h.workers, distFn)
 		msg := wire.Message{From: h.name, To: TPName, Kind: kindLocal, Attr: attr}
-		if err := h.tp.SendBody(msg, localBody{N: local.N(), Cells: local.Packed()}); err != nil {
+		// PackedView avoids copying the triangle: the matrix is dropped
+		// right after serialization.
+		if err := h.tp.SendBody(msg, localBody{N: local.N(), Cells: local.PackedView()}); err != nil {
 			return err
 		}
 	}
@@ -390,7 +404,7 @@ func (h *Holder) initiate(attr int, j, k string) error {
 		for i, s := range col {
 			strs[i] = protocol.SymbolString(s)
 		}
-		disguised := protocol.AlphaInitiator(strs, a.Alphabet, jt)
+		disguised := h.eng.AlphaInitiator(strs, a.Alphabet, jt)
 		msg.Kind = kindAlphaDisg
 		return h.peers[k].SendBody(msg, alphaDisguisedBody{Strings: disguised})
 	}
@@ -403,19 +417,19 @@ func (h *Holder) initiate(attr int, j, k string) error {
 	var body numDisguisedBody
 	switch h.cfg.Variant {
 	case Float64Variant:
-		body.Float, err = protocol.NumericInitiatorFloat(col, jk, jt, h.cfg.FloatParams, h.cfg.Mode, responderRows)
+		body.Float, err = h.eng.NumericInitiatorFloat(col, jk, jt, h.cfg.FloatParams, h.cfg.Mode, responderRows)
 	case Int64Variant:
 		ints, cerr := toInts(col, h.cfg.IntParams)
 		if cerr != nil {
 			return cerr
 		}
-		body.Int, err = protocol.NumericInitiatorInt(ints, jk, jt, h.cfg.IntParams, h.cfg.Mode, responderRows)
+		body.Int, err = h.eng.NumericInitiatorInt(ints, jk, jt, h.cfg.IntParams, h.cfg.Mode, responderRows)
 	case ModPVariant:
 		ints, cerr := toIntsUnbounded(col)
 		if cerr != nil {
 			return cerr
 		}
-		body.ModP, err = protocol.NumericInitiatorModP(ints, jk, jt, h.cfg.Mode, responderRows)
+		body.ModP, err = h.eng.NumericInitiatorModP(ints, jk, jt, h.cfg.Mode, responderRows)
 	}
 	if err != nil {
 		return err
@@ -448,7 +462,7 @@ func (h *Holder) respond(attr int, j, k string) error {
 				}
 			}
 		}
-		m := protocol.AlphaResponder(own, disg.Strings, a.Alphabet)
+		m := h.eng.AlphaResponder(own, disg.Strings, a.Alphabet)
 		msg.Kind = kindAlphaM
 		return h.tp.SendBody(msg, alphaMBody{M: m})
 	}
@@ -468,7 +482,7 @@ func (h *Holder) respond(attr int, j, k string) error {
 		if disg.Float == nil {
 			return fmt.Errorf("party: missing float payload from %s", j)
 		}
-		body.Float, err = protocol.NumericResponderFloat(disg.Float, col, jk, h.cfg.FloatParams, h.cfg.Mode)
+		body.Float, err = h.eng.NumericResponderFloat(disg.Float, col, jk, h.cfg.FloatParams, h.cfg.Mode)
 	case Int64Variant:
 		if disg.Int == nil {
 			return fmt.Errorf("party: missing int payload from %s", j)
@@ -477,7 +491,7 @@ func (h *Holder) respond(attr int, j, k string) error {
 		if cerr != nil {
 			return cerr
 		}
-		body.Int, err = protocol.NumericResponderInt(disg.Int, ints, jk, h.cfg.IntParams, h.cfg.Mode)
+		body.Int, err = h.eng.NumericResponderInt(disg.Int, ints, jk, h.cfg.IntParams, h.cfg.Mode)
 	case ModPVariant:
 		if disg.ModP == nil {
 			return fmt.Errorf("party: missing modp payload from %s", j)
@@ -486,7 +500,7 @@ func (h *Holder) respond(attr int, j, k string) error {
 		if cerr != nil {
 			return cerr
 		}
-		body.ModP, err = protocol.NumericResponderModP(disg.ModP, ints, jk, h.cfg.Mode)
+		body.ModP, err = h.eng.NumericResponderModP(disg.ModP, ints, jk, h.cfg.Mode)
 	}
 	if err != nil {
 		return err

@@ -91,10 +91,20 @@ type Config struct {
 	// eavesdropping experiments set this; the paper requires secured
 	// channels.
 	PlaintextChannels bool
+	// Parallelism is the worker count every party uses for its O(n²)
+	// hot paths (local matrix construction, protocol disguise/strip
+	// steps, CCM edit-distance evaluation, assembly, merge and
+	// normalization). 0 selects all cores (GOMAXPROCS); 1 runs serially.
+	// Results are bit-identical for every setting.
+	Parallelism int
 }
 
-// normalized validates the config and fills defaults.
+// normalized validates the config and fills defaults. The schema's
+// attribute slice is cloned first: Validate fills defaulted weights in
+// place, and every party of an in-memory session normalizes the same
+// shared Config concurrently — without the clone those writes race.
 func (c Config) normalized() (Config, error) {
+	c.Schema = dataset.Schema{Attrs: append([]dataset.Attribute(nil), c.Schema.Attrs...)}
 	if err := c.Schema.Validate(); err != nil {
 		return c, err
 	}

@@ -12,6 +12,7 @@ import (
 	"ppclust/internal/hcluster"
 	"ppclust/internal/keys"
 	"ppclust/internal/pam"
+	"ppclust/internal/parallel"
 	"ppclust/internal/protocol"
 	"ppclust/internal/rng"
 	"ppclust/internal/wire"
@@ -25,6 +26,8 @@ type ThirdParty struct {
 	holders []string
 	cfg     Config
 	random  io.Reader
+	workers int
+	eng     *protocol.Engine
 
 	identity *keys.Identity
 	eps      map[string]*wire.Endpoint
@@ -69,6 +72,8 @@ func NewThirdParty(holders []string, cfg Config, conduits map[string]wire.Condui
 		holders: holders,
 		cfg:     cfg,
 		random:  random,
+		workers: parallel.Workers(cfg.Parallelism),
+		eng:     protocol.NewEngine(cfg.Parallelism),
 		eps:     make(map[string]*wire.Endpoint),
 		masters: make(map[string][]byte),
 	}
@@ -147,7 +152,7 @@ func (tp *ThirdParty) Run() (*TPReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("party: assembling attribute %q: %w", a.Name, err)
 		}
-		scales[attr] = m.Normalize()
+		scales[attr] = m.NormalizePar(tp.workers)
 		matrices[attr] = m
 	}
 
@@ -252,7 +257,7 @@ func (tp *ThirdParty) collectLocals() (map[int][]*dissim.Matrix, error) {
 // assembleComparison builds one numeric or alphanumeric attribute's global
 // matrix: locals from the holders plus protocol-decoded cross blocks.
 func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*dissim.Matrix, error) {
-	asm, err := dissim.NewAssembler(tp.counts)
+	asm, err := dissim.NewAssemblerPar(tp.counts, tp.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +279,7 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 			if _, err := tp.eps[k].Expect(kindAlphaM, &body); err != nil {
 				return nil, err
 			}
-			dists, err := protocol.AlphaThirdParty(body.M, a.Alphabet, jt)
+			dists, err := tp.eng.AlphaThirdParty(body.M, a.Alphabet, jt)
 			if err != nil {
 				return nil, err
 			}
@@ -290,7 +295,7 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 				if body.Float == nil {
 					return nil, fmt.Errorf("party: missing float payload from %s", k)
 				}
-				dists, err := protocol.NumericThirdPartyFloat(body.Float, jt, tp.cfg.FloatParams, tp.cfg.Mode)
+				dists, err := tp.eng.NumericThirdPartyFloat(body.Float, jt, tp.cfg.FloatParams, tp.cfg.Mode)
 				if err != nil {
 					return nil, err
 				}
@@ -300,7 +305,7 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 				if body.Int == nil {
 					return nil, fmt.Errorf("party: missing int payload from %s", k)
 				}
-				dists, err := protocol.NumericThirdPartyInt(body.Int, jt, tp.cfg.IntParams, tp.cfg.Mode)
+				dists, err := tp.eng.NumericThirdPartyInt(body.Int, jt, tp.cfg.IntParams, tp.cfg.Mode)
 				if err != nil {
 					return nil, err
 				}
@@ -310,7 +315,7 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 				if body.ModP == nil {
 					return nil, fmt.Errorf("party: missing modp payload from %s", k)
 				}
-				dists, err := protocol.NumericThirdPartyModP(body.ModP, jt, tp.cfg.Mode)
+				dists, err := tp.eng.NumericThirdPartyModP(body.ModP, jt, tp.cfg.Mode)
 				if err != nil {
 					return nil, err
 				}
@@ -351,9 +356,10 @@ func (tp *ThirdParty) assembleCategorical(attr int) (*dissim.Matrix, error) {
 			all = append(all, detenc.Tag(t))
 		}
 	}
-	return dissim.FromLocal(len(all), func(i, j int) float64 {
+	dist := func(i, j int) float64 {
 		return detenc.Distance(all[i], all[j])
-	}), nil
+	}
+	return dissim.FromLocalPar(len(all), tp.workers, func(int) func(i, j int) float64 { return dist }), nil
 }
 
 // assembleHierarchical merges the holders' encrypted path columns and
@@ -385,9 +391,10 @@ func (tp *ThirdParty) assembleHierarchical(attr int) (*dissim.Matrix, error) {
 			all = append(all, path)
 		}
 	}
-	return dissim.FromLocal(len(all), func(i, j int) float64 {
+	dist := func(i, j int) float64 {
 		return catdist.TagDistance(all[i], all[j])
-	}), nil
+	}
+	return dissim.FromLocalPar(len(all), tp.workers, func(int) func(i, j int) float64 { return dist }), nil
 }
 
 func (tp *ThirdParty) objectIDs() []dataset.ObjectID {
@@ -403,7 +410,7 @@ func (tp *ThirdParty) objectIDs() []dataset.ObjectID {
 // cluster merges the attribute matrices under the request's weights, runs
 // the requested clustering algorithm and packages the published result.
 func (tp *ThirdParty) cluster(matrices []*dissim.Matrix, req requestBody) (*Result, error) {
-	merged, err := dissim.WeightedMerge(matrices, req.Weights)
+	merged, err := dissim.WeightedMergePar(matrices, req.Weights, tp.workers)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"ppclust/internal/alphabet"
 	"ppclust/internal/editdist"
+	"ppclust/internal/parallel"
 	"ppclust/internal/rng"
 )
 
@@ -49,10 +50,20 @@ func (m *SymbolMatrix) At(q, p int) alphabet.Symbol { return m.Cell[q*m.Cols+p] 
 // Set assigns the cell at row q, column p.
 func (m *SymbolMatrix) Set(q, p int, v alphabet.Symbol) { m.Cell[q*m.Cols+p] = v }
 
-// Validate checks storage consistency and symbol range.
-func (m *SymbolMatrix) Validate(a *alphabet.Alphabet) error {
+// validShape checks dimension/storage consistency alone — the cheap
+// prefix of Validate that the third party's serial pre-pass needs before
+// it can trust Rows/Cols.
+func (m *SymbolMatrix) validShape() error {
 	if m.Rows < 0 || m.Cols < 0 || len(m.Cell) != m.Rows*m.Cols {
 		return fmt.Errorf("protocol: inconsistent SymbolMatrix %dx%d with %d cells", m.Rows, m.Cols, len(m.Cell))
+	}
+	return nil
+}
+
+// Validate checks storage consistency and symbol range.
+func (m *SymbolMatrix) Validate(a *alphabet.Alphabet) error {
+	if err := m.validShape(); err != nil {
+		return err
 	}
 	for i, s := range m.Cell {
 		if int(s) >= a.Size() {
@@ -66,16 +77,38 @@ func (m *SymbolMatrix) Validate(a *alphabet.Alphabet) error {
 // the shared mask stream, re-initializing jt after each string so all
 // strings share the mask prefix. jt must be freshly seeded.
 func AlphaInitiator(strings []SymbolString, a *alphabet.Alphabet, jt rng.Stream) []SymbolString {
+	return NewEngine(1).AlphaInitiator(strings, a, jt)
+}
+
+// AlphaInitiator is Figure 8 on the engine. Because every string is
+// masked by the same stream prefix (the paper's per-string
+// re-initialization), the engine draws the prefix once — up to the
+// longest string — and disguises all strings from it in parallel, leaving
+// jt rewound exactly as the serial per-string Reseed discipline does.
+func (e *Engine) AlphaInitiator(strings []SymbolString, a *alphabet.Alphabet, jt rng.Stream) []SymbolString {
 	out := make([]SymbolString, len(strings))
-	for m, s := range strings {
-		d := make(SymbolString, len(s))
-		for p, sym := range s {
-			mask := alphabet.Symbol(rng.Symbol(jt, a.Size()))
-			d[p] = a.Add(sym, mask)
-		}
-		jt.Reseed()
-		out[m] = d
+	if len(strings) == 0 {
+		return out
 	}
+	maxLen := 0
+	for _, s := range strings {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	prefix := e.symbuf(maxLen)
+	rng.FillIntn(jt, prefix, a.Size())
+	parallel.Range(e.workers, len(strings), func(_, lo, hi int) {
+		for m := lo; m < hi; m++ {
+			s := strings[m]
+			d := make(SymbolString, len(s))
+			for p, sym := range s {
+				d[p] = a.Add(sym, alphabet.Symbol(prefix[p]))
+			}
+			out[m] = d
+		}
+	})
+	jt.Reseed()
 	return out
 }
 
@@ -84,20 +117,30 @@ func AlphaInitiator(strings []SymbolString, a *alphabet.Alphabet, jt rng.Stream)
 // indexed result[m][n] for own string m versus disguised string n; each
 // matrix has the own string's characters as rows.
 func AlphaResponder(own []SymbolString, disguised []SymbolString, a *alphabet.Alphabet) [][]*SymbolMatrix {
+	return NewEngine(1).AlphaResponder(own, disguised, a)
+}
+
+// AlphaResponder is Figure 9 on the engine: the difference matrices are
+// pure per-pair arithmetic, built in parallel over the responder's rows.
+func (e *Engine) AlphaResponder(own []SymbolString, disguised []SymbolString, a *alphabet.Alphabet) [][]*SymbolMatrix {
 	out := make([][]*SymbolMatrix, len(own))
-	for m, t := range own {
-		row := make([]*SymbolMatrix, len(disguised))
-		for n, sp := range disguised {
-			mat := NewSymbolMatrix(len(t), len(sp))
-			for q, tq := range t {
-				for p, spp := range sp {
-					mat.Set(q, p, a.Sub(spp, tq))
+	parallel.Range(e.workers, len(own), func(_, lo, hi int) {
+		for m := lo; m < hi; m++ {
+			t := own[m]
+			row := make([]*SymbolMatrix, len(disguised))
+			for n, sp := range disguised {
+				mat := NewSymbolMatrix(len(t), len(sp))
+				for q, tq := range t {
+					base := q * len(sp)
+					for p, spp := range sp {
+						mat.Cell[base+p] = a.Sub(spp, tq)
+					}
 				}
+				row[n] = mat
 			}
-			row[n] = mat
+			out[m] = row
 		}
-		out[m] = row
-	}
+	})
 	return out
 }
 
@@ -106,59 +149,144 @@ func AlphaResponder(own []SymbolString, disguised []SymbolString, a *alphabet.Al
 // The returned block has out[m][n] = editdist(own string m, initiator
 // string n). jt must be freshly seeded with the initiator-TP shared seed.
 func AlphaThirdParty(m [][]*SymbolMatrix, a *alphabet.Alphabet, jt rng.Stream) (*Int64Matrix, error) {
-	ccms, err := AlphaThirdPartyCCMs(m, a, jt)
+	return NewEngine(1).AlphaThirdParty(m, a, jt)
+}
+
+// alphaScan is the cheap serial pre-pass over the intermediary matrices:
+// nil and shape checks (O(pairs), no cell traversal), the mask-prefix
+// length (the widest matrix with at least one row) and whether any row
+// will be decoded at all. The O(cells) symbol-range validation runs
+// inside the parallel decode workers — keeping it here would serialize
+// half the third party's work (Amdahl).
+func alphaScan(m [][]*SymbolMatrix) (maxCols int, anyRows bool, err error) {
+	for i, row := range m {
+		for j, mat := range row {
+			if mat == nil {
+				return 0, false, fmt.Errorf("protocol: nil intermediary matrix at (%d,%d)", i, j)
+			}
+			if err := mat.validShape(); err != nil {
+				return 0, false, fmt.Errorf("protocol: intermediary (%d,%d): %w", i, j, err)
+			}
+			if mat.Rows > 0 {
+				anyRows = true
+				if mat.Cols > maxCols {
+					maxCols = mat.Cols
+				}
+			}
+		}
+	}
+	return maxCols, anyRows, nil
+}
+
+// alphaPrefix regenerates the shared mask prefix once. Every CCM row of
+// the serial Figure 10 evaluation re-initializes rngJT and consumes the
+// same prefix the initiator used per string, so a single draw of the
+// longest prefix reproduces every mask; jt is left rewound exactly as the
+// per-row Reseed discipline leaves it.
+func (e *Engine) alphaPrefix(m [][]*SymbolMatrix, a *alphabet.Alphabet, jt rng.Stream) ([]int, error) {
+	maxCols, anyRows, err := alphaScan(m)
 	if err != nil {
 		return nil, err
 	}
-	out := NewInt64Matrix(len(ccms), cols2d(ccms))
-	for i, row := range ccms {
-		if len(row) != out.Cols {
+	prefix := e.symbuf(maxCols)
+	if maxCols > 0 {
+		rng.FillIntn(jt, prefix, a.Size())
+	}
+	if anyRows {
+		jt.Reseed()
+	}
+	return prefix, nil
+}
+
+// AlphaThirdParty is Figure 10 on the engine: one mask-prefix
+// regeneration for the whole block, then a fused decode + edit-distance
+// DP per pair across the engine's workers, each reusing its own CCM
+// buffer and two-row DP scratch — the n²/2 evaluations allocate nothing.
+func (e *Engine) AlphaThirdParty(m [][]*SymbolMatrix, a *alphabet.Alphabet, jt rng.Stream) (*Int64Matrix, error) {
+	cols := 0
+	if len(m) > 0 {
+		cols = len(m[0])
+	}
+	for i, row := range m {
+		if len(row) != cols {
 			return nil, fmt.Errorf("protocol: ragged intermediary matrix row %d", i)
 		}
-		for j, ccm := range row {
-			out.Set(i, j, int64(editdist.FromCCM(ccm)))
+	}
+	prefix, err := e.alphaPrefix(m, a, jt)
+	if err != nil {
+		return nil, err
+	}
+	out := NewInt64Matrix(len(m), cols)
+	workers := e.tpWorkers()
+	err = parallel.RangeErr(e.workers, len(m)*cols, func(w, lo, hi int) error {
+		tw := &workers[w]
+		for idx := lo; idx < hi; idx++ {
+			i, j := idx/cols, idx%cols
+			mat := m[i][j]
+			if err := mat.Validate(a); err != nil {
+				return fmt.Errorf("protocol: intermediary (%d,%d): %w", i, j, err)
+			}
+			ccm := tw.ccmBuf(mat.Rows, mat.Cols)
+			decodeCCM(ccm, mat, a, prefix)
+			out.Cell[idx] = int64(tw.sc.FromCCM(*ccm))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// decodeCCM strips the mask prefix from one intermediary matrix into a
+// preallocated CCM: cell = 0 iff the underlying characters matched.
+func decodeCCM(ccm *editdist.CCM, mat *SymbolMatrix, a *alphabet.Alphabet, prefix []int) {
+	for q := 0; q < mat.Rows; q++ {
+		base := q * mat.Cols
+		for p := 0; p < mat.Cols; p++ {
+			if a.Sub(mat.Cell[base+p], alphabet.Symbol(prefix[p])) != 0 {
+				ccm.Cell[base+p] = 1
+			} else {
+				ccm.Cell[base+p] = 0
+			}
+		}
+	}
 }
 
 // AlphaThirdPartyCCMs performs only the mask-stripping half of Figure 10,
 // returning the decoded CCM for every pair. Exposed separately so that the
 // attack experiments can inspect exactly what the third party sees.
 func AlphaThirdPartyCCMs(m [][]*SymbolMatrix, a *alphabet.Alphabet, jt rng.Stream) ([][]editdist.CCM, error) {
-	out := make([][]editdist.CCM, len(m))
-	for i, row := range m {
-		outRow := make([]editdist.CCM, len(row))
-		for j, mat := range row {
-			if mat == nil {
-				return nil, fmt.Errorf("protocol: nil intermediary matrix at (%d,%d)", i, j)
-			}
-			if err := mat.Validate(a); err != nil {
-				return nil, fmt.Errorf("protocol: intermediary (%d,%d): %w", i, j, err)
-			}
-			ccm := editdist.NewCCM(mat.Rows, mat.Cols)
-			for q := 0; q < mat.Rows; q++ {
-				for p := 0; p < mat.Cols; p++ {
-					mask := alphabet.Symbol(rng.Symbol(jt, a.Size()))
-					if a.Sub(mat.At(q, p), mask) != 0 {
-						ccm.Set(q, p, 1)
-					}
-				}
-				// "Re-initialize rngJT with seed rJT" after each CCM row:
-				// every row consumes the same mask prefix the initiator
-				// used for one string.
-				jt.Reseed()
-			}
-			outRow[j] = ccm
-		}
-		out[i] = outRow
-	}
-	return out, nil
+	return NewEngine(1).AlphaThirdPartyCCMs(m, a, jt)
 }
 
-func cols2d(rows [][]editdist.CCM) int {
-	if len(rows) == 0 {
-		return 0
+// AlphaThirdPartyCCMs is the mask-stripping half of Figure 10 on the
+// engine: one prefix regeneration, then parallel decoding into freshly
+// allocated CCMs (callers keep them).
+func (e *Engine) AlphaThirdPartyCCMs(m [][]*SymbolMatrix, a *alphabet.Alphabet, jt rng.Stream) ([][]editdist.CCM, error) {
+	prefix, err := e.alphaPrefix(m, a, jt)
+	if err != nil {
+		return nil, err
 	}
-	return len(rows[0])
+	out := make([][]editdist.CCM, len(m))
+	for i, row := range m {
+		out[i] = make([]editdist.CCM, len(row))
+	}
+	err = parallel.RangeErr(e.workers, len(m), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			for j, mat := range m[i] {
+				if err := mat.Validate(a); err != nil {
+					return fmt.Errorf("protocol: intermediary (%d,%d): %w", i, j, err)
+				}
+				ccm := editdist.NewCCM(mat.Rows, mat.Cols)
+				decodeCCM(&ccm, mat, a, prefix)
+				out[i][j] = ccm
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"ppclust/internal/editdist"
+	"ppclust/internal/modp"
+	"ppclust/internal/parallel"
+)
+
+// Engine executes the comparison protocols with a fixed worker count and
+// preallocated mask/scratch buffers that are reused across pairs and
+// attributes — the per-element allocations the serial code paths made are
+// hoisted here and amortized over a whole session.
+//
+// Two properties make batching safe:
+//
+//   - Mask reuse: in Batch mode the paper re-initializes the shared
+//     generators at every row boundary ("re-initialize rngJK with seed
+//     rJK"), so every row consumes the same stream prefix. The engine
+//     draws that prefix once per call instead of once per row, collapsing
+//     the O(n²) keystream work of the responder and third-party steps to
+//     O(n) while producing the very same mask values.
+//   - Deterministic placement: all randomness is drawn sequentially into
+//     buffers up front; the remaining arithmetic is element-wise and runs
+//     under internal/parallel's contiguous-chunk engine, so outputs are
+//     bit-identical at any worker count.
+//
+// An Engine is NOT safe for concurrent use; each protocol role owns one.
+type Engine struct {
+	workers int
+
+	u64 []uint64       // sign parity draws (shared rngJK)
+	i64 []int64        // integer masks (shared rngJT)
+	f64 []float64      // float masks (shared rngJT)
+	sym []int          // alphanumeric mask prefix (shared rngJT)
+	elm []modp.Element // field masks of the mod-p variant (shared rngJT)
+
+	tpw []tpWorker // per-worker CCM decode + edit-distance DP scratch
+}
+
+// NewEngine returns an engine over the given worker count (<= 0 = all
+// cores, matching ppclust.Options.Parallelism).
+func NewEngine(workers int) *Engine {
+	return &Engine{workers: parallel.Workers(workers)}
+}
+
+// Workers returns the resolved worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+func (e *Engine) u64buf(n int) []uint64 {
+	if cap(e.u64) < n {
+		e.u64 = make([]uint64, n)
+	}
+	e.u64 = e.u64[:n]
+	return e.u64
+}
+
+func (e *Engine) i64buf(n int) []int64 {
+	if cap(e.i64) < n {
+		e.i64 = make([]int64, n)
+	}
+	e.i64 = e.i64[:n]
+	return e.i64
+}
+
+func (e *Engine) f64buf(n int) []float64 {
+	if cap(e.f64) < n {
+		e.f64 = make([]float64, n)
+	}
+	e.f64 = e.f64[:n]
+	return e.f64
+}
+
+func (e *Engine) symbuf(n int) []int {
+	if cap(e.sym) < n {
+		e.sym = make([]int, n)
+	}
+	e.sym = e.sym[:n]
+	return e.sym
+}
+
+func (e *Engine) elembuf(n int) []modp.Element {
+	if cap(e.elm) < n {
+		e.elm = make([]modp.Element, n)
+	}
+	e.elm = e.elm[:n]
+	return e.elm
+}
+
+// tpWorker is one worker's third-party evaluation state: a reusable CCM
+// cell buffer and the two-row edit-distance scratch, so the n²/2 DP calls
+// per alphanumeric attribute stop allocating.
+type tpWorker struct {
+	ccm editdist.CCM
+	sc  *editdist.Scratch
+}
+
+func (w *tpWorker) ccmBuf(rows, cols int) *editdist.CCM {
+	n := rows * cols
+	if cap(w.ccm.Cell) < n {
+		w.ccm.Cell = make([]uint8, n)
+	}
+	w.ccm.Cell = w.ccm.Cell[:n]
+	w.ccm.Rows, w.ccm.Cols = rows, cols
+	return &w.ccm
+}
+
+// tpWorkers sizes the per-worker scratch pool.
+func (e *Engine) tpWorkers() []tpWorker {
+	if len(e.tpw) < e.workers {
+		e.tpw = make([]tpWorker, e.workers)
+		for i := range e.tpw {
+			e.tpw[i].sc = editdist.MustUnitScratch()
+		}
+	}
+	return e.tpw
+}

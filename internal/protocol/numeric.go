@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ppclust/internal/parallel"
 	"ppclust/internal/rng"
 )
 
@@ -101,6 +102,14 @@ func negSignResponder(draw uint64) int64 {
 // jk is the generator shared with the responder (seed rJK), jt the generator
 // shared with the third party (seed rJT); both must be freshly seeded.
 func NumericInitiatorInt(values []int64, jk, jt rng.Stream, params IntParams, mode Mode, responderRows int) (*Int64Matrix, error) {
+	return NewEngine(1).NumericInitiatorInt(values, jk, jt, params, mode, responderRows)
+}
+
+// NumericInitiatorInt is Figure 4 on the engine: all masks and parities
+// are drawn into reusable buffers up front (their per-stream order is
+// unchanged, so outputs match the serial form bit for bit) and the
+// disguise arithmetic is split across the engine's workers.
+func (e *Engine) NumericInitiatorInt(values []int64, jk, jt rng.Stream, params IntParams, mode Mode, responderRows int) (*Int64Matrix, error) {
 	if err := params.validate(values); err != nil {
 		return nil, err
 	}
@@ -111,13 +120,21 @@ func NumericInitiatorInt(values []int64, jk, jt rng.Stream, params IntParams, mo
 		}
 		rows = responderRows
 	}
-	out := NewInt64Matrix(rows, len(values))
-	for r := 0; r < rows; r++ {
-		for n, x := range values {
-			mask := rng.Int64n(jt, params.MaskRange)
-			out.Set(r, n, mask+x*negSignInitiator(jk.Next()))
+	cols := len(values)
+	out := NewInt64Matrix(rows, cols)
+	total := rows * cols
+	masks := e.i64buf(total)
+	rng.FillInt64n(jt, masks, params.MaskRange)
+	signs := e.u64buf(total)
+	rng.FillUint64(jk, signs)
+	parallel.Range(e.workers, rows, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			base := r * cols
+			for n, x := range values {
+				out.Cell[base+n] = masks[base+n] + x*negSignInitiator(signs[base+n])
+			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -128,6 +145,15 @@ func NumericInitiatorInt(values []int64, jk, jt rng.Stream, params IntParams, mo
 // shared rngJK at every row boundary, exactly as the paper prescribes, so
 // its parities line up with the initiator's single pass.
 func NumericResponderInt(disguised *Int64Matrix, values []int64, jk rng.Stream, params IntParams, mode Mode) (*Int64Matrix, error) {
+	return NewEngine(1).NumericResponderInt(disguised, values, jk, params, mode)
+}
+
+// NumericResponderInt is Figure 5 on the engine. In batch mode every row
+// re-reads the same rngJK prefix (the paper's per-row re-initialization),
+// so the engine draws that prefix once — collapsing O(rows·cols)
+// keystream work to O(cols) — and leaves jk rewound exactly as the serial
+// per-row Reseed discipline does.
+func (e *Engine) NumericResponderInt(disguised *Int64Matrix, values []int64, jk rng.Stream, params IntParams, mode Mode) (*Int64Matrix, error) {
 	if err := disguised.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,19 +166,35 @@ func NumericResponderInt(disguised *Int64Matrix, values []int64, jk rng.Stream, 
 	if mode == PerPair && disguised.Rows != len(values) {
 		return nil, fmt.Errorf("protocol: per-pair mode expects %d disguised rows, got %d", len(values), disguised.Rows)
 	}
-	cols := disguised.Cols
-	s := NewInt64Matrix(len(values), cols)
-	for m, y := range values {
-		srcRow := 0
-		if mode == PerPair {
-			srcRow = m
+	rows, cols := len(values), disguised.Cols
+	s := NewInt64Matrix(rows, cols)
+	if rows == 0 {
+		return s, nil
+	}
+	var signs []uint64
+	if mode == Batch {
+		signs = e.u64buf(cols)
+		rng.FillUint64(jk, signs)
+	} else {
+		signs = e.u64buf(rows * cols)
+		rng.FillUint64(jk, signs)
+	}
+	parallel.Range(e.workers, rows, func(_, lo, hi int) {
+		for m := lo; m < hi; m++ {
+			y := values[m]
+			srcBase, signBase := 0, 0
+			if mode == PerPair {
+				srcBase, signBase = m*cols, m*cols
+			}
+			dst := s.Cell[m*cols : (m+1)*cols]
+			src := disguised.Cell[srcBase : srcBase+cols]
+			for n := 0; n < cols; n++ {
+				dst[n] = src[n] + y*negSignResponder(signs[signBase+n])
+			}
 		}
-		for n := 0; n < cols; n++ {
-			s.Set(m, n, disguised.At(srcRow, n)+y*negSignResponder(jk.Next()))
-		}
-		if mode == Batch {
-			jk.Reseed()
-		}
+	})
+	if mode == Batch {
+		jk.Reseed()
 	}
 	return s, nil
 }
@@ -162,25 +204,51 @@ func NumericResponderInt(disguised *Int64Matrix, values []int64, jk rng.Stream, 
 // distance block: out[m][n] = |x_n − y_m|. Rows index the responder's
 // objects, columns the initiator's.
 func NumericThirdPartyInt(s *Int64Matrix, jt rng.Stream, params IntParams, mode Mode) (*Int64Matrix, error) {
+	return NewEngine(1).NumericThirdPartyInt(s, jt, params, mode)
+}
+
+// NumericThirdPartyInt is Figure 6 on the engine: the batch-mode mask
+// prefix is regenerated once instead of once per row, and mask stripping
+// runs across the engine's workers.
+func (e *Engine) NumericThirdPartyInt(s *Int64Matrix, jt rng.Stream, params IntParams, mode Mode) (*Int64Matrix, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if params.MaskRange <= 0 {
 		return nil, fmt.Errorf("protocol: MaskRange %d must be positive", params.MaskRange)
 	}
-	out := NewInt64Matrix(s.Rows, s.Cols)
-	for m := 0; m < s.Rows; m++ {
-		for n := 0; n < s.Cols; n++ {
-			mask := rng.Int64n(jt, params.MaskRange)
-			d := s.At(m, n) - mask
-			if d < 0 {
-				d = -d
+	rows, cols := s.Rows, s.Cols
+	out := NewInt64Matrix(rows, cols)
+	if rows == 0 {
+		return out, nil
+	}
+	var masks []int64
+	if mode == Batch {
+		masks = e.i64buf(cols)
+		rng.FillInt64n(jt, masks, params.MaskRange)
+	} else {
+		masks = e.i64buf(rows * cols)
+		rng.FillInt64n(jt, masks, params.MaskRange)
+	}
+	parallel.Range(e.workers, rows, func(_, lo, hi int) {
+		for m := lo; m < hi; m++ {
+			maskBase := 0
+			if mode == PerPair {
+				maskBase = m * cols
 			}
-			out.Set(m, n, d)
+			src := s.Cell[m*cols : (m+1)*cols]
+			dst := out.Cell[m*cols : (m+1)*cols]
+			for n := 0; n < cols; n++ {
+				d := src[n] - masks[maskBase+n]
+				if d < 0 {
+					d = -d
+				}
+				dst[n] = d
+			}
 		}
-		if mode == Batch {
-			jt.Reseed()
-		}
+	})
+	if mode == Batch {
+		jt.Reseed()
 	}
 	return out, nil
 }
@@ -214,6 +282,12 @@ func (p FloatParams) validate(values []float64) error {
 // NumericInitiatorFloat is Figure 4 over real-valued data; see
 // NumericInitiatorInt for the contract.
 func NumericInitiatorFloat(values []float64, jk, jt rng.Stream, params FloatParams, mode Mode, responderRows int) (*Float64Matrix, error) {
+	return NewEngine(1).NumericInitiatorFloat(values, jk, jt, params, mode, responderRows)
+}
+
+// NumericInitiatorFloat is Figure 4 over reals on the engine; see
+// NumericInitiatorInt for the batching contract.
+func (e *Engine) NumericInitiatorFloat(values []float64, jk, jt rng.Stream, params FloatParams, mode Mode, responderRows int) (*Float64Matrix, error) {
 	if err := params.validate(values); err != nil {
 		return nil, err
 	}
@@ -224,18 +298,35 @@ func NumericInitiatorFloat(values []float64, jk, jt rng.Stream, params FloatPara
 		}
 		rows = responderRows
 	}
-	out := NewFloat64Matrix(rows, len(values))
-	for r := 0; r < rows; r++ {
-		for n, x := range values {
-			mask := rng.Float64(jt) * params.MaskRange
-			out.Set(r, n, mask+x*float64(negSignInitiator(jk.Next())))
-		}
+	cols := len(values)
+	out := NewFloat64Matrix(rows, cols)
+	total := rows * cols
+	masks := e.f64buf(total)
+	rng.FillFloat64(jt, masks)
+	for i := range masks {
+		masks[i] *= params.MaskRange
 	}
+	signs := e.u64buf(total)
+	rng.FillUint64(jk, signs)
+	parallel.Range(e.workers, rows, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			base := r * cols
+			for n, x := range values {
+				out.Cell[base+n] = masks[base+n] + x*float64(negSignInitiator(signs[base+n]))
+			}
+		}
+	})
 	return out, nil
 }
 
 // NumericResponderFloat is Figure 5 over real-valued data.
 func NumericResponderFloat(disguised *Float64Matrix, values []float64, jk rng.Stream, params FloatParams, mode Mode) (*Float64Matrix, error) {
+	return NewEngine(1).NumericResponderFloat(disguised, values, jk, params, mode)
+}
+
+// NumericResponderFloat is Figure 5 over reals on the engine; see
+// NumericResponderInt for the batching contract.
+func (e *Engine) NumericResponderFloat(disguised *Float64Matrix, values []float64, jk rng.Stream, params FloatParams, mode Mode) (*Float64Matrix, error) {
 	if err := disguised.Validate(); err != nil {
 		return nil, err
 	}
@@ -248,40 +339,82 @@ func NumericResponderFloat(disguised *Float64Matrix, values []float64, jk rng.St
 	if mode == PerPair && disguised.Rows != len(values) {
 		return nil, fmt.Errorf("protocol: per-pair mode expects %d disguised rows, got %d", len(values), disguised.Rows)
 	}
-	cols := disguised.Cols
-	s := NewFloat64Matrix(len(values), cols)
-	for m, y := range values {
-		srcRow := 0
-		if mode == PerPair {
-			srcRow = m
+	rows, cols := len(values), disguised.Cols
+	s := NewFloat64Matrix(rows, cols)
+	if rows == 0 {
+		return s, nil
+	}
+	var signs []uint64
+	if mode == Batch {
+		signs = e.u64buf(cols)
+	} else {
+		signs = e.u64buf(rows * cols)
+	}
+	rng.FillUint64(jk, signs)
+	parallel.Range(e.workers, rows, func(_, lo, hi int) {
+		for m := lo; m < hi; m++ {
+			y := values[m]
+			srcBase, signBase := 0, 0
+			if mode == PerPair {
+				srcBase, signBase = m*cols, m*cols
+			}
+			dst := s.Cell[m*cols : (m+1)*cols]
+			src := disguised.Cell[srcBase : srcBase+cols]
+			for n := 0; n < cols; n++ {
+				dst[n] = src[n] + y*float64(negSignResponder(signs[signBase+n]))
+			}
 		}
-		for n := 0; n < cols; n++ {
-			s.Set(m, n, disguised.At(srcRow, n)+y*float64(negSignResponder(jk.Next())))
-		}
-		if mode == Batch {
-			jk.Reseed()
-		}
+	})
+	if mode == Batch {
+		jk.Reseed()
 	}
 	return s, nil
 }
 
 // NumericThirdPartyFloat is Figure 6 over real-valued data.
 func NumericThirdPartyFloat(s *Float64Matrix, jt rng.Stream, params FloatParams, mode Mode) (*Float64Matrix, error) {
+	return NewEngine(1).NumericThirdPartyFloat(s, jt, params, mode)
+}
+
+// NumericThirdPartyFloat is Figure 6 over reals on the engine; see
+// NumericThirdPartyInt for the batching contract.
+func (e *Engine) NumericThirdPartyFloat(s *Float64Matrix, jt rng.Stream, params FloatParams, mode Mode) (*Float64Matrix, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if !(params.MaskRange > 0) {
 		return nil, fmt.Errorf("protocol: MaskRange %v must be positive", params.MaskRange)
 	}
-	out := NewFloat64Matrix(s.Rows, s.Cols)
-	for m := 0; m < s.Rows; m++ {
-		for n := 0; n < s.Cols; n++ {
-			mask := rng.Float64(jt) * params.MaskRange
-			out.Set(m, n, math.Abs(s.At(m, n)-mask))
+	rows, cols := s.Rows, s.Cols
+	out := NewFloat64Matrix(rows, cols)
+	if rows == 0 {
+		return out, nil
+	}
+	var masks []float64
+	if mode == Batch {
+		masks = e.f64buf(cols)
+	} else {
+		masks = e.f64buf(rows * cols)
+	}
+	rng.FillFloat64(jt, masks)
+	for i := range masks {
+		masks[i] *= params.MaskRange
+	}
+	parallel.Range(e.workers, rows, func(_, lo, hi int) {
+		for m := lo; m < hi; m++ {
+			maskBase := 0
+			if mode == PerPair {
+				maskBase = m * cols
+			}
+			src := s.Cell[m*cols : (m+1)*cols]
+			dst := out.Cell[m*cols : (m+1)*cols]
+			for n := 0; n < cols; n++ {
+				dst[n] = math.Abs(src[n] - masks[maskBase+n])
+			}
 		}
-		if mode == Batch {
-			jt.Reseed()
-		}
+	})
+	if mode == Batch {
+		jt.Reseed()
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ppclust/internal/modp"
+	"ppclust/internal/parallel"
 	"ppclust/internal/rng"
 )
 
@@ -49,6 +50,13 @@ func (m *ElementMatrix) Validate() error {
 // NumericInitiatorModP is Figure 4 with perfect-hiding masks: out(r, n) =
 // R + σ·x_n in Z_p. See NumericInitiatorInt for the batch/per-pair contract.
 func NumericInitiatorModP(values []int64, jk, jt rng.Stream, mode Mode, responderRows int) (*ElementMatrix, error) {
+	return NewEngine(1).NumericInitiatorModP(values, jk, jt, mode, responderRows)
+}
+
+// NumericInitiatorModP is Figure 4 in Z_p on the engine: field masks and
+// parities are drawn sequentially up front, the (comparatively expensive)
+// big-integer arithmetic runs across the engine's workers.
+func (eng *Engine) NumericInitiatorModP(values []int64, jk, jt rng.Stream, mode Mode, responderRows int) (*ElementMatrix, error) {
 	rows := 1
 	if mode == PerPair {
 		if responderRows < 0 {
@@ -56,22 +64,38 @@ func NumericInitiatorModP(values []int64, jk, jt rng.Stream, mode Mode, responde
 		}
 		rows = responderRows
 	}
-	out := NewElementMatrix(rows, len(values))
-	for r := 0; r < rows; r++ {
-		for n, x := range values {
-			mask := modp.Random(jt)
-			e := modp.FromInt64(x)
-			if negSignInitiator(jk.Next()) < 0 {
-				e = e.Neg()
-			}
-			out.Set(r, n, mask.Add(e))
-		}
+	cols := len(values)
+	out := NewElementMatrix(rows, cols)
+	total := rows * cols
+	masks := eng.elembuf(total)
+	for i := range masks {
+		masks[i] = modp.Random(jt)
 	}
+	signs := eng.u64buf(total)
+	rng.FillUint64(jk, signs)
+	parallel.Range(eng.workers, rows, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			base := r * cols
+			for n, x := range values {
+				e := modp.FromInt64(x)
+				if negSignInitiator(signs[base+n]) < 0 {
+					e = e.Neg()
+				}
+				out.Set(r, n, masks[base+n].Add(e))
+			}
+		}
+	})
 	return out, nil
 }
 
 // NumericResponderModP is Figure 5 in Z_p.
 func NumericResponderModP(disguised *ElementMatrix, values []int64, jk rng.Stream, mode Mode) (*ElementMatrix, error) {
+	return NewEngine(1).NumericResponderModP(disguised, values, jk, mode)
+}
+
+// NumericResponderModP is Figure 5 in Z_p on the engine; the batch-mode
+// parity prefix is drawn once (see NumericResponderInt).
+func (eng *Engine) NumericResponderModP(disguised *ElementMatrix, values []int64, jk rng.Stream, mode Mode) (*ElementMatrix, error) {
 	if err := disguised.Validate(); err != nil {
 		return nil, err
 	}
@@ -81,27 +105,44 @@ func NumericResponderModP(disguised *ElementMatrix, values []int64, jk rng.Strea
 	if mode == PerPair && disguised.Rows != len(values) {
 		return nil, fmt.Errorf("protocol: per-pair mode expects %d disguised rows, got %d", len(values), disguised.Rows)
 	}
-	cols := disguised.Cols
-	s := NewElementMatrix(len(values), cols)
-	for m, y := range values {
-		srcRow := 0
-		if mode == PerPair {
-			srcRow = m
-		}
-		for n := 0; n < cols; n++ {
-			d, err := disguised.At(srcRow, n)
-			if err != nil {
-				return nil, fmt.Errorf("protocol: disguised(%d,%d): %w", srcRow, n, err)
+	rows, cols := len(values), disguised.Cols
+	s := NewElementMatrix(rows, cols)
+	if rows == 0 {
+		return s, nil
+	}
+	var signs []uint64
+	if mode == Batch {
+		signs = eng.u64buf(cols)
+	} else {
+		signs = eng.u64buf(rows * cols)
+	}
+	rng.FillUint64(jk, signs)
+	err := parallel.RangeErr(eng.workers, rows, func(_, lo, hi int) error {
+		for m := lo; m < hi; m++ {
+			y := values[m]
+			srcRow, signBase := 0, 0
+			if mode == PerPair {
+				srcRow, signBase = m, m*cols
 			}
-			e := modp.FromInt64(y)
-			if negSignResponder(jk.Next()) < 0 {
-				e = e.Neg()
+			for n := 0; n < cols; n++ {
+				d, err := disguised.At(srcRow, n)
+				if err != nil {
+					return fmt.Errorf("protocol: disguised(%d,%d): %w", srcRow, n, err)
+				}
+				e := modp.FromInt64(y)
+				if negSignResponder(signs[signBase+n]) < 0 {
+					e = e.Neg()
+				}
+				s.Set(m, n, d.Add(e))
 			}
-			s.Set(m, n, d.Add(e))
 		}
-		if mode == Batch {
-			jk.Reseed()
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if mode == Batch {
+		jk.Reseed()
 	}
 	return s, nil
 }
@@ -109,26 +150,54 @@ func NumericResponderModP(disguised *ElementMatrix, values []int64, jk rng.Strea
 // NumericThirdPartyModP is Figure 6 in Z_p: subtract the regenerated mask
 // and decode |x−y| from the signed embedding.
 func NumericThirdPartyModP(s *ElementMatrix, jt rng.Stream, mode Mode) (*Int64Matrix, error) {
+	return NewEngine(1).NumericThirdPartyModP(s, jt, mode)
+}
+
+// NumericThirdPartyModP is Figure 6 in Z_p on the engine: the batch-mode
+// field-mask prefix is regenerated once instead of once per row, and the
+// big-integer mask stripping runs across the engine's workers.
+func (eng *Engine) NumericThirdPartyModP(s *ElementMatrix, jt rng.Stream, mode Mode) (*Int64Matrix, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	out := NewInt64Matrix(s.Rows, s.Cols)
-	for m := 0; m < s.Rows; m++ {
-		for n := 0; n < s.Cols; n++ {
-			mask := modp.Random(jt)
-			v, err := s.At(m, n)
-			if err != nil {
-				return nil, fmt.Errorf("protocol: s(%d,%d): %w", m, n, err)
+	rows, cols := s.Rows, s.Cols
+	out := NewInt64Matrix(rows, cols)
+	if rows == 0 {
+		return out, nil
+	}
+	maskCount := cols
+	if mode == PerPair {
+		maskCount = rows * cols
+	}
+	masks := eng.elembuf(maskCount)
+	for i := range masks {
+		masks[i] = modp.Random(jt)
+	}
+	err := parallel.RangeErr(eng.workers, rows, func(_, lo, hi int) error {
+		for m := lo; m < hi; m++ {
+			maskBase := 0
+			if mode == PerPair {
+				maskBase = m * cols
 			}
-			abs, err := v.Sub(mask).AbsInt64()
-			if err != nil {
-				return nil, fmt.Errorf("protocol: decoding distance (%d,%d): %w", m, n, err)
+			for n := 0; n < cols; n++ {
+				v, err := s.At(m, n)
+				if err != nil {
+					return fmt.Errorf("protocol: s(%d,%d): %w", m, n, err)
+				}
+				abs, err := v.Sub(masks[maskBase+n]).AbsInt64()
+				if err != nil {
+					return fmt.Errorf("protocol: decoding distance (%d,%d): %w", m, n, err)
+				}
+				out.Set(m, n, abs)
 			}
-			out.Set(m, n, abs)
 		}
-		if mode == Batch {
-			jt.Reseed()
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if mode == Batch {
+		jt.Reseed()
 	}
 	return out, nil
 }

@@ -47,6 +47,20 @@ func (a *AESCTR) Next() uint64 {
 	return v
 }
 
+// FillUint64 decodes the next len(dst) keystream words straight out of
+// the buffered keystream — the same words Next would return, without the
+// per-word interface dispatch. It implements the BulkFiller fast path the
+// protocol engines use for whole mask vectors.
+func (a *AESCTR) FillUint64(dst []uint64) {
+	for i := range dst {
+		if len(a.avail) < 8 {
+			a.refill()
+		}
+		dst[i] = binary.LittleEndian.Uint64(a.avail)
+		a.avail = a.avail[8:]
+	}
+}
+
 // Reseed rewinds the keystream to counter zero.
 func (a *AESCTR) Reseed() {
 	a.ctr = cipher.NewCTR(a.block, a.iv[:])

@@ -107,6 +107,123 @@ func Uint64n(s Stream, n uint64) uint64 {
 	}
 }
 
+// BulkFiller is implemented by streams that can produce whole word
+// vectors more cheaply than repeated Next calls (AESCTR decodes straight
+// out of its keystream buffer). The filled words MUST be exactly the ones
+// Next would have returned, in order.
+type BulkFiller interface {
+	FillUint64(dst []uint64)
+}
+
+// FillUint64 fills dst with the next len(dst) words of s — exactly
+// equivalent to calling Next once per element, but batched so protocol
+// hot paths can generate whole mask vectors per call.
+func FillUint64(s Stream, dst []uint64) {
+	if f, ok := s.(BulkFiller); ok {
+		f.FillUint64(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = s.Next()
+	}
+}
+
+// FillInt64n fills dst with successive Int64n(s, n) draws. Rejection
+// sampling makes each draw consume a data-dependent number of words, so
+// the batch must stay sequential; the win is amortizing call overhead and
+// letting callers precompute a mask vector once per row block.
+func FillInt64n(s Stream, dst []int64, n int64) {
+	if n <= 0 {
+		panic("rng: FillInt64n with n <= 0")
+	}
+	un := uint64(n)
+	if un&(un-1) == 0 { // power of two: every draw is exactly one word
+		mask := un - 1
+		if f, ok := s.(BulkFiller); ok {
+			var buf [512]uint64
+			for off := 0; off < len(dst); {
+				k := len(dst) - off
+				if k > len(buf) {
+					k = len(buf)
+				}
+				f.FillUint64(buf[:k])
+				for i := 0; i < k; i++ {
+					dst[off+i] = int64(buf[i] & mask)
+				}
+				off += k
+			}
+			return
+		}
+		for i := range dst {
+			dst[i] = int64(s.Next() & mask)
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = Int64n(s, n)
+	}
+}
+
+// FillFloat64 fills dst with successive Float64(s) draws — each consumes
+// exactly one word, so the bulk word path applies.
+func FillFloat64(s Stream, dst []float64) {
+	if f, ok := s.(BulkFiller); ok {
+		var buf [512]uint64
+		for off := 0; off < len(dst); {
+			k := len(dst) - off
+			if k > len(buf) {
+				k = len(buf)
+			}
+			f.FillUint64(buf[:k])
+			for i := 0; i < k; i++ {
+				dst[off+i] = float64(buf[i]>>11) * (1.0 / (1 << 53))
+			}
+			off += k
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = Float64(s)
+	}
+}
+
+// FillIntn fills dst with successive Uint64n(s, n) draws as ints — the
+// batched form of Symbol, used to precompute the alphanumeric protocol's
+// shared mask prefix once instead of once per string or CCM row.
+// Power-of-two sizes consume exactly one word per draw and take the bulk
+// word path; other sizes stay sequential (rejection sampling).
+func FillIntn(s Stream, dst []int, n int) {
+	if n <= 0 {
+		panic("rng: FillIntn with n <= 0")
+	}
+	un := uint64(n)
+	if un&(un-1) == 0 {
+		mask := un - 1
+		if f, ok := s.(BulkFiller); ok {
+			var buf [512]uint64
+			for off := 0; off < len(dst); {
+				k := len(dst) - off
+				if k > len(buf) {
+					k = len(buf)
+				}
+				f.FillUint64(buf[:k])
+				for i := 0; i < k; i++ {
+					dst[off+i] = int(buf[i] & mask)
+				}
+				off += k
+			}
+			return
+		}
+		for i := range dst {
+			dst[i] = int(s.Next() & mask)
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = int(Uint64n(s, uint64(n)))
+	}
+}
+
 // Int63 returns a non-negative int64 drawn from s.
 func Int63(s Stream) int64 {
 	return int64(s.Next() >> 1)

@@ -325,3 +325,67 @@ func BenchmarkAESCTRNext(b *testing.B) {
 		_ = s.Next()
 	}
 }
+
+// TestFillEquivalence pins the batched draw helpers to the exact word
+// sequences of their one-at-a-time counterparts, for both generator kinds.
+func TestFillEquivalence(t *testing.T) {
+	for _, kind := range []Kind{KindXoshiro, KindAESCTR} {
+		seed := SeedFromUint64(99)
+		t.Run(kind.String(), func(t *testing.T) {
+			a, b := New(kind, seed), New(kind, seed)
+			got := make([]uint64, 1000)
+			FillUint64(a, got)
+			for i := range got {
+				if want := b.Next(); got[i] != want {
+					t.Fatalf("FillUint64[%d] = %d, want %d", i, got[i], want)
+				}
+			}
+
+			a, b = New(kind, seed), New(kind, seed)
+			// Mix a partial Next with a bulk fill: continuity must hold.
+			_ = a.Next()
+			_ = b.Next()
+			gi := make([]int64, 700)
+			FillInt64n(a, gi, 1<<62)
+			for i := range gi {
+				if want := Int64n(b, 1<<62); gi[i] != want {
+					t.Fatalf("FillInt64n pow2 [%d] = %d, want %d", i, gi[i], want)
+				}
+			}
+
+			a, b = New(kind, seed), New(kind, seed)
+			FillInt64n(a, gi, 1000003) // non-power-of-two: rejection path
+			for i := range gi {
+				if want := Int64n(b, 1000003); gi[i] != want {
+					t.Fatalf("FillInt64n rej [%d] = %d, want %d", i, gi[i], want)
+				}
+			}
+
+			a, b = New(kind, seed), New(kind, seed)
+			gf := make([]float64, 500)
+			FillFloat64(a, gf)
+			for i := range gf {
+				if want := Float64(b); gf[i] != want {
+					t.Fatalf("FillFloat64[%d] = %v, want %v", i, gf[i], want)
+				}
+			}
+
+			a, b = New(kind, seed), New(kind, seed)
+			gs := make([]int, 500)
+			FillIntn(a, gs, 26)
+			for i := range gs {
+				if want := Symbol(b, 26); gs[i] != want {
+					t.Fatalf("FillIntn[%d] = %d, want %d", i, gs[i], want)
+				}
+			}
+
+			a, b = New(kind, seed), New(kind, seed)
+			FillIntn(a, gs, 4) // power of two: bulk word path
+			for i := range gs {
+				if want := Symbol(b, 4); gs[i] != want {
+					t.Fatalf("FillIntn pow2 [%d] = %d, want %d", i, gs[i], want)
+				}
+			}
+		})
+	}
+}

@@ -216,6 +216,15 @@ type Options struct {
 	// InsecureChannels disables channel encryption. Never enable outside
 	// experiments; the paper's privacy analysis requires secured channels.
 	InsecureChannels bool
+	// Parallelism sets the worker count every party uses for its O(n²)
+	// hot paths: local dissimilarity construction, the protocol's
+	// disguise and mask-stripping steps, the third party's CCM
+	// edit-distance evaluation, global assembly, weighted merging and
+	// normalization. 0 (the default) uses all cores (GOMAXPROCS); 1 runs
+	// serially. Every setting produces bit-identical results — the
+	// engine only changes how the work is scheduled, never what is
+	// computed.
+	Parallelism int
 	// Random supplies per-party randomness (nil = crypto/rand), used by
 	// tests and reproducible experiments.
 	Random func(partyName string) io.Reader
@@ -226,6 +235,7 @@ func (o Options) toConfig(schema Schema) party.Config {
 		Schema:            schema,
 		Variant:           party.Variant(o.Variant),
 		PlaintextChannels: o.InsecureChannels,
+		Parallelism:       o.Parallelism,
 		RNG:               rng.KindAESCTR,
 	}
 	if o.Masking == PerPairMasking {
