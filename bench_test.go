@@ -330,6 +330,56 @@ func BenchmarkE10Hierarchical(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterBackend times the rebuilt clustering backend at the
+// perf-regression scale (n=500): the MST/NN-chain engines serial vs
+// parallel, and the retained generic reference engine as the baseline the
+// ≥5× single-linkage criterion is measured against. It deliberately
+// mirrors ppc-bench's hcluster-single/-average JSON families (same
+// matrix, seed and variants), the same pairing the numeric-batch and
+// merge-normalize families already use: the Go benchmark is for ad-hoc
+// runs, the JSON family for the recorded trajectory — change both
+// together. Note the per-merge fan-out is grain-gated (a row of 500
+// cells runs inline at any worker count), so at this n the parallel
+// variant pins the absence of scheduling overhead rather than a
+// multi-core win.
+func BenchmarkClusterBackend(b *testing.B) {
+	s := rng.NewXoshiro(rng.SeedFromUint64(2))
+	m := dissim.New(500)
+	for i := 1; i < 500; i++ {
+		for j := 0; j < i; j++ {
+			m.Set(i, j, rng.Float64(s)+0.01)
+		}
+	}
+	for _, link := range []hcluster.Linkage{hcluster.Single, hcluster.Average} {
+		for _, bench := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("%v/n=500/%s", link, bench.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := hcluster.ClusterPar(m, link, bench.workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	b.Run("single/n=500/reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := hcluster.ClusterOptions{Algorithm: hcluster.AlgoGeneric, Workers: 1}
+			if _, err := hcluster.ClusterOpt(m, hcluster.Single, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// The PAM swap-round family (n=512, k=8, serial vs parallel) lives next
+// to the implementation as pam.BenchmarkPAMSwap; ppc-bench's pam-swap
+// JSON family mirrors it, so the scale is defined in one place.
+
 // BenchmarkE18Methods times the three clustering methods the third party
 // offers, on one 200-object matrix.
 func BenchmarkE18Methods(b *testing.B) {

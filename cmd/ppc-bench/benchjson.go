@@ -10,11 +10,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"testing"
 
 	"ppclust/internal/alphabet"
 	"ppclust/internal/dissim"
 	"ppclust/internal/editdist"
+	"ppclust/internal/hcluster"
+	"ppclust/internal/pam"
 	"ppclust/internal/protocol"
 	"ppclust/internal/rng"
 )
@@ -32,8 +35,10 @@ type benchResult struct {
 
 // benchFamilies are the hot paths the perf trajectory tracks: the numeric
 // comparison protocol (serial engine vs all-core engine), the third
-// party's edit-distance DP, local matrix construction and the
-// merge+normalize pipeline.
+// party's edit-distance DP, local matrix construction, the
+// merge+normalize pipeline, and — since PR 2 — the clustering backend
+// (MST/NN-chain engines vs the retained generic reference at n=500) and
+// the FastPAM1-backed PAM at the swap-round scale (n=512, k=8).
 func benchFamilies() []struct {
 	name string
 	n    int
@@ -113,6 +118,53 @@ func benchFamilies() []struct {
 		}
 	}
 
+	cs := rng.NewXoshiro(rng.SeedFromUint64(2))
+	cm := dissim.New(500)
+	for i := 1; i < 500; i++ {
+		for j := 0; j < i; j++ {
+			cm.Set(i, j, rng.Float64(cs)+0.01)
+		}
+	}
+	cluster := func(b *testing.B, link hcluster.Linkage, algo hcluster.Algorithm, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hcluster.ClusterOpt(cm, link, hcluster.ClusterOptions{Algorithm: algo, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Silhouette is the clustering-stage family whose parallel variant
+	// genuinely fans out at n=500 (per-object O(n) scans, not grain-gated
+	// like the per-merge row updates), so it is the row that demonstrates
+	// multi-core speedup for the clustering stage on multi-core sweeps.
+	silLabels := make([]int, 500)
+	for i := range silLabels {
+		silLabels[i] = i % 4
+	}
+	silhouette := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hcluster.SilhouettePar(cm, silLabels, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	ps := rng.NewXoshiro(rng.SeedFromUint64(42))
+	pm := dissim.New(512)
+	for i := 1; i < 512; i++ {
+		for j := 0; j < i; j++ {
+			pm.Set(i, j, rng.Float64(ps)+0.01)
+		}
+	}
+	pamRun := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pam.Cluster(pm, 8, rng.NewXoshiro(rng.SeedFromUint64(7)), pam.Config{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
 	return []struct {
 		name string
 		n    int
@@ -120,6 +172,15 @@ func benchFamilies() []struct {
 	}{
 		{"numeric-batch/serial", n, func(b *testing.B) { numericRound(b, 1) }},
 		{"numeric-batch/parallel", n, func(b *testing.B) { numericRound(b, 0) }},
+		{"hcluster-single/serial", 500, func(b *testing.B) { cluster(b, hcluster.Single, hcluster.AlgoAuto, 1) }},
+		{"hcluster-single/parallel", 500, func(b *testing.B) { cluster(b, hcluster.Single, hcluster.AlgoAuto, 0) }},
+		{"hcluster-single/reference", 500, func(b *testing.B) { cluster(b, hcluster.Single, hcluster.AlgoGeneric, 1) }},
+		{"hcluster-average/serial", 500, func(b *testing.B) { cluster(b, hcluster.Average, hcluster.AlgoAuto, 1) }},
+		{"hcluster-average/parallel", 500, func(b *testing.B) { cluster(b, hcluster.Average, hcluster.AlgoAuto, 0) }},
+		{"hcluster-silhouette/serial", 500, func(b *testing.B) { silhouette(b, 1) }},
+		{"hcluster-silhouette/parallel", 500, func(b *testing.B) { silhouette(b, 0) }},
+		{"pam-swap/serial", 512, func(b *testing.B) { pamRun(b, 1) }},
+		{"pam-swap/parallel", 512, func(b *testing.B) { pamRun(b, 0) }},
 		{"editdist-ccm-scratch", 24, func(b *testing.B) {
 			sc := editdist.MustUnitScratch()
 			b.ReportAllocs()
@@ -134,23 +195,42 @@ func benchFamilies() []struct {
 	}
 }
 
-// runBenchJSON measures every family and writes the JSON report to path.
+// runBenchJSON measures every family at each GOMAXPROCS setting and
+// writes the JSON report to path. Families run once pinned to a single
+// core (the serial trajectory every report has tracked) and once at the
+// machine's full core count, so the parallel variants demonstrate — and
+// regress against — actual multi-core speedup rather than a one-core
+// schedule. On a single-core machine the two settings coincide and only
+// one sweep runs.
 func runBenchJSON(w io.Writer, path string) error {
+	// "All cores" is the operator's effective setting (GOMAXPROCS env or
+	// cgroup-aware default), not the raw host count — NumCPU would
+	// oversubscribe a quota-limited container and record throttled noise.
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	sweep := []int{1}
+	if prev > 1 {
+		sweep = append(sweep, prev)
+	}
 	var results []benchResult
-	for _, fam := range benchFamilies() {
-		r := testing.Benchmark(fam.fn)
-		res := benchResult{
-			Family:    fam.name,
-			N:         fam.n,
-			Iters:     r.N,
-			NsPerOp:   float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsOp:  r.AllocsPerOp(),
-			BytesOp:   r.AllocedBytesPerOp(),
-			GoMaxProc: gomaxprocs(),
+	for _, gmp := range sweep {
+		runtime.GOMAXPROCS(gmp)
+		fmt.Fprintf(w, "GOMAXPROCS=%d\n", gmp)
+		for _, fam := range benchFamilies() {
+			r := testing.Benchmark(fam.fn)
+			res := benchResult{
+				Family:    fam.name,
+				N:         fam.n,
+				Iters:     r.N,
+				NsPerOp:   float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsOp:  r.AllocsPerOp(),
+				BytesOp:   r.AllocedBytesPerOp(),
+				GoMaxProc: gmp,
+			}
+			results = append(results, res)
+			fmt.Fprintf(w, "%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
+				res.Family, res.NsPerOp, res.AllocsOp, res.BytesOp)
 		}
-		results = append(results, res)
-		fmt.Fprintf(w, "%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",
-			res.Family, res.NsPerOp, res.AllocsOp, res.BytesOp)
 	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

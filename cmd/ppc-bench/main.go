@@ -17,11 +17,8 @@ import (
 	"io"
 	"log"
 	"os"
-	"runtime"
 	"strings"
 )
-
-func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
 
 // experiment is one regenerable artifact.
 type experiment struct {

@@ -129,7 +129,7 @@ func TestParallelismVariants(t *testing.T) {
 	for pi, site := range []string{"A", "B"} {
 		tab := ppclust.MustNewTable(schema)
 		for r := 0; r < 40; r++ {
-			tab.MustAppendRow(float64(rng.Symbol(s, 1 << 20)))
+			tab.MustAppendRow(float64(rng.Symbol(s, 1<<20)))
 		}
 		parts[pi] = ppclust.Partition{Site: site, Table: tab}
 	}

@@ -32,22 +32,46 @@
 //
 // Every O(n²) stage — local dissimilarity construction, the protocols'
 // disguise and mask-stripping steps, the third party's CCM edit-distance
-// evaluation, global assembly, weighted merging and normalization — runs
-// on an internal chunked worker engine. Options.Parallelism sets the
-// worker count per party: 0 (the default) uses all cores, 1 runs
-// serially. The engine guarantees determinism: chunk placement is a pure
-// function of the input size, all randomness is drawn sequentially before
-// the fan-out, and every worker writes only its own output range, so
-// results are bit-identical at any setting. Independently of the worker
-// count, batch-mode mask streams are generated once per protocol step
-// rather than once per row (the values the paper's per-row
-// re-initialization prescribes are unchanged), which alone makes the
-// n=256 numeric comparison ≈5× faster than the naive per-row evaluation
-// with ≈20× fewer allocations.
+// evaluation, global assembly, weighted merging, normalization, and the
+// clustering stage itself (agglomerative row updates, DIANA's splinter
+// scans, PAM's BUILD and swap scoring, quality and silhouette
+// statistics) — runs on an internal chunked worker engine.
+// Options.Parallelism sets the worker count per party: 0 (the default)
+// uses all cores, 1 runs serially. The engine guarantees determinism:
+// chunk placement is a pure function of the input size, all randomness is
+// drawn sequentially before the fan-out, every worker writes only its own
+// output range, and cross-chunk reductions replay fixed per-item partials
+// serially in index order, so results are bit-identical at any setting.
+// Independently of the worker count, batch-mode mask streams are
+// generated once per protocol step rather than once per row (the values
+// the paper's per-row re-initialization prescribes are unchanged), which
+// alone makes the n=256 numeric comparison ≈5× faster than the naive
+// per-row evaluation with ≈20× fewer allocations.
+//
+// # Clustering backend
+//
+// The third party's agglomerative stage is backed by three exact engines
+// (internal/hcluster): Prim's minimum-spanning-tree pass for single
+// linkage (O(n²) time, O(n) extra space, no working copy at all), the
+// nearest-neighbor-chain algorithm for the other reducible linkages —
+// complete, average, weighted, Ward — over a condensed packed working
+// copy (guaranteed O(n²) time, half the memory of a dense matrix), and a
+// retained nearest-neighbor-cached reference loop for the non-reducible
+// centroid and median linkages (near-O(n²) typical, O(n³) worst case).
+// The MST and NN-chain engines emit merges in non-decreasing height
+// order (centroid/median keep the generic engine's discovery order and
+// may show the classical inversions); exact distance ties resolve in
+// engine discovery order, which may legitimately differ between engines
+// while inducing the same partitions at every distinct height. At n=500 the single-linkage path is ≈12× faster than the
+// reference engine. PAM uses FastPAM1-style swap evaluation (cached
+// nearest/second-nearest medoid distances score every swap in O(n²) per
+// round instead of O(kn²)): ≈17-24× faster at n=512, k=8.
 //
 // Runnable scenarios live under examples/, command-line tools (including a
 // real TCP deployment of the three-role protocol) under cmd/, and the
 // experiment harness regenerating every figure and analysis of the paper is
 // cmd/ppc-bench plus the benchmarks in bench_test.go (ppc-bench -json
-// writes the machine-readable perf-regression report, BENCH_1.json).
+// writes the machine-readable perf-regression report — BENCH_1.json, then
+// BENCH_2.json with the clustering families recorded per GOMAXPROCS
+// setting).
 package ppclust

@@ -319,7 +319,7 @@ func BenchmarkNormalize1000(b *testing.B) {
 
 // synthDist is a deterministic pure pairwise distance for builder tests.
 func synthDist(i, j int) float64 {
-	return float64((i*2654435761+j*40503) % 1000)
+	return float64((i*2654435761 + j*40503) % 1000)
 }
 
 // TestFromLocalParBitIdentical checks the parallel builder against the

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ppclust/internal/dissim"
+	"ppclust/internal/parallel"
 )
 
 // Diana runs the DIANA divisive hierarchical algorithm (Kaufman &
@@ -19,6 +20,16 @@ import (
 // the paper's claim of generality over "different clustering methods"
 // consuming the dissimilarity matrix.
 func Diana(d *dissim.Matrix) (*Dendrogram, error) {
+	return DianaPar(d, 1)
+}
+
+// DianaPar is Diana with an explicit worker count (<= 0 = all cores) for
+// the O(m²) per-cluster scans: diameters and average-dissimilarity sums
+// run through the parallel engine with per-member partials reduced
+// serially in member order, so results are bit-identical at any worker
+// count. Cluster diameters are computed once per cluster (when it is
+// created) rather than rescanned every round.
+func DianaPar(d *dissim.Matrix, workers int) (*Dendrogram, error) {
 	n := d.N()
 	if n < 1 {
 		return nil, fmt.Errorf("hcluster: empty dissimilarity matrix")
@@ -34,26 +45,28 @@ func Diana(d *dissim.Matrix) (*Dendrogram, error) {
 	}
 	var splits []split
 
-	// Active clusters; split the one with the largest diameter each round.
+	// Active clusters with cached diameters; split the one with the
+	// largest diameter each round.
 	clusters := [][]int{allIndices(n)}
+	diams := []float64{diameter(d, clusters[0], workers)}
 	for len(clusters) < n {
-		// Find the cluster with the largest diameter.
 		best, bestDiam := -1, -1.0
 		for ci, members := range clusters {
 			if len(members) < 2 {
 				continue
 			}
-			if diam := diameter(d, members); diam > bestDiam {
-				best, bestDiam = ci, diam
+			if diams[ci] > bestDiam {
+				best, bestDiam = ci, diams[ci]
 			}
 		}
 		if best < 0 {
 			break // all singletons
 		}
-		left, right := dianaSplit(d, clusters[best])
+		left, right := dianaSplit(d, clusters[best], workers)
 		splits = append(splits, split{left: left, right: right, height: bestDiam})
-		clusters[best] = left
+		clusters[best], diams[best] = left, diameter(d, left, workers)
 		clusters = append(clusters, right)
+		diams = append(diams, diameter(d, right, workers))
 	}
 
 	// Reverse splits into merges, numbering internal nodes bottom-up. Each
@@ -88,54 +101,85 @@ func Diana(d *dissim.Matrix) (*Dendrogram, error) {
 // dianaSplit divides one cluster: the object with the largest average
 // dissimilarity to the rest seeds the splinter group, which then absorbs
 // every object closer (on average) to the splinter than to the remainder.
-func dianaSplit(d *dissim.Matrix, members []int) (remainder, splinter []int) {
-	// Seed: object with max average dissimilarity to the others.
-	seed, seedAvg := members[0], -1.0
-	for _, i := range members {
-		avg := avgDissim(d, i, members)
-		if avg > seedAvg {
-			seed, seedAvg = i, avg
+// The total-dissimilarity scan fans out over the parallel engine; the
+// absorption loop keeps the sequential semantics (a member moved earlier
+// in a pass is visible to later members) with incrementally maintained
+// splinter sums, so one pass costs O(m) plus O(m) per move instead of
+// O(m²).
+func dianaSplit(d *dissim.Matrix, members []int, workers int) (remainder, splinter []int) {
+	m := len(members)
+	// total[a] = sum of dissimilarities of members[a] to every other
+	// member, accumulated in member order (one member per worker, so the
+	// sums are bit-identical at any worker count). The fan-out is
+	// grain-gated: small clusters — the bulk of DIANA's later rounds —
+	// run inline rather than paying a fork/join per round.
+	total := make([]float64, m)
+	parallel.Range(grainWorkers(workers, m*(m-1)), m, func(_, lo, hi int) {
+		for a := lo; a < hi; a++ {
+			i := members[a]
+			sum := 0.0
+			for _, j := range members {
+				if j != i {
+					sum += d.At(i, j)
+				}
+			}
+			total[a] = sum
+		}
+	})
+
+	// Seed: member with max average dissimilarity to the others (first
+	// maximum wins, as in the serial scan).
+	seedPos, seedAvg := 0, -1.0
+	for a := 0; a < m; a++ {
+		if avg := total[a] / float64(m-1); avg > seedAvg {
+			seedPos, seedAvg = a, avg
 		}
 	}
-	inSplinter := map[int]bool{seed: true}
+
+	inSpl := make([]bool, m)
+	inSpl[seedPos] = true
+	cntSpl := 1
+	// sumSpl[a] = sum of dissimilarities of members[a] to the current
+	// splinter group; the rest-side sum is total[a] − sumSpl[a].
+	sumSpl := make([]float64, m)
+	seedI := members[seedPos]
+	parallel.Range(grainWorkers(workers, m), m, func(_, lo, hi int) {
+		for a := lo; a < hi; a++ {
+			if a != seedPos {
+				sumSpl[a] = d.At(members[a], seedI)
+			}
+		}
+	})
 	for {
 		moved := false
-		for _, i := range members {
-			if inSplinter[i] {
+		for a := 0; a < m; a++ {
+			if inSpl[a] {
 				continue
 			}
-			var toSplinter, toRest, ns, nr float64
-			for _, j := range members {
-				if j == i {
-					continue
-				}
-				if inSplinter[j] {
-					toSplinter += d.At(i, j)
-					ns++
-				} else {
-					toRest += d.At(i, j)
-					nr++
-				}
-			}
-			if ns == 0 {
-				continue
-			}
-			avgS := toSplinter / ns
-			// If i is the last non-splinter object, nr is 0 and it stays.
+			nr := m - cntSpl - 1 // remainder excluding a itself
 			if nr == 0 {
-				continue
+				continue // the last non-splinter member stays
 			}
-			if avgS < toRest/nr {
-				inSplinter[i] = true
+			avgS := sumSpl[a] / float64(cntSpl)
+			avgR := (total[a] - sumSpl[a]) / float64(nr)
+			if avgS < avgR {
+				inSpl[a] = true
+				cntSpl++
 				moved = true
+				ia := members[a]
+				for b := 0; b < m; b++ {
+					if b != a && !inSpl[b] {
+						sumSpl[b] += d.At(members[b], ia)
+					}
+				}
 			}
 		}
 		if !moved {
 			break
 		}
 	}
-	for _, i := range members {
-		if inSplinter[i] {
+	for a, i := range members {
+		if inSpl[a] {
 			splinter = append(splinter, i)
 		} else {
 			remainder = append(remainder, i)
@@ -154,29 +198,34 @@ func allIndices(n int) []int {
 	return out
 }
 
-func diameter(d *dissim.Matrix, members []int) float64 {
-	max := 0.0
-	for a := 1; a < len(members); a++ {
-		for b := 0; b < a; b++ {
+// diameter is the maximum pairwise dissimilarity within a member set,
+// computed as a parallel max reduction over the member-set's packed pair
+// triangle — PairOf turns the flat pair range into member coordinates,
+// so every chunk carries the same number of pairs regardless of which
+// rows it spans (a row-chunked split would give the last worker ~2× the
+// work). Max is exact and order-free, so the result is bit-identical at
+// any worker count.
+func diameter(d *dissim.Matrix, members []int, workers int) float64 {
+	m := len(members)
+	if m < 2 {
+		return 0
+	}
+	pairs := m * (m - 1) / 2
+	return parallel.MaxRange(grainWorkers(workers, pairs), pairs, func(_, lo, hi int) float64 {
+		a, b := parallel.PairOf(lo)
+		max := 0.0
+		for k := lo; k < hi; k++ {
 			if v := d.At(members[a], members[b]); v > max {
 				max = v
 			}
+			b++
+			if b == a {
+				a++
+				b = 0
+			}
 		}
-	}
-	return max
-}
-
-func avgDissim(d *dissim.Matrix, i int, members []int) float64 {
-	if len(members) < 2 {
-		return 0
-	}
-	sum := 0.0
-	for _, j := range members {
-		if j != i {
-			sum += d.At(i, j)
-		}
-	}
-	return sum / float64(len(members)-1)
+		return max
+	})
 }
 
 // keyOf canonicalizes a sorted index set for map lookup.

@@ -8,8 +8,24 @@
 // dissimilarity matrix; no protocol interaction is involved (paper Section
 // 5: "There is no privacy concern after the dissimilarity matrices are
 // built"). All seven classical linkages are provided through the
-// Lance–Williams recurrence, with the nearest-neighbor-cached generic
-// algorithm giving near-O(n²) behaviour on typical inputs.
+// Lance–Williams recurrence.
+//
+// Three exact engines back Cluster, selected automatically (see
+// Algorithm): Prim's minimum-spanning-tree pass for single linkage (O(n²)
+// time, O(n) extra space, no working copy), the nearest-neighbor-chain
+// algorithm for the remaining reducible linkages — complete, average,
+// weighted, Ward — over a condensed packed working copy (guaranteed O(n²)
+// time, half the memory of a dense matrix), and the retained
+// nearest-neighbor-cached generic loop (the reference implementation,
+// near-O(n²) typical, O(n³) worst case) for the non-reducible centroid
+// and median linkages. Per-merge Lance–Williams row updates run through
+// internal/parallel; results are bit-identical at any worker count.
+// The MST and NN-chain engines emit merges in non-decreasing height
+// order with ties kept in discovery order (see ClusterOpt for the exact
+// convention); centroid and median linkage — non-reducible, served by
+// the generic engine — can exhibit the classical dendrogram inversions,
+// so their merge heights follow discovery order and need not be
+// monotone.
 package hcluster
 
 import (
@@ -17,6 +33,7 @@ import (
 	"math"
 
 	"ppclust/internal/dissim"
+	"ppclust/internal/parallel"
 )
 
 // Linkage selects the cluster-distance update rule.
@@ -126,21 +143,33 @@ func lwParams(l Linkage, ni, nj, nk float64) (ai, aj, beta, gamma float64) {
 	}
 }
 
-// Cluster builds the dendrogram of the matrix under the given linkage using
-// the generic nearest-neighbor-cached agglomerative algorithm. A matrix
-// with fewer than one object is rejected; a single object yields an empty
-// merge list.
+func errEmptyMatrix() error         { return fmt.Errorf("hcluster: empty dissimilarity matrix") }
+func errBadLinkage(l Linkage) error { return fmt.Errorf("hcluster: invalid linkage %d", l) }
+func errBadAlgorithm(a Algorithm) error {
+	return fmt.Errorf("hcluster: invalid algorithm %d", a)
+}
+
+// Cluster builds the dendrogram of the matrix under the given linkage. It
+// runs the automatic engine selection serially: the NN-chain engine for
+// reducible linkages, the generic reference engine otherwise. Use
+// ClusterPar or ClusterOpt to set the worker count or force an engine. A
+// matrix with fewer than one object is rejected; a single object yields
+// an empty merge list.
 func Cluster(d *dissim.Matrix, link Linkage) (*Dendrogram, error) {
+	return ClusterOpt(d, link, ClusterOptions{Workers: 1})
+}
+
+// clusterGeneric is the retained reference engine: a dense working matrix
+// with a nearest-neighbor cache and a global minimum scan per step
+// (near-O(n²) on typical inputs, O(n³) worst case). The per-merge
+// Lance–Williams row update runs through the parallel engine; every
+// partner writes only its own cells, so results are bit-identical at any
+// worker count.
+func clusterGeneric(d *dissim.Matrix, link Linkage, workers int) *Dendrogram {
 	n := d.N()
-	if n < 1 {
-		return nil, fmt.Errorf("hcluster: empty dissimilarity matrix")
-	}
-	if link < Single || link > Ward {
-		return nil, fmt.Errorf("hcluster: invalid linkage %d", link)
-	}
 	dg := &Dendrogram{NLeaves: n, Linkage: link, Merges: make([]Merge, 0, n-1)}
 	if n == 1 {
-		return dg, nil
+		return dg
 	}
 
 	// Working square matrix of current cluster distances.
@@ -203,17 +232,22 @@ func Cluster(d *dissim.Matrix, link Linkage) (*Dendrogram, error) {
 		dij := dist[i][j]
 
 		// Lance–Williams update of every other active cluster's distance
-		// to the merged cluster, stored in slot i.
+		// to the merged cluster, stored in slot i. Each partner k writes
+		// only its own pair of cells, so the parallel fan-out is
+		// bit-identical to the serial walk (and gated to rows long
+		// enough to amortize the fork/join).
 		ni, nj := size[i], size[j]
-		for k := 0; k < n; k++ {
-			if !active[k] || k == i || k == j {
-				continue
+		parallel.Range(rowWorkers(workers, n), n, func(_, from, to int) {
+			for k := from; k < to; k++ {
+				if !active[k] || k == i || k == j {
+					continue
+				}
+				ai, aj, beta, gamma := lwParams(link, ni, nj, size[k])
+				upd := ai*dist[i][k] + aj*dist[j][k] + beta*dij + gamma*math.Abs(dist[i][k]-dist[j][k])
+				dist[i][k] = upd
+				dist[k][i] = upd
 			}
-			ai, aj, beta, gamma := lwParams(link, ni, nj, size[k])
-			upd := ai*dist[i][k] + aj*dist[j][k] + beta*dij + gamma*math.Abs(dist[i][k]-dist[j][k])
-			dist[i][k] = upd
-			dist[k][i] = upd
-		}
+		})
 
 		height := dij
 		if link.usesSquared() {
@@ -247,5 +281,5 @@ func Cluster(d *dissim.Matrix, link Linkage) (*Dendrogram, error) {
 			}
 		}
 	}
-	return dg, nil
+	return dg
 }

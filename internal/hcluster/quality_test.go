@@ -77,6 +77,74 @@ func TestSilhouetteErrors(t *testing.T) {
 	}
 }
 
+// TestQualitySilhouetteDeterministicAcrossWorkers pins bit-identical
+// quality statistics and silhouette scores at Parallelism 1, 2 and all
+// cores (the satellite determinism guarantee for the published metrics).
+func TestQualitySilhouetteDeterministicAcrossWorkers(t *testing.T) {
+	d := randomMatrix(60, 33)
+	dg, err := Cluster(d, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := dg.CutK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := dg.Labels(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qRef, err := QualityPar(d, clusters, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRef, err := SilhouettePar(d, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 0} {
+		q, err := QualityPar(d, clusters, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range qRef {
+			if q[c] != qRef[c] {
+				t.Fatalf("workers=%d cluster %d: %+v vs serial %+v", workers, c, q[c], qRef[c])
+			}
+		}
+		s, err := SilhouettePar(d, labels, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != sRef {
+			t.Fatalf("workers=%d: silhouette %v vs serial %v", workers, s, sRef)
+		}
+	}
+}
+
+// BenchmarkSilhouette500 mirrors ppc-bench's hcluster-silhouette JSON
+// family (same n, labeling and variants) — change both together.
+func BenchmarkSilhouette500(b *testing.B) {
+	d := randomMatrix(500, 2)
+	labels := make([]int, 500)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SilhouettePar(d, labels, bench.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func TestSilhouetteSingletonConvention(t *testing.T) {
 	d := dissim.New(3)
 	d.Set(1, 0, 0.1)

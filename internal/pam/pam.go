@@ -9,6 +9,16 @@
 // third party demonstrates the protocol's claimed "generality in
 // applicability to different clustering methods": any algorithm consuming
 // the dissimilarity matrix works, including partitioning ones.
+//
+// The SWAP phase uses FastPAM1-style evaluation (Schubert & Rousseeuw
+// 2019): per-object nearest and second-nearest medoid distances are
+// cached, so one round scores every (medoid, candidate) exchange in O(n²)
+// total instead of the classic O(kn²), and the steepest-descent swap is
+// applied per round. BUILD keeps the classic greedy gain selection (with
+// the stream breaking exact ties, as before) but evaluates candidate
+// gains through the parallel engine. All parallel stages compute fixed
+// per-candidate partials reduced serially in index order, so results are
+// bit-identical at any worker count.
 package pam
 
 import (
@@ -17,6 +27,7 @@ import (
 	"sort"
 
 	"ppclust/internal/dissim"
+	"ppclust/internal/parallel"
 	"ppclust/internal/rng"
 )
 
@@ -32,10 +43,25 @@ type Result struct {
 	SwapIterations int
 }
 
-// Config bounds a run; the zero value gives 100 swap iterations.
+// Config bounds a run; the zero value gives max(100, n) swap rounds on
+// all cores.
 type Config struct {
+	// MaxIterations caps the number of swap rounds. One round evaluates
+	// every (medoid, candidate) exchange and applies the single best
+	// improvement, so a run accepts at most MaxIterations swaps; <= 0
+	// selects max(100, n), enough for steepest descent to converge in
+	// practice at any size (the pre-FastPAM loop could accept many swaps
+	// per round, so a flat 100 would silently truncate large instances).
 	MaxIterations int
+	// Workers is the parallel engine's worker count for BUILD gain
+	// evaluation and swap-round scoring: 0 or negative selects all
+	// cores, 1 runs serially. Results are bit-identical at any setting.
+	Workers int
 }
+
+// swapEpsilon is the minimum cost decrease for accepting a swap, guarding
+// against float-noise livelock (same threshold the pre-FastPAM loop used).
+const swapEpsilon = 1e-15
 
 // Cluster runs PAM (BUILD + SWAP) on the matrix. The stream breaks cost
 // ties during BUILD, keeping runs deterministic for a given seed.
@@ -46,88 +72,56 @@ func Cluster(d *dissim.Matrix, k int, stream rng.Stream, cfg Config) (*Result, e
 	}
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 100
+		if n > 100 {
+			cfg.MaxIterations = n
+		}
 	}
+	workers := parallel.Workers(cfg.Workers)
 
-	// BUILD: greedily add the medoid that reduces total cost most.
-	medoids := make([]int, 0, k)
-	isMedoid := make([]bool, n)
-	// nearest[i] = dissimilarity of i to its closest chosen medoid.
+	medoids, isMedoid := build(d, k, stream, workers)
+
+	// Per-object caches: distance to the nearest and second-nearest
+	// medoid, and the nearest medoid's position in medoids.
 	nearest := make([]float64, n)
-	for i := range nearest {
-		nearest[i] = math.Inf(1)
-	}
-	for len(medoids) < k {
-		best, bestGain := -1, math.Inf(-1)
+	second := make([]float64, n)
+	nearestIdx := make([]int, n)
+	recomputeCaches(d, medoids, nearest, second, nearestIdx, workers)
+
+	res := &Result{}
+	deltas := make([]float64, n*k)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.SwapIterations = iter + 1
+		swapDeltas(d, k, isMedoid, nearest, second, nearestIdx, deltas, workers)
+		// Serial arg-min in fixed (candidate, medoid) order: the lowest
+		// pair wins exact ties, independent of the worker count.
+		bestC, bestM, bestDelta := -1, -1, 0.0
 		for c := 0; c < n; c++ {
 			if isMedoid[c] {
 				continue
 			}
-			gain := 0.0
-			for i := 0; i < n; i++ {
-				if isMedoid[i] || i == c {
-					continue
-				}
-				if diff := nearest[i] - d.At(i, c); diff > 0 && !math.IsInf(nearest[i], 1) {
-					gain += diff
-				} else if math.IsInf(nearest[i], 1) {
-					gain += -d.At(i, c) // first medoid: minimize total distance
-				}
-			}
-			if gain > bestGain || (gain == bestGain && best >= 0 && rng.Bool(stream)) {
-				best, bestGain = c, gain
-			}
-		}
-		medoids = append(medoids, best)
-		isMedoid[best] = true
-		for i := 0; i < n; i++ {
-			if v := d.At(i, best); v < nearest[i] {
-				nearest[i] = v
-			}
-		}
-	}
-
-	// SWAP: replace a medoid with a non-medoid while total cost improves.
-	assign := func() ([]int, float64) {
-		labels := make([]int, n)
-		cost := 0.0
-		for i := 0; i < n; i++ {
-			best, bestD := 0, math.Inf(1)
-			for mi, m := range medoids {
-				if v := d.At(i, m); v < bestD {
-					best, bestD = mi, v
-				}
-			}
-			labels[i] = best
-			cost += bestD
-		}
-		return labels, cost
-	}
-	labels, cost := assign()
-	res := &Result{}
-	for iter := 0; iter < cfg.MaxIterations; iter++ {
-		res.SwapIterations = iter + 1
-		improved := false
-		for mi := range medoids {
-			for c := 0; c < n; c++ {
-				if isMedoid[c] {
-					continue
-				}
-				old := medoids[mi]
-				medoids[mi] = c
-				_, newCost := assign()
-				if newCost < cost-1e-15 {
-					isMedoid[old] = false
-					isMedoid[c] = true
-					labels, cost = assign()
-					improved = true
-				} else {
-					medoids[mi] = old
+			row := deltas[c*k : c*k+k]
+			for m, dv := range row {
+				if dv < bestDelta {
+					bestC, bestM, bestDelta = c, m, dv
 				}
 			}
 		}
-		if !improved {
+		if bestC < 0 || bestDelta >= -swapEpsilon {
 			break
 		}
+		isMedoid[medoids[bestM]] = false
+		isMedoid[bestC] = true
+		medoids[bestM] = bestC
+		recomputeCaches(d, medoids, nearest, second, nearestIdx, workers)
+	}
+
+	// Final assignment from the caches; the cost sum runs serially in
+	// object order.
+	labels := make([]int, n)
+	copy(labels, nearestIdx)
+	cost := 0.0
+	for _, v := range nearest {
+		cost += v
 	}
 
 	// Canonicalize: sort medoids and remap labels accordingly.
@@ -149,6 +143,128 @@ func Cluster(d *dissim.Matrix, k int, stream rng.Stream, cfg Config) (*Result, e
 	res.Labels = labels
 	res.Cost = cost
 	return res, nil
+}
+
+// build is the classic greedy BUILD: add the medoid with the largest cost
+// reduction, k times. Candidate gains are evaluated concurrently — each
+// candidate's sum runs serially in object order, exactly as the serial
+// loop computed it — and the arg-max scan (including the stream's
+// tie-break draws) replays serially in candidate order, so the selected
+// medoids and the stream consumption are identical at any worker count.
+func build(d *dissim.Matrix, k int, stream rng.Stream, workers int) (medoids []int, isMedoid []bool) {
+	n := d.N()
+	medoids = make([]int, 0, k)
+	isMedoid = make([]bool, n)
+	// nearest[i] = dissimilarity of i to its closest chosen medoid.
+	nearest := make([]float64, n)
+	for i := range nearest {
+		nearest[i] = math.Inf(1)
+	}
+	gains := make([]float64, n)
+	for len(medoids) < k {
+		parallel.Range(workers, n, func(_, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				if isMedoid[c] {
+					gains[c] = 0
+					continue
+				}
+				gain := 0.0
+				for i := 0; i < n; i++ {
+					if isMedoid[i] || i == c {
+						continue
+					}
+					if diff := nearest[i] - d.At(i, c); diff > 0 && !math.IsInf(nearest[i], 1) {
+						gain += diff
+					} else if math.IsInf(nearest[i], 1) {
+						gain += -d.At(i, c) // first medoid: minimize total distance
+					}
+				}
+				gains[c] = gain
+			}
+		})
+		best, bestGain := -1, math.Inf(-1)
+		for c := 0; c < n; c++ {
+			if isMedoid[c] {
+				continue
+			}
+			if gains[c] > bestGain || (gains[c] == bestGain && best >= 0 && rng.Bool(stream)) {
+				best, bestGain = c, gains[c]
+			}
+		}
+		medoids = append(medoids, best)
+		isMedoid[best] = true
+		for i := 0; i < n; i++ {
+			if v := d.At(i, best); v < nearest[i] {
+				nearest[i] = v
+			}
+		}
+	}
+	return medoids, isMedoid
+}
+
+// recomputeCaches refreshes the nearest/second-nearest medoid distances
+// and the nearest medoid position for every object. Each object is
+// computed independently (medoid scan in position order), so the parallel
+// fan-out is bit-identical to the serial walk.
+func recomputeCaches(d *dissim.Matrix, medoids []int, nearest, second []float64, nearestIdx []int, workers int) {
+	parallel.Range(workers, d.N(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d1, d2, idx := math.Inf(1), math.Inf(1), 0
+			for mi, m := range medoids {
+				v := d.At(i, m)
+				if v < d1 {
+					d1, d2, idx = v, d1, mi
+				} else if v < d2 {
+					d2 = v
+				}
+			}
+			nearest[i], second[i], nearestIdx[i] = d1, d2, idx
+		}
+	})
+}
+
+// swapDeltas scores every (medoid position m, candidate c) exchange in
+// one O(n) pass per candidate (FastPAM1): for each object o the cost
+// change decomposes into a shared term min(d(o,c) − nearest(o), 0) that
+// applies whichever medoid is removed, plus a correction for o's own
+// nearest medoid, whose removal re-homes o to min(d(o,c), second(o)).
+// deltas[c*k+m] receives the total cost change of swapping medoid m for
+// candidate c; rows of medoid objects are zeroed. Each candidate owns its
+// row and accumulates in object order, so results are bit-identical at
+// any worker count.
+func swapDeltas(d *dissim.Matrix, k int, isMedoid []bool, nearest, second []float64, nearestIdx []int, deltas []float64, workers int) {
+	n := d.N()
+	parallel.Range(workers, n, func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			row := deltas[c*k : c*k+k]
+			for m := range row {
+				row[m] = 0
+			}
+			if isMedoid[c] {
+				continue
+			}
+			shared := 0.0
+			for o := 0; o < n; o++ {
+				doc := d.At(o, c)
+				dn, ds := nearest[o], second[o]
+				sh := 0.0
+				if doc < dn {
+					sh = doc - dn
+				}
+				shared += sh
+				// Removing o's own medoid re-homes o to c or its second
+				// choice; replace the shared term with that difference.
+				own := ds - dn
+				if doc < ds {
+					own = doc - dn
+				}
+				row[nearestIdx[o]] += own - sh
+			}
+			for m := range row {
+				row[m] += shared
+			}
+		}
+	})
 }
 
 // Clusters converts a Result into member lists ordered by medoid.

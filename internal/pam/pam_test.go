@@ -121,6 +121,143 @@ func TestPAMDeterministicGivenSeed(t *testing.T) {
 	}
 }
 
+func randomPAMMatrix(n int, seed uint64) *dissim.Matrix {
+	gen := rng.NewXoshiro(rng.SeedFromUint64(seed))
+	d := dissim.New(n)
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			d.Set(i, j, rng.Float64(gen)+0.01)
+		}
+	}
+	return d
+}
+
+// TestSwapDeltasMatchBruteForce pins the FastPAM1 decomposition against a
+// direct recomputation: for every (medoid, candidate) pair the cached
+// delta must equal the difference between the post-swap and pre-swap
+// assignment costs.
+func TestSwapDeltasMatchBruteForce(t *testing.T) {
+	for _, n := range []int{5, 12, 30} {
+		for _, k := range []int{1, 2, 4} {
+			if k >= n {
+				continue
+			}
+			d := randomPAMMatrix(n, uint64(n*10+k))
+			medoids, isMedoid := build(d, k, stream(uint64(k)), 1)
+			nearest := make([]float64, n)
+			second := make([]float64, n)
+			nearestIdx := make([]int, n)
+			recomputeCaches(d, medoids, nearest, second, nearestIdx, 1)
+			deltas := make([]float64, n*k)
+			swapDeltas(d, k, isMedoid, nearest, second, nearestIdx, deltas, 1)
+
+			assignCost := func(meds []int) float64 {
+				cost := 0.0
+				for i := 0; i < n; i++ {
+					best := math.Inf(1)
+					for _, m := range meds {
+						if v := d.At(i, m); v < best {
+							best = v
+						}
+					}
+					cost += best
+				}
+				return cost
+			}
+			base := assignCost(medoids)
+			trial := make([]int, k)
+			for c := 0; c < n; c++ {
+				if isMedoid[c] {
+					continue
+				}
+				for m := 0; m < k; m++ {
+					copy(trial, medoids)
+					trial[m] = c
+					want := assignCost(trial) - base
+					if math.Abs(deltas[c*k+m]-want) > 1e-9 {
+						t.Fatalf("n=%d k=%d swap(m=%d, c=%d): delta %v, brute force %v",
+							n, k, m, c, deltas[c*k+m], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPAMDeterministicAcrossWorkers pins bit-identical output at
+// Parallelism 1, 2 and all cores.
+func TestPAMDeterministicAcrossWorkers(t *testing.T) {
+	d := randomPAMMatrix(60, 17)
+	ref, err := Cluster(d, 5, stream(9), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 0} {
+		got, err := Cluster(d, 5, stream(9), Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != ref.Cost || got.SwapIterations != ref.SwapIterations {
+			t.Fatalf("workers=%d: cost %v/%d vs serial %v/%d",
+				workers, got.Cost, got.SwapIterations, ref.Cost, ref.SwapIterations)
+		}
+		for i := range ref.Labels {
+			if got.Labels[i] != ref.Labels[i] {
+				t.Fatalf("workers=%d: label[%d] differs", workers, i)
+			}
+		}
+		for i := range ref.Medoids {
+			if got.Medoids[i] != ref.Medoids[i] {
+				t.Fatalf("workers=%d: medoids %v vs %v", workers, got.Medoids, ref.Medoids)
+			}
+		}
+	}
+}
+
+// TestPAMSwapImprovesCost checks that the swap phase never worsens the
+// BUILD cost and that every accepted round strictly improved it.
+func TestPAMSwapImprovesCost(t *testing.T) {
+	d := randomPAMMatrix(50, 23)
+	res, err := Cluster(d, 6, stream(11), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BUILD-only cost: k medoids chosen greedily, no swaps.
+	medoids, _ := build(d, 6, stream(11), 1)
+	buildCost := 0.0
+	for i := 0; i < d.N(); i++ {
+		best := math.Inf(1)
+		for _, m := range medoids {
+			if v := d.At(i, m); v < best {
+				best = v
+			}
+		}
+		buildCost += best
+	}
+	if res.Cost > buildCost+1e-12 {
+		t.Fatalf("swap made cost worse: %v > %v", res.Cost, buildCost)
+	}
+}
+
+func BenchmarkPAMSwap(b *testing.B) {
+	// The tentpole's swap-round target: k=8, n=512. BUILD dominates once
+	// the swap rounds collapse to O(n²); the family tracks the full run.
+	d := randomPAMMatrix(512, 42)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run("n=512/k=8/"+bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Cluster(d, 8, stream(7), Config{Workers: bench.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func TestPAMCostConsistency(t *testing.T) {
 	// Reported cost equals the recomputed assignment cost.
 	gen := rng.NewXoshiro(rng.SeedFromUint64(7))

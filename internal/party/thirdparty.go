@@ -435,9 +435,9 @@ func (tp *ThirdParty) cluster(matrices []*dissim.Matrix, req requestBody) (*Resu
 	case MethodAgglomerative, MethodDiana:
 		var dg *hcluster.Dendrogram
 		if method == MethodDiana {
-			dg, err = hcluster.Diana(merged)
+			dg, err = hcluster.DianaPar(merged, tp.workers)
 		} else {
-			dg, err = hcluster.Cluster(merged, link)
+			dg, err = hcluster.ClusterPar(merged, link, tp.workers)
 		}
 		if err != nil {
 			return nil, err
@@ -452,7 +452,7 @@ func (tp *ThirdParty) cluster(matrices []*dissim.Matrix, req requestBody) (*Resu
 		// PAM's tie-breaking stream is derived deterministically from the
 		// problem shape so results reproduce across runs and deployments.
 		seed := rng.SeedFromBytes([]byte(fmt.Sprintf("ppc/pam/%d/%d", merged.N(), k)))
-		res, err := pam.Cluster(merged, k, rng.NewXoshiro(seed), pam.Config{})
+		res, err := pam.Cluster(merged, k, rng.NewXoshiro(seed), pam.Config{Workers: tp.workers})
 		if err != nil {
 			return nil, err
 		}
@@ -462,7 +462,7 @@ func (tp *ThirdParty) cluster(matrices []*dissim.Matrix, req requestBody) (*Resu
 		return nil, fmt.Errorf("party: unknown clustering method %d", req.Method)
 	}
 
-	quality, err := hcluster.Quality(merged, clusters)
+	quality, err := hcluster.QualityPar(merged, clusters, tp.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -470,7 +470,7 @@ func (tp *ThirdParty) cluster(matrices []*dissim.Matrix, req requestBody) (*Resu
 	if k >= 2 {
 		// Silhouette is undefined for degenerate partitions; publish 0
 		// rather than failing the session.
-		if s, err := hcluster.Silhouette(merged, labels); err == nil {
+		if s, err := hcluster.SilhouettePar(merged, labels, tp.workers); err == nil {
 			res.Silhouette = s
 		}
 	}

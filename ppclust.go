@@ -219,11 +219,13 @@ type Options struct {
 	// Parallelism sets the worker count every party uses for its O(n²)
 	// hot paths: local dissimilarity construction, the protocol's
 	// disguise and mask-stripping steps, the third party's CCM
-	// edit-distance evaluation, global assembly, weighted merging and
-	// normalization. 0 (the default) uses all cores (GOMAXPROCS); 1 runs
-	// serially. Every setting produces bit-identical results — the
-	// engine only changes how the work is scheduled, never what is
-	// computed.
+	// edit-distance evaluation, global assembly, weighted merging,
+	// normalization, and the clustering stage itself (agglomerative
+	// Lance–Williams row updates, DIANA's splinter scans, PAM's BUILD
+	// and swap scoring, published quality and silhouette statistics).
+	// 0 (the default) uses all cores (GOMAXPROCS); 1 runs serially.
+	// Every setting produces bit-identical results — the engine only
+	// changes how the work is scheduled, never what is computed.
 	Parallelism int
 	// Random supplies per-party randomness (nil = crypto/rand), used by
 	// tests and reproducible experiments.
