@@ -12,14 +12,18 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"ppclust/internal/alphabet"
+	"ppclust/internal/dataset"
 	"ppclust/internal/dissim"
 	"ppclust/internal/editdist"
 	"ppclust/internal/hcluster"
 	"ppclust/internal/pam"
+	"ppclust/internal/party"
 	"ppclust/internal/protocol"
 	"ppclust/internal/rng"
+	"ppclust/internal/wire"
 )
 
 // benchResult is one family's measurement.
@@ -36,9 +40,12 @@ type benchResult struct {
 // benchFamilies are the hot paths the perf trajectory tracks: the numeric
 // comparison protocol (serial engine vs all-core engine), the third
 // party's edit-distance DP, local matrix construction, the
-// merge+normalize pipeline, and — since PR 2 — the clustering backend
+// merge+normalize pipeline, since PR 2 the clustering backend
 // (MST/NN-chain engines vs the retained generic reference at n=500) and
-// the FastPAM1-backed PAM at the swap-round scale (n=512, k=8).
+// the FastPAM1-backed PAM at the swap-round scale (n=512, k=8), and —
+// since PR 3 — the session-pipeline family: a whole session over
+// latency-injecting TP links, phase-serial third party vs the pipelined
+// session engine (n here is the global object count).
 func benchFamilies() []struct {
 	name string
 	n    int
@@ -165,6 +172,54 @@ func benchFamilies() []struct {
 		}
 	}
 
+	// session-pipeline: a full 3-holder mixed-attribute session whose
+	// TP links carry 1ms (+0.5ms jitter) of per-frame receive latency —
+	// the WAN shape the pipelined session engine exists for. The serial
+	// row is the phase-serial reference third party (Config.SerialTP);
+	// the pipelined row overlaps attribute assembly with wire I/O.
+	// Reports are bit-identical between the two (pinned by
+	// internal/party's differential tests); only wall-clock may differ.
+	sessSchema := dataset.Schema{Attrs: []dataset.Attribute{
+		{Name: "age", Type: dataset.Numeric},
+		{Name: "income", Type: dataset.Numeric},
+		{Name: "seq", Type: dataset.Alphanumeric, Alphabet: alphabet.DNA},
+		{Name: "city", Type: dataset.Categorical},
+	}}
+	ss := rng.NewXoshiro(rng.SeedFromUint64(31))
+	var sessParts []dataset.Partition
+	for pi, site := range []string{"A", "B", "C"} {
+		tab := dataset.MustNewTable(sessSchema)
+		for r := 0; r < 24+pi; r++ {
+			dna := make([]byte, 8)
+			for i := range dna {
+				dna[i] = "ACGT"[rng.Symbol(ss, 4)]
+			}
+			tab.MustAppendRow(float64(rng.Symbol(ss, 80)), float64(rng.Symbol(ss, 5000)),
+				string(dna), fmt.Sprintf("c%d", rng.Symbol(ss, 4)))
+		}
+		sessParts = append(sessParts, dataset.Partition{Site: site, Table: tab})
+	}
+	sessionPipeline := func(b *testing.B, serial bool) {
+		cfg := party.Config{Schema: sessSchema, Variant: party.Float64Variant, SerialTP: serial}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Fresh seed counter per session: both family rows and every
+			// iteration see the identical per-link jitter schedule, so
+			// serial vs pipelined differ only in the engine under test.
+			latencySeed := uint64(0)
+			tpLatency := func(owner, peer string, c wire.Conduit) wire.Conduit {
+				if owner != party.TPName {
+					return c
+				}
+				latencySeed++
+				return wire.Latency(c, time.Millisecond, time.Millisecond/2, latencySeed)
+			}
+			if _, err := party.RunInMemoryWrapped(cfg, sessParts, nil, detRandom, tpLatency); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
 	return []struct {
 		name string
 		n    int
@@ -181,6 +236,8 @@ func benchFamilies() []struct {
 		{"hcluster-silhouette/parallel", 500, func(b *testing.B) { silhouette(b, 0) }},
 		{"pam-swap/serial", 512, func(b *testing.B) { pamRun(b, 1) }},
 		{"pam-swap/parallel", 512, func(b *testing.B) { pamRun(b, 0) }},
+		{"session-pipeline/serial", 75, func(b *testing.B) { sessionPipeline(b, true) }},
+		{"session-pipeline/pipelined", 75, func(b *testing.B) { sessionPipeline(b, false) }},
 		{"editdist-ccm-scratch", 24, func(b *testing.B) {
 			sc := editdist.MustUnitScratch()
 			b.ReportAllocs()

@@ -23,12 +23,32 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"ppclust"
 	"ppclust/internal/netid"
 )
 
+// handshakeTimeout bounds the netid preamble in both directions: how long
+// we wait for a dialed peer to take our name announcement, and how long a
+// connection accepted on -listen may take to announce its own. A silent
+// peer fails the handshake instead of hanging the session setup.
+const handshakeTimeout = 10 * time.Second
+
+// maxAcceptRetries and acceptBackoff mirror ppc-tp's accept loop: a
+// transient Accept error must not kill a holder that peers and the third
+// party have already handshaken with.
+const maxAcceptRetries = 10
+
+const acceptBackoff = 100 * time.Millisecond
+
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	name := flag.String("name", "", "this holder's name (required)")
 	dataPath := flag.String("data", "", "CSV file with this holder's partition (required)")
 	tpAddr := flag.String("tp", "", "third party address (required)")
@@ -52,11 +72,11 @@ func main() {
 
 	schema, err := ppclust.ParseSchema(*schemaFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	link, err := ppclust.ParseLinkage(*linkageFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var method ppclust.Method
 	switch *methodFlag {
@@ -67,21 +87,21 @@ func main() {
 	case "pam":
 		method = ppclust.MethodPAM
 	default:
-		log.Fatalf("unknown method %q", *methodFlag)
+		return fmt.Errorf("unknown method %q", *methodFlag)
 	}
 	opts, err := buildOptions(*perPair, *variant)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	f, err := os.Open(*dataPath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	table, err := ppclust.ReadCSV(schema, f)
 	f.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	log.Printf("holder %s loaded %d objects", *name, table.Len())
 
@@ -89,19 +109,25 @@ func main() {
 	for _, p := range splitNonEmpty(*peersFlag) {
 		kv := strings.SplitN(p, "=", 2)
 		if len(kv) != 2 {
-			log.Fatalf("bad -peers entry %q", p)
+			return fmt.Errorf("bad -peers entry %q", p)
 		}
 		peers[kv[0]] = kv[1]
 	}
 
+	// Every connection is closed on exit — success or failure — so peers
+	// blocked on this holder observe a prompt ErrClosed instead of a
+	// half-open session.
 	conns := map[string]net.Conn{}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
 	// Dial the third party, announcing our name.
-	tpConn, err := net.Dial("tcp", *tpAddr)
+	tpConn, err := dialAndAnnounce(*tpAddr, *name)
 	if err != nil {
-		log.Fatalf("dialing third party: %v", err)
-	}
-	if err := netid.Announce(tpConn, *name); err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("dialing third party: %w", err)
 	}
 	conns[ppclust.ThirdPartyName] = tpConn
 
@@ -113,14 +139,11 @@ func main() {
 		case h < *name:
 			addr, ok := peers[h]
 			if !ok {
-				log.Fatalf("no -peers address for lower-named holder %s", h)
+				return fmt.Errorf("no -peers address for lower-named holder %s", h)
 			}
-			c, err := net.Dial("tcp", addr)
+			c, err := dialAndAnnounce(addr, *name)
 			if err != nil {
-				log.Fatalf("dialing peer %s: %v", h, err)
-			}
-			if err := netid.Announce(c, *name); err != nil {
-				log.Fatal(err)
+				return fmt.Errorf("dialing peer %s: %w", h, err)
 			}
 			conns[h] = c
 		default:
@@ -131,20 +154,28 @@ func main() {
 	// Accept every higher-named peer.
 	if len(expectHigher) > 0 {
 		if *listen == "" {
-			log.Fatalf("holders %v will dial us; -listen is required", expectHigher)
+			return fmt.Errorf("holders %v will dial us; -listen is required", expectHigher)
 		}
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer ln.Close()
 		log.Printf("waiting for peers %v on %s", expectHigher, ln.Addr())
+		retries := 0
 		for pending := len(expectHigher); pending > 0; {
 			c, err := ln.Accept()
 			if err != nil {
-				log.Fatal(err)
+				retries++
+				if retries > maxAcceptRetries {
+					return fmt.Errorf("accept failed %d times in a row, giving up: %w", retries, err)
+				}
+				log.Printf("accept (retry %d/%d): %v", retries, maxAcceptRetries, err)
+				time.Sleep(acceptBackoff)
+				continue
 			}
-			peer, err := netid.Accept(c)
+			retries = 0
+			peer, err := netid.AcceptWithin(c, handshakeTimeout)
 			if err != nil || !contains(expectHigher, peer) || conns[peer] != nil {
 				log.Printf("rejecting connection (%v, peer %q)", err, peer)
 				c.Close()
@@ -158,17 +189,33 @@ func main() {
 	sess, err := ppclust.NewHolderSession(*name, table, holders, schema, opts,
 		ppclust.ClusterRequest{Method: method, Linkage: link, K: *k}, conns)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := sess.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("clustering received by %s (linkage=%v, k=%d):\n%s", *name, res.Linkage, res.K, res.Format())
 	for i, q := range res.Quality {
 		fmt.Printf("Cluster%d quality: size=%d avgSqDist=%.4f diameter=%.4f\n",
 			i+1, q.Size, q.AvgSquaredDistance, q.Diameter)
 	}
+	return nil
+}
+
+// dialAndAnnounce connects to addr and writes the netid preamble under a
+// deadline; a peer that accepts but never drains the socket cannot wedge
+// session setup.
+func dialAndAnnounce(addr, name string) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := netid.AnnounceWithin(c, name, handshakeTimeout); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 func splitNonEmpty(s string) []string {

@@ -16,12 +16,33 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"ppclust"
 	"ppclust/internal/netid"
 )
 
+// handshakeTimeout bounds how long a freshly accepted connection may take
+// to announce its holder name. Without it, a client that connects and
+// goes silent would block the accept loop forever while the legitimate
+// holders wait.
+const handshakeTimeout = 10 * time.Second
+
+// maxAcceptRetries bounds consecutive Accept failures before the server
+// gives up; transient errors (aborted connections, momentary descriptor
+// exhaustion) are retried after a short backoff instead of killing a
+// server other holders are already connected to.
+const maxAcceptRetries = 10
+
+const acceptBackoff = 100 * time.Millisecond
+
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	listen := flag.String("listen", ":9000", "address to listen on")
 	holdersFlag := flag.String("holders", "", "comma-separated data holder names (required)")
 	schemaFlag := flag.String("schema", "", "schema spec, e.g. age:numeric,seq:alphanumeric:dna (required)")
@@ -37,29 +58,42 @@ func main() {
 	sort.Strings(holders)
 	schema, err := ppclust.ParseSchema(*schemaFlag)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts, err := buildOptions(*perPair, *variant)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer ln.Close()
 	log.Printf("third party listening on %s for holders %v", ln.Addr(), holders)
 
 	conns := make(map[string]net.Conn, len(holders))
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	retries := 0
 	for len(conns) < len(holders) {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Fatal(err)
+			retries++
+			if retries > maxAcceptRetries {
+				return fmt.Errorf("accept failed %d times in a row, giving up: %w", retries, err)
+			}
+			log.Printf("accept (retry %d/%d): %v", retries, maxAcceptRetries, err)
+			time.Sleep(acceptBackoff)
+			continue
 		}
-		name, err := netid.Accept(conn)
+		retries = 0
+		name, err := netid.AcceptWithin(conn, handshakeTimeout)
 		if err != nil {
-			log.Printf("rejecting connection: %v", err)
+			log.Printf("rejecting connection from %s: %v", conn.RemoteAddr(), err)
 			conn.Close()
 			continue
 		}
@@ -74,17 +108,18 @@ func main() {
 
 	sess, err := ppclust.NewThirdPartySession(holders, schema, opts, conns)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	report, err := sess.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("session complete: %d objects, %d attribute matrices\n",
 		len(report.ObjectIDs), len(report.AttributeMatrices))
 	for holder, res := range report.Results {
 		fmt.Printf("\npublished to %s (linkage=%v, k=%d):\n%s", holder, res.Linkage, res.K, res.Format())
 	}
+	return nil
 }
 
 func splitNonEmpty(s string) []string {

@@ -67,11 +67,43 @@
 // nearest/second-nearest medoid distances score every swap in O(n²) per
 // round instead of O(kn²)): ≈17-24× faster at n=512, k=8.
 //
+// # Pipelined third-party session engine
+//
+// The third party "serves as a means of computation power and storage
+// space" (paper Section 3); on real links its session work is dominated
+// by waiting for holder traffic. Its session engine therefore runs as a
+// bounded pipeline. Each holder streams its attributes independently —
+// for every attribute, in schema order: the local dissimilarity matrix,
+// then that attribute's protocol messages — and at the third party one
+// reader goroutine per holder demultiplexes the stream into bounded
+// per-attribute mailboxes:
+//
+//	holder A ──recv──▶ demux A ─┐  lane 0   ┌─ stage: receive → assemble → normalize ─▶ matrix 0
+//	holder B ──recv──▶ demux B ─┼─ lane 1 ─▶┤  (pool of ≤4 stage goroutines, capped by
+//	holder C ──recv──▶ demux C ─┘  lane …   └─  Parallelism, one pooled engine each)  ─▶ matrix …
+//
+// A pool of stage goroutines pulls whole attributes through receive →
+// assemble → normalize, so attribute i's matrix completes while attribute
+// i+1 is still on the wire, and clustering starts the moment the last
+// matrix lands. The mailboxes are bounded, so a fast sender can run only
+// a fixed distance ahead of assembly. Ordering guarantees are unchanged:
+// every lane preserves its holder's send order, stages consume holders in
+// session order and pairs in the fixed (J, K) enumeration, every stage
+// writes only its own attribute's slot, and all protocol randomness is
+// seeded per (attribute, pair) — so the published report is bit-identical
+// to the phase-serial reference path (and to the centralized baseline) at
+// any worker count or pipeline schedule; tie-breaks never depend on
+// arrival timing. Overlap pays off whenever link time per attribute is
+// comparable to assembly compute — WAN links, many attributes, or large
+// payloads; on loss-free in-memory conduits it is simply neutral. The
+// serial path remains available for benchmarking and differential tests.
+//
 // Runnable scenarios live under examples/, command-line tools (including a
 // real TCP deployment of the three-role protocol) under cmd/, and the
 // experiment harness regenerating every figure and analysis of the paper is
 // cmd/ppc-bench plus the benchmarks in bench_test.go (ppc-bench -json
 // writes the machine-readable perf-regression report — BENCH_1.json, then
 // BENCH_2.json with the clustering families recorded per GOMAXPROCS
-// setting).
+// setting, then BENCH_3.json adding the session-pipeline family: a full
+// session over latency-injecting links, serial vs pipelined third party).
 package ppclust

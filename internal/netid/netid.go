@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
 
 // maxName bounds announced names.
@@ -36,4 +37,35 @@ func Accept(conn net.Conn) (string, error) {
 		return "", fmt.Errorf("netid: reading name: %w", err)
 	}
 	return string(name), nil
+}
+
+// AnnounceWithin is Announce under a write deadline: a peer that accepts
+// the connection but never drains the socket cannot wedge session setup.
+// The deadline is cleared before returning so the session owns the
+// connection's timeout policy afterwards.
+func AnnounceWithin(conn net.Conn, name string, timeout time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if err := Announce(conn, name); err != nil {
+		return err
+	}
+	return conn.SetWriteDeadline(time.Time{})
+}
+
+// AcceptWithin is Accept under a read deadline: a client that connects
+// and goes silent fails the preamble instead of blocking the accept loop
+// forever. The deadline is cleared before returning.
+func AcceptWithin(conn net.Conn, timeout time.Duration) (string, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return "", err
+	}
+	name, err := Accept(conn)
+	if err != nil {
+		return "", err
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return "", err
+	}
+	return name, nil
 }

@@ -4,6 +4,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestAnnounceAccept(t *testing.T) {
@@ -43,5 +44,31 @@ func TestAcceptRejectsGarbage(t *testing.T) {
 	go a.Write([]byte{0})
 	if _, err := Accept(b); err == nil {
 		t.Fatal("zero length accepted")
+	}
+}
+
+func TestAcceptWithinTimesOutOnSilentClient(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if _, err := AcceptWithin(b, 30*time.Millisecond); err == nil {
+		t.Fatal("silent client accepted")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not applied")
+	}
+	// A prompt client still gets through, and the deadline is cleared.
+	done := make(chan error, 1)
+	go func() { done <- AnnounceWithin(a, "H", time.Second) }()
+	name, err := AcceptWithin(b, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "H" {
+		t.Fatalf("name = %q", name)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -36,11 +36,25 @@ type SessionOutcome struct {
 // crypto/rand. Tests inject deterministic streams.
 type RandomSource func(party string) io.Reader
 
+// ConduitWrap decorates one party's end of an in-memory session link
+// before the session starts: owner is the party holding that end, peer
+// the party on the other side. Tests and benchmarks use it to inject
+// link conditions (latency, jitter, corruption) into RunInMemoryWrapped;
+// the wrapper sits inside the traffic meter, so byte counts are
+// unaffected.
+type ConduitWrap func(owner, peer string, c wire.Conduit) wire.Conduit
+
 // RunInMemory executes a complete session over in-memory conduits: one
 // goroutine per party, full handshake, comparison protocols, assembly and
 // clustering. parts must be in ascending site-name order; reqs maps holder
 // name to its clustering request (missing entries get defaults).
 func RunInMemory(cfg Config, parts []dataset.Partition, reqs map[string]ClusterRequest, random RandomSource) (*SessionOutcome, error) {
+	return RunInMemoryWrapped(cfg, parts, reqs, random, nil)
+}
+
+// RunInMemoryWrapped is RunInMemory with every conduit end passed through
+// wrap (nil means no decoration).
+func RunInMemoryWrapped(cfg Config, parts []dataset.Partition, reqs map[string]ClusterRequest, random RandomSource, wrap ConduitWrap) (*SessionOutcome, error) {
 	holders := make([]string, len(parts))
 	for i, p := range parts {
 		holders[i] = p.Site
@@ -68,8 +82,12 @@ func RunInMemory(cfg Config, parts []dataset.Partition, reqs map[string]ClusterR
 		if conduitFor[b] == nil {
 			conduitFor[b] = map[string]wire.Conduit{}
 		}
-		conduitFor[a][b] = wire.Meter(ca, ctrA)
-		conduitFor[b][a] = wire.Meter(cb, ctrB)
+		wa, wb := ca, cb
+		if wrap != nil {
+			wa, wb = wrap(a, b, ca), wrap(b, a, cb)
+		}
+		conduitFor[a][b] = wire.Meter(wa, ctrA)
+		conduitFor[b][a] = wire.Meter(wb, ctrB)
 	}
 	for i := range holders {
 		for j := i + 1; j < len(holders); j++ {
@@ -160,67 +178,80 @@ func CentralizedMatrices(schema dataset.Schema, parts []dataset.Partition) ([]*d
 	if err != nil {
 		return nil, nil, err
 	}
-	n := all.Len()
 	matrices := make([]*dissim.Matrix, len(schema.Attrs))
 	scales := make([]float64, len(schema.Attrs))
 	for attr, a := range schema.Attrs {
-		var m *dissim.Matrix
-		switch a.Type {
-		case dataset.Numeric:
-			col, err := all.NumericCol(attr)
-			if err != nil {
-				return nil, nil, err
-			}
-			m = dissim.FromLocal(n, func(i, j int) float64 {
-				return math.Abs(col[i] - col[j])
-			})
-		case dataset.Categorical:
-			col, err := all.StringCol(attr)
-			if err != nil {
-				return nil, nil, err
-			}
-			m = dissim.FromLocal(n, func(i, j int) float64 {
-				if col[i] == col[j] {
-					return 0
-				}
-				return 1
-			})
-		case dataset.Alphanumeric:
-			col, err := all.SymbolCol(attr)
-			if err != nil {
-				return nil, nil, err
-			}
-			m = dissim.FromLocal(n, func(i, j int) float64 {
-				return float64(editdist.Distance(col[i], col[j]))
-			})
-		case dataset.Ordered:
-			col, err := all.RanksCol(attr)
-			if err != nil {
-				return nil, nil, err
-			}
-			m = dissim.FromLocal(n, func(i, j int) float64 {
-				return math.Abs(col[i] - col[j])
-			})
-		case dataset.Hierarchical:
-			col, err := all.StringCol(attr)
-			if err != nil {
-				return nil, nil, err
-			}
-			tax := a.Taxonomy
-			var derr error
-			m = dissim.FromLocal(n, func(i, j int) float64 {
-				d, err := tax.Distance(col[i], col[j])
-				if err != nil && derr == nil {
-					derr = err
-				}
-				return d
-			})
-			if derr != nil {
-				return nil, nil, derr
-			}
+		m, err := centralizedMatrix(all, attr, a)
+		if err != nil {
+			return nil, nil, err
 		}
 		scales[attr] = m.Normalize()
 		matrices[attr] = m
 	}
 	return matrices, scales, nil
+}
+
+// centralizedMatrix builds one attribute's plaintext dissimilarity matrix
+// over the concatenated table. The switch must stay exhaustive: an
+// attribute type it does not know is reported as an error — never a nil
+// matrix, which would crash the Normalize that follows.
+func centralizedMatrix(all *dataset.Table, attr int, a dataset.Attribute) (*dissim.Matrix, error) {
+	n := all.Len()
+	switch a.Type {
+	case dataset.Numeric:
+		col, err := all.NumericCol(attr)
+		if err != nil {
+			return nil, err
+		}
+		return dissim.FromLocal(n, func(i, j int) float64 {
+			return math.Abs(col[i] - col[j])
+		}), nil
+	case dataset.Categorical:
+		col, err := all.StringCol(attr)
+		if err != nil {
+			return nil, err
+		}
+		return dissim.FromLocal(n, func(i, j int) float64 {
+			if col[i] == col[j] {
+				return 0
+			}
+			return 1
+		}), nil
+	case dataset.Alphanumeric:
+		col, err := all.SymbolCol(attr)
+		if err != nil {
+			return nil, err
+		}
+		return dissim.FromLocal(n, func(i, j int) float64 {
+			return float64(editdist.Distance(col[i], col[j]))
+		}), nil
+	case dataset.Ordered:
+		col, err := all.RanksCol(attr)
+		if err != nil {
+			return nil, err
+		}
+		return dissim.FromLocal(n, func(i, j int) float64 {
+			return math.Abs(col[i] - col[j])
+		}), nil
+	case dataset.Hierarchical:
+		col, err := all.StringCol(attr)
+		if err != nil {
+			return nil, err
+		}
+		tax := a.Taxonomy
+		var derr error
+		m := dissim.FromLocal(n, func(i, j int) float64 {
+			d, err := tax.Distance(col[i], col[j])
+			if err != nil && derr == nil {
+				derr = err
+			}
+			return d
+		})
+		if derr != nil {
+			return nil, derr
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("party: centralized baseline cannot handle attribute %q of type %v", a.Name, a.Type)
+	}
 }

@@ -147,6 +147,13 @@ func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
 
 // Run executes the holder's side of the session and returns the clustering
 // result published by the third party.
+//
+// Attributes stream independently: each attribute's local matrix is sent
+// immediately before that attribute's protocol round, so the holder's
+// stream to the third party is a contiguous per-attribute run — the
+// ordering the third party's pipelined assembly engine overlaps with its
+// protocol compute. (Holder-to-holder message order is unchanged: attr
+// order, then pair order within the attribute.)
 func (h *Holder) Run() (*Result, error) {
 	if err := h.exchangeCensus(); err != nil {
 		return nil, err
@@ -154,10 +161,10 @@ func (h *Holder) Run() (*Result, error) {
 	if err := h.exchangeGroupKey(); err != nil {
 		return nil, err
 	}
-	if err := h.sendLocalMatrices(); err != nil {
-		return nil, err
-	}
 	for attr := range h.cfg.Schema.Attrs {
+		if err := h.sendLocalMatrix(attr); err != nil {
+			return nil, err
+		}
 		if err := h.runAttribute(attr); err != nil {
 			return nil, err
 		}
@@ -287,28 +294,23 @@ func tagBased(t dataset.AttrType) bool {
 	return t == dataset.Categorical || t == dataset.Hierarchical
 }
 
-// sendLocalMatrices implements the holder side of Figure 11 step 1 for
-// numeric, ordered and alphanumeric attributes. Tag-based attributes are
-// excluded: their global matrices are built by the third party from
+// sendLocalMatrix implements the holder side of Figure 11 step 1 for one
+// numeric, ordered or alphanumeric attribute; tag-based attributes are a
+// no-op: their global matrices are built by the third party from
 // encrypted columns.
-func (h *Holder) sendLocalMatrices() error {
-	for attr, a := range h.cfg.Schema.Attrs {
-		if tagBased(a.Type) {
-			continue
-		}
-		distFn, err := h.localDistance(attr)
-		if err != nil {
-			return err
-		}
-		local := dissim.FromLocalPar(h.table.Len(), h.workers, distFn)
-		msg := wire.Message{From: h.name, To: TPName, Kind: kindLocal, Attr: attr}
-		// PackedView avoids copying the triangle: the matrix is dropped
-		// right after serialization.
-		if err := h.tp.SendBody(msg, localBody{N: local.N(), Cells: local.PackedView()}); err != nil {
-			return err
-		}
+func (h *Holder) sendLocalMatrix(attr int) error {
+	if tagBased(h.cfg.Schema.Attrs[attr].Type) {
+		return nil
 	}
-	return nil
+	distFn, err := h.localDistance(attr)
+	if err != nil {
+		return err
+	}
+	local := dissim.FromLocalPar(h.table.Len(), h.workers, distFn)
+	msg := wire.Message{From: h.name, To: TPName, Kind: kindLocal, Attr: attr}
+	// PackedView avoids copying the triangle: the matrix is dropped
+	// right after serialization.
+	return h.tp.SendBody(msg, localBody{N: local.N(), Cells: local.PackedView()})
 }
 
 // seedJK returns the generator seed shared by holders j and k for attr.

@@ -11,18 +11,27 @@
 //  2. every holder reports its object count to the third party, which
 //     broadcasts the full census;
 //  3. the first holder distributes the group categorical key to its peers;
-//  4. every holder sends its local dissimilarity matrices (numeric and
-//     alphanumeric attributes, Figure 12);
-//  5. per attribute in schema order: categorical columns go to the third
+//  4. per attribute in schema order, each holder streams that attribute's
+//     complete traffic before touching the next: its local dissimilarity
+//     matrix (numeric and alphanumeric attributes, Figure 12), then the
+//     attribute's protocol messages — categorical columns go to the third
 //     party encrypted; for other types every holder pair (J, K), J < K,
 //     runs the comparison protocol (J disguises → K combines → TP decodes);
-//  6. every holder submits its weight vector and clustering request;
-//  7. the third party answers each holder with its clustering result
+//  5. every holder submits its weight vector and clustering request;
+//  6. the third party answers each holder with its clustering result
 //     (Figure 13 format plus quality parameters).
+//
+// Interleaving the local matrices per attribute (rather than sending them
+// all up front) makes every attribute's traffic a contiguous run of each
+// holder's stream, which is what lets the third party's pipelined session
+// engine (ThirdParty.Run) finish assembling attribute i while attribute
+// i+1 is still on the wire.
 //
 // On holder-to-holder conduits data only ever flows from the lower-indexed
 // to the higher-indexed holder, and the third party never sends until all
-// protocol traffic is received, so no cycle of blocking sends can form.
+// protocol traffic is received, so no cycle of blocking sends can form;
+// the third party's demultiplexers consume each holder stream in arrival
+// order, so its pipelining adds no new blocking edges.
 package party
 
 import (
@@ -95,8 +104,18 @@ type Config struct {
 	// hot paths (local matrix construction, protocol disguise/strip
 	// steps, CCM edit-distance evaluation, assembly, merge and
 	// normalization). 0 selects all cores (GOMAXPROCS); 1 runs serially.
-	// Results are bit-identical for every setting.
+	// It also caps the third party's pipeline stage concurrency, so the
+	// session never puts more compute in flight than this budget (wire
+	// prefetch by the demux readers is unaffected). Results are
+	// bit-identical for every setting.
 	Parallelism int
+	// SerialTP makes the third party run its phase-serial reference
+	// engine — one attribute at a time, blocking reads, no overlap of
+	// protocol compute with wire I/O — instead of the pipelined session
+	// engine. Reports are bit-identical either way; benchmarks use this
+	// as the baseline and differential tests pin the equivalence. Only
+	// the third party consults it.
+	SerialTP bool
 }
 
 // normalized validates the config and fills defaults. The schema's

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"io"
+	"sync"
 
 	"ppclust/internal/catdist"
 	"ppclust/internal/dataset"
@@ -18,6 +19,22 @@ import (
 	"ppclust/internal/wire"
 )
 
+// pipelineDepth bounds how many attribute stages may be in flight at the
+// third party at once: the stage pool has this many goroutines, and each
+// holder stream's per-attribute mailboxes hold at most laneBuffer
+// messages, so a fast sender can run only a bounded distance ahead of
+// assembly. Depth 4 keeps the CPU fed on real links without hoarding
+// per-stage scratch memory. The effective width is further capped by the
+// session's Parallelism budget (see stageWidth): stage concurrency must
+// never put more compute in flight than the operator allowed, and at
+// Parallelism 1 assembly compute stays strictly serial — wire overlap
+// then comes from the demux readers prefetching into their mailboxes.
+const pipelineDepth = 4
+
+// laneBuffer is the per-(holder, attribute) mailbox capacity of the
+// session demultiplexers.
+const laneBuffer = 2
+
 // ThirdParty runs the TP side of the session: it "does not have any data
 // but serves as a means of computation power and storage space" (paper
 // Section 3), governing communication, assembling the dissimilarity
@@ -27,7 +44,7 @@ type ThirdParty struct {
 	cfg     Config
 	random  io.Reader
 	workers int
-	eng     *protocol.Engine
+	engines *protocol.EnginePool
 
 	identity *keys.Identity
 	eps      map[string]*wire.Endpoint
@@ -73,7 +90,7 @@ func NewThirdParty(holders []string, cfg Config, conduits map[string]wire.Condui
 		cfg:     cfg,
 		random:  random,
 		workers: parallel.Workers(cfg.Parallelism),
-		eng:     protocol.NewEngine(cfg.Parallelism),
+		engines: protocol.NewEnginePool(cfg.Parallelism),
 		eps:     make(map[string]*wire.Endpoint),
 		masters: make(map[string][]byte),
 	}
@@ -127,45 +144,224 @@ func (tp *ThirdParty) seedJT(attr int, j, k string) rng.Seed {
 	return ctxSeed(base, fmt.Sprintf("attr/%d/pair/%s/%s", attr, j, k))
 }
 
+// attrSource feeds one attribute's assembly stage the protocol messages
+// of that attribute, per holder, in the holder's send order. The
+// pipelined engine backs it with demultiplexed mailboxes; the serial
+// reference path reads the endpoints directly.
+type attrSource interface {
+	expect(hi int, kind wire.Kind, body any) (*wire.Message, error)
+}
+
+// demuxSource pulls a fixed attribute lane out of each holder's session
+// demultiplexer.
+type demuxSource struct {
+	ds   []*wire.Demux
+	lane int
+}
+
+func (s demuxSource) expect(hi int, kind wire.Kind, body any) (*wire.Message, error) {
+	return s.ds[hi].Expect(s.lane, kind, body)
+}
+
+// epSource reads the holder endpoints directly — the phase-serial
+// consumption order, valid only when attributes are processed one at a
+// time in schema order (Config.SerialTP).
+type epSource struct{ tp *ThirdParty }
+
+func (s epSource) expect(hi int, kind wire.Kind, body any) (*wire.Message, error) {
+	return s.tp.eps[s.tp.holders[hi]].Expect(kind, body)
+}
+
 // Run executes the third party's side and returns the session report.
+//
+// By default the per-attribute work runs as a bounded pipeline: one
+// reader goroutine per holder demultiplexes that holder's message stream
+// into per-attribute mailboxes, and a pool of pipelineDepth stage
+// goroutines pulls complete attributes through receive → assemble →
+// normalize, so attribute i's matrix is being decoded and assembled while
+// attribute i+1 is still streaming in, and clustering starts the moment
+// the last matrix lands. Every stage writes only its own attribute's
+// slot and borrows a private engine from the pool, so the report is
+// bit-identical to the serial path at any worker count or pipeline
+// schedule. Config.SerialTP selects the phase-serial reference path
+// instead (one attribute at a time, blocking reads — the pre-pipeline
+// behavior, retained for benchmarks and differential tests).
 func (tp *ThirdParty) Run() (*TPReport, error) {
 	if err := tp.census(); err != nil {
 		return nil, err
 	}
-	locals, err := tp.collectLocals()
-	if err != nil {
-		return nil, err
+	if tp.cfg.SerialTP {
+		return tp.runSerial()
 	}
+	return tp.runPipelined()
+}
+
+func (tp *ThirdParty) runPipelined() (*TPReport, error) {
+	attrs := tp.cfg.Schema.Attrs
+	nAttr := len(attrs)
+	reqLane := nAttr
+
+	// One demux per holder: lane a carries attribute a's messages (the
+	// local matrix plus one protocol message per pair this holder
+	// responds in, or the single tag column), the extra lane carries the
+	// clustering request that ends the holder's stream.
+	demux := make([]*wire.Demux, len(tp.holders))
+	classify := func(m *wire.Message) (int, error) {
+		if m.Kind == kindRequest {
+			return reqLane, nil
+		}
+		if m.Attr < 0 || m.Attr >= nAttr {
+			return 0, fmt.Errorf("party: message %q for attribute %d outside schema", m.Kind, m.Attr)
+		}
+		return m.Attr, nil
+	}
+	for hi, h := range tp.holders {
+		counts := make([]int, nAttr+1)
+		for attr, a := range attrs {
+			if tagBased(a.Type) {
+				counts[attr] = 1 // the encrypted column
+			} else {
+				counts[attr] = 1 + hi // local matrix + one S/M message per pair (j, holder), j < holder
+			}
+		}
+		counts[reqLane] = 1
+		demux[hi] = wire.NewDemux(tp.eps[h], counts, laneBuffer, classify)
+	}
+	defer func() {
+		for _, d := range demux {
+			d.Stop()
+		}
+	}()
+
+	matrices := make([]*dissim.Matrix, nAttr)
+	scales := make([]float64, nAttr)
+	attrCh := make(chan int, nAttr)
+	for attr := 0; attr < nAttr; attr++ {
+		attrCh <- attr
+	}
+	close(attrCh)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			// Release reader goroutines blocked on mailboxes no stage
+			// will drain, and abort sibling stages waiting in Next —
+			// even those waiting on a holder whose reader is parked in
+			// a conduit Recv that Stop cannot reach.
+			for _, d := range demux {
+				d.Stop()
+			}
+		}
+		mu.Unlock()
+	}
+	for w, width := 0, tp.stageWidth(nAttr); w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := tp.engines.Get()
+			defer tp.engines.Put(eng)
+			for attr := range attrCh {
+				m, err := tp.assembleAttr(eng, attr, demuxSource{ds: demux, lane: attr})
+				if err != nil {
+					fail(fmt.Errorf("party: assembling attribute %q: %w", tp.cfg.Schema.Attrs[attr].Name, err))
+					return
+				}
+				scales[attr] = m.NormalizePar(tp.workers)
+				matrices[attr] = m
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	return tp.finish(matrices, scales, func(hi int) (requestBody, error) {
+		var req requestBody
+		_, err := demux[hi].Expect(reqLane, kindRequest, &req)
+		return req, err
+	})
+}
+
+// stageWidth resolves the pipeline's stage-pool size: at most
+// pipelineDepth, never more than there are attributes, and never more
+// than the Parallelism worker budget — a TP pinned to Parallelism 1 runs
+// its assembly compute serially (readers still prefetch the wire), and
+// higher budgets never multiply total compute goroutines by the full
+// depth on small machines.
+func (tp *ThirdParty) stageWidth(nAttr int) int {
+	width := pipelineDepth
+	if width > nAttr {
+		width = nAttr
+	}
+	if width > tp.workers {
+		width = tp.workers
+	}
+	if width < 1 {
+		width = 1
+	}
+	return width
+}
+
+// runSerial is the phase-serial reference engine: attributes are
+// received, assembled and normalized strictly one after the other, in
+// schema order, with blocking endpoint reads — the wire sits idle while
+// the CPU assembles and vice versa. Benchmarks run it as the baseline
+// the pipeline is measured against, and differential tests pin the
+// pipelined report to be bit-identical to this path's.
+func (tp *ThirdParty) runSerial() (*TPReport, error) {
+	eng := tp.engines.Get()
+	defer tp.engines.Put(eng)
 	matrices := make([]*dissim.Matrix, len(tp.cfg.Schema.Attrs))
 	scales := make([]float64, len(tp.cfg.Schema.Attrs))
-	for attr, a := range tp.cfg.Schema.Attrs {
-		var m *dissim.Matrix
-		var err error
-		switch a.Type {
-		case dataset.Categorical:
-			m, err = tp.assembleCategorical(attr)
-		case dataset.Hierarchical:
-			m, err = tp.assembleHierarchical(attr)
-		default:
-			m, err = tp.assembleComparison(attr, locals[attr])
-		}
+	for attr := range tp.cfg.Schema.Attrs {
+		m, err := tp.assembleAttr(eng, attr, epSource{tp})
 		if err != nil {
-			return nil, fmt.Errorf("party: assembling attribute %q: %w", a.Name, err)
+			return nil, fmt.Errorf("party: assembling attribute %q: %w", tp.cfg.Schema.Attrs[attr].Name, err)
 		}
 		scales[attr] = m.NormalizePar(tp.workers)
 		matrices[attr] = m
 	}
+	return tp.finish(matrices, scales, func(hi int) (requestBody, error) {
+		var req requestBody
+		_, err := tp.eps[tp.holders[hi]].Expect(kindRequest, &req)
+		return req, err
+	})
+}
 
+// assembleAttr dispatches one attribute's receive+assemble stage.
+func (tp *ThirdParty) assembleAttr(eng *protocol.Engine, attr int, src attrSource) (*dissim.Matrix, error) {
+	switch tp.cfg.Schema.Attrs[attr].Type {
+	case dataset.Categorical:
+		return tp.assembleCategorical(attr, src)
+	case dataset.Hierarchical:
+		return tp.assembleHierarchical(attr, src)
+	default:
+		return tp.assembleComparison(eng, attr, src)
+	}
+}
+
+// finish serves the clustering requests: each holder's request is read
+// (nextReq, in holder order), answered from the assembled matrices, and
+// the results are published. Requests arrive after all of a holder's
+// protocol traffic, so by the time the last matrix lands they are
+// typically already buffered and clustering starts immediately.
+func (tp *ThirdParty) finish(matrices []*dissim.Matrix, scales []float64, nextReq func(hi int) (requestBody, error)) (*TPReport, error) {
 	report := &TPReport{
 		ObjectIDs:         tp.objectIDs(),
 		AttributeMatrices: matrices,
 		Scales:            scales,
 		Results:           make(map[string]*Result),
 	}
-	// Requests arrive after all protocol traffic; answer each holder.
-	for _, h := range tp.holders {
-		var req requestBody
-		if _, err := tp.eps[h].Expect(kindRequest, &req); err != nil {
+	for hi, h := range tp.holders {
+		req, err := nextReq(hi)
+		if err != nil {
 			return nil, err
 		}
 		res, err := tp.cluster(matrices, req)
@@ -218,51 +414,32 @@ func (tp *ThirdParty) census() error {
 	return nil
 }
 
-// collectLocals receives every holder's local matrices for attributes with
-// comparison protocols (numeric, ordered, alphanumeric), keyed
-// [attr][holderIndex].
-func (tp *ThirdParty) collectLocals() (map[int][]*dissim.Matrix, error) {
-	locals := make(map[int][]*dissim.Matrix)
-	for attr, a := range tp.cfg.Schema.Attrs {
-		if !tagBased(a.Type) {
-			locals[attr] = make([]*dissim.Matrix, len(tp.holders))
-		}
-	}
-	for hi, h := range tp.holders {
-		for attr, a := range tp.cfg.Schema.Attrs {
-			if tagBased(a.Type) {
-				continue
-			}
-			var body localBody
-			m, err := tp.eps[h].Expect(kindLocal, &body)
-			if err != nil {
-				return nil, err
-			}
-			if m.Attr != attr {
-				return nil, fmt.Errorf("party: %s sent local matrix for attr %d, want %d", h, m.Attr, attr)
-			}
-			if body.N != tp.counts[hi] {
-				return nil, fmt.Errorf("party: %s local matrix has %d objects, census says %d", h, body.N, tp.counts[hi])
-			}
-			local, err := dissim.FromPacked(body.N, body.Cells)
-			if err != nil {
-				return nil, err
-			}
-			locals[attr][hi] = local
-		}
-	}
-	return locals, nil
-}
-
 // assembleComparison builds one numeric or alphanumeric attribute's global
-// matrix: locals from the holders plus protocol-decoded cross blocks.
-func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*dissim.Matrix, error) {
+// matrix: each holder's local matrix (the attribute's first message on
+// that holder's stream) plus protocol-decoded cross blocks, pulled from
+// src in the fixed pair order every holder sends in.
+func (tp *ThirdParty) assembleComparison(eng *protocol.Engine, attr int, src attrSource) (*dissim.Matrix, error) {
 	asm, err := dissim.NewAssemblerPar(tp.counts, tp.workers)
 	if err != nil {
 		return nil, err
 	}
-	for hi := range tp.holders {
-		if err := asm.SetLocal(hi, locals[hi]); err != nil {
+	for hi, h := range tp.holders {
+		var body localBody
+		m, err := src.expect(hi, kindLocal, &body)
+		if err != nil {
+			return nil, err
+		}
+		if m.Attr != attr {
+			return nil, fmt.Errorf("party: %s sent local matrix for attr %d, want %d", h, m.Attr, attr)
+		}
+		if body.N != tp.counts[hi] {
+			return nil, fmt.Errorf("party: %s local matrix has %d objects, census says %d", h, body.N, tp.counts[hi])
+		}
+		local, err := dissim.FromPacked(body.N, body.Cells)
+		if err != nil {
+			return nil, err
+		}
+		if err := asm.SetLocal(hi, local); err != nil {
 			return nil, err
 		}
 	}
@@ -276,10 +453,10 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 		var rows, cols int
 		if a.Type == dataset.Alphanumeric {
 			var body alphaMBody
-			if _, err := tp.eps[k].Expect(kindAlphaM, &body); err != nil {
+			if _, err := src.expect(ki, kindAlphaM, &body); err != nil {
 				return nil, err
 			}
-			dists, err := tp.eng.AlphaThirdParty(body.M, a.Alphabet, jt)
+			dists, err := eng.AlphaThirdParty(body.M, a.Alphabet, jt)
 			if err != nil {
 				return nil, err
 			}
@@ -287,7 +464,7 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 			block = func(m, n int) float64 { return float64(dists.At(m, n)) }
 		} else {
 			var body numSBody
-			if _, err := tp.eps[k].Expect(kindNumS, &body); err != nil {
+			if _, err := src.expect(ki, kindNumS, &body); err != nil {
 				return nil, err
 			}
 			switch tp.cfg.Variant {
@@ -295,7 +472,7 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 				if body.Float == nil {
 					return nil, fmt.Errorf("party: missing float payload from %s", k)
 				}
-				dists, err := tp.eng.NumericThirdPartyFloat(body.Float, jt, tp.cfg.FloatParams, tp.cfg.Mode)
+				dists, err := eng.NumericThirdPartyFloat(body.Float, jt, tp.cfg.FloatParams, tp.cfg.Mode)
 				if err != nil {
 					return nil, err
 				}
@@ -305,7 +482,7 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 				if body.Int == nil {
 					return nil, fmt.Errorf("party: missing int payload from %s", k)
 				}
-				dists, err := tp.eng.NumericThirdPartyInt(body.Int, jt, tp.cfg.IntParams, tp.cfg.Mode)
+				dists, err := eng.NumericThirdPartyInt(body.Int, jt, tp.cfg.IntParams, tp.cfg.Mode)
 				if err != nil {
 					return nil, err
 				}
@@ -315,7 +492,7 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 				if body.ModP == nil {
 					return nil, fmt.Errorf("party: missing modp payload from %s", k)
 				}
-				dists, err := tp.eng.NumericThirdPartyModP(body.ModP, jt, tp.cfg.Mode)
+				dists, err := eng.NumericThirdPartyModP(body.ModP, jt, tp.cfg.Mode)
 				if err != nil {
 					return nil, err
 				}
@@ -338,11 +515,11 @@ func (tp *ThirdParty) assembleComparison(attr int, locals []*dissim.Matrix) (*di
 // assembleCategorical merges the holders' encrypted columns and runs the
 // Figure 12 construction over the combined tags (paper Section 5:
 // "Construction algorithm for categorical data is much simpler").
-func (tp *ThirdParty) assembleCategorical(attr int) (*dissim.Matrix, error) {
+func (tp *ThirdParty) assembleCategorical(attr int, src attrSource) (*dissim.Matrix, error) {
 	var all []detenc.Tag
 	for hi, h := range tp.holders {
 		var body catTagsBody
-		m, err := tp.eps[h].Expect(kindCatTags, &body)
+		m, err := src.expect(hi, kindCatTags, &body)
 		if err != nil {
 			return nil, err
 		}
@@ -366,11 +543,11 @@ func (tp *ThirdParty) assembleCategorical(attr int) (*dissim.Matrix, error) {
 // evaluates the taxonomy distance on tag sequences — the future-work
 // extension of Section 4.3 realized with the same trust structure as
 // categorical attributes.
-func (tp *ThirdParty) assembleHierarchical(attr int) (*dissim.Matrix, error) {
+func (tp *ThirdParty) assembleHierarchical(attr int, src attrSource) (*dissim.Matrix, error) {
 	var all [][]detenc.Tag
 	for hi, h := range tp.holders {
 		var body pathTagsBody
-		m, err := tp.eps[h].Expect(kindPathTags, &body)
+		m, err := src.expect(hi, kindPathTags, &body)
 		if err != nil {
 			return nil, err
 		}

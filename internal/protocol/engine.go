@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"sync"
+
 	"ppclust/internal/editdist"
 	"ppclust/internal/modp"
 	"ppclust/internal/parallel"
@@ -113,4 +115,53 @@ func (e *Engine) tpWorkers() []tpWorker {
 		}
 	}
 	return e.tpw
+}
+
+// EnginePool hands out Engines with a shared worker setting so concurrent
+// pipeline stages — the third party's in-flight attribute assemblies —
+// each own an engine for the duration of a stage and return it when done.
+// Buffers warmed by one attribute are reused by the next instead of being
+// reallocated per stage, and the pool never shrinks: steady state holds
+// one engine per concurrently active stage.
+//
+// A zero-size pool is not meaningful; construct with NewEnginePool. Get
+// and Put are safe for concurrent use.
+type EnginePool struct {
+	workers int
+	mu      sync.Mutex
+	free    []*Engine
+}
+
+// NewEnginePool returns a pool of engines over the given worker count
+// (<= 0 = all cores), created lazily on first Get.
+func NewEnginePool(workers int) *EnginePool {
+	return &EnginePool{workers: parallel.Workers(workers)}
+}
+
+// Workers returns the resolved per-engine worker count.
+func (p *EnginePool) Workers() int { return p.workers }
+
+// Get returns an idle engine, creating one if the pool is empty.
+func (p *EnginePool) Get() *Engine {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return e
+	}
+	p.mu.Unlock()
+	return NewEngine(p.workers)
+}
+
+// Put returns an engine obtained from Get. The caller must not use it
+// afterwards.
+func (p *EnginePool) Put(e *Engine) {
+	if e == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, e)
+	p.mu.Unlock()
 }

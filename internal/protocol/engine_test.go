@@ -259,3 +259,74 @@ func TestEngineBufferReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestEnginePoolReuseAndConcurrency: Get after Put hands back the same
+// engine (buffer reuse), engines are independent under concurrent
+// borrowers, and concurrent pool use produces bit-identical protocol
+// outputs — the property the third party's pipelined attribute stages
+// rely on.
+func TestEnginePool(t *testing.T) {
+	p := NewEnginePool(1)
+	e1 := p.Get()
+	p.Put(e1)
+	if e2 := p.Get(); e2 != e1 {
+		t.Fatal("pool did not reuse the returned engine")
+	} else {
+		p.Put(e2)
+	}
+
+	const n = 33
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(3 * i)
+		ys[i] = int64(i * i % 50)
+	}
+	seedJK := rng.SeedFromUint64(11)
+	seedJT := rng.SeedFromUint64(12)
+	round := func(e *Engine) (*Int64Matrix, error) {
+		d, err := e.NumericInitiatorInt(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), DefaultIntParams, Batch, 0)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := e.NumericResponderInt(d, ys, rng.NewAESCTR(seedJK), DefaultIntParams, Batch)
+		if err != nil {
+			return nil, err
+		}
+		return e.NumericThirdPartyInt(sm, rng.NewAESCTR(seedJT), DefaultIntParams, Batch)
+	}
+	ref, err := round(NewEngine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const borrowers = 8
+	errs := make(chan error, borrowers)
+	for b := 0; b < borrowers; b++ {
+		go func() {
+			for r := 0; r < 4; r++ {
+				e := p.Get()
+				out, err := round(e)
+				p.Put(e)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for m := 0; m < n; m++ {
+					for c := 0; c < n; c++ {
+						if out.At(m, c) != ref.At(m, c) {
+							errs <- fmt.Errorf("pooled engine diverged at (%d,%d)", m, c)
+							return
+						}
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for b := 0; b < borrowers; b++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Demux spreads one endpoint's ordered message stream across per-lane
+// mailboxes so independent consumers can work on different lanes
+// concurrently while each lane preserves the sender's order. It is the
+// receive half of the third party's pipelined session engine: one demux
+// per data holder, one lane per attribute (plus one for the clustering
+// request), with the assembly stages pulling from the lanes they own.
+//
+// The mailboxes are bounded, which makes the pipeline itself bounded: a
+// sender that runs far ahead of a slow consumer fills that lane's buffer
+// and then blocks the reader goroutine — natural backpressure, safe
+// because a stream's messages are lane-monotone enough that everything a
+// currently-runnable consumer needs was sent (and therefore delivered)
+// before the blocking message.
+//
+// Each lane expects a fixed message count, declared up front: the lane's
+// channel closes when its quota is delivered, the reader goroutine exits
+// once every lane is fulfilled, and a message beyond its lane's quota is
+// a protocol error. Receive or classification errors close every lane;
+// consumers observe them through Next/Expect.
+type Demux struct {
+	lanes []chan *Message
+	stop  chan struct{}
+	done  chan struct{}
+
+	stopOnce sync.Once
+	err      error // reader's terminal error; read only after done closes
+}
+
+// NewDemux starts a reader goroutine that routes each message from ep to
+// the lane classify assigns it. counts[i] is lane i's expected message
+// total (lanes with count 0 close immediately); buffer is the per-lane
+// mailbox capacity (minimum 1, so delivering to an idle lane never blocks
+// the stream behind it).
+func NewDemux(ep *Endpoint, counts []int, buffer int, classify func(*Message) (int, error)) *Demux {
+	if buffer < 1 {
+		buffer = 1
+	}
+	d := &Demux{
+		lanes: make([]chan *Message, len(counts)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	remaining := make([]int, len(counts))
+	total := 0
+	for i, c := range counts {
+		d.lanes[i] = make(chan *Message, buffer)
+		remaining[i] = c
+		total += c
+		if c == 0 {
+			close(d.lanes[i])
+		}
+	}
+	go d.read(ep, remaining, total, classify)
+	return d
+}
+
+func (d *Demux) read(ep *Endpoint, remaining []int, total int, classify func(*Message) (int, error)) {
+	defer func() {
+		for i, l := range d.lanes {
+			if remaining[i] > 0 {
+				close(l)
+				remaining[i] = 0
+			}
+		}
+		close(d.done)
+	}()
+	for total > 0 {
+		m, err := ep.Recv()
+		if err != nil {
+			d.err = err
+			return
+		}
+		lane, err := classify(m)
+		if err != nil {
+			d.err = err
+			return
+		}
+		if lane < 0 || lane >= len(d.lanes) {
+			d.err = fmt.Errorf("wire: demux: message %q routed to lane %d of %d", m.Kind, lane, len(d.lanes))
+			return
+		}
+		if remaining[lane] == 0 {
+			d.err = fmt.Errorf("wire: demux: message %q exceeds lane %d quota", m.Kind, lane)
+			return
+		}
+		select {
+		case d.lanes[lane] <- m:
+		case <-d.stop:
+			d.err = ErrClosed
+			return
+		}
+		remaining[lane]--
+		total--
+		if remaining[lane] == 0 {
+			close(d.lanes[lane])
+		}
+	}
+}
+
+// Next returns lane's next message in stream order, blocking until the
+// reader delivers one or Stop is called. Once the lane is exhausted it
+// returns the reader's terminal error — ErrClosed after Stop, the
+// receive error if the stream failed, or a quota-exhausted error on a
+// lane that consumed its full count.
+func (d *Demux) Next(lane int) (*Message, error) {
+	// Fast path: prefer an already-delivered message over a racing Stop.
+	select {
+	case m, ok := <-d.lanes[lane]:
+		return d.taken(m, ok, lane)
+	default:
+	}
+	// Select on stop too: the reader may be parked in ep.Recv on a
+	// conduit that never errors, where Stop cannot reach it to close the
+	// lanes — a consumer must still be able to abandon the wait.
+	select {
+	case m, ok := <-d.lanes[lane]:
+		return d.taken(m, ok, lane)
+	case <-d.stop:
+		return nil, ErrClosed
+	}
+}
+
+func (d *Demux) taken(m *Message, ok bool, lane int) (*Message, error) {
+	if ok {
+		return m, nil
+	}
+	<-d.done // lane closed, so the reader finished; d.err is stable now
+	if d.err != nil {
+		return nil, d.err
+	}
+	return nil, fmt.Errorf("wire: demux lane %d exhausted", lane)
+}
+
+// Expect is Next plus the Endpoint.Expect kind check and body decode.
+func (d *Demux) Expect(lane int, kind Kind, body any) (*Message, error) {
+	m, err := d.Next(lane)
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind != kind {
+		return nil, fmt.Errorf("wire: expected message %q, got %q from %s", kind, m.Kind, m.From)
+	}
+	if body != nil {
+		if err := DecodeBody(m.Payload, body); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Stop makes the demux abandon the stream: pending and future Next calls
+// return ErrClosed, and a reader blocked delivering to a full mailbox
+// drops the message and exits. Used on the session's error path so a
+// failed stage can neither leave reader goroutines blocked on mailboxes
+// nor strand sibling stages in Next. A reader parked in the conduit's
+// Recv keeps its goroutine until the conduit itself is closed or yields —
+// the caller owns the conduit's lifetime, as with a blocking Endpoint.
+// Safe to call more than once and after natural completion.
+func (d *Demux) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+}
+
+// Err reports the reader's terminal error. It must only be consulted
+// after every lane has closed (e.g. after a Next returned an error);
+// after a Stop it may block until the conduit unblocks the reader.
+func (d *Demux) Err() error {
+	<-d.done
+	return d.err
+}

@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// demuxSender pushes messages with Attr as the lane selector.
+func demuxSend(t *testing.T, ep *Endpoint, lane int, body string) {
+	t.Helper()
+	if err := ep.Send(&Message{Kind: "test", Attr: lane, Payload: []byte(body)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func attrLane(m *Message) (int, error) { return m.Attr, nil }
+
+func TestDemuxRoutesLanesInOrder(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewEndpoint(a)
+	// Buffer covers the whole backlog: this test drains lane 0 to
+	// exhaustion before touching lane 1, which with a smaller mailbox
+	// would (correctly) stall the reader — backpressure is exercised by
+	// TestDemuxConcurrentLanes instead.
+	d := NewDemux(NewEndpoint(b), []int{2, 3}, 3, attrLane)
+	defer d.Stop()
+
+	// Interleave lanes; each lane must still see its own messages in
+	// send order.
+	demuxSend(t, sender, 1, "b0")
+	demuxSend(t, sender, 0, "a0")
+	demuxSend(t, sender, 1, "b1")
+	demuxSend(t, sender, 0, "a1")
+	demuxSend(t, sender, 1, "b2")
+
+	for lane, want := range [][]string{{"a0", "a1"}, {"b0", "b1", "b2"}} {
+		for _, w := range want {
+			m, err := d.Next(lane)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(m.Payload) != w {
+				t.Fatalf("lane %d: got %q, want %q", lane, m.Payload, w)
+			}
+		}
+		// Quota consumed: the lane reports exhaustion, not a hang.
+		if _, err := d.Next(lane); err == nil || !strings.Contains(err.Error(), "exhausted") {
+			t.Fatalf("lane %d over-read: %v", lane, err)
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("completed demux reports %v", err)
+	}
+}
+
+// TestDemuxConcurrentLanes: consumers on different lanes run concurrently;
+// a full mailbox on one lane stalls the reader until that lane drains
+// (bounded pipeline), without corrupting order.
+func TestDemuxConcurrentLanes(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewEndpoint(a)
+	const perLane = 16
+	d := NewDemux(NewEndpoint(b), []int{perLane, perLane}, 2, attrLane)
+	defer d.Stop()
+
+	go func() {
+		for i := 0; i < perLane; i++ {
+			demuxSend(t, sender, 0, fmt.Sprintf("a%d", i))
+			demuxSend(t, sender, 1, fmt.Sprintf("b%d", i))
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for lane, prefix := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(lane int, prefix string) {
+			defer wg.Done()
+			for i := 0; i < perLane; i++ {
+				m, err := d.Next(lane)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := fmt.Sprintf("%s%d", prefix, i); string(m.Payload) != want {
+					errs <- fmt.Errorf("lane %d: got %q, want %q", lane, m.Payload, want)
+					return
+				}
+			}
+		}(lane, prefix)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDemuxExpectChecksKind(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewEndpoint(a)
+	d := NewDemux(NewEndpoint(b), []int{1}, 1, attrLane)
+	defer d.Stop()
+	demuxSend(t, sender, 0, "x")
+	if _, err := d.Expect(0, "other", nil); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestDemuxStreamErrorClosesAllLanes(t *testing.T) {
+	a, b := Pipe()
+	sender := NewEndpoint(a)
+	d := NewDemux(NewEndpoint(b), []int{1, 1}, 1, attrLane)
+	demuxSend(t, sender, 0, "x")
+	if _, err := d.Next(0); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+	if _, err := d.Next(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("lane 1 after stream close: want ErrClosed, got %v", err)
+	}
+	if err := d.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Err() = %v, want ErrClosed", err)
+	}
+}
+
+func TestDemuxQuotaOverflowIsError(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewEndpoint(a)
+	d := NewDemux(NewEndpoint(b), []int{1, 1}, 1, attrLane)
+	defer d.Stop()
+	demuxSend(t, sender, 0, "ok")
+	demuxSend(t, sender, 0, "over quota")
+	if _, err := d.Next(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Next(1); err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("quota overflow not reported: %v", err)
+	}
+}
+
+func TestDemuxBadLaneIsError(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewEndpoint(a)
+	d := NewDemux(NewEndpoint(b), []int{1}, 1, attrLane)
+	defer d.Stop()
+	demuxSend(t, sender, 5, "nowhere")
+	if _, err := d.Next(0); err == nil || !strings.Contains(err.Error(), "lane") {
+		t.Fatalf("bad lane not reported: %v", err)
+	}
+}
+
+// TestDemuxStopUnblocksReader: Stop releases a reader blocked on a full
+// mailbox nobody is draining — the session error path.
+func TestDemuxStopUnblocksReader(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewEndpoint(a)
+	d := NewDemux(NewEndpoint(b), []int{8}, 1, attrLane)
+	for i := 0; i < 8; i++ {
+		demuxSend(t, sender, 0, "m") // reader fills the 1-slot mailbox, then blocks
+	}
+	time.Sleep(10 * time.Millisecond)
+	d.Stop()
+	done := make(chan struct{})
+	go func() { d.Err(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader still blocked after Stop")
+	}
+}
+
+// TestDemuxStopUnblocksNext: Stop must release a consumer blocked in Next
+// even when the reader goroutine is parked in the conduit's Recv (a
+// silent peer), where closing lanes is impossible. This is the pipelined
+// session's error path: one stage fails, siblings waiting on a stalled
+// holder must abort rather than hang.
+func TestDemuxStopUnblocksNext(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	d := NewDemux(NewEndpoint(b), []int{1}, 1, attrLane)
+	got := make(chan error, 1)
+	go func() {
+		_, err := d.Next(0) // no traffic ever arrives; reader is inside Recv
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	d.Stop()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Next after Stop: want ErrClosed, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next still blocked after Stop")
+	}
+}
+
+// TestDemuxNextPrefersDeliveredMessage: a message already in the mailbox
+// wins over a racing Stop.
+func TestDemuxNextPrefersDeliveredMessage(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewEndpoint(a)
+	d := NewDemux(NewEndpoint(b), []int{1}, 1, attrLane)
+	demuxSend(t, sender, 0, "delivered")
+	time.Sleep(10 * time.Millisecond) // let the reader park it in the mailbox
+	d.Stop()
+	m, err := d.Next(0)
+	if err != nil {
+		t.Fatalf("buffered message lost to Stop: %v", err)
+	}
+	if string(m.Payload) != "delivered" {
+		t.Fatalf("got %q", m.Payload)
+	}
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"sync"
+	"time"
+
+	"ppclust/internal/rng"
+)
+
+// Latency wraps a conduit so that every received frame is charged a
+// transfer delay of base plus a deterministic per-frame jitter drawn
+// uniformly from [0, jitter). Delays are paid on the receiving side, one
+// frame at a time, so consecutive frames on one conduit serialize — the
+// model of a bandwidth-limited WAN link the session-pipeline benchmarks
+// and the networking tests inject. The jitter stream is seeded, making a
+// wrapped conduit's delay schedule reproducible run to run.
+//
+// Only Recv is delayed: a real sender does not block for propagation
+// time, and delaying both sides would double-count the link.
+func Latency(c Conduit, base, jitter time.Duration, seed uint64) Conduit {
+	return &latencyConduit{
+		inner:  c,
+		base:   base,
+		jitter: jitter,
+		src:    rng.NewXoshiro(rng.SeedFromUint64(seed)),
+	}
+}
+
+type latencyConduit struct {
+	inner  Conduit
+	base   time.Duration
+	jitter time.Duration
+
+	mu  sync.Mutex // guards src: one jitter stream per conduit
+	src rng.Stream
+}
+
+func (l *latencyConduit) delay() time.Duration {
+	d := l.base
+	if l.jitter > 0 {
+		l.mu.Lock()
+		d += time.Duration(rng.Float64(l.src) * float64(l.jitter))
+		l.mu.Unlock()
+	}
+	return d
+}
+
+func (l *latencyConduit) Send(frame []byte) error { return l.inner.Send(frame) }
+
+func (l *latencyConduit) Recv() ([]byte, error) {
+	f, err := l.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if d := l.delay(); d > 0 {
+		time.Sleep(d)
+	}
+	return f, nil
+}
+
+func (l *latencyConduit) Close() error { return l.inner.Close() }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -31,11 +32,15 @@ func (t *tcpConduit) Send(frame []byte) error {
 	defer t.sendMu.Unlock()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := t.conn.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: writing frame header: %w", err)
-	}
-	if _, err := t.conn.Write(frame); err != nil {
-		return fmt.Errorf("wire: writing frame body: %w", err)
+	// Vectored write: header and body leave in a single writev call, so
+	// the kernel never sees a lone 4-byte header segment and the syscall
+	// count per frame is halved.
+	bufs := net.Buffers{hdr[:], frame}
+	if _, err := bufs.WriteTo(t.conn); err != nil {
+		if t.isClosed() || errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return fmt.Errorf("wire: writing frame: %w", err)
 	}
 	return nil
 }
@@ -45,10 +50,7 @@ func (t *tcpConduit) Recv() ([]byte, error) {
 	defer t.recvMu.Unlock()
 	var hdr [4]byte
 	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
-		if err == io.EOF || t.isClosed() {
-			return nil, ErrClosed
-		}
-		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+		return nil, t.recvErr("header", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
@@ -56,9 +58,23 @@ func (t *tcpConduit) Recv() ([]byte, error) {
 	}
 	frame := make([]byte, n)
 	if _, err := io.ReadFull(t.conn, frame); err != nil {
-		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+		return nil, t.recvErr("body", err)
 	}
 	return frame, nil
+}
+
+// recvErr maps every way the stream can end to ErrClosed — a clean EOF at
+// a frame boundary, a peer that vanished mid-frame (io.ErrUnexpectedEOF on
+// the header tail or body), and a local Close racing a blocked read
+// (net.ErrClosed) — so callers observe the Conduit contract's ErrClosed
+// rather than transport-specific errors. Anything else is a genuine
+// transport fault and keeps its cause.
+func (t *tcpConduit) recvErr(stage string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || t.isClosed() {
+		return ErrClosed
+	}
+	return fmt.Errorf("wire: reading frame %s: %w", stage, err)
 }
 
 func (t *tcpConduit) Close() error {
