@@ -26,6 +26,35 @@ import (
 	"ppclust/internal/wire"
 )
 
+// numericBatchColumns builds the two deterministic integer columns of the
+// numeric-batch family.
+func numericBatchColumns(n int) (xs, ys []int64) {
+	xs, ys = make([]int64, n), make([]int64, n)
+	for i := range xs {
+		xs[i], ys[i] = int64(i%1000), int64((3*i)%1000)
+	}
+	return xs, ys
+}
+
+// numericBatchRound runs one full initiator → responder → third-party
+// round of the batch-mode integer protocol — the exact op the
+// numeric-batch family times, shared with the allocs-per-op regression
+// test so the test gates the same code path the trajectory records.
+func numericBatchRound(eng *protocol.Engine, xs, ys []int64) error {
+	seedJK := rng.SeedFromUint64(1)
+	seedJT := rng.SeedFromUint64(2)
+	d, err := eng.NumericInitiatorInt(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), protocol.DefaultIntParams, protocol.Batch, 0)
+	if err != nil {
+		return err
+	}
+	s, err := eng.NumericResponderInt(d, ys, rng.NewAESCTR(seedJK), protocol.DefaultIntParams, protocol.Batch)
+	if err != nil {
+		return err
+	}
+	_, err = eng.NumericThirdPartyInt(s, rng.NewAESCTR(seedJT), protocol.DefaultIntParams, protocol.Batch)
+	return err
+}
+
 // benchResult is one family's measurement.
 type benchResult struct {
 	Family    string  `json:"family"`
@@ -42,36 +71,25 @@ type benchResult struct {
 // party's edit-distance DP, local matrix construction, the
 // merge+normalize pipeline, since PR 2 the clustering backend
 // (MST/NN-chain engines vs the retained generic reference at n=500) and
-// the FastPAM1-backed PAM at the swap-round scale (n=512, k=8), and —
-// since PR 3 — the session-pipeline family: a whole session over
+// the FastPAM1-backed PAM at the swap-round scale (n=512, k=8), since
+// PR 3 the session-pipeline family (a whole session over
 // latency-injecting TP links, phase-serial third party vs the pipelined
-// session engine (n here is the global object count).
+// session engine; n is the global object count), and since PR 4 the
+// session-stream family: one big-triangle attribute over
+// bandwidth-limited store-and-forward links, sweeping the local-matrix
+// chunk size against the monolithic wire shape.
 func benchFamilies() []struct {
 	name string
 	n    int
 	fn   func(b *testing.B)
 } {
 	const n = 256
-	seedJK := rng.SeedFromUint64(1)
-	seedJT := rng.SeedFromUint64(2)
-	xs := make([]int64, n)
-	ys := make([]int64, n)
-	for i := range xs {
-		xs[i], ys[i] = int64(i%1000), int64((3*i)%1000)
-	}
+	xs, ys := numericBatchColumns(n)
 	numericRound := func(b *testing.B, workers int) {
 		eng := protocol.NewEngine(workers)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			d, err := eng.NumericInitiatorInt(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), protocol.DefaultIntParams, protocol.Batch, 0)
-			if err != nil {
-				b.Fatal(err)
-			}
-			s, err := eng.NumericResponderInt(d, ys, rng.NewAESCTR(seedJK), protocol.DefaultIntParams, protocol.Batch)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := eng.NumericThirdPartyInt(s, rng.NewAESCTR(seedJT), protocol.DefaultIntParams, protocol.Batch); err != nil {
+			if err := numericBatchRound(eng, xs, ys); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -220,6 +238,48 @@ func benchFamilies() []struct {
 		}
 	}
 
+	// session-stream: a lopsided two-holder session with one large numeric
+	// attribute (n=1200 objects at the big holder, ~6 MB of packed
+	// triangle on the wire) whose TP links are store-and-forward 1 ms /
+	// 64 MB/s bottlenecks (wire.Link). With a single comparison attribute
+	// the PR 3 pipeline has no neighboring attribute to overlap with, so
+	// its monolithic local frame serializes holder encode → transfer →
+	// TP decode+install; the chunked rows sweep the LocalChunkBytes knob
+	// and overlap all three inside the transfer window. Reports are
+	// bit-identical across every row (pinned by internal/party's
+	// differential tests); only wall-clock and allocation shape differ.
+	streamSchema := dataset.Schema{Attrs: []dataset.Attribute{{Name: "x", Type: dataset.Numeric}}}
+	var streamParts []dataset.Partition
+	for pi, spec := range []struct {
+		site string
+		rows int
+	}{{"A", 1200}, {"B", 6}} {
+		tab := dataset.MustNewTable(streamSchema)
+		for r := 0; r < spec.rows; r++ {
+			// Continuous values keep gob's float encoding at its realistic
+			// ~9 bytes per cell.
+			tab.MustAppendRow((float64(r*37+pi) + 0.125) * 1.000003)
+		}
+		streamParts = append(streamParts, dataset.Partition{Site: spec.site, Table: tab})
+	}
+	sessionStream := func(b *testing.B, serial bool, chunkBytes int) {
+		cfg := party.Config{Schema: streamSchema, Variant: party.Float64Variant, SerialTP: serial, LocalChunkBytes: chunkBytes}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linkSeed := uint64(0)
+			tpLink := func(owner, peer string, c wire.Conduit) wire.Conduit {
+				if owner != party.TPName {
+					return c
+				}
+				linkSeed++
+				return wire.Link(c, time.Millisecond, 0, 64<<20, linkSeed)
+			}
+			if _, err := party.RunInMemoryWrapped(cfg, streamParts, nil, detRandom, tpLink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
 	return []struct {
 		name string
 		n    int
@@ -238,6 +298,11 @@ func benchFamilies() []struct {
 		{"pam-swap/parallel", 512, func(b *testing.B) { pamRun(b, 0) }},
 		{"session-pipeline/serial", 75, func(b *testing.B) { sessionPipeline(b, true) }},
 		{"session-pipeline/pipelined", 75, func(b *testing.B) { sessionPipeline(b, false) }},
+		{"session-stream/serial", 1206, func(b *testing.B) { sessionStream(b, true, -1) }},
+		{"session-stream/pipelined-mono", 1206, func(b *testing.B) { sessionStream(b, false, -1) }},
+		{"session-stream/chunk-256k", 1206, func(b *testing.B) { sessionStream(b, false, 256<<10) }},
+		{"session-stream/chunk-64k", 1206, func(b *testing.B) { sessionStream(b, false, 64<<10) }},
+		{"session-stream/chunk-4k", 1206, func(b *testing.B) { sessionStream(b, false, 4<<10) }},
 		{"editdist-ccm-scratch", 24, func(b *testing.B) {
 			sc := editdist.MustUnitScratch()
 			b.ReportAllocs()

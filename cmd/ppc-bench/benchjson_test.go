@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"ppclust/internal/protocol"
+)
+
+// readRecordedAllocs pulls one family's recorded allocs/op out of a
+// committed BENCH_*.json report.
+func readRecordedAllocs(t *testing.T, path, family string, gomaxprocs int) int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var results []benchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	for _, r := range results {
+		if r.Family == family && r.GoMaxProc == gomaxprocs {
+			return r.AllocsOp
+		}
+	}
+	t.Fatalf("family %q (GOMAXPROCS=%d) not recorded in %s", family, gomaxprocs, path)
+	return 0
+}
+
+// TestNumericBatchAllocsRegression gates the numeric-batch/serial hot path
+// against the allocation trajectory recorded in BENCH_3.json: the pooled
+// zero-copy framing work must not creep allocations back into the protocol
+// round. The budget is the recorded value plus 20% headroom, so legitimate
+// small shifts don't flake while a lost scratch buffer (which would add
+// O(n) or O(n²) allocs) fails loudly.
+func TestNumericBatchAllocsRegression(t *testing.T) {
+	recorded := readRecordedAllocs(t, "../../BENCH_3.json", "numeric-batch/serial", 1)
+	xs, ys := numericBatchColumns(256)
+	eng := protocol.NewEngine(1)
+	// One warm-up round primes the engine's reusable scratch, matching the
+	// steady state testing.Benchmark records.
+	if err := numericBatchRound(eng, xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if err := numericBatchRound(eng, xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	budget := float64(recorded) * 1.2
+	if got > budget {
+		t.Fatalf("numeric-batch/serial round costs %.1f allocs/op; recorded %d, budget %.1f (+20%%)",
+			got, recorded, budget)
+	}
+}

@@ -86,17 +86,43 @@
 // assemble → normalize, so attribute i's matrix completes while attribute
 // i+1 is still on the wire, and clustering starts the moment the last
 // matrix lands. The mailboxes are bounded, so a fast sender can run only
-// a fixed distance ahead of assembly. Ordering guarantees are unchanged:
-// every lane preserves its holder's send order, stages consume holders in
-// session order and pairs in the fixed (J, K) enumeration, every stage
-// writes only its own attribute's slot, and all protocol randomness is
-// seeded per (attribute, pair) — so the published report is bit-identical
-// to the phase-serial reference path (and to the centralized baseline) at
-// any worker count or pipeline schedule; tie-breaks never depend on
-// arrival timing. Overlap pays off whenever link time per attribute is
-// comparable to assembly compute — WAN links, many attributes, or large
-// payloads; on loss-free in-memory conduits it is simply neutral. The
-// serial path remains available for benchmarking and differential tests.
+// a fixed distance ahead of assembly.
+//
+// Overlap also exists within an attribute: a holder streams each local
+// dissimilarity matrix as a sequence of bounded row-range chunk frames
+// (Options.StreamChunkBytes, 256 KiB by default) rather than one
+// monolithic body, and the receiving stage installs every row range the
+// moment it arrives,
+//
+//	local triangle ──▶ chunk [rows 0,512) ─▶ chunk [512,724) ─▶ … ─▶ protocol msgs
+//	                        │                    │
+//	                        ▼                    ▼            (same lane, in order)
+//	                   install rows         install rows  ─▶ cross blocks ─▶ normalize
+//
+// so triangle installation of an attribute proceeds while that same
+// attribute's remaining chunks and protocol rounds are still on the wire,
+// the holder's gob encoding of chunk i+1 overlaps the transfer of chunk i,
+// and — because no frame grows with the partition — session size is bounded
+// by memory instead of the transport's 256 MiB frame limit. Both sides
+// derive the identical chunk schedule from the shared configuration, so
+// the receiver knows every lane's frame quota up front. Ordering
+// guarantees are unchanged: every lane preserves its holder's send order,
+// stages consume holders in session order and pairs in the fixed (J, K)
+// enumeration, every stage writes only its own attribute's slot, and all
+// protocol randomness is seeded per (attribute, pair) — so the published
+// report is bit-identical to the phase-serial reference path (and to the
+// centralized baseline) at any worker count, chunk size or pipeline
+// schedule; tie-breaks never depend on arrival timing. Overlap pays off
+// whenever link time per attribute is comparable to assembly compute —
+// WAN links, many attributes, or large payloads; on loss-free in-memory
+// conduits it is simply neutral. The serial path remains available for
+// benchmarking and differential tests (it reassembles the chunk stream
+// into the monolithic install, pinning that chunking is pure framing).
+//
+// The wire layer keeps the chunked stream allocation-lean: message encode
+// buffers are pooled across sends, the AES-GCM layer reuses its seal
+// buffer, and the TCP transport offers a pooled-receive variant, so
+// framing a triangle as hundreds of chunks does not multiply allocations.
 //
 // Runnable scenarios live under examples/, command-line tools (including a
 // real TCP deployment of the three-role protocol) under cmd/, and the
@@ -105,5 +131,8 @@
 // writes the machine-readable perf-regression report — BENCH_1.json, then
 // BENCH_2.json with the clustering families recorded per GOMAXPROCS
 // setting, then BENCH_3.json adding the session-pipeline family: a full
-// session over latency-injecting links, serial vs pipelined third party).
+// session over latency-injecting links, serial vs pipelined third party,
+// then BENCH_4.json adding the session-stream family: a big-triangle
+// session over bandwidth-limited store-and-forward links sweeping the
+// local-matrix chunk size against the monolithic wire shape).
 package ppclust

@@ -39,6 +39,14 @@ type Assembler struct {
 
 	localSet []bool
 	crossSet [][]bool
+	// Row-exact install tracking for SetLocalRows: localRows[p] marks which
+	// rows of party p's triangle have landed (allocated lazily on the first
+	// row-range install), localRowsLeft[p] counts the rows still missing.
+	// Row 0 carries no packed cells, so only rows 1..n−1 are tracked and a
+	// party with fewer than two objects completes on its first (empty)
+	// install.
+	localRows     [][]bool
+	localRowsLeft []int
 }
 
 // NewAssembler prepares assembly for the given per-party object counts,
@@ -67,12 +75,14 @@ func NewAssemblerPar(sizes []int, workers int) (*Assembler, error) {
 		crossSet[k] = make([]bool, len(sizes))
 	}
 	return &Assembler{
-		sizes:    sizes,
-		offsets:  offsets,
-		global:   New(total),
-		workers:  parallel.Workers(workers),
-		localSet: make([]bool, len(sizes)),
-		crossSet: crossSet,
+		sizes:         sizes,
+		offsets:       offsets,
+		global:        New(total),
+		workers:       parallel.Workers(workers),
+		localSet:      make([]bool, len(sizes)),
+		crossSet:      crossSet,
+		localRows:     make([][]bool, len(sizes)),
+		localRowsLeft: make([]int, len(sizes)),
 	}, nil
 }
 
@@ -93,7 +103,10 @@ func (a *Assembler) SetLocal(p int, local *Matrix) error {
 	if local.N() != a.sizes[p] {
 		return fmt.Errorf("dissim: party %d local matrix has %d objects, want %d", p, local.N(), a.sizes[p])
 	}
-	if a.localSet[p] {
+	if a.localSet[p] || a.localRows[p] != nil {
+		// Either a full re-install or a monolithic install over a partial
+		// row stream: rows are overwritten, so the incremental max may
+		// exceed the truth.
 		a.maxStale = true
 	}
 	off := a.offsets[p]
@@ -107,6 +120,82 @@ func (a *Assembler) SetLocal(p int, local *Matrix) error {
 		a.max = lm
 	}
 	a.localSet[p] = true
+	a.localRows[p], a.localRowsLeft[p] = nil, 0
+	return nil
+}
+
+// SetLocalRows installs rows [lo, hi) of party p's local dissimilarity
+// matrix from their packed cells — the row-exact incremental form of
+// SetLocal that the chunked streaming path calls once per arriving frame,
+// so assembly of a triangle starts with its first rows rather than after
+// the last. cells must hold exactly the rows' packed run (see
+// Matrix.PackedRowsView); entries are validated like FromPacked since they
+// come straight off the wire. The running maximum is tracked per chunk and
+// a re-installed row marks the max stale, so Done's semantics — including
+// the rescan after any overwrite — are unchanged from the monolithic path.
+// Once every row of [1, n) has landed (in any chunking and any order) the
+// party counts as set; a party with fewer than two objects completes on
+// its first valid call.
+func (a *Assembler) SetLocalRows(p, lo, hi int, cells []float64) error {
+	if p < 0 || p >= len(a.sizes) {
+		return fmt.Errorf("dissim: party %d out of range", p)
+	}
+	n := a.sizes[p]
+	if lo < 0 || hi < lo || hi > n {
+		return fmt.Errorf("dissim: party %d row range [%d,%d) invalid for %d objects", p, lo, hi, n)
+	}
+	base := lo * (lo - 1) / 2
+	if want := hi*(hi-1)/2 - base; len(cells) != want {
+		return fmt.Errorf("dissim: party %d rows [%d,%d) carry %d cells, want %d", p, lo, hi, len(cells), want)
+	}
+	chunkMax := 0.0
+	for i, v := range cells {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("dissim: invalid dissimilarity %v in party %d rows [%d,%d) at cell %d", v, p, lo, hi, i)
+		}
+		if v > chunkMax {
+			chunkMax = v
+		}
+	}
+	off := a.offsets[p]
+	start := lo
+	if start < 1 {
+		start = 1
+	}
+	for i := start; i < hi; i++ {
+		gi := off + i
+		src := cells[i*(i-1)/2-base : i*(i-1)/2-base+i]
+		dst := a.global.cell[gi*(gi-1)/2+off:]
+		copy(dst[:i], src)
+	}
+	if chunkMax > a.max {
+		a.max = chunkMax
+	}
+	if a.localSet[p] {
+		// Rows re-installed after the party completed.
+		a.maxStale = true
+		return nil
+	}
+	if n < 2 {
+		a.localSet[p] = true
+		return nil
+	}
+	if a.localRows[p] == nil {
+		a.localRows[p] = make([]bool, n)
+		a.localRowsLeft[p] = n - 1 // rows 1..n−1 carry cells
+	}
+	for r := start; r < hi; r++ {
+		if a.localRows[p][r] {
+			a.maxStale = true
+			continue
+		}
+		a.localRows[p][r] = true
+		a.localRowsLeft[p]--
+	}
+	if a.localRowsLeft[p] == 0 {
+		a.localSet[p] = true
+		a.localRows[p] = nil
+	}
 	return nil
 }
 
@@ -159,6 +248,10 @@ func (a *Assembler) SetCross(j, k int, at func(m, n int) float64) error {
 func (a *Assembler) Done() (*Matrix, error) {
 	for p, ok := range a.localSet {
 		if !ok {
+			if a.localRows[p] != nil {
+				return nil, fmt.Errorf("dissim: party %d local matrix incomplete: %d of %d rows missing",
+					p, a.localRowsLeft[p], a.sizes[p]-1)
+			}
 			return nil, fmt.Errorf("dissim: missing local matrix for party %d", p)
 		}
 	}

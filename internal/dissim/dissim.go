@@ -216,6 +216,45 @@ func (m *Matrix) PackedView() []float64 {
 	return m.cell
 }
 
+// PackedRowsView returns the packed cells of rows [lo, hi) without copying —
+// the row-range form of PackedView that the chunked local-matrix wire path
+// serializes one bounded frame at a time. Row i's cells occupy packed
+// indices [i(i−1)/2, i(i−1)/2+i), so a row range is one contiguous run.
+// The same aliasing rules as PackedView apply.
+func (m *Matrix) PackedRowsView(lo, hi int) []float64 {
+	if lo < 0 || hi < lo || hi > m.n {
+		panic(fmt.Sprintf("dissim: row range [%d,%d) out of range for n=%d", lo, hi, m.n))
+	}
+	return m.cell[lo*(lo-1)/2 : hi*(hi-1)/2]
+}
+
+// RowChunks splits the packed triangle of an n-object matrix into
+// contiguous row ranges of at most maxCells packed cells each (minimum one
+// row per chunk, so a single row larger than maxCells still travels whole —
+// rows are the installation granularity). It is the shared chunk schedule
+// of the streaming wire path: sender and receiver derive the identical
+// partition from (n, maxCells) alone, so the receiver knows every chunk's
+// row range and count up front. n <= 0 and n == 1 yield one (empty) chunk,
+// keeping "one frame minimum" true for degenerate parties.
+func RowChunks(n, maxCells int) [][2]int {
+	if n < 0 {
+		n = 0
+	}
+	if maxCells < 1 {
+		maxCells = 1
+	}
+	var chunks [][2]int
+	lo, cells := 0, 0
+	for i := 0; i < n; i++ {
+		if i > lo && cells+i > maxCells {
+			chunks = append(chunks, [2]int{lo, i})
+			lo, cells = i, 0
+		}
+		cells += i // row i holds i packed cells
+	}
+	return append(chunks, [2]int{lo, n})
+}
+
 // FromPacked reconstructs an n-object matrix from its packed lower
 // triangle, validating length and entry ranges. The validation pass
 // doubles as the max pass, so a later Normalize scans nothing.

@@ -298,6 +298,15 @@ func tagBased(t dataset.AttrType) bool {
 // numeric, ordered or alphanumeric attribute; tag-based attributes are a
 // no-op: their global matrices are built by the third party from
 // encrypted columns.
+//
+// The triangle streams as a sequence of bounded row-range frames in the
+// localChunks schedule instead of one monolithic body: the third party
+// installs each range on arrival — so assembly of this attribute starts
+// while most of the triangle is still on the wire — and no single frame
+// approaches wire.MaxFrame no matter how large the partition is.
+// PackedRowsView keeps the serialization zero-copy: each frame gob-encodes
+// straight out of the matrix storage of a matrix that is dropped right
+// after the final chunk.
 func (h *Holder) sendLocalMatrix(attr int) error {
 	if tagBased(h.cfg.Schema.Attrs[attr].Type) {
 		return nil
@@ -307,10 +316,14 @@ func (h *Holder) sendLocalMatrix(attr int) error {
 		return err
 	}
 	local := dissim.FromLocalPar(h.table.Len(), h.workers, distFn)
-	msg := wire.Message{From: h.name, To: TPName, Kind: kindLocal, Attr: attr}
-	// PackedView avoids copying the triangle: the matrix is dropped
-	// right after serialization.
-	return h.tp.SendBody(msg, localBody{N: local.N(), Cells: local.PackedView()})
+	for _, ch := range localChunks(local.N(), h.cfg.LocalChunkBytes) {
+		msg := wire.Message{From: h.name, To: TPName, Kind: kindLocal, Attr: attr}
+		body := localBody{N: local.N(), Lo: ch[0], Hi: ch[1], Cells: local.PackedRowsView(ch[0], ch[1])}
+		if err := h.tp.SendBody(msg, body); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // seedJK returns the generator seed shared by holders j and k for attr.

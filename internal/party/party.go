@@ -39,6 +39,7 @@ import (
 	"sort"
 
 	"ppclust/internal/dataset"
+	"ppclust/internal/dissim"
 	"ppclust/internal/hcluster"
 	"ppclust/internal/protocol"
 	"ppclust/internal/rng"
@@ -116,6 +117,38 @@ type Config struct {
 	// as the baseline and differential tests pin the equivalence. Only
 	// the third party consults it.
 	SerialTP bool
+	// LocalChunkBytes bounds the frames a holder streams each local
+	// dissimilarity matrix to the third party in: the packed triangle is
+	// cut into row ranges of at most this many payload bytes (at least
+	// one row per frame), and the third party installs each range the
+	// moment it arrives. It is part of the session agreement — both sides
+	// derive the identical chunk schedule from it — and tunes only
+	// framing: reports are bit-identical at every setting. 0 selects
+	// DefaultLocalChunkBytes; negative sends each triangle as a single
+	// monolithic frame (the pre-streaming wire shape, which re-imposes
+	// the wire.MaxFrame ceiling on session size).
+	LocalChunkBytes int
+}
+
+// DefaultLocalChunkBytes is the local-matrix streaming chunk size when
+// Config.LocalChunkBytes is 0: large enough that framing overhead
+// disappears, small enough that the third party starts installing a big
+// triangle while almost all of it is still on the wire.
+const DefaultLocalChunkBytes = 256 << 10
+
+// localChunks is the chunk schedule of one party's local-matrix stream:
+// row ranges of the packed triangle bounded by the configured chunk bytes
+// (8 bytes per packed float64 cell). Holder and third party compute it
+// independently from the shared Config, so the receiver knows every
+// chunk's row range — and the demux lane quota — before the first frame.
+func localChunks(n, chunkBytes int) [][2]int {
+	if chunkBytes < 0 {
+		return [][2]int{{0, n}}
+	}
+	if chunkBytes == 0 {
+		chunkBytes = DefaultLocalChunkBytes
+	}
+	return dissim.RowChunks(n, chunkBytes/8)
 }
 
 // normalized validates the config and fills defaults. The schema's
@@ -261,10 +294,15 @@ type groupKeyBody struct {
 	Box []byte
 }
 
-// localBody is one attribute's local dissimilarity matrix in packed form.
+// localBody is one chunk of an attribute's local dissimilarity matrix:
+// the packed cells of triangle rows [Lo, Hi), streamed in the shared
+// localChunks schedule (a single chunk covering [0, N) under a monolithic
+// configuration). N is the full object count, repeated per chunk so every
+// frame validates against the census on its own.
 type localBody struct {
-	N     int
-	Cells []float64
+	N      int
+	Lo, Hi int
+	Cells  []float64
 }
 
 // numDisguisedBody is the initiator→responder numeric message.

@@ -216,12 +216,17 @@ func (tp *ThirdParty) runPipelined() (*TPReport, error) {
 		return m.Attr, nil
 	}
 	for hi, h := range tp.holders {
+		// The chunk schedule is a pure function of the census and the
+		// shared Config, so each lane's quota — local-matrix chunk frames
+		// plus one S/M message per pair (j, holder), j < holder — is known
+		// before the first frame arrives.
+		chunks := len(localChunks(tp.counts[hi], tp.cfg.LocalChunkBytes))
 		counts := make([]int, nAttr+1)
 		for attr, a := range attrs {
 			if tagBased(a.Type) {
 				counts[attr] = 1 // the encrypted column
 			} else {
-				counts[attr] = 1 + hi // local matrix + one S/M message per pair (j, holder), j < holder
+				counts[attr] = chunks + hi
 			}
 		}
 		counts[reqLane] = 1
@@ -414,9 +419,60 @@ func (tp *ThirdParty) census() error {
 	return nil
 }
 
+// recvLocal consumes one holder's local-matrix chunk stream for one
+// attribute. The pipelined engine installs each row-range frame into the
+// assembler the moment it arrives (SetLocalRows), so triangle installation
+// overlaps the rest of the attribute's traffic still on the wire; the
+// phase-serial reference path instead reassembles the chunks into the
+// monolithic packed triangle and performs the old FromPacked + SetLocal
+// install, pinning that chunked streaming is pure framing — the
+// differential tests hold the two paths bit-identical at every chunk size.
+// Chunks must follow the shared schedule exactly: holder and third party
+// derive it from the same Config, so any deviation is a protocol error.
+func (tp *ThirdParty) recvLocal(asm *dissim.Assembler, src attrSource, hi int, h string, attr int) error {
+	n := tp.counts[hi]
+	chunks := localChunks(n, tp.cfg.LocalChunkBytes)
+	var mono []float64
+	if tp.cfg.SerialTP {
+		mono = make([]float64, 0, n*(n-1)/2)
+	}
+	for ci, ch := range chunks {
+		var body localBody
+		m, err := src.expect(hi, kindLocal, &body)
+		if err != nil {
+			return err
+		}
+		if m.Attr != attr {
+			return fmt.Errorf("party: %s sent local matrix for attr %d, want %d", h, m.Attr, attr)
+		}
+		if body.N != n {
+			return fmt.Errorf("party: %s local matrix has %d objects, census says %d", h, body.N, n)
+		}
+		if body.Lo != ch[0] || body.Hi != ch[1] {
+			return fmt.Errorf("party: %s local chunk %d covers rows [%d,%d), schedule says [%d,%d)",
+				h, ci, body.Lo, body.Hi, ch[0], ch[1])
+		}
+		if tp.cfg.SerialTP {
+			mono = append(mono, body.Cells...)
+			continue
+		}
+		if err := asm.SetLocalRows(hi, body.Lo, body.Hi, body.Cells); err != nil {
+			return err
+		}
+	}
+	if tp.cfg.SerialTP {
+		local, err := dissim.FromPacked(n, mono)
+		if err != nil {
+			return err
+		}
+		return asm.SetLocal(hi, local)
+	}
+	return nil
+}
+
 // assembleComparison builds one numeric or alphanumeric attribute's global
-// matrix: each holder's local matrix (the attribute's first message on
-// that holder's stream) plus protocol-decoded cross blocks, pulled from
+// matrix: each holder's local matrix (the attribute's leading chunk frames
+// on that holder's stream) plus protocol-decoded cross blocks, pulled from
 // src in the fixed pair order every holder sends in.
 func (tp *ThirdParty) assembleComparison(eng *protocol.Engine, attr int, src attrSource) (*dissim.Matrix, error) {
 	asm, err := dissim.NewAssemblerPar(tp.counts, tp.workers)
@@ -424,22 +480,7 @@ func (tp *ThirdParty) assembleComparison(eng *protocol.Engine, attr int, src att
 		return nil, err
 	}
 	for hi, h := range tp.holders {
-		var body localBody
-		m, err := src.expect(hi, kindLocal, &body)
-		if err != nil {
-			return nil, err
-		}
-		if m.Attr != attr {
-			return nil, fmt.Errorf("party: %s sent local matrix for attr %d, want %d", h, m.Attr, attr)
-		}
-		if body.N != tp.counts[hi] {
-			return nil, fmt.Errorf("party: %s local matrix has %d objects, census says %d", h, body.N, tp.counts[hi])
-		}
-		local, err := dissim.FromPacked(body.N, body.Cells)
-		if err != nil {
-			return nil, err
-		}
-		if err := asm.SetLocal(hi, local); err != nil {
+		if err := tp.recvLocal(asm, src, hi, h, attr); err != nil {
 			return nil, err
 		}
 	}

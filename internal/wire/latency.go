@@ -59,3 +59,114 @@ func (l *latencyConduit) Recv() ([]byte, error) {
 }
 
 func (l *latencyConduit) Close() error { return l.inner.Close() }
+
+// Link wraps a conduit's receive side in a store-and-forward link model:
+// frames are serialized through a bandwidth bottleneck of bytesPerSec and
+// then delivered after a propagation delay of base plus deterministic
+// seeded jitter from [0, jitter). Unlike Latency — whose per-frame sleep
+// serializes base across frames, modeling a link where every frame costs a
+// full round — Link charges the size-proportional transfer serially while
+// propagation overlaps across in-flight frames, which is the shape that
+// makes one monolithic matrix frame a serial wall and a row-chunked stream
+// of the same bytes consumable as it arrives. bytesPerSec <= 0 disables the
+// bandwidth bottleneck.
+//
+// A pump goroutine drains the inner conduit eagerly (the link's own
+// buffering), stamping each frame's transfer-completion time; Recv blocks
+// until a frame's delivery time. The pump exits when the inner conduit
+// errors or the link is closed. Timing only: payloads are untouched, so
+// session results never depend on the schedule.
+func Link(c Conduit, base, jitter time.Duration, bytesPerSec int, seed uint64) Conduit {
+	l := &linkConduit{
+		inner:  c,
+		base:   base,
+		jitter: jitter,
+		bps:    float64(bytesPerSec),
+		src:    rng.NewXoshiro(rng.SeedFromUint64(seed)),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	go l.pump()
+	return l
+}
+
+type linkFrame struct {
+	frame   []byte
+	deliver time.Time
+}
+
+type linkConduit struct {
+	inner  Conduit
+	base   time.Duration
+	jitter time.Duration
+	bps    float64
+	src    rng.Stream // consumed only by the pump goroutine
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []linkFrame
+	head  int
+	err   error // terminal pump error, delivered after the queue drains
+}
+
+// pump models the link: it drains the inner conduit as fast as frames
+// appear, serializes their transfer times through the bandwidth bottleneck
+// and queues them stamped with a delivery deadline.
+func (l *linkConduit) pump() {
+	var busyUntil time.Time
+	for {
+		f, err := l.inner.Recv()
+		if err != nil {
+			l.mu.Lock()
+			l.err = err
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		start := busyUntil
+		if now.After(start) {
+			start = now
+		}
+		var xfer time.Duration
+		if l.bps > 0 {
+			xfer = time.Duration(float64(len(f)) / l.bps * float64(time.Second))
+		}
+		busyUntil = start.Add(xfer)
+		deliver := busyUntil.Add(l.base)
+		if l.jitter > 0 {
+			deliver = deliver.Add(time.Duration(rng.Float64(l.src) * float64(l.jitter)))
+		}
+		l.mu.Lock()
+		l.queue = append(l.queue, linkFrame{frame: f, deliver: deliver})
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+func (l *linkConduit) Send(frame []byte) error { return l.inner.Send(frame) }
+
+func (l *linkConduit) Recv() ([]byte, error) {
+	l.mu.Lock()
+	for l.head == len(l.queue) && l.err == nil {
+		l.cond.Wait()
+	}
+	if l.head == len(l.queue) {
+		err := l.err
+		l.mu.Unlock()
+		return nil, err
+	}
+	lf := l.queue[l.head]
+	l.queue[l.head] = linkFrame{}
+	l.head++
+	if l.head == len(l.queue) {
+		l.queue = l.queue[:0]
+		l.head = 0
+	}
+	l.mu.Unlock()
+	if d := time.Until(lf.deliver); d > 0 {
+		time.Sleep(d)
+	}
+	return lf.frame, nil
+}
+
+func (l *linkConduit) Close() error { return l.inner.Close() }

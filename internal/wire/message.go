@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 )
 
 // Kind names a protocol message type. Kinds are defined by the layers that
@@ -51,14 +52,27 @@ type Endpoint struct {
 // NewEndpoint wraps a conduit for Message traffic.
 func NewEndpoint(c Conduit) *Endpoint { return &Endpoint{conduit: c} }
 
+// encBufs pools the gob encode buffers Endpoint.Send frames messages in.
+// Conduit.Send may not retain its frame, so a buffer is safe to recycle the
+// moment Send returns; with row-chunked matrix streaming sending many
+// mid-sized frames per attribute, reuse keeps the per-frame cost at the
+// conduit's own copy instead of a fresh buffer growth per message.
+var encBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Send serializes and transmits m.
 func (e *Endpoint) Send(m *Message) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+	buf := encBufs.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxRetainedBuf {
+			buf.Reset()
+			encBufs.Put(buf)
+		}
+	}()
+	if err := gob.NewEncoder(buf).Encode(m); err != nil {
 		return fmt.Errorf("wire: encoding message %q: %w", m.Kind, err)
 	}
 	if buf.Len() > MaxFrame {
-		return fmt.Errorf("wire: message %q of %d bytes exceeds MaxFrame", m.Kind, buf.Len())
+		return fmt.Errorf("wire: message %q of %d bytes: %w", m.Kind, buf.Len(), ErrFrameTooLarge)
 	}
 	return e.conduit.Send(buf.Bytes())
 }

@@ -40,25 +40,45 @@ type secureConduit struct {
 
 	sendMu  sync.Mutex
 	sendSeq uint64
+	sealBuf []byte // reused Seal destination; guarded by sendMu
 	recvMu  sync.Mutex
 	recvSeq uint64
 }
 
 // nonce builds the 12-byte GCM nonce: direction byte, 3 zero bytes, 8-byte
-// big-endian sequence number.
-func nonce(dir byte, seq uint64) []byte {
-	n := make([]byte, 12)
+// big-endian sequence number. Returned by value so callers keep it on the
+// stack.
+func nonce(dir byte, seq uint64) [12]byte {
+	var n [12]byte
 	n[0] = dir
 	binary.BigEndian.PutUint64(n[4:], seq)
 	return n
 }
 
 func (s *secureConduit) Send(frame []byte) error {
+	if len(frame)+s.aead.Overhead() > MaxFrame {
+		// Guard before sealing: an oversized payload must fail here with a
+		// descriptive error, not reach the transport (whose own check would
+		// fire) or, worse, a peer that kills the connection on the length
+		// prefix.
+		return fmt.Errorf("wire: frame of %d bytes (+%d sealing overhead): %w",
+			len(frame), s.aead.Overhead(), ErrFrameTooLarge)
+	}
+	// The seal buffer is reused across Sends, so hold the lock through
+	// inner.Send — which may not retain the frame — rather than just the
+	// sequence draw. The Conduit contract admits one concurrent sender, so
+	// the widened critical section serializes nothing new.
 	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
 	seq := s.sendSeq
 	s.sendSeq++
-	s.sendMu.Unlock()
-	sealed := s.aead.Seal(nil, nonce(s.sendDir, seq), frame, nil)
+	n := nonce(s.sendDir, seq)
+	sealed := s.aead.Seal(s.sealBuf[:0], n[:], frame, nil)
+	if cap(sealed) <= maxRetainedBuf {
+		s.sealBuf = sealed[:0]
+	} else {
+		s.sealBuf = nil
+	}
 	return s.inner.Send(sealed)
 }
 
@@ -71,7 +91,8 @@ func (s *secureConduit) Recv() ([]byte, error) {
 	seq := s.recvSeq
 	s.recvSeq++
 	s.recvMu.Unlock()
-	frame, err := s.aead.Open(nil, nonce(s.recvDir, seq), sealed, nil)
+	n := nonce(s.recvDir, seq)
+	frame, err := s.aead.Open(nil, n[:], sealed, nil)
 	if err != nil {
 		return nil, fmt.Errorf("wire: secure channel authentication failed (frame %d): %w", seq, err)
 	}

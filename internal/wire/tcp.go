@@ -16,8 +16,21 @@ func TCP(c net.Conn) Conduit {
 	return &tcpConduit{conn: c}
 }
 
+// TCPPooled is TCP with a recycled receive buffer: Recv reads each frame
+// into a conduit-owned buffer that is reused (and grown as needed) across
+// calls, so a long stream of bounded frames — the row-chunked local-matrix
+// path — performs zero per-frame receive allocations. The returned frame is
+// valid only until the next Recv on the conduit; use it when the consumer
+// decodes each frame before asking for the next, as the session Endpoints
+// do, and plain TCP when frames are retained.
+func TCPPooled(c net.Conn) Conduit {
+	return &tcpConduit{conn: c, pooled: true}
+}
+
 type tcpConduit struct {
 	conn    net.Conn
+	pooled  bool
+	recvBuf []byte // pooled mode only; guarded by recvMu
 	sendMu  sync.Mutex
 	recvMu  sync.Mutex
 	closeMu sync.Mutex
@@ -26,7 +39,7 @@ type tcpConduit struct {
 
 func (t *tcpConduit) Send(frame []byte) error {
 	if len(frame) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", len(frame))
+		return fmt.Errorf("wire: frame of %d bytes: %w", len(frame), ErrFrameTooLarge)
 	}
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
@@ -52,11 +65,25 @@ func (t *tcpConduit) Recv() ([]byte, error) {
 	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
 		return nil, t.recvErr("header", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame", n)
+	// Check the length prefix before converting to int: on 32-bit
+	// platforms a hostile prefix >= 2^31 would wrap negative and slip past
+	// an int comparison into a panicking make.
+	n32 := binary.BigEndian.Uint32(hdr[:])
+	if n32 > MaxFrame {
+		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds MaxFrame", n32)
 	}
-	frame := make([]byte, n)
+	n := int(n32)
+	var frame []byte
+	if t.pooled {
+		// Reuse the conduit buffer; drop it back to a fresh right-sized one
+		// when a single oversized frame would otherwise stay parked.
+		if cap(t.recvBuf) < n || (cap(t.recvBuf) > maxRetainedBuf && n <= maxRetainedBuf) {
+			t.recvBuf = make([]byte, n)
+		}
+		frame = t.recvBuf[:n]
+	} else {
+		frame = make([]byte, n)
+	}
 	if _, err := io.ReadFull(t.conn, frame); err != nil {
 		return nil, t.recvErr("body", err)
 	}

@@ -22,15 +22,34 @@ import (
 // ErrClosed is returned by operations on a closed conduit.
 var ErrClosed = errors.New("wire: conduit closed")
 
+// ErrFrameTooLarge is returned by Send when a frame (after any channel
+// protection overhead) would exceed MaxFrame. Callers get this descriptive
+// local error instead of the remote peer killing the connection when it
+// rejects the length prefix; the conduit itself stays usable.
+var ErrFrameTooLarge = errors.New("frame exceeds MaxFrame")
+
 // MaxFrame bounds a single frame's payload, guarding against corrupted or
 // hostile length prefixes.
 const MaxFrame = 1 << 28 // 256 MiB
+
+// maxRetainedBuf caps how much memory the framing layers keep parked in
+// reusable buffers (the pooled Endpoint encode buffers, a secure conduit's
+// seal buffer, a pooled TCP conduit's receive buffer). Buffers that had to
+// grow past it for one oversized frame are dropped rather than retained.
+const maxRetainedBuf = 1 << 20
 
 // Conduit is a reliable, ordered, bidirectional frame transport between two
 // parties. Send transfers one opaque frame; Recv blocks for the next frame
 // and returns ErrClosed once the peer has closed and all queued frames are
 // drained. Implementations are safe for one concurrent sender and one
 // concurrent receiver.
+//
+// Ownership: Send must not retain frame after it returns — the caller may
+// immediately reuse the buffer (the Endpoint layer recycles its encode
+// buffers through a pool on the strength of this). Recv transfers ownership
+// of the returned frame to the caller, except for implementations that
+// document recycled receive buffers (TCPPooled), whose frames are valid
+// only until the next Recv on that conduit.
 type Conduit interface {
 	Send(frame []byte) error
 	Recv() ([]byte, error)
@@ -48,11 +67,15 @@ func Pipe() (Conduit, Conduit) {
 	return a, b
 }
 
-// queue is an unbounded FIFO of frames with close semantics.
+// queue is an unbounded FIFO of frames with close semantics. A head index
+// (rather than re-slicing the front away) keeps the backing array reusable,
+// so a steady push/pop rhythm allocates only the per-frame defensive copy —
+// the single copy on the whole in-memory send path.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	frames [][]byte
+	head   int
 	closed bool
 }
 
@@ -78,14 +101,21 @@ func (q *queue) push(frame []byte) error {
 func (q *queue) pop() ([]byte, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.frames) == 0 && !q.closed {
+	for q.head == len(q.frames) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.frames) == 0 {
+	if q.head == len(q.frames) {
 		return nil, ErrClosed
 	}
-	f := q.frames[0]
-	q.frames = q.frames[1:]
+	f := q.frames[q.head]
+	q.frames[q.head] = nil
+	q.head++
+	if q.head == len(q.frames) {
+		// Drained: rewind onto the same backing array so pushes stop
+		// reallocating it.
+		q.frames = q.frames[:0]
+		q.head = 0
+	}
 	return f, nil
 }
 
@@ -165,7 +195,10 @@ func (c *Counter) addRecv(n int) {
 
 // Meter wraps a conduit so that frame sizes are accumulated into ctr.
 // Metering sits outside any encryption layer it wraps, so it observes the
-// same sizes an on-path observer would.
+// same sizes an on-path observer would. The wrapper is copy- and
+// allocation-free on both directions: it only reads len(frame), so a
+// metered send costs exactly what the inner conduit's send costs
+// (asserted by TestMeterTapSendPathAllocFree).
 func Meter(c Conduit, ctr *Counter) Conduit {
 	return &meteredConduit{inner: c, ctr: ctr}
 }
@@ -201,7 +234,8 @@ type TapFunc func(dir string, frame []byte)
 
 // Tap wraps a conduit so that fn observes every frame. It models an
 // eavesdropper on the underlying channel: fn sees exactly the bytes that
-// cross the wire at this layer.
+// cross the wire at this layer. Like Meter, the tap itself copies nothing —
+// fn is handed the live frame, which is why it must not retain it.
 func Tap(c Conduit, fn TapFunc) Conduit {
 	return &tappedConduit{inner: c, fn: fn}
 }

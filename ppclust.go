@@ -227,6 +227,18 @@ type Options struct {
 	// Every setting produces bit-identical results — the engine only
 	// changes how the work is scheduled, never what is computed.
 	Parallelism int
+	// StreamChunkBytes bounds the frames each holder streams its local
+	// dissimilarity matrices to the third party in: the packed triangle
+	// is cut into row ranges of at most this many payload bytes (never
+	// less than one row per frame) and the third party installs each
+	// range as it arrives, so assembly of an attribute overlaps that
+	// attribute's own wire time and no frame grows with the partition —
+	// session size is memory-bound rather than capped by the transport's
+	// frame limit. 0 (the default) uses 256 KiB; negative restores the
+	// monolithic one-frame-per-matrix wire shape. Like Parallelism, the
+	// knob is pure scheduling: chunking changes framing only, never
+	// values, so results are bit-identical at every setting.
+	StreamChunkBytes int
 	// Random supplies per-party randomness (nil = crypto/rand), used by
 	// tests and reproducible experiments.
 	Random func(partyName string) io.Reader
@@ -238,6 +250,7 @@ func (o Options) toConfig(schema Schema) party.Config {
 		Variant:           party.Variant(o.Variant),
 		PlaintextChannels: o.InsecureChannels,
 		Parallelism:       o.Parallelism,
+		LocalChunkBytes:   o.StreamChunkBytes,
 		RNG:               rng.KindAESCTR,
 	}
 	if o.Masking == PerPairMasking {

@@ -27,7 +27,10 @@ type ThirdPartySession = party.ThirdParty
 func NewHolderSession(name string, table *Table, holders []string, schema Schema, opts Options, req ClusterRequest, conns map[string]net.Conn) (*HolderSession, error) {
 	conduits := make(map[string]wire.Conduit, len(conns))
 	for peer, c := range conns {
-		conduits[peer] = wire.TCP(c)
+		// The session Endpoint decodes every frame before asking for the
+		// next, so the pooled receive buffer is safe and keeps long chunk
+		// streams allocation-free at the transport.
+		conduits[peer] = wire.TCPPooled(c)
 	}
 	return party.NewHolder(name, table, holders, opts.toConfig(schema), req, conduits, optRandom(opts, name))
 }
@@ -38,7 +41,7 @@ func NewHolderSession(name string, table *Table, holders []string, schema Schema
 func NewThirdPartySession(holders []string, schema Schema, opts Options, conns map[string]net.Conn) (*ThirdPartySession, error) {
 	conduits := make(map[string]wire.Conduit, len(conns))
 	for peer, c := range conns {
-		conduits[peer] = wire.TCP(c)
+		conduits[peer] = wire.TCPPooled(c)
 	}
 	return party.NewThirdParty(holders, opts.toConfig(schema), conduits, optRandom(opts, ThirdPartyName))
 }
