@@ -74,10 +74,12 @@ type benchResult struct {
 // the FastPAM1-backed PAM at the swap-round scale (n=512, k=8), since
 // PR 3 the session-pipeline family (a whole session over
 // latency-injecting TP links, phase-serial third party vs the pipelined
-// session engine; n is the global object count), and since PR 4 the
+// session engine; n is the global object count), since PR 4 the
 // session-stream family: one big-triangle attribute over
 // bandwidth-limited store-and-forward links, sweeping the local-matrix
-// chunk size against the monolithic wire shape.
+// chunk size against the monolithic wire shape, and since PR 5 its
+// both-large rows, where equal partitions make the pairwise S matrix the
+// dominant payload and the chunked pairwise streaming the lever.
 func benchFamilies() []struct {
 	name string
 	n    int
@@ -262,7 +264,7 @@ func benchFamilies() []struct {
 		}
 		streamParts = append(streamParts, dataset.Partition{Site: spec.site, Table: tab})
 	}
-	sessionStream := func(b *testing.B, serial bool, chunkBytes int) {
+	sessionStream := func(b *testing.B, parts []dataset.Partition, serial bool, chunkBytes int) {
 		cfg := party.Config{Schema: streamSchema, Variant: party.Float64Variant, SerialTP: serial, LocalChunkBytes: chunkBytes}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -274,10 +276,25 @@ func benchFamilies() []struct {
 				linkSeed++
 				return wire.Link(c, time.Millisecond, 0, 64<<20, linkSeed)
 			}
-			if _, err := party.RunInMemoryWrapped(cfg, streamParts, nil, detRandom, tpLink); err != nil {
+			if _, err := party.RunInMemoryWrapped(cfg, parts, nil, detRandom, tpLink); err != nil {
 				b.Fatal(err)
 			}
 		}
+	}
+
+	// both-partitions-large: the same single-attribute session with equal
+	// 600-object partitions, so the dominant payload is no longer a local
+	// triangle but the responder→TP masked S matrix (600×600 cells) — the
+	// message that stayed monolithic, and wire.MaxFrame-bound, until PR 5
+	// chunked the pairwise protocol payloads. The mono row ships it as one
+	// frame; the chunked rows stream it in the shared row-range schedule.
+	var bothParts []dataset.Partition
+	for pi, site := range []string{"A", "B"} {
+		tab := dataset.MustNewTable(streamSchema)
+		for r := 0; r < 600; r++ {
+			tab.MustAppendRow((float64(r*41+pi) + 0.375) * 1.000007)
+		}
+		bothParts = append(bothParts, dataset.Partition{Site: site, Table: tab})
 	}
 
 	return []struct {
@@ -298,11 +315,15 @@ func benchFamilies() []struct {
 		{"pam-swap/parallel", 512, func(b *testing.B) { pamRun(b, 0) }},
 		{"session-pipeline/serial", 75, func(b *testing.B) { sessionPipeline(b, true) }},
 		{"session-pipeline/pipelined", 75, func(b *testing.B) { sessionPipeline(b, false) }},
-		{"session-stream/serial", 1206, func(b *testing.B) { sessionStream(b, true, -1) }},
-		{"session-stream/pipelined-mono", 1206, func(b *testing.B) { sessionStream(b, false, -1) }},
-		{"session-stream/chunk-256k", 1206, func(b *testing.B) { sessionStream(b, false, 256<<10) }},
-		{"session-stream/chunk-64k", 1206, func(b *testing.B) { sessionStream(b, false, 64<<10) }},
-		{"session-stream/chunk-4k", 1206, func(b *testing.B) { sessionStream(b, false, 4<<10) }},
+		{"session-stream/serial", 1206, func(b *testing.B) { sessionStream(b, streamParts, true, -1) }},
+		{"session-stream/pipelined-mono", 1206, func(b *testing.B) { sessionStream(b, streamParts, false, -1) }},
+		{"session-stream/chunk-256k", 1206, func(b *testing.B) { sessionStream(b, streamParts, false, 256<<10) }},
+		{"session-stream/chunk-64k", 1206, func(b *testing.B) { sessionStream(b, streamParts, false, 64<<10) }},
+		{"session-stream/chunk-4k", 1206, func(b *testing.B) { sessionStream(b, streamParts, false, 4<<10) }},
+		{"session-stream/both-large-serial", 1200, func(b *testing.B) { sessionStream(b, bothParts, true, -1) }},
+		{"session-stream/both-large-mono", 1200, func(b *testing.B) { sessionStream(b, bothParts, false, -1) }},
+		{"session-stream/both-large-chunk-256k", 1200, func(b *testing.B) { sessionStream(b, bothParts, false, 256<<10) }},
+		{"session-stream/both-large-chunk-64k", 1200, func(b *testing.B) { sessionStream(b, bothParts, false, 64<<10) }},
 		{"editdist-ccm-scratch", 24, func(b *testing.B) {
 			sc := editdist.MustUnitScratch()
 			b.ReportAllocs()

@@ -88,41 +88,57 @@
 // matrix lands. The mailboxes are bounded, so a fast sender can run only
 // a fixed distance ahead of assembly.
 //
-// Overlap also exists within an attribute: a holder streams each local
-// dissimilarity matrix as a sequence of bounded row-range chunk frames
+// Overlap also exists within an attribute: every partition-sized payload
+// streams as a sequence of bounded row-range chunk frames
 // (Options.StreamChunkBytes, 256 KiB by default) rather than one
-// monolithic body, and the receiving stage installs every row range the
+// monolithic body, and the receiving stage consumes every row range the
 // moment it arrives,
 //
-//	local triangle ──▶ chunk [rows 0,512) ─▶ chunk [512,724) ─▶ … ─▶ protocol msgs
-//	                        │                    │
-//	                        ▼                    ▼            (same lane, in order)
-//	                   install rows         install rows  ─▶ cross blocks ─▶ normalize
+//	local triangle ──▶ chunk [rows 0,512) ─▶ … ─▶ masked S matrix ─▶ chunk [0,256) ─▶ …
+//	                        │                          (same lane, in order) │
+//	                        ▼                                                ▼
+//	                   install rows  ─▶ … ─▶                unmask rows + install cross rows ─▶ normalize
 //
-// so triangle installation of an attribute proceeds while that same
-// attribute's remaining chunks and protocol rounds are still on the wire,
-// the holder's gob encoding of chunk i+1 overlaps the transfer of chunk i,
-// and — because no frame grows with the partition — session size is bounded
-// by memory instead of the transport's 256 MiB frame limit. Both sides
-// derive the identical chunk schedule from the shared configuration, so
-// the receiver knows every lane's frame quota up front. Ordering
-// guarantees are unchanged: every lane preserves its holder's send order,
-// stages consume holders in session order and pairs in the fixed (J, K)
-// enumeration, every stage writes only its own attribute's slot, and all
-// protocol randomness is seeded per (attribute, pair) — so the published
-// report is bit-identical to the phase-serial reference path (and to the
-// centralized baseline) at any worker count, chunk size or pipeline
-// schedule; tie-breaks never depend on arrival timing. Overlap pays off
-// whenever link time per attribute is comparable to assembly compute —
-// WAN links, many attributes, or large payloads; on loss-free in-memory
-// conduits it is simply neutral. The serial path remains available for
-// benchmarking and differential tests (it reassembles the chunk stream
-// into the monolithic install, pinning that chunking is pure framing).
+// This covers both quadratic message families: each holder's local
+// dissimilarity triangles, and the pairwise comparison protocol's
+// responder→TP masked S/M matrices — the payload that grows with BOTH
+// partitions. Triangle installation proceeds while that attribute's
+// remaining chunks and protocol rounds are still on the wire, each
+// protocol chunk is unmasked and placed on arrival (mask keystreams stay
+// aligned across chunks, so unmasked values are exactly the monolithic
+// ones), the sender's gob encoding of chunk i+1 overlaps the transfer of
+// chunk i, and — because no session message grows with the partition —
+// session size is bounded by memory instead of the transport's 256 MiB
+// frame limit. Both sides derive the identical chunk schedules from the
+// shared configuration, so the receiver knows every lane's frame quota up
+// front. Ordering guarantees are unchanged: every lane preserves its
+// holder's send order, stages consume holders in session order and pairs
+// in the fixed (J, K) enumeration, every stage writes only its own
+// attribute's slot, and all protocol randomness is seeded per (attribute,
+// pair) — so the published report is bit-identical to the phase-serial
+// reference path (and to the centralized baseline) at any worker count,
+// chunk size or pipeline schedule; tie-breaks never depend on arrival
+// timing. Overlap pays off whenever link time per attribute is comparable
+// to assembly compute — WAN links, many attributes, or large payloads; on
+// loss-free in-memory conduits it is simply neutral. The serial path
+// remains available for benchmarking and differential tests (it
+// reassembles the chunk streams into the monolithic installs, pinning
+// that chunking is pure framing).
 //
 // The wire layer keeps the chunked stream allocation-lean: message encode
 // buffers are pooled across sends, the AES-GCM layer reuses its seal
 // buffer, and the TCP transport offers a pooled-receive variant, so
 // framing a triangle as hundreds of chunks does not multiply allocations.
+//
+// # Documentation map
+//
+// The systems-level architecture — session stage pipeline, determinism
+// guarantees, where every knob bites — is documented in
+// docs/ARCHITECTURE.md, and the wire protocol — frame layout, MaxFrame
+// semantics, the no-retain Conduit.Send contract, AES-GCM sealing, demux
+// lane quotas and the chunk-frame schemas — in docs/WIRE.md. The
+// examples/quickstart and examples/tcp READMEs walk through the
+// streaming knobs with expected output.
 //
 // Runnable scenarios live under examples/, command-line tools (including a
 // real TCP deployment of the three-role protocol) under cmd/, and the
@@ -134,5 +150,7 @@
 // session over latency-injecting links, serial vs pipelined third party,
 // then BENCH_4.json adding the session-stream family: a big-triangle
 // session over bandwidth-limited store-and-forward links sweeping the
-// local-matrix chunk size against the monolithic wire shape).
+// local-matrix chunk size against the monolithic wire shape, then
+// BENCH_5.json adding that family's both-partitions-large rows, where the
+// chunked pairwise S/M streaming is the lever).
 package ppclust

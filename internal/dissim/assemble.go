@@ -47,6 +47,13 @@ type Assembler struct {
 	// install.
 	localRows     [][]bool
 	localRowsLeft []int
+	// Row-exact install tracking for SetCrossRows, mirroring localRows:
+	// keyed by {k, j}, allocated lazily on the first row-range install of a
+	// pair's cross block. Every row 0..rows(k)−1 of a cross block carries
+	// cells, so a pair whose responder has zero objects completes on its
+	// first (empty) install.
+	crossRows     map[[2]int][]bool
+	crossRowsLeft map[[2]int]int
 }
 
 // NewAssembler prepares assembly for the given per-party object counts,
@@ -83,6 +90,8 @@ func NewAssemblerPar(sizes []int, workers int) (*Assembler, error) {
 		crossSet:      crossSet,
 		localRows:     make([][]bool, len(sizes)),
 		localRowsLeft: make([]int, len(sizes)),
+		crossRows:     make(map[[2]int][]bool),
+		crossRowsLeft: make(map[[2]int]int),
 	}, nil
 }
 
@@ -209,20 +218,94 @@ func (a *Assembler) SetCross(j, k int, at func(m, n int) float64) error {
 	if j < 0 || k >= len(a.sizes) || k <= j {
 		return fmt.Errorf("dissim: invalid pair (%d,%d)", j, k)
 	}
-	if a.crossSet[k][j] {
+	key := [2]int{k, j}
+	if a.crossSet[k][j] || a.crossRows[key] != nil {
+		// Either a full re-install or a monolithic install over a partial
+		// row stream: rows are overwritten, so the incremental max may
+		// exceed the truth.
 		a.maxStale = true
 	}
+	if err := a.placeCrossRows(j, k, 0, a.sizes[k], at); err != nil {
+		return err
+	}
+	a.crossSet[k][j] = true
+	delete(a.crossRows, key)
+	delete(a.crossRowsLeft, key)
+	return nil
+}
+
+// SetCrossRows installs rows [lo, hi) of the cross block for the pair
+// (j, k), k > j — the row-exact incremental form of SetCross that the
+// chunked pairwise streaming path calls once per decoded protocol chunk,
+// so cross-block installation starts with a payload's first rows rather
+// than after its last. at is chunk-relative: at(m, n) is the distance
+// between party k's object lo+m and party j's object n, matching the
+// row-range block the protocol's third-party step decodes from one chunk.
+// Rows are placed in parallel, so at must be safe for concurrent calls.
+// The running maximum is tracked per chunk and a re-installed row marks
+// the max stale, so Done's semantics — including the rescan after any
+// overwrite — are unchanged from the monolithic path. Once every row of
+// [0, rows) has landed (in any chunking and any order) the pair counts as
+// set; a pair whose responder has zero objects completes on its first
+// (empty) call.
+func (a *Assembler) SetCrossRows(j, k, lo, hi int, at func(m, n int) float64) error {
+	if j < 0 || k >= len(a.sizes) || k <= j {
+		return fmt.Errorf("dissim: invalid pair (%d,%d)", j, k)
+	}
+	rows := a.sizes[k]
+	if lo < 0 || hi < lo || hi > rows {
+		return fmt.Errorf("dissim: cross block (%d,%d) row range [%d,%d) invalid for %d rows", j, k, lo, hi, rows)
+	}
+	if err := a.placeCrossRows(j, k, lo, hi, at); err != nil {
+		return err
+	}
+	key := [2]int{k, j}
+	if a.crossSet[k][j] {
+		// Rows re-installed after the pair completed.
+		a.maxStale = true
+		return nil
+	}
+	if rows == 0 {
+		a.crossSet[k][j] = true
+		return nil
+	}
+	seen := a.crossRows[key]
+	if seen == nil {
+		seen = make([]bool, rows)
+		a.crossRows[key] = seen
+		a.crossRowsLeft[key] = rows
+	}
+	for r := lo; r < hi; r++ {
+		if seen[r] {
+			a.maxStale = true
+			continue
+		}
+		seen[r] = true
+		a.crossRowsLeft[key]--
+	}
+	if a.crossRowsLeft[key] == 0 {
+		a.crossSet[k][j] = true
+		delete(a.crossRows, key)
+		delete(a.crossRowsLeft, key)
+	}
+	return nil
+}
+
+// placeCrossRows writes rows [lo, hi) of pair (j, k)'s cross block into
+// the global triangle, validating entries and folding the range's maximum
+// into the running max. at is relative to lo.
+func (a *Assembler) placeCrossRows(j, k, lo, hi int, at func(m, n int) float64) error {
 	offK, offJ := a.offsets[k], a.offsets[j]
-	rows, cols := a.sizes[k], a.sizes[j]
-	max, err := parallel.MaxRangeErr(a.workers, rows, func(_, lo, hi int) (float64, error) {
+	cols := a.sizes[j]
+	max, err := parallel.MaxRangeErr(a.workers, hi-lo, func(_, rlo, rhi int) (float64, error) {
 		chunkMax := 0.0
-		for m := lo; m < hi; m++ {
-			gi := offK + m
+		for m := rlo; m < rhi; m++ {
+			gi := offK + lo + m
 			dst := a.global.cell[gi*(gi-1)/2+offJ:]
 			for n := 0; n < cols; n++ {
 				v := at(m, n)
 				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-					return chunkMax, fmt.Errorf("dissim: invalid dissimilarity %v in cross block (%d,%d) at (%d,%d)", v, j, k, m, n)
+					return chunkMax, fmt.Errorf("dissim: invalid dissimilarity %v in cross block (%d,%d) at (%d,%d)", v, j, k, lo+m, n)
 				}
 				dst[n] = v
 				if v > chunkMax {
@@ -238,7 +321,6 @@ func (a *Assembler) SetCross(j, k int, at func(m, n int) float64) error {
 	if max > a.max {
 		a.max = max
 	}
-	a.crossSet[k][j] = true
 	return nil
 }
 
@@ -258,6 +340,10 @@ func (a *Assembler) Done() (*Matrix, error) {
 	for k := range a.crossSet {
 		for j := 0; j < k; j++ {
 			if !a.crossSet[k][j] {
+				if left, ok := a.crossRowsLeft[[2]int{k, j}]; ok {
+					return nil, fmt.Errorf("dissim: cross block (%d,%d) incomplete: %d of %d rows missing",
+						j, k, left, a.sizes[k])
+				}
 				return nil, fmt.Errorf("dissim: missing cross block (%d,%d)", j, k)
 			}
 		}

@@ -207,3 +207,227 @@ func TestSetLocalRowsValidation(t *testing.T) {
 		t.Fatalf("partial rows not reported by Done: %v", err)
 	}
 }
+
+// TestRectChunksInvariants: every pairwise schedule covers [0, rows)
+// contiguously with non-empty chunks (except the single degenerate chunk
+// of an empty responder), each chunk stays within maxCells unless a single
+// row alone exceeds it, and both sides derive the identical schedule from
+// (rows, cols, maxCells).
+func TestRectChunksInvariants(t *testing.T) {
+	for _, rows := range []int{0, 1, 2, 3, 17, 64, 257} {
+		for _, cols := range []int{0, 1, 5, 64, 300} {
+			for _, maxCells := range []int{1, 7, 64, 4096, 1 << 30} {
+				chunks := RectChunks(rows, cols, maxCells)
+				if len(chunks) == 0 {
+					t.Fatalf("rows=%d cols=%d maxCells=%d: empty schedule", rows, cols, maxCells)
+				}
+				next := 0
+				for ci, ch := range chunks {
+					lo, hi := ch[0], ch[1]
+					if lo != next {
+						t.Fatalf("rows=%d cols=%d maxCells=%d: chunk %d starts at %d, want %d", rows, cols, maxCells, ci, lo, next)
+					}
+					if hi < lo || hi > rows {
+						t.Fatalf("rows=%d cols=%d maxCells=%d: chunk %d = [%d,%d) out of range", rows, cols, maxCells, ci, lo, hi)
+					}
+					if hi == lo && rows > 0 {
+						t.Fatalf("rows=%d cols=%d maxCells=%d: chunk %d empty", rows, cols, maxCells, ci)
+					}
+					if cells := (hi - lo) * cols; cells > maxCells && hi-lo > 1 {
+						t.Fatalf("rows=%d cols=%d maxCells=%d: chunk %d holds %d cells over %d rows", rows, cols, maxCells, ci, cells, hi-lo)
+					}
+					next = hi
+				}
+				if next != rows {
+					t.Fatalf("rows=%d cols=%d maxCells=%d: schedule ends at %d", rows, cols, maxCells, next)
+				}
+				if got := RectChunkCount(rows, cols, maxCells); got != len(chunks) {
+					t.Fatalf("rows=%d cols=%d maxCells=%d: RectChunkCount=%d, schedule has %d chunks", rows, cols, maxCells, got, len(chunks))
+				}
+			}
+		}
+	}
+	// Degenerate arguments normalize rather than panic.
+	if got := RectChunks(-3, -1, 0); len(got) != 1 || got[0] != [2]int{0, 0} {
+		t.Fatalf("RectChunks(-3, -1, 0) = %v", got)
+	}
+	if got := RectChunkCount(-3, -1, 0); got != 1 {
+		t.Fatalf("RectChunkCount(-3, -1, 0) = %d", got)
+	}
+}
+
+// TestSetCrossRowsMatchesSetCross is the property test of the chunked
+// cross-block install: for every block shape and chunking — one row per
+// chunk, a mid-size bound, the whole block at once — and even a reversed
+// installation order, the assembled cells and the Done-primed max are
+// bit-identical to the monolithic SetCross path.
+func TestSetCrossRowsMatchesSetCross(t *testing.T) {
+	for _, shape := range [][2]int{{0, 3}, {3, 0}, {1, 1}, {4, 7}, {17, 5}, {33, 33}} {
+		nJ, nK := shape[0], shape[1]
+		sizes := []int{nJ, nK}
+		cross := func(m, n int) float64 { return synthDist(m+3, n) }
+		build := func(install func(a *Assembler)) *Matrix {
+			a, err := NewAssembler(sizes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, n := range sizes {
+				if err := a.SetLocal(p, FromLocal(n, synthDist)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			install(a)
+			g, err := a.Done()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}
+		want := build(func(a *Assembler) {
+			if err := a.SetCross(0, 1, cross); err != nil {
+				t.Fatal(err)
+			}
+		})
+		for _, maxCells := range []int{1, 64, 1 << 30} {
+			for _, reversed := range []bool{false, true} {
+				chunks := RectChunks(nK, nJ, maxCells)
+				if reversed {
+					rev := make([][2]int, len(chunks))
+					for i, ch := range chunks {
+						rev[len(chunks)-1-i] = ch
+					}
+					chunks = rev
+				}
+				got := build(func(a *Assembler) {
+					for _, ch := range chunks {
+						lo := ch[0]
+						at := func(m, n int) float64 { return cross(lo+m, n) }
+						if err := a.SetCrossRows(0, 1, ch[0], ch[1], at); err != nil {
+							t.Fatalf("SetCrossRows([%d,%d)): %v", ch[0], ch[1], err)
+						}
+					}
+				})
+				if !got.EqualWithin(want, 0) {
+					t.Fatalf("shape=%v maxCells=%d reversed=%v: cells differ from SetCross", shape, maxCells, reversed)
+				}
+				if got.Max() != want.Max() {
+					t.Fatalf("shape=%v maxCells=%d reversed=%v: max %v vs SetCross %v", shape, maxCells, reversed, got.Max(), want.Max())
+				}
+			}
+		}
+	}
+}
+
+// TestSetCrossRowsReinstallMarksMaxStale: overwriting cross rows with
+// smaller values must leave Done with the true (rescanned) maximum,
+// whether the overwrite is chunk-over-chunk, chunk-over-monolith or
+// monolith-over-chunks.
+func TestSetCrossRowsReinstallMarksMaxStale(t *testing.T) {
+	big := func(m, n int) float64 { return 10 }
+	small := func(m, n int) float64 { return 3 }
+	chunks := RectChunks(4, 4, 4) // one row per chunk
+	install := func(t *testing.T, a *Assembler, at func(m, n int) float64) {
+		t.Helper()
+		for _, ch := range chunks {
+			lo := ch[0]
+			if err := a.SetCrossRows(0, 1, ch[0], ch[1], func(m, n int) float64 { return at(lo+m, n) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check := func(label string, first, second func(a *Assembler)) {
+		a, err := NewAssembler([]int{4, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 2; p++ {
+			if err := a.SetLocal(p, FromLocal(4, func(i, j int) float64 { return 4 })); err != nil {
+				t.Fatal(err)
+			}
+		}
+		first(a)
+		second(a)
+		if !a.maxStale {
+			t.Fatalf("%s: re-install did not mark the max stale", label)
+		}
+		g, err := a.Done()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.Max(); got != 4 {
+			t.Fatalf("%s: max after overwrite = %v, want 4", label, got)
+		}
+	}
+	check("rows over rows",
+		func(a *Assembler) { install(t, a, big) },
+		func(a *Assembler) { install(t, a, small) })
+	check("rows over monolith",
+		func(a *Assembler) {
+			if err := a.SetCross(0, 1, big); err != nil {
+				t.Fatal(err)
+			}
+		},
+		func(a *Assembler) { install(t, a, small) })
+	check("monolith over rows",
+		func(a *Assembler) { install(t, a, big) },
+		func(a *Assembler) {
+			if err := a.SetCross(0, 1, small); err != nil {
+				t.Fatal(err)
+			}
+		})
+	// A duplicated chunk mid-stream (same values) is also an overwrite.
+	a, err := NewAssembler([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, a, big)
+	if err := a.SetCrossRows(0, 1, 1, 2, func(m, n int) float64 { return 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if !a.maxStale {
+		t.Fatal("duplicate cross chunk did not mark the max stale")
+	}
+}
+
+// TestSetCrossRowsValidation covers the error surface: bad pairs, bad
+// ranges, invalid entries off the protocol layer, and Done's row-exact
+// incompleteness report for a half-streamed cross block.
+func TestSetCrossRowsValidation(t *testing.T) {
+	a, err := NewAssembler([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := func(m, n int) float64 { return 0 }
+	if err := a.SetCrossRows(1, 0, 0, 1, zero); err == nil {
+		t.Fatal("inverted pair accepted")
+	}
+	if err := a.SetCrossRows(-1, 1, 0, 1, zero); err == nil {
+		t.Fatal("negative party accepted")
+	}
+	if err := a.SetCrossRows(0, 2, 0, 1, zero); err == nil {
+		t.Fatal("party out of range accepted")
+	}
+	if err := a.SetCrossRows(0, 1, 2, 1, zero); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if err := a.SetCrossRows(0, 1, 0, 5, zero); err == nil {
+		t.Fatal("range past the responder count accepted")
+	}
+	if err := a.SetCrossRows(0, 1, 0, 1, func(m, n int) float64 { return math.Inf(1) }); err == nil {
+		t.Fatal("non-finite dissimilarity accepted")
+	}
+	if err := a.SetCrossRows(0, 1, 0, 1, func(m, n int) float64 { return -1 }); err == nil {
+		t.Fatal("negative dissimilarity accepted")
+	}
+	for p, n := range []int{3, 4} {
+		if err := a.SetLocal(p, FromLocal(n, synthDist)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.SetCrossRows(0, 1, 0, 2, zero); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Done(); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("partial cross rows not reported by Done: %v", err)
+	}
+}

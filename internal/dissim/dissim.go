@@ -255,6 +255,66 @@ func RowChunks(n, maxCells int) [][2]int {
 	return append(chunks, [2]int{lo, n})
 }
 
+// RectChunks splits a dense rows×cols matrix — the shape of the pairwise
+// protocol's responder→TP S/M payloads — into contiguous row ranges of at
+// most maxCells cells each (minimum one row per chunk, so a single row
+// wider than maxCells still travels whole: rows are the evaluation and
+// installation granularity). Like RowChunks it is a shared schedule:
+// sender and receiver derive the identical partition from (rows, cols,
+// maxCells) alone, so the receiver knows every chunk's row range — and the
+// frame count — before the first frame arrives. rows <= 0 yields one
+// (empty) chunk, keeping "one frame minimum" true for empty responders;
+// cols <= 0 puts every row in that single chunk, since rows carry no
+// cells.
+func RectChunks(rows, cols, maxCells int) [][2]int {
+	if rows < 0 {
+		rows = 0
+	}
+	per := rectRowsPerChunk(rows, cols, maxCells)
+	chunks := make([][2]int, 0, (rows+per-1)/per)
+	for lo := 0; lo < rows; lo += per {
+		hi := lo + per
+		if hi > rows {
+			hi = rows
+		}
+		chunks = append(chunks, [2]int{lo, hi})
+	}
+	if len(chunks) == 0 {
+		chunks = [][2]int{{0, 0}}
+	}
+	return chunks
+}
+
+// RectChunkCount returns len(RectChunks(rows, cols, maxCells)) without
+// materializing the schedule. The third party's demux lane quotas need
+// only the frame count per pair, and computing it arithmetically keeps
+// quota setup allocation-free even at one-row chunk schedules.
+func RectChunkCount(rows, cols, maxCells int) int {
+	if rows <= 0 {
+		return 1
+	}
+	per := rectRowsPerChunk(rows, cols, maxCells)
+	return (rows + per - 1) / per
+}
+
+// rectRowsPerChunk is the rows-per-chunk derivation RectChunks and
+// RectChunkCount must share: the quota a receiver computes from the count
+// and the schedule a sender walks diverging would stall the session, so
+// there is exactly one copy of the arithmetic. Always at least 1.
+func rectRowsPerChunk(rows, cols, maxCells int) int {
+	if maxCells < 1 {
+		maxCells = 1
+	}
+	per := rows
+	if cols > 0 {
+		per = maxCells / cols
+	}
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 // FromPacked reconstructs an n-object matrix from its packed lower
 // triangle, validating length and entry ranges. The validation pass
 // doubles as the max pass, so a later Normalize scans nothing.

@@ -316,7 +316,7 @@ func (h *Holder) sendLocalMatrix(attr int) error {
 		return err
 	}
 	local := dissim.FromLocalPar(h.table.Len(), h.workers, distFn)
-	for _, ch := range localChunks(local.N(), h.cfg.LocalChunkBytes) {
+	for _, ch := range h.cfg.localChunks(local.N()) {
 		msg := wire.Message{From: h.name, To: TPName, Kind: kindLocal, Attr: attr}
 		body := localBody{N: local.N(), Lo: ch[0], Hi: ch[1], Cells: local.PackedRowsView(ch[0], ch[1])}
 		if err := h.tp.SendBody(msg, body); err != nil {
@@ -452,9 +452,21 @@ func (h *Holder) initiate(attr int, j, k string) error {
 	return h.peers[k].SendBody(msg, body)
 }
 
-// respond is the DHK role for one (attribute, pair).
+// respond is the DHK role for one (attribute, pair): combine the
+// initiator's disguised payload with the own column, then stream the
+// masked S/M comparison matrix to the third party.
+//
+// Like the local triangles, the payload travels as a sequence of bounded
+// row-range frames in the shared pairChunks schedule instead of one
+// monolithic body: the third party evaluates and installs each range on
+// arrival, and no frame grows with either partition — the masked matrix is
+// rows×cols over BOTH parties' object counts, so it was the session's last
+// wire.MaxFrame-bound message when both partitions are large. The chunk
+// bodies are zero-copy sub-matrix views of a payload that is dropped right
+// after the final chunk (Conduit.Send may not retain frames).
 func (h *Holder) respond(attr int, j, k string) error {
 	a := h.cfg.Schema.Attrs[attr]
+	rows, cols := h.table.Len(), h.counts[j]
 	msg := wire.Message{From: k, To: TPName, Kind: kindNumS, Attr: attr, PairJ: j, PairK: k}
 
 	if a.Type == dataset.Alphanumeric {
@@ -479,7 +491,13 @@ func (h *Holder) respond(attr int, j, k string) error {
 		}
 		m := h.eng.AlphaResponder(own, disg.Strings, a.Alphabet)
 		msg.Kind = kindAlphaM
-		return h.tp.SendBody(msg, alphaMBody{M: m})
+		for _, ch := range h.cfg.pairChunks(a.Type, rows, cols) {
+			body := alphaMBody{Rows: rows, Lo: ch[0], Hi: ch[1], M: m[ch[0]:ch[1]]}
+			if err := h.tp.SendBody(msg, body); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	var disg numDisguisedBody
@@ -491,13 +509,13 @@ func (h *Holder) respond(attr int, j, k string) error {
 	if err != nil {
 		return err
 	}
-	var body numSBody
+	var s numSBody
 	switch h.cfg.Variant {
 	case Float64Variant:
 		if disg.Float == nil {
 			return fmt.Errorf("party: missing float payload from %s", j)
 		}
-		body.Float, err = h.eng.NumericResponderFloat(disg.Float, col, jk, h.cfg.FloatParams, h.cfg.Mode)
+		s.Float, err = h.eng.NumericResponderFloat(disg.Float, col, jk, h.cfg.FloatParams, h.cfg.Mode)
 	case Int64Variant:
 		if disg.Int == nil {
 			return fmt.Errorf("party: missing int payload from %s", j)
@@ -506,7 +524,7 @@ func (h *Holder) respond(attr int, j, k string) error {
 		if cerr != nil {
 			return cerr
 		}
-		body.Int, err = h.eng.NumericResponderInt(disg.Int, ints, jk, h.cfg.IntParams, h.cfg.Mode)
+		s.Int, err = h.eng.NumericResponderInt(disg.Int, ints, jk, h.cfg.IntParams, h.cfg.Mode)
 	case ModPVariant:
 		if disg.ModP == nil {
 			return fmt.Errorf("party: missing modp payload from %s", j)
@@ -515,12 +533,29 @@ func (h *Holder) respond(attr int, j, k string) error {
 		if cerr != nil {
 			return cerr
 		}
-		body.ModP, err = h.eng.NumericResponderModP(disg.ModP, ints, jk, h.cfg.Mode)
+		s.ModP, err = h.eng.NumericResponderModP(disg.ModP, ints, jk, h.cfg.Mode)
 	}
 	if err != nil {
 		return err
 	}
-	return h.tp.SendBody(msg, body)
+	for _, ch := range h.cfg.pairChunks(a.Type, rows, cols) {
+		body := numSBody{Rows: rows, Lo: ch[0], Hi: ch[1]}
+		switch {
+		case s.Float != nil:
+			body.Float = &protocol.Float64Matrix{Rows: ch[1] - ch[0], Cols: s.Float.Cols,
+				Cell: s.Float.Cell[ch[0]*s.Float.Cols : ch[1]*s.Float.Cols]}
+		case s.Int != nil:
+			body.Int = &protocol.Int64Matrix{Rows: ch[1] - ch[0], Cols: s.Int.Cols,
+				Cell: s.Int.Cell[ch[0]*s.Int.Cols : ch[1]*s.Int.Cols]}
+		case s.ModP != nil:
+			body.ModP = &protocol.ElementMatrix{Rows: ch[1] - ch[0], Cols: s.ModP.Cols,
+				Cell: s.ModP.Cell[ch[0]*s.ModP.Cols : ch[1]*s.ModP.Cols]}
+		}
+		if err := h.tp.SendBody(msg, body); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (h *Holder) sendRequest() error {

@@ -117,16 +117,18 @@ type Config struct {
 	// as the baseline and differential tests pin the equivalence. Only
 	// the third party consults it.
 	SerialTP bool
-	// LocalChunkBytes bounds the frames a holder streams each local
-	// dissimilarity matrix to the third party in: the packed triangle is
+	// LocalChunkBytes bounds the frames the session's partition-sized
+	// payloads stream in: each local dissimilarity triangle (holder→TP)
+	// and each pairwise-protocol S/M comparison matrix (responder→TP) is
 	// cut into row ranges of at most this many payload bytes (at least
-	// one row per frame), and the third party installs each range the
-	// moment it arrives. It is part of the session agreement — both sides
-	// derive the identical chunk schedule from it — and tunes only
-	// framing: reports are bit-identical at every setting. 0 selects
-	// DefaultLocalChunkBytes; negative sends each triangle as a single
-	// monolithic frame (the pre-streaming wire shape, which re-imposes
-	// the wire.MaxFrame ceiling on session size).
+	// one row per frame), and the third party installs or evaluates each
+	// range the moment it arrives. It is part of the session agreement —
+	// both sides derive the identical chunk schedules (localChunks,
+	// pairChunks) from it — and tunes only framing: reports are
+	// bit-identical at every setting. 0 selects DefaultLocalChunkBytes;
+	// negative sends every payload as a single monolithic frame (the
+	// pre-streaming wire shape, which re-imposes the wire.MaxFrame
+	// ceiling on session size).
 	LocalChunkBytes int
 }
 
@@ -136,19 +138,84 @@ type Config struct {
 // triangle while almost all of it is still on the wire.
 const DefaultLocalChunkBytes = 256 << 10
 
+// chunkBudgetBytes resolves the LocalChunkBytes knob's defaulting in one
+// place for every chunk schedule: negative means monolithic (returned as
+// −1), 0 selects DefaultLocalChunkBytes. Holder and third party must
+// derive identical schedules, so this is the only ladder.
+func (c Config) chunkBudgetBytes() int {
+	switch {
+	case c.LocalChunkBytes < 0:
+		return -1
+	case c.LocalChunkBytes == 0:
+		return DefaultLocalChunkBytes
+	default:
+		return c.LocalChunkBytes
+	}
+}
+
 // localChunks is the chunk schedule of one party's local-matrix stream:
 // row ranges of the packed triangle bounded by the configured chunk bytes
 // (8 bytes per packed float64 cell). Holder and third party compute it
 // independently from the shared Config, so the receiver knows every
 // chunk's row range — and the demux lane quota — before the first frame.
-func localChunks(n, chunkBytes int) [][2]int {
-	if chunkBytes < 0 {
+func (c Config) localChunks(n int) [][2]int {
+	b := c.chunkBudgetBytes()
+	if b < 0 {
 		return [][2]int{{0, n}}
 	}
-	if chunkBytes == 0 {
-		chunkBytes = DefaultLocalChunkBytes
+	return dissim.RowChunks(n, b/8)
+}
+
+// alphaPairCellBytes is the nominal wire weight of one alphanumeric S/M
+// "cell" — a whole per-(responder string, initiator string) symbol matrix —
+// in the pairwise chunk schedule. String lengths are private, so the
+// schedule cannot consult the true matrix sizes: both sides must derive it
+// from public shape alone. 256 bytes corresponds to a 16×16-character
+// pair, a comfortable overestimate for typical short attribute values;
+// either way a chunk bounds the number of pairs per frame, and no frame
+// grows with the partition.
+const alphaPairCellBytes = 256
+
+// pairCellBytes is the nominal wire bytes per cell of a responder→TP S/M
+// payload, used to derive the shared pairwise chunk schedule: 8 for the
+// int64/float64 numeric variants (one machine word per cell), 32 for the
+// mod-p variant (fixed field-element encoding), and alphaPairCellBytes
+// for alphanumeric attributes.
+func (c Config) pairCellBytes(t dataset.AttrType) int {
+	switch {
+	case t == dataset.Alphanumeric:
+		return alphaPairCellBytes
+	case c.Variant == ModPVariant:
+		return 32
+	default:
+		return 8
 	}
-	return dissim.RowChunks(n, chunkBytes/8)
+}
+
+// pairChunks is the chunk schedule of one responder→TP S/M payload for an
+// attribute of type t: row ranges of the rows×cols comparison matrix
+// (rows = the responder's object count, cols = the initiator's) bounded by
+// the configured chunk bytes — the pairwise-protocol analogue of
+// localChunks, driven by the same Config.LocalChunkBytes knob. Responder
+// and third party compute it independently from the shared Config and the
+// census, so the receiver knows every chunk's row range — and the demux
+// lane quota — before the first frame.
+func (c Config) pairChunks(t dataset.AttrType, rows, cols int) [][2]int {
+	b := c.chunkBudgetBytes()
+	if b < 0 {
+		return [][2]int{{0, rows}}
+	}
+	return dissim.RectChunks(rows, cols, b/c.pairCellBytes(t))
+}
+
+// pairChunkCount is len(pairChunks(t, rows, cols)) without materializing
+// the schedule, for the demux lane quotas.
+func (c Config) pairChunkCount(t dataset.AttrType, rows, cols int) int {
+	b := c.chunkBudgetBytes()
+	if b < 0 {
+		return 1
+	}
+	return dissim.RectChunkCount(rows, cols, b/c.pairCellBytes(t))
 }
 
 // normalized validates the config and fills defaults. The schema's
@@ -312,11 +379,19 @@ type numDisguisedBody struct {
 	ModP  *protocol.ElementMatrix
 }
 
-// numSBody is the responder→TP numeric message.
+// numSBody is one chunk of the responder→TP numeric message: rows
+// [Lo, Hi) of the masked comparison matrix S, streamed in the shared
+// pairChunks schedule (a single chunk covering [0, Rows) under a
+// monolithic configuration). Rows is the responder's full object count,
+// repeated per chunk so every frame validates against the census on its
+// own; exactly one variant pointer is set, holding the (Hi−Lo)×cols
+// sub-matrix.
 type numSBody struct {
-	Int   *protocol.Int64Matrix
-	Float *protocol.Float64Matrix
-	ModP  *protocol.ElementMatrix
+	Rows   int
+	Lo, Hi int
+	Int    *protocol.Int64Matrix
+	Float  *protocol.Float64Matrix
+	ModP   *protocol.ElementMatrix
 }
 
 // alphaDisguisedBody is the initiator→responder alphanumeric message.
@@ -324,9 +399,14 @@ type alphaDisguisedBody struct {
 	Strings []protocol.SymbolString
 }
 
-// alphaMBody is the responder→TP alphanumeric message.
+// alphaMBody is one chunk of the responder→TP alphanumeric message: rows
+// [Lo, Hi) of the intermediary-matrix block (one row of per-initiator
+// symbol matrices per responder string), streamed in the shared pairChunks
+// schedule. Rows is the responder's full object count, repeated per chunk.
 type alphaMBody struct {
-	M [][]*protocol.SymbolMatrix
+	Rows   int
+	Lo, Hi int
+	M      [][]*protocol.SymbolMatrix
 }
 
 // catTagsBody is a holder's encrypted categorical column.

@@ -170,24 +170,27 @@ func TestSessionStreamsTrianglePastMaxFrame(t *testing.T) {
 	}
 }
 
-// benchStreamSession is the session-stream benchmark body: a lopsided
-// two-holder session with one large numeric attribute over
-// store-and-forward TP links (1 ms propagation, 64 MB/s bandwidth
-// bottleneck). The shape isolates the within-attribute overlap the
-// streaming path adds: with a single comparison attribute there is no
-// neighboring attribute for the PR 3 pipeline to overlap with, so its
-// monolithic frame serializes encode → transfer → decode+install, while
-// row chunks let the holder's encode and the third party's install ride
-// inside the transfer window. serial selects the phase-serial reference
-// engine; chunkBytes -1 is the PR 3 pipeline (monolithic local frames)
-// and positive values stream row chunks.
-func benchStreamSession(b *testing.B, serial bool, chunkBytes int) {
+// benchStreamSession is the session-stream benchmark body: a two-holder
+// session with one large numeric attribute over store-and-forward TP
+// links (1 ms propagation, 64 MB/s bandwidth bottleneck). The shape
+// isolates the within-attribute overlap the streaming path adds: with a
+// single comparison attribute there is no neighboring attribute for the
+// PR 3 pipeline to overlap with, so a monolithic frame serializes
+// encode → transfer → decode+install, while row chunks let the sender's
+// encode and the third party's install ride inside the transfer window.
+// The lopsided rows (rowsA ≫ rowsB) make the local triangle the dominant
+// payload; the both-large rows (rowsA = rowsB) make the responder→TP S
+// matrix (rowsB×rowsA cells) dominate instead — the payload the pairwise
+// chunking adds streaming for. serial selects the phase-serial reference
+// engine; chunkBytes -1 is the monolithic wire shape and positive values
+// stream row chunks.
+func benchStreamSession(b *testing.B, serial bool, chunkBytes, rowsA, rowsB int) {
 	schema := dataset.Schema{Attrs: []dataset.Attribute{{Name: "x", Type: dataset.Numeric}}}
 	var parts []dataset.Partition
 	for pi, spec := range []struct {
 		site string
 		rows int
-	}{{"A", 1200}, {"B", 6}} {
+	}{{"A", rowsA}, {"B", rowsB}} {
 		tab := dataset.MustNewTable(schema)
 		for r := 0; r < spec.rows; r++ {
 			// Continuous values: gob's full-width float encoding keeps the
@@ -215,11 +218,15 @@ func benchStreamSession(b *testing.B, serial bool, chunkBytes int) {
 }
 
 // BenchmarkSessionStream is the session-stream family's in-tree smoke
-// variant (CI runs it at -benchtime=1x): serial reference vs the PR 3
+// variant (CI runs it at -benchtime=1x): serial reference vs the
 // monolithic pipeline vs row-chunked streaming over bandwidth-limited
-// 1 ms links.
+// 1 ms links, in the lopsided (big local triangle) shape and the
+// both-partitions-large shape whose dominant payload is the pairwise S
+// matrix.
 func BenchmarkSessionStream(b *testing.B) {
-	b.Run("serial", func(b *testing.B) { benchStreamSession(b, true, -1) })
-	b.Run("pipelined-mono", func(b *testing.B) { benchStreamSession(b, false, -1) })
-	b.Run("streamed", func(b *testing.B) { benchStreamSession(b, false, 256<<10) })
+	b.Run("serial", func(b *testing.B) { benchStreamSession(b, true, -1, 1200, 6) })
+	b.Run("pipelined-mono", func(b *testing.B) { benchStreamSession(b, false, -1, 1200, 6) })
+	b.Run("streamed", func(b *testing.B) { benchStreamSession(b, false, 256<<10, 1200, 6) })
+	b.Run("both-large-mono", func(b *testing.B) { benchStreamSession(b, false, -1, 600, 600) })
+	b.Run("both-large-streamed", func(b *testing.B) { benchStreamSession(b, false, 256<<10, 600, 600) })
 }

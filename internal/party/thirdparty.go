@@ -202,9 +202,9 @@ func (tp *ThirdParty) runPipelined() (*TPReport, error) {
 	reqLane := nAttr
 
 	// One demux per holder: lane a carries attribute a's messages (the
-	// local matrix plus one protocol message per pair this holder
-	// responds in, or the single tag column), the extra lane carries the
-	// clustering request that ends the holder's stream.
+	// local-matrix chunk frames plus the S/M chunk frames of every pair
+	// this holder responds in, or the single tag column), the extra lane
+	// carries the clustering request that ends the holder's stream.
 	demux := make([]*wire.Demux, len(tp.holders))
 	classify := func(m *wire.Message) (int, error) {
 		if m.Kind == kindRequest {
@@ -216,17 +216,21 @@ func (tp *ThirdParty) runPipelined() (*TPReport, error) {
 		return m.Attr, nil
 	}
 	for hi, h := range tp.holders {
-		// The chunk schedule is a pure function of the census and the
+		// The chunk schedules are pure functions of the census and the
 		// shared Config, so each lane's quota — local-matrix chunk frames
-		// plus one S/M message per pair (j, holder), j < holder — is known
-		// before the first frame arrives.
-		chunks := len(localChunks(tp.counts[hi], tp.cfg.LocalChunkBytes))
+		// plus the S/M chunk frames of every pair (j, holder), j < holder,
+		// this holder responds in — is known before the first frame
+		// arrives.
+		chunks := len(tp.cfg.localChunks(tp.counts[hi]))
 		counts := make([]int, nAttr+1)
 		for attr, a := range attrs {
 			if tagBased(a.Type) {
 				counts[attr] = 1 // the encrypted column
-			} else {
-				counts[attr] = chunks + hi
+				continue
+			}
+			counts[attr] = chunks
+			for j := 0; j < hi; j++ {
+				counts[attr] += tp.cfg.pairChunkCount(a.Type, tp.counts[hi], tp.counts[j])
 			}
 		}
 		counts[reqLane] = 1
@@ -431,7 +435,7 @@ func (tp *ThirdParty) census() error {
 // derive it from the same Config, so any deviation is a protocol error.
 func (tp *ThirdParty) recvLocal(asm *dissim.Assembler, src attrSource, hi int, h string, attr int) error {
 	n := tp.counts[hi]
-	chunks := localChunks(n, tp.cfg.LocalChunkBytes)
+	chunks := tp.cfg.localChunks(n)
 	var mono []float64
 	if tp.cfg.SerialTP {
 		mono = make([]float64, 0, n*(n-1)/2)
@@ -484,73 +488,291 @@ func (tp *ThirdParty) assembleComparison(eng *protocol.Engine, attr int, src att
 			return nil, err
 		}
 	}
-	a := tp.cfg.Schema.Attrs[attr]
 	for _, pair := range sortedPairs(tp.holders) {
-		ji, ki := pair[0], pair[1]
-		j, k := tp.holders[ji], tp.holders[ki]
-		jt := rng.New(tp.cfg.RNG, tp.seedJT(attr, j, k))
-
-		var block func(m, n int) float64
-		var rows, cols int
-		if a.Type == dataset.Alphanumeric {
-			var body alphaMBody
-			if _, err := src.expect(ki, kindAlphaM, &body); err != nil {
-				return nil, err
-			}
-			dists, err := eng.AlphaThirdParty(body.M, a.Alphabet, jt)
-			if err != nil {
-				return nil, err
-			}
-			rows, cols = dists.Rows, dists.Cols
-			block = func(m, n int) float64 { return float64(dists.At(m, n)) }
-		} else {
-			var body numSBody
-			if _, err := src.expect(ki, kindNumS, &body); err != nil {
-				return nil, err
-			}
-			switch tp.cfg.Variant {
-			case Float64Variant:
-				if body.Float == nil {
-					return nil, fmt.Errorf("party: missing float payload from %s", k)
-				}
-				dists, err := eng.NumericThirdPartyFloat(body.Float, jt, tp.cfg.FloatParams, tp.cfg.Mode)
-				if err != nil {
-					return nil, err
-				}
-				rows, cols = dists.Rows, dists.Cols
-				block = func(m, n int) float64 { return dists.At(m, n) }
-			case Int64Variant:
-				if body.Int == nil {
-					return nil, fmt.Errorf("party: missing int payload from %s", k)
-				}
-				dists, err := eng.NumericThirdPartyInt(body.Int, jt, tp.cfg.IntParams, tp.cfg.Mode)
-				if err != nil {
-					return nil, err
-				}
-				rows, cols = dists.Rows, dists.Cols
-				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
-			case ModPVariant:
-				if body.ModP == nil {
-					return nil, fmt.Errorf("party: missing modp payload from %s", k)
-				}
-				dists, err := eng.NumericThirdPartyModP(body.ModP, jt, tp.cfg.Mode)
-				if err != nil {
-					return nil, err
-				}
-				rows, cols = dists.Rows, dists.Cols
-				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
-			}
-		}
-		// A zero-row block (empty responder) carries no usable column
-		// count and is never consulted during assembly.
-		if rows != tp.counts[ki] || (rows > 0 && cols != tp.counts[ji]) {
-			return nil, fmt.Errorf("party: block (%s,%s) is %dx%d, census says %dx%d", j, k, rows, cols, tp.counts[ki], tp.counts[ji])
-		}
-		if err := asm.SetCross(ji, ki, block); err != nil {
+		if err := tp.recvPair(eng, asm, src, attr, pair[0], pair[1]); err != nil {
 			return nil, err
 		}
 	}
 	return asm.Done()
+}
+
+// checkPairChunk validates one received S/M chunk frame against the
+// shared pairChunks schedule. Responder and third party derive the
+// schedule from the same Config and census, so a frame that claims a
+// different row count or covers a different range — duplicated,
+// out-of-order or misdrawn chunks — is a protocol error, reported
+// descriptively rather than installed.
+func checkPairChunk(j, k string, ci int, sched [2]int, bodyRows, lo, hi, rows int) error {
+	if bodyRows != rows {
+		return fmt.Errorf("party: %s S/M payload for pair (%s,%s) claims %d rows, census says %d", k, j, k, bodyRows, rows)
+	}
+	if lo != sched[0] || hi != sched[1] {
+		return fmt.Errorf("party: %s pair (%s,%s) chunk %d covers rows [%d,%d), schedule says [%d,%d)",
+			k, j, k, ci, lo, hi, sched[0], sched[1])
+	}
+	return nil
+}
+
+// recvPair consumes the responder→TP S/M chunk stream of one (attribute,
+// pair) and installs the decoded distance block. The pipelined engine
+// evaluates each row-range chunk the moment it arrives (the protocol
+// engine's *Rows methods, sharing one jt stream per pair so batched
+// keystreams stay aligned) and installs it with the row-exact
+// SetCrossRows, so unmasking and placement of a pair's block overlap the
+// rest of the payload still on the wire; the phase-serial reference path
+// instead reassembles the chunks into the monolithic payload and performs
+// the old whole-matrix evaluation + SetCross install, pinning that
+// pairwise chunking is pure framing — the differential tests hold the two
+// paths bit-identical at every chunk size.
+func (tp *ThirdParty) recvPair(eng *protocol.Engine, asm *dissim.Assembler, src attrSource, attr, ji, ki int) error {
+	a := tp.cfg.Schema.Attrs[attr]
+	j, k := tp.holders[ji], tp.holders[ki]
+	rows, cols := tp.counts[ki], tp.counts[ji]
+	chunks := tp.cfg.pairChunks(a.Type, rows, cols)
+	jt := rng.New(tp.cfg.RNG, tp.seedJT(attr, j, k))
+
+	if tp.cfg.SerialTP {
+		return tp.recvPairSerial(eng, asm, src, attr, ji, ki, jt, chunks)
+	}
+	for ci, ch := range chunks {
+		var block func(m, n int) float64
+		var bRows, bCols int
+		if a.Type == dataset.Alphanumeric {
+			var body alphaMBody
+			if _, err := src.expect(ki, kindAlphaM, &body); err != nil {
+				return err
+			}
+			if err := checkPairChunk(j, k, ci, ch, body.Rows, body.Lo, body.Hi, rows); err != nil {
+				return err
+			}
+			dists, err := eng.AlphaThirdPartyRows(body.M, body.Lo, body.Hi, a.Alphabet, jt)
+			if err != nil {
+				return err
+			}
+			bRows, bCols = dists.Rows, dists.Cols
+			block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+		} else {
+			var body numSBody
+			if _, err := src.expect(ki, kindNumS, &body); err != nil {
+				return err
+			}
+			if err := checkPairChunk(j, k, ci, ch, body.Rows, body.Lo, body.Hi, rows); err != nil {
+				return err
+			}
+			switch tp.cfg.Variant {
+			case Float64Variant:
+				if body.Float == nil {
+					return fmt.Errorf("party: missing float payload from %s", k)
+				}
+				dists, err := eng.NumericThirdPartyFloatRows(body.Float, ch[0], ch[1], jt, tp.cfg.FloatParams, tp.cfg.Mode)
+				if err != nil {
+					return err
+				}
+				bRows, bCols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return dists.At(m, n) }
+			case Int64Variant:
+				if body.Int == nil {
+					return fmt.Errorf("party: missing int payload from %s", k)
+				}
+				dists, err := eng.NumericThirdPartyIntRows(body.Int, ch[0], ch[1], jt, tp.cfg.IntParams, tp.cfg.Mode)
+				if err != nil {
+					return err
+				}
+				bRows, bCols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+			case ModPVariant:
+				if body.ModP == nil {
+					return fmt.Errorf("party: missing modp payload from %s", k)
+				}
+				dists, err := eng.NumericThirdPartyModPRows(body.ModP, ch[0], ch[1], jt, tp.cfg.Mode)
+				if err != nil {
+					return err
+				}
+				bRows, bCols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+			}
+		}
+		// A zero-row chunk (empty responder) carries no usable column
+		// count and is never consulted during assembly.
+		if bRows > 0 && bCols != cols {
+			return fmt.Errorf("party: block (%s,%s) rows [%d,%d) have %d columns, census says %d",
+				j, k, ch[0], ch[1], bCols, cols)
+		}
+		if err := asm.SetCrossRows(ji, ki, ch[0], ch[1], block); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvPairSerial is the phase-serial reference consumption of one pair's
+// S/M chunk stream: the chunks are reassembled into the pre-chunking
+// monolithic payload, evaluated in one whole-matrix engine pass and
+// installed with the monolithic SetCross — the exact pre-streaming code
+// path over the chunked wire, which is what pins chunking as pure framing.
+func (tp *ThirdParty) recvPairSerial(eng *protocol.Engine, asm *dissim.Assembler, src attrSource, attr, ji, ki int, jt rng.Stream, chunks [][2]int) error {
+	a := tp.cfg.Schema.Attrs[attr]
+	j, k := tp.holders[ji], tp.holders[ki]
+	rows, cols := tp.counts[ki], tp.counts[ji]
+
+	var block func(m, n int) float64
+	var bRows, bCols int
+	if a.Type == dataset.Alphanumeric {
+		mono := make([][]*protocol.SymbolMatrix, 0, rows)
+		for ci, ch := range chunks {
+			var body alphaMBody
+			if _, err := src.expect(ki, kindAlphaM, &body); err != nil {
+				return err
+			}
+			if err := checkPairChunk(j, k, ci, ch, body.Rows, body.Lo, body.Hi, rows); err != nil {
+				return err
+			}
+			if len(body.M) != ch[1]-ch[0] {
+				return fmt.Errorf("party: %s pair (%s,%s) chunk %d carries %d rows, want %d",
+					k, j, k, ci, len(body.M), ch[1]-ch[0])
+			}
+			mono = append(mono, body.M...)
+		}
+		dists, err := eng.AlphaThirdParty(mono, a.Alphabet, jt)
+		if err != nil {
+			return err
+		}
+		bRows, bCols = dists.Rows, dists.Cols
+		block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+	} else {
+		var mono numSBody
+		for ci, ch := range chunks {
+			var body numSBody
+			if _, err := src.expect(ki, kindNumS, &body); err != nil {
+				return err
+			}
+			if err := checkPairChunk(j, k, ci, ch, body.Rows, body.Lo, body.Hi, rows); err != nil {
+				return err
+			}
+			if err := appendNumChunk(&mono, &body, ch, rows, cols); err != nil {
+				return fmt.Errorf("party: %s pair (%s,%s) chunk %d: %w", k, j, k, ci, err)
+			}
+		}
+		switch tp.cfg.Variant {
+		case Float64Variant:
+			if mono.Float == nil {
+				return fmt.Errorf("party: missing float payload from %s", k)
+			}
+			dists, err := eng.NumericThirdPartyFloat(mono.Float, jt, tp.cfg.FloatParams, tp.cfg.Mode)
+			if err != nil {
+				return err
+			}
+			bRows, bCols = dists.Rows, dists.Cols
+			block = func(m, n int) float64 { return dists.At(m, n) }
+		case Int64Variant:
+			if mono.Int == nil {
+				return fmt.Errorf("party: missing int payload from %s", k)
+			}
+			dists, err := eng.NumericThirdPartyInt(mono.Int, jt, tp.cfg.IntParams, tp.cfg.Mode)
+			if err != nil {
+				return err
+			}
+			bRows, bCols = dists.Rows, dists.Cols
+			block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+		case ModPVariant:
+			if mono.ModP == nil {
+				return fmt.Errorf("party: missing modp payload from %s", k)
+			}
+			dists, err := eng.NumericThirdPartyModP(mono.ModP, jt, tp.cfg.Mode)
+			if err != nil {
+				return err
+			}
+			bRows, bCols = dists.Rows, dists.Cols
+			block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+		}
+	}
+	// A zero-row block (empty responder) carries no usable column count
+	// and is never consulted during assembly.
+	if bRows != rows || (bRows > 0 && bCols != cols) {
+		return fmt.Errorf("party: block (%s,%s) is %dx%d, census says %dx%d", j, k, bRows, bCols, rows, cols)
+	}
+	return asm.SetCross(ji, ki, block)
+}
+
+// appendNumChunk concatenates one numeric chunk's sub-matrix onto the
+// reassembled monolithic payload, enforcing a consistent variant and the
+// census column count across the chunks of one pair. totalRows and
+// censusCols (both census-derived) presize the reassembled cell storage
+// on the first chunk, so the multi-append reassembly copies each cell
+// once instead of re-growing a multi-megabyte payload log-many times; the
+// column check runs before the presize, so a hostile chunk's
+// self-declared Cols can only produce the shape error — never a
+// rows-amplified allocation.
+func appendNumChunk(mono, chunk *numSBody, ch [2]int, totalRows, censusCols int) error {
+	wantRows := ch[1] - ch[0]
+	grow := func(validate func() error, chunkRows, chunkCols int, monoCols *int) error {
+		if err := validate(); err != nil {
+			return err
+		}
+		if chunkRows != wantRows {
+			return fmt.Errorf("carries %d rows, want %d", chunkRows, wantRows)
+		}
+		// A zero-row chunk (empty responder) carries no usable column
+		// count, matching the monolithic path's census-check exemption.
+		if chunkRows > 0 && chunkCols != censusCols {
+			return fmt.Errorf("has %d columns, census says %d", chunkCols, censusCols)
+		}
+		*monoCols = chunkCols
+		return nil
+	}
+	switch {
+	case chunk.Float != nil:
+		if mono.Int != nil || mono.ModP != nil {
+			return fmt.Errorf("mixes numeric variants across chunks")
+		}
+		first := mono.Float == nil
+		if first {
+			mono.Float = &protocol.Float64Matrix{}
+		}
+		if err := grow(chunk.Float.Validate, chunk.Float.Rows, chunk.Float.Cols, &mono.Float.Cols); err != nil {
+			return err
+		}
+		if first {
+			mono.Float.Cell = make([]float64, 0, totalRows*mono.Float.Cols)
+		}
+		mono.Float.Cell = append(mono.Float.Cell, chunk.Float.Cell...)
+		mono.Float.Rows += chunk.Float.Rows
+	case chunk.Int != nil:
+		if mono.Float != nil || mono.ModP != nil {
+			return fmt.Errorf("mixes numeric variants across chunks")
+		}
+		first := mono.Int == nil
+		if first {
+			mono.Int = &protocol.Int64Matrix{}
+		}
+		if err := grow(chunk.Int.Validate, chunk.Int.Rows, chunk.Int.Cols, &mono.Int.Cols); err != nil {
+			return err
+		}
+		if first {
+			mono.Int.Cell = make([]int64, 0, totalRows*mono.Int.Cols)
+		}
+		mono.Int.Cell = append(mono.Int.Cell, chunk.Int.Cell...)
+		mono.Int.Rows += chunk.Int.Rows
+	case chunk.ModP != nil:
+		if mono.Float != nil || mono.Int != nil {
+			return fmt.Errorf("mixes numeric variants across chunks")
+		}
+		first := mono.ModP == nil
+		if first {
+			mono.ModP = &protocol.ElementMatrix{}
+		}
+		if err := grow(chunk.ModP.Validate, chunk.ModP.Rows, chunk.ModP.Cols, &mono.ModP.Cols); err != nil {
+			return err
+		}
+		if first {
+			mono.ModP.Cell = make([][32]byte, 0, totalRows*mono.ModP.Cols)
+		}
+		mono.ModP.Cell = append(mono.ModP.Cell, chunk.ModP.Cell...)
+		mono.ModP.Rows += chunk.ModP.Rows
+	default:
+		return fmt.Errorf("carries no payload")
+	}
+	return nil
 }
 
 // assembleCategorical merges the holders' encrypted columns and runs the

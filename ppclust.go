@@ -227,17 +227,21 @@ type Options struct {
 	// Every setting produces bit-identical results — the engine only
 	// changes how the work is scheduled, never what is computed.
 	Parallelism int
-	// StreamChunkBytes bounds the frames each holder streams its local
-	// dissimilarity matrices to the third party in: the packed triangle
-	// is cut into row ranges of at most this many payload bytes (never
-	// less than one row per frame) and the third party installs each
-	// range as it arrives, so assembly of an attribute overlaps that
-	// attribute's own wire time and no frame grows with the partition —
-	// session size is memory-bound rather than capped by the transport's
-	// frame limit. 0 (the default) uses 256 KiB; negative restores the
-	// monolithic one-frame-per-matrix wire shape. Like Parallelism, the
-	// knob is pure scheduling: chunking changes framing only, never
-	// values, so results are bit-identical at every setting.
+	// StreamChunkBytes bounds the frames the session's partition-sized
+	// payloads stream in: each local dissimilarity triangle (holder →
+	// third party) and each pairwise-protocol masked comparison matrix
+	// (responder → third party — the payload that grows with BOTH
+	// partitions) is cut into row ranges of at most this many payload
+	// bytes (never less than one row per frame), and the third party
+	// installs or unmasks each range as it arrives. Assembly of an
+	// attribute thus overlaps that attribute's own wire time, and no
+	// session message grows with the partition — session size is
+	// memory-bound rather than capped by the transport's frame limit.
+	// 0 (the default) uses 256 KiB; negative restores the monolithic
+	// one-frame-per-payload wire shape. Like Parallelism, the knob is
+	// pure scheduling: chunking changes framing only, never values, so
+	// results are bit-identical at every setting. See docs/WIRE.md for
+	// the chunk-frame schemas.
 	StreamChunkBytes int
 	// Random supplies per-party randomness (nil = crypto/rand), used by
 	// tests and reproducible experiments.
