@@ -16,13 +16,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"ppclust"
@@ -42,10 +46,34 @@ const maxAcceptRetries = 10
 
 const acceptBackoff = 100 * time.Millisecond
 
+// Exit codes distinguish the session failure classes so supervisors can
+// react without parsing messages: 1 protocol/transport error, 2 usage,
+// 3 watchdog timeout, 4 session abort (peer failure or local signal).
+const (
+	exitProtocol = 1
+	exitUsage    = 2
+	exitTimeout  = 3
+	exitAbort    = 4
+)
+
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		os.Exit(reportFailure(err))
 	}
+}
+
+// reportFailure emits the one-line structured failure record and maps the
+// error class to the exit code.
+func reportFailure(err error) int {
+	class, code := "protocol", exitProtocol
+	switch {
+	case errors.Is(err, ppclust.ErrSessionTimeout):
+		class, code = "timeout", exitTimeout
+	case errors.Is(err, ppclust.ErrAborted):
+		class, code = "abort", exitAbort
+	}
+	log.Printf("event=session-failed class=%s err=%q", class, err)
+	return code
 }
 
 func run() error {
@@ -61,12 +89,14 @@ func run() error {
 	k := flag.Int("k", 2, "number of clusters to request")
 	perPair := flag.Bool("perpair", false, "use per-pair masking")
 	variant := flag.String("variant", "float64", "numeric arithmetic: float64, int64 or modp")
+	sessionTimeout := flag.Duration("session-timeout", 0, "bound on the whole session (0 = unbounded)")
+	phaseTimeout := flag.Duration("phase-timeout", 2*time.Minute, "watchdog bound on session inactivity (0 = disabled)")
 	flag.Parse()
 
 	holders := splitNonEmpty(*holdersFlag)
 	if *name == "" || *dataPath == "" || *tpAddr == "" || len(holders) < 2 || *schemaFlag == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	sort.Strings(holders)
 
@@ -93,6 +123,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	opts.SessionTimeout = *sessionTimeout
+	opts.PhaseTimeout = *phaseTimeout
 
 	f, err := os.Open(*dataPath)
 	if err != nil {
@@ -191,7 +223,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := sess.Run()
+	// A termination signal aborts the session cleanly: the third party and
+	// peer holders receive an abort frame naming the cause instead of
+	// observing a dead socket.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := sess.RunContext(ctx)
 	if err != nil {
 		return err
 	}

@@ -9,13 +9,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"ppclust"
@@ -36,10 +40,34 @@ const maxAcceptRetries = 10
 
 const acceptBackoff = 100 * time.Millisecond
 
+// Exit codes distinguish the session failure classes so supervisors can
+// react without parsing messages: 1 protocol/transport error, 2 usage,
+// 3 watchdog timeout, 4 session abort (peer failure or local signal).
+const (
+	exitProtocol = 1
+	exitUsage    = 2
+	exitTimeout  = 3
+	exitAbort    = 4
+)
+
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		os.Exit(reportFailure(err))
 	}
+}
+
+// reportFailure emits the one-line structured failure record and maps the
+// error class to the exit code.
+func reportFailure(err error) int {
+	class, code := "protocol", exitProtocol
+	switch {
+	case errors.Is(err, ppclust.ErrSessionTimeout):
+		class, code = "timeout", exitTimeout
+	case errors.Is(err, ppclust.ErrAborted):
+		class, code = "abort", exitAbort
+	}
+	log.Printf("event=session-failed class=%s err=%q", class, err)
+	return code
 }
 
 func run() error {
@@ -48,12 +76,14 @@ func run() error {
 	schemaFlag := flag.String("schema", "", "schema spec, e.g. age:numeric,seq:alphanumeric:dna (required)")
 	perPair := flag.Bool("perpair", false, "use per-pair masking (frequency-attack countermeasure)")
 	variant := flag.String("variant", "float64", "numeric arithmetic: float64, int64 or modp")
+	sessionTimeout := flag.Duration("session-timeout", 0, "bound on the whole session (0 = unbounded)")
+	phaseTimeout := flag.Duration("phase-timeout", 2*time.Minute, "watchdog bound on session inactivity (0 = disabled)")
 	flag.Parse()
 
 	holders := splitNonEmpty(*holdersFlag)
 	if len(holders) < 2 || *schemaFlag == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	sort.Strings(holders)
 	schema, err := ppclust.ParseSchema(*schemaFlag)
@@ -64,6 +94,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	opts.SessionTimeout = *sessionTimeout
+	opts.PhaseTimeout = *phaseTimeout
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -110,7 +142,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	report, err := sess.Run()
+	// A termination signal aborts the session cleanly: holders receive an
+	// abort frame naming the cause instead of observing a dead socket.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := sess.RunContext(ctx)
 	if err != nil {
 		return err
 	}

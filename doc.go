@@ -130,6 +130,21 @@
 // buffer, and the TCP transport offers a pooled-receive variant, so
 // framing a triangle as hundreds of chunks does not multiply allocations.
 //
+// # Session lifecycle
+//
+// A session either publishes a report on every party or fails on every
+// party with a classified, descriptive error — never a hang, never a
+// goroutine leak. Sessions are cancellable (ClusterContext, the session
+// types' RunContext) and bounded: Options.SessionTimeout caps the whole
+// session, Options.PhaseTimeout arms an inactivity watchdog that
+// converts a peer silently going quiet into an ErrSessionTimeout naming
+// the starved phase. A failing party broadcasts an abort frame carrying
+// its reason before tearing down, so peers report ErrAborted with the
+// cause instead of an opaque closed-conduit error. The failure model —
+// lifecycle states, the error taxonomy, the deterministic
+// fault-injection harness that pins it all under the race detector — is
+// specified in docs/ARCHITECTURE.md.
+//
 // # Documentation map
 //
 // The systems-level architecture — session stage pipeline, determinism

@@ -1,6 +1,7 @@
 package party
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -49,12 +50,24 @@ type ConduitWrap func(owner, peer string, c wire.Conduit) wire.Conduit
 // clustering. parts must be in ascending site-name order; reqs maps holder
 // name to its clustering request (missing entries get defaults).
 func RunInMemory(cfg Config, parts []dataset.Partition, reqs map[string]ClusterRequest, random RandomSource) (*SessionOutcome, error) {
-	return RunInMemoryWrapped(cfg, parts, reqs, random, nil)
+	return RunInMemoryWrappedContext(context.Background(), cfg, parts, reqs, random, nil)
+}
+
+// RunInMemoryContext is RunInMemory bounded by a caller context: cancelling
+// ctx aborts every party's session (see Holder.RunContext).
+func RunInMemoryContext(ctx context.Context, cfg Config, parts []dataset.Partition, reqs map[string]ClusterRequest, random RandomSource) (*SessionOutcome, error) {
+	return RunInMemoryWrappedContext(ctx, cfg, parts, reqs, random, nil)
 }
 
 // RunInMemoryWrapped is RunInMemory with every conduit end passed through
 // wrap (nil means no decoration).
 func RunInMemoryWrapped(cfg Config, parts []dataset.Partition, reqs map[string]ClusterRequest, random RandomSource, wrap ConduitWrap) (*SessionOutcome, error) {
+	return RunInMemoryWrappedContext(context.Background(), cfg, parts, reqs, random, wrap)
+}
+
+// RunInMemoryWrappedContext is the full-control driver: caller context plus
+// per-end conduit decoration.
+func RunInMemoryWrappedContext(ctx context.Context, cfg Config, parts []dataset.Partition, reqs map[string]ClusterRequest, random RandomSource, wrap ConduitWrap) (*SessionOutcome, error) {
 	holders := make([]string, len(parts))
 	for i, p := range parts {
 		holders[i] = p.Site
@@ -120,7 +133,7 @@ func RunInMemoryWrapped(cfg Config, parts []dataset.Partition, reqs map[string]C
 				closeAll()
 				return
 			}
-			res, err := h.Run()
+			res, err := h.RunContext(ctx)
 			holderCh <- holderOut{name: p.Site, res: res, err: err}
 			if err != nil {
 				closeAll()
@@ -139,7 +152,7 @@ func RunInMemoryWrapped(cfg Config, parts []dataset.Partition, reqs map[string]C
 			closeAll()
 			return
 		}
-		report, tpErr = tp.Run()
+		report, tpErr = tp.RunContext(ctx)
 		if tpErr != nil {
 			closeAll()
 		}

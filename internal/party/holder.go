@@ -1,6 +1,7 @@
 package party
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ type Holder struct {
 	masters  map[string][]byte // pairwise master secrets by peer name
 	counts   map[string]int
 	groupKey detenc.Key
+	guard    *guard
 }
 
 // NewHolder prepares a data holder named name holding table, with direct
@@ -84,7 +86,13 @@ func NewHolder(name string, table *dataset.Table, holders []string, cfg Config, 
 		masters: make(map[string][]byte),
 		counts:  make(map[string]int),
 	}
+	// The guard arms before the handshake so the session deadline and phase
+	// watchdog bound construction too: a peer that never answers hello
+	// becomes a classified timeout, not a hang.
+	h.guard = newGuard(name, cfg)
 	if err := h.handshakeAll(conduits); err != nil {
+		err = h.guard.abort(err)
+		h.guard.release()
 		return nil, err
 	}
 	return h, nil
@@ -107,12 +115,16 @@ func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
 		if peer == h.name {
 			continue
 		}
-		ep := wire.NewEndpoint(conduits[peer])
+		// bind sits directly on the raw conduit — below the AES-GCM layer —
+		// so a lifecycle cancel closes the real transport and unparks any
+		// blocked read, and every frame either way feeds the watchdog.
+		bound := h.guard.bind(conduits[peer])
+		ep := wire.NewEndpoint(bound)
 		if err := ep.SendBody(wire.Message{From: h.name, To: peer, Kind: kindHello, Attr: -1}, hello); err != nil {
 			return fmt.Errorf("party: %s hello to %s: %w", h.name, peer, err)
 		}
 		var peerHello helloBody
-		if _, err := ep.Expect(kindHello, &peerHello); err != nil {
+		if _, err := expectMsg(ep, kindHello, &peerHello); err != nil {
 			return fmt.Errorf("party: %s hello from %s: %w", h.name, peer, err)
 		}
 		if peerHello.Fingerprint != fp {
@@ -124,13 +136,13 @@ func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
 		}
 		h.masters[peer] = master
 
-		secured := conduits[peer]
+		secured := bound
 		if !h.cfg.PlaintextChannels {
 			key := keys.DeriveKey(master, keys.PurposeChannel, h.name, peer)
 			// Initiator: the lexicographically smaller holder name, or the
 			// holder on a holder-TP link.
 			initiator := peer == TPName || h.name < peer
-			secured, err = wire.Secure(conduits[peer], key, initiator)
+			secured, err = wire.Secure(bound, key, initiator)
 			if err != nil {
 				return err
 			}
@@ -142,6 +154,16 @@ func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
 			h.peers[peer] = ep
 		}
 	}
+	// With every channel established the holder can explain a failure to
+	// its peers: abort frames go to the third party and every other holder.
+	h.guard.setNotify(func(reason string) {
+		eps := make(map[string]*wire.Endpoint, len(h.peers)+1)
+		for name, ep := range h.peers {
+			eps[name] = ep
+		}
+		eps[TPName] = h.tp
+		sendAbortAll(h.name, eps, reason)
+	})
 	return nil
 }
 
@@ -154,14 +176,36 @@ func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
 // ordering the third party's pipelined assembly engine overlaps with its
 // protocol compute. (Holder-to-holder message order is unchanged: attr
 // order, then pair order within the attribute.)
-func (h *Holder) Run() (*Result, error) {
+func (h *Holder) Run() (*Result, error) { return h.RunContext(context.Background()) }
+
+// RunContext is Run bounded by a caller context: cancelling ctx aborts the
+// session (classified under ErrAborted, peers notified with the cause) and
+// unwinds promptly even when the holder is parked in a blocking transport
+// call. Config.SessionTimeout and Config.PhaseTimeout bound the session
+// independently of ctx. On a clean return conduit ownership stays with the
+// caller, exactly as with Run.
+func (h *Holder) RunContext(ctx context.Context) (*Result, error) {
+	defer h.guard.release()
+	stop := h.guard.watchCaller(ctx)
+	defer stop()
+	res, err := h.run()
+	if err != nil {
+		return nil, h.guard.abort(err)
+	}
+	return res, nil
+}
+
+func (h *Holder) run() (*Result, error) {
+	h.guard.setPhase("census")
 	if err := h.exchangeCensus(); err != nil {
 		return nil, err
 	}
+	h.guard.setPhase("group-key")
 	if err := h.exchangeGroupKey(); err != nil {
 		return nil, err
 	}
 	for attr := range h.cfg.Schema.Attrs {
+		h.guard.setPhase(fmt.Sprintf("attr %d", attr))
 		if err := h.sendLocalMatrix(attr); err != nil {
 			return nil, err
 		}
@@ -169,9 +213,11 @@ func (h *Holder) Run() (*Result, error) {
 			return nil, err
 		}
 	}
+	h.guard.setPhase("cluster-request")
 	if err := h.sendRequest(); err != nil {
 		return nil, err
 	}
+	h.guard.setPhase("await-result")
 	return h.recvResult()
 }
 
@@ -182,7 +228,7 @@ func (h *Holder) exchangeCensus() error {
 		return err
 	}
 	var census censusBody
-	if _, err := h.tp.Expect(kindCensus, &census); err != nil {
+	if _, err := expectMsg(h.tp, kindCensus, &census); err != nil {
 		return err
 	}
 	if len(census.Holders) != len(h.holders) {
@@ -225,7 +271,7 @@ func (h *Holder) exchangeGroupKey() error {
 		return nil
 	}
 	var body groupKeyBody
-	if _, err := h.peers[leader].Expect(kindGroupKey, &body); err != nil {
+	if _, err := expectMsg(h.peers[leader], kindGroupKey, &body); err != nil {
 		return err
 	}
 	wrapKey := keys.DeriveKey(h.masters[leader], keys.PurposeGroupWrap, leader, h.name)
@@ -471,7 +517,7 @@ func (h *Holder) respond(attr int, j, k string) error {
 
 	if a.Type == dataset.Alphanumeric {
 		var disg alphaDisguisedBody
-		if _, err := h.peers[j].Expect(kindAlphaDisg, &disg); err != nil {
+		if _, err := expectMsg(h.peers[j], kindAlphaDisg, &disg); err != nil {
 			return err
 		}
 		col, err := h.table.SymbolCol(attr)
@@ -501,7 +547,7 @@ func (h *Holder) respond(attr int, j, k string) error {
 	}
 
 	var disg numDisguisedBody
-	if _, err := h.peers[j].Expect(kindNumDisg, &disg); err != nil {
+	if _, err := expectMsg(h.peers[j], kindNumDisg, &disg); err != nil {
 		return err
 	}
 	jk := rng.New(h.cfg.RNG, h.seedJK(j, attr))
@@ -578,7 +624,7 @@ func (h *Holder) sendRequest() error {
 
 func (h *Holder) recvResult() (*Result, error) {
 	var body resultBody
-	if _, err := h.tp.Expect(kindResult, &body); err != nil {
+	if _, err := expectMsg(h.tp, kindResult, &body); err != nil {
 		return nil, err
 	}
 	res := &Result{

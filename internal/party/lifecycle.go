@@ -1,0 +1,339 @@
+package party
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ppclust/internal/wire"
+)
+
+// The session error taxonomy. Every way a session can end abnormally is
+// classified under one of these sentinels (or under the transport's
+// wire.ErrClosed / wire.ErrFrameTooLarge, which the taxonomy wraps rather
+// than replaces), so operators and the cmd binaries can branch on the
+// class with errors.Is while the message keeps the full story.
+var (
+	// ErrSessionTimeout classifies watchdog failures: the whole session
+	// exceeded Config.SessionTimeout, or no progress was observed for
+	// Config.PhaseTimeout — a peer stopped sending mid-phase, a handshake
+	// never answered, a result never came.
+	ErrSessionTimeout = errors.New("party: session timed out")
+	// ErrAborted classifies deliberate terminations: a peer sent an abort
+	// frame naming its reason, or the caller cancelled the context passed
+	// to RunContext.
+	ErrAborted = errors.New("party: session aborted")
+)
+
+// errSessionDone is the cancel cause of a session that ended cleanly; it
+// never escapes to callers.
+var errSessionDone = errors.New("party: session complete")
+
+// abortGrace bounds how long a failing party waits for its abort
+// notifications to flush before tearing its conduits down. Stragglers
+// blocked past the grace are unblocked by the teardown itself (the guard
+// cancel closes every bound conduit, failing the pending sends).
+const abortGrace = 2 * time.Second
+
+// abortReasonLimit caps the reason string carried in an abort frame, so a
+// pathological error chain cannot balloon the one frame that must still
+// fit through a failing session's wire.
+const abortReasonLimit = 512
+
+// guard owns one party's session lifecycle: the cancellable context every
+// conduit is bound to, the session and phase watchdogs, and the abort
+// notification that tells peers why a failing party is leaving. It is the
+// one place cancellation, deadlines and teardown ordering meet:
+//
+//	failure (local error, watchdog, peer abort, caller cancel)
+//	  → notify peers (abort frames, best-effort, bounded by abortGrace)
+//	  → cancel the guard context with the classified cause
+//	  → bound conduits close, unblocking every parked Send/Recv
+//	  → demux readers and pipeline stages drain out with the cause
+//
+// A clean session instead calls release, which detaches the conduit
+// watchers without closing anything — conduit ownership stays with the
+// caller, exactly as before the lifecycle hardening.
+type guard struct {
+	name         string
+	phaseTimeout time.Duration
+	ctx          context.Context
+	cancel       context.CancelCauseFunc
+
+	mu       sync.Mutex
+	phase    string
+	seq      uint64 // progress marks; compared by the watchdog tick
+	lastSeq  uint64
+	watchdog *time.Timer
+	notify   func(reason string) // sends abort frames; set once endpoints exist
+	failed   bool
+	cause    error // first failure's cause; recorded before peers are notified
+	released bool
+	releases []func() // wire.Bind releases + context cancels, run on release
+}
+
+// newGuard arms a party's lifecycle: the session deadline (if any) starts
+// counting immediately — construction-time handshakes are inside the
+// bound — and the phase watchdog starts in the named phase.
+func newGuard(name string, cfg Config) *guard {
+	g := &guard{name: name, phaseTimeout: cfg.PhaseTimeout, phase: "handshake"}
+	base := context.Background()
+	if cfg.SessionTimeout > 0 {
+		var cancel context.CancelFunc
+		base, cancel = context.WithDeadlineCause(base, time.Now().Add(cfg.SessionTimeout),
+			fmt.Errorf("%w: %s: session exceeded %v", ErrSessionTimeout, name, cfg.SessionTimeout))
+		g.releases = append(g.releases, cancel)
+	}
+	g.ctx, g.cancel = context.WithCancelCause(base)
+	if cfg.PhaseTimeout > 0 {
+		g.watchdog = time.AfterFunc(cfg.PhaseTimeout, g.tick)
+	}
+	return g
+}
+
+// bind wraps a conduit so that (1) guard cancellation closes it promptly
+// and surfaces the classified cause, and (2) every successful frame in
+// either direction counts as progress for the phase watchdog. It must
+// wrap the raw transport — below any channel protection — so the
+// cancel-close reaches the real blocking call.
+func (g *guard) bind(c wire.Conduit) wire.Conduit {
+	bc, release := wire.Bind(g.ctx, c)
+	g.mu.Lock()
+	g.releases = append(g.releases, release)
+	g.mu.Unlock()
+	return &guardedConduit{inner: bc, g: g}
+}
+
+type guardedConduit struct {
+	inner wire.Conduit
+	g     *guard
+}
+
+func (c *guardedConduit) Send(frame []byte) error {
+	if err := c.inner.Send(frame); err != nil {
+		return err
+	}
+	c.g.touch()
+	return nil
+}
+
+func (c *guardedConduit) Recv() ([]byte, error) {
+	f, err := c.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.g.touch()
+	return f, nil
+}
+
+func (c *guardedConduit) Close() error { return c.inner.Close() }
+
+// touch marks progress; the watchdog only fires when a full PhaseTimeout
+// elapses with no mark.
+func (g *guard) touch() {
+	g.mu.Lock()
+	g.seq++
+	g.mu.Unlock()
+}
+
+// setPhase names the session phase for watchdog diagnostics; entering a
+// phase counts as progress.
+func (g *guard) setPhase(phase string) {
+	g.mu.Lock()
+	g.phase = phase
+	g.seq++
+	g.mu.Unlock()
+}
+
+// setNotify installs the abort-frame sender once the party's endpoints
+// exist. Failures before this point (mid-handshake) tear down without
+// notifying; peers observe the conduit close instead.
+func (g *guard) setNotify(fn func(reason string)) {
+	g.mu.Lock()
+	g.notify = fn
+	g.mu.Unlock()
+}
+
+// tick is the phase watchdog: if no progress mark landed since the last
+// tick, the session has stalled for at least PhaseTimeout — fail it with
+// a descriptive timeout naming the phase. Otherwise re-arm. The effective
+// bound is between one and two PhaseTimeouts from the last real progress.
+func (g *guard) tick() {
+	g.mu.Lock()
+	if g.released || g.failed {
+		g.mu.Unlock()
+		return
+	}
+	if g.seq != g.lastSeq {
+		g.lastSeq = g.seq
+		g.watchdog.Reset(g.phaseTimeout)
+		g.mu.Unlock()
+		return
+	}
+	phase := g.phase
+	g.mu.Unlock()
+	g.fail(fmt.Errorf("%w: %s: no progress in phase %q for %v",
+		ErrSessionTimeout, g.name, phase, g.phaseTimeout))
+}
+
+// fail ends the session abnormally: notify peers with the cause, then
+// cancel the guard context so every bound conduit closes and every
+// blocked call unwinds carrying the cause. Only the first failure
+// notifies and sets the cause; later calls are no-ops.
+func (g *guard) fail(cause error) {
+	g.mu.Lock()
+	if g.failed || g.released {
+		g.mu.Unlock()
+		return
+	}
+	g.failed = true
+	// Record the cause before notifying: peers react to the abort frames by
+	// closing conduits, which can bounce our own blocked calls back into
+	// abort() before the cancel below has published the cause through the
+	// context.
+	g.cause = cause
+	notify := g.notify
+	g.mu.Unlock()
+	if notify != nil {
+		reason := cause.Error()
+		if len(reason) > abortReasonLimit {
+			reason = reason[:abortReasonLimit]
+		}
+		notify(reason)
+	}
+	g.cancel(cause)
+}
+
+// release ends the guard's watch after a clean session: the watchdog
+// stops, the conduit watchers detach WITHOUT closing (ownership returns
+// to the caller), and the context is cancelled only to free its timer.
+// The binding releases run before the cancel, which is what guarantees
+// the watchers see the release first. Idempotent; a release after fail
+// only detaches what the failure has not already torn down.
+func (g *guard) release() {
+	g.mu.Lock()
+	if g.released {
+		g.mu.Unlock()
+		return
+	}
+	g.released = true
+	if g.watchdog != nil {
+		g.watchdog.Stop()
+	}
+	releases := g.releases
+	g.releases = nil
+	g.mu.Unlock()
+	for _, r := range releases {
+		r()
+	}
+	g.cancel(errSessionDone)
+}
+
+// watchCaller links the caller's context into the session for the
+// duration of a Run: caller cancellation becomes a classified abort. The
+// returned stop function detaches the watcher.
+func (g *guard) watchCaller(ctx context.Context) func() {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			g.fail(fmt.Errorf("%w: %s: caller cancelled: %v", ErrAborted, g.name, context.Cause(ctx)))
+		case <-stopped:
+		}
+	}()
+	return func() { close(stopped) }
+}
+
+// abort is the error epilogue of a Run: ensure the failure went through
+// fail (notifying peers exactly once) and return the error carrying its
+// classification. If the guard was cancelled first — watchdog, caller
+// cancel, session deadline — the cancellation cause is the story and the
+// local error is usually just its echo through a closed conduit.
+func (g *guard) abort(err error) error {
+	g.mu.Lock()
+	cause := g.cause
+	g.mu.Unlock()
+	if cause == nil {
+		// No fail() yet — but the session deadline cancels the context
+		// directly, so the context cause can still carry a classification.
+		cause = context.Cause(g.ctx)
+	}
+	if cause != nil && !errors.Is(cause, errSessionDone) {
+		g.fail(cause) // no-op unless the deadline fired without a fail()
+		if errors.Is(err, ErrSessionTimeout) || errors.Is(err, ErrAborted) {
+			return err
+		}
+		return fmt.Errorf("%w (local error: %v)", cause, err)
+	}
+	g.fail(err)
+	return err
+}
+
+// sendAbortAll broadcasts an abort frame to every endpoint, in parallel,
+// waiting at most abortGrace for the flush. Sends that stay blocked past
+// the grace are unblocked by the conduit teardown that follows fail's
+// cancel; their goroutines then exit on the send error.
+func sendAbortAll(from string, eps map[string]*wire.Endpoint, reason string) {
+	var wg sync.WaitGroup
+	for name, ep := range eps {
+		if ep == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(name string, ep *wire.Endpoint) {
+			defer wg.Done()
+			msg := wire.Message{From: from, To: name, Kind: kindAbort, Attr: -1}
+			_ = ep.SendBody(msg, abortBody{Reason: reason}) // best-effort
+		}(name, ep)
+	}
+	flushed := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-time.After(abortGrace):
+	}
+}
+
+// peerAbortError converts a received abort frame into its classified
+// session error.
+func peerAbortError(m *wire.Message) error {
+	reason := "no reason given"
+	var body abortBody
+	if err := wire.DecodeBody(m.Payload, &body); err == nil && body.Reason != "" {
+		reason = body.Reason
+	}
+	return fmt.Errorf("%w: peer %s: %s", ErrAborted, m.From, reason)
+}
+
+// expectMsg is Endpoint.Expect plus abort interception: an abort frame
+// arriving where any protocol message is awaited terminates the wait with
+// the peer's classified reason instead of a kind-mismatch error. Every
+// direct endpoint read in the session goes through it; the pipelined
+// third party intercepts in its demux classifier instead, before frames
+// reach a lane.
+func expectMsg(ep *wire.Endpoint, kind wire.Kind, body any) (*wire.Message, error) {
+	m, err := ep.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind == kindAbort {
+		return nil, peerAbortError(m)
+	}
+	if m.Kind != kind {
+		return nil, fmt.Errorf("party: expected message %q, got %q from %s", kind, m.Kind, m.From)
+	}
+	if body != nil {
+		if err := wire.DecodeBody(m.Payload, body); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

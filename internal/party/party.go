@@ -37,6 +37,7 @@ package party
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ppclust/internal/dataset"
 	"ppclust/internal/dissim"
@@ -130,6 +131,19 @@ type Config struct {
 	// pre-streaming wire shape, which re-imposes the wire.MaxFrame
 	// ceiling on session size).
 	LocalChunkBytes int
+	// SessionTimeout bounds a whole session, handshake through result.
+	// When it elapses the party fails with ErrSessionTimeout, notifies
+	// its peers with an abort frame and tears its pipelines down. 0
+	// disables the bound. It is a local safety net, not part of the
+	// session agreement: parties may configure different values.
+	SessionTimeout time.Duration
+	// PhaseTimeout bounds inactivity: a watchdog fails the session with
+	// ErrSessionTimeout naming the current phase when no frame moves in
+	// either direction for this long — the classified replacement for
+	// hanging forever on a peer that stopped sending chunks. The
+	// effective bound is between one and two PhaseTimeouts after the
+	// last frame. 0 disables the watchdog. Local, like SessionTimeout.
+	PhaseTimeout time.Duration
 }
 
 // DefaultLocalChunkBytes is the local-matrix streaming chunk size when
@@ -337,6 +351,7 @@ const (
 	kindPathTags  wire.Kind = "ppc/taxonomy-tags"
 	kindRequest   wire.Kind = "ppc/cluster-request"
 	kindResult    wire.Kind = "ppc/result"
+	kindAbort     wire.Kind = "ppc/abort"
 )
 
 // helloBody carries a party's public key and schema fingerprint.
@@ -437,6 +452,14 @@ type resultBody struct {
 	Method         int
 	Linkage        int
 	K              int
+}
+
+// abortBody carries a failing party's reason to its peers. An abort frame
+// (kindAbort, Attr −1) may arrive on any conduit at any point after the
+// handshake; receivers classify it under ErrAborted and unwind (see
+// lifecycle.go).
+type abortBody struct {
+	Reason string
 }
 
 // schemaFingerprint summarizes the schema for the agreement check in the

@@ -1,6 +1,7 @@
 package party
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"io"
@@ -50,6 +51,7 @@ type ThirdParty struct {
 	eps      map[string]*wire.Endpoint
 	masters  map[string][]byte
 	counts   []int
+	guard    *guard
 }
 
 // TPReport is the third party's session outcome. AttributeMatrices and
@@ -94,7 +96,13 @@ func NewThirdParty(holders []string, cfg Config, conduits map[string]wire.Condui
 		eps:     make(map[string]*wire.Endpoint),
 		masters: make(map[string][]byte),
 	}
+	// The guard arms before the handshake so the session deadline and phase
+	// watchdog bound construction too: a holder that never answers hello
+	// becomes a classified timeout, not a hang.
+	tp.guard = newGuard(TPName, cfg)
 	if err := tp.handshakeAll(conduits); err != nil {
+		err = tp.guard.abort(err)
+		tp.guard.release()
 		return nil, err
 	}
 	return tp, nil
@@ -109,12 +117,16 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 	fp := schemaFingerprint(tp.cfg.Schema)
 	hello := helloBody{Public: tp.identity.PublicBytes(), Fingerprint: fp}
 	for _, h := range tp.holders {
-		ep := wire.NewEndpoint(conduits[h])
+		// bind sits directly on the raw conduit — below the AES-GCM layer —
+		// so a lifecycle cancel closes the real transport and unparks any
+		// blocked read, and every frame either way feeds the watchdog.
+		bound := tp.guard.bind(conduits[h])
+		ep := wire.NewEndpoint(bound)
 		if err := ep.SendBody(wire.Message{From: TPName, To: h, Kind: kindHello, Attr: -1}, hello); err != nil {
 			return err
 		}
 		var peerHello helloBody
-		if _, err := ep.Expect(kindHello, &peerHello); err != nil {
+		if _, err := expectMsg(ep, kindHello, &peerHello); err != nil {
 			return fmt.Errorf("party: TP hello from %s: %w", h, err)
 		}
 		if peerHello.Fingerprint != fp {
@@ -125,16 +137,21 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 			return err
 		}
 		tp.masters[h] = master
-		secured := conduits[h]
+		secured := bound
 		if !tp.cfg.PlaintextChannels {
 			key := keys.DeriveKey(master, keys.PurposeChannel, h, TPName)
-			secured, err = wire.Secure(conduits[h], key, false)
+			secured, err = wire.Secure(bound, key, false)
 			if err != nil {
 				return err
 			}
 		}
 		tp.eps[h] = wire.NewEndpoint(secured)
 	}
+	// With every channel established the third party can explain a failure
+	// to its peers: abort frames go to every holder.
+	tp.guard.setNotify(func(reason string) {
+		sendAbortAll(TPName, tp.eps, reason)
+	})
 	return nil
 }
 
@@ -169,7 +186,7 @@ func (s demuxSource) expect(hi int, kind wire.Kind, body any) (*wire.Message, er
 type epSource struct{ tp *ThirdParty }
 
 func (s epSource) expect(hi int, kind wire.Kind, body any) (*wire.Message, error) {
-	return s.tp.eps[s.tp.holders[hi]].Expect(kind, body)
+	return expectMsg(s.tp.eps[s.tp.holders[hi]], kind, body)
 }
 
 // Run executes the third party's side and returns the session report.
@@ -186,10 +203,31 @@ func (s epSource) expect(hi int, kind wire.Kind, body any) (*wire.Message, error
 // schedule. Config.SerialTP selects the phase-serial reference path
 // instead (one attribute at a time, blocking reads — the pre-pipeline
 // behavior, retained for benchmarks and differential tests).
-func (tp *ThirdParty) Run() (*TPReport, error) {
+func (tp *ThirdParty) Run() (*TPReport, error) { return tp.RunContext(context.Background()) }
+
+// RunContext is Run bounded by a caller context: cancelling ctx aborts the
+// session (classified under ErrAborted, holders notified with the cause)
+// and unwinds promptly — demux readers, stage-pool goroutines and blocked
+// transport calls all exit — even mid-stream. Config.SessionTimeout and
+// Config.PhaseTimeout bound the session independently of ctx. On a clean
+// return conduit ownership stays with the caller, exactly as with Run.
+func (tp *ThirdParty) RunContext(ctx context.Context) (*TPReport, error) {
+	defer tp.guard.release()
+	stop := tp.guard.watchCaller(ctx)
+	defer stop()
+	rep, err := tp.run()
+	if err != nil {
+		return nil, tp.guard.abort(err)
+	}
+	return rep, nil
+}
+
+func (tp *ThirdParty) run() (*TPReport, error) {
+	tp.guard.setPhase("census")
 	if err := tp.census(); err != nil {
 		return nil, err
 	}
+	tp.guard.setPhase("assemble")
 	if tp.cfg.SerialTP {
 		return tp.runSerial()
 	}
@@ -207,6 +245,12 @@ func (tp *ThirdParty) runPipelined() (*TPReport, error) {
 	// carries the clustering request that ends the holder's stream.
 	demux := make([]*wire.Demux, len(tp.holders))
 	classify := func(m *wire.Message) (int, error) {
+		// A peer's abort terminates the whole stream: the classify error
+		// becomes the demux's terminal error, every lane closes, and the
+		// stages observe the classified reason instead of a routing error.
+		if m.Kind == kindAbort {
+			return 0, peerAbortError(m)
+		}
 		if m.Kind == kindRequest {
 			return reqLane, nil
 		}
@@ -339,7 +383,7 @@ func (tp *ThirdParty) runSerial() (*TPReport, error) {
 	}
 	return tp.finish(matrices, scales, func(hi int) (requestBody, error) {
 		var req requestBody
-		_, err := tp.eps[tp.holders[hi]].Expect(kindRequest, &req)
+		_, err := expectMsg(tp.eps[tp.holders[hi]], kindRequest, &req)
 		return req, err
 	})
 }
@@ -362,6 +406,7 @@ func (tp *ThirdParty) assembleAttr(eng *protocol.Engine, attr int, src attrSourc
 // protocol traffic, so by the time the last matrix lands they are
 // typically already buffered and clustering starts immediately.
 func (tp *ThirdParty) finish(matrices []*dissim.Matrix, scales []float64, nextReq func(hi int) (requestBody, error)) (*TPReport, error) {
+	tp.guard.setPhase("cluster-publish")
 	report := &TPReport{
 		ObjectIDs:         tp.objectIDs(),
 		AttributeMatrices: matrices,
@@ -405,7 +450,7 @@ func (tp *ThirdParty) census() error {
 	tp.counts = make([]int, len(tp.holders))
 	for i, h := range tp.holders {
 		var c countBody
-		if _, err := tp.eps[h].Expect(kindCount, &c); err != nil {
+		if _, err := expectMsg(tp.eps[h], kindCount, &c); err != nil {
 			return err
 		}
 		if c.Count < 0 {

@@ -17,12 +17,17 @@ import (
 //
 // Only Recv is delayed: a real sender does not block for propagation
 // time, and delaying both sides would double-count the link.
+//
+// Close interrupts an in-progress delay — the undelivered frame is
+// dropped, matching a link torn down mid-flight — so session teardown is
+// never held hostage by a simulated propagation sleep.
 func Latency(c Conduit, base, jitter time.Duration, seed uint64) Conduit {
 	return &latencyConduit{
 		inner:  c,
 		base:   base,
 		jitter: jitter,
 		src:    rng.NewXoshiro(rng.SeedFromUint64(seed)),
+		closed: make(chan struct{}),
 	}
 }
 
@@ -33,6 +38,27 @@ type latencyConduit struct {
 
 	mu  sync.Mutex // guards src: one jitter stream per conduit
 	src rng.Stream
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// sleepInterruptible sleeps for d unless done closes first, reporting
+// whether the full delay elapsed. The simulated-link wrappers (Latency,
+// Link, Fault) route every delay through it so that Close tears a
+// simulation down promptly instead of waiting out its schedule.
+func sleepInterruptible(d time.Duration, done <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
 }
 
 func (l *latencyConduit) delay() time.Duration {
@@ -52,13 +78,16 @@ func (l *latencyConduit) Recv() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d := l.delay(); d > 0 {
-		time.Sleep(d)
+	if !sleepInterruptible(l.delay(), l.closed) {
+		return nil, ErrClosed
 	}
 	return f, nil
 }
 
-func (l *latencyConduit) Close() error { return l.inner.Close() }
+func (l *latencyConduit) Close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	return l.inner.Close()
+}
 
 // Link wraps a conduit's receive side in a store-and-forward link model:
 // frames are serialized through a bandwidth bottleneck of bytesPerSec and
@@ -74,8 +103,11 @@ func (l *latencyConduit) Close() error { return l.inner.Close() }
 // A pump goroutine drains the inner conduit eagerly (the link's own
 // buffering), stamping each frame's transfer-completion time; Recv blocks
 // until a frame's delivery time. The pump exits when the inner conduit
-// errors or the link is closed. Timing only: payloads are untouched, so
-// session results never depend on the schedule.
+// errors or the link is closed — Close both closes the inner conduit
+// (unparking a blocked pump) and interrupts any in-progress delivery
+// sleep, so an early-failing session never strands the delivery goroutine
+// or a receiver waiting out the simulated schedule. Timing only: payloads
+// are untouched, so session results never depend on the schedule.
 func Link(c Conduit, base, jitter time.Duration, bytesPerSec int, seed uint64) Conduit {
 	l := &linkConduit{
 		inner:  c,
@@ -83,6 +115,7 @@ func Link(c Conduit, base, jitter time.Duration, bytesPerSec int, seed uint64) C
 		jitter: jitter,
 		bps:    float64(bytesPerSec),
 		src:    rng.NewXoshiro(rng.SeedFromUint64(seed)),
+		closed: make(chan struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
 	go l.pump()
@@ -106,6 +139,9 @@ type linkConduit struct {
 	queue []linkFrame
 	head  int
 	err   error // terminal pump error, delivered after the queue drains
+
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 // pump models the link: it drains the inner conduit as fast as frames
@@ -163,10 +199,13 @@ func (l *linkConduit) Recv() ([]byte, error) {
 		l.head = 0
 	}
 	l.mu.Unlock()
-	if d := time.Until(lf.deliver); d > 0 {
-		time.Sleep(d)
+	if !sleepInterruptible(time.Until(lf.deliver), l.closed) {
+		return nil, ErrClosed
 	}
 	return lf.frame, nil
 }
 
-func (l *linkConduit) Close() error { return l.inner.Close() }
+func (l *linkConduit) Close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	return l.inner.Close()
+}

@@ -1,7 +1,9 @@
 package ppclust
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"ppclust/internal/alphabet"
 	"ppclust/internal/catdist"
@@ -246,6 +248,17 @@ type Options struct {
 	// Random supplies per-party randomness (nil = crypto/rand), used by
 	// tests and reproducible experiments.
 	Random func(partyName string) io.Reader
+	// SessionTimeout bounds each party's whole session, handshake through
+	// result; exceeding it fails that party with ErrSessionTimeout, its
+	// peers are notified with an abort frame, and every pipeline unwinds.
+	// 0 (the default) disables the bound.
+	SessionTimeout time.Duration
+	// PhaseTimeout bounds inactivity: a per-party watchdog fails the
+	// session with ErrSessionTimeout naming the stalled phase when no
+	// frame moves in either direction for this long — a wedged peer
+	// becomes a descriptive error instead of a hang. 0 (the default)
+	// disables the watchdog.
+	PhaseTimeout time.Duration
 }
 
 func (o Options) toConfig(schema Schema) party.Config {
@@ -255,6 +268,8 @@ func (o Options) toConfig(schema Schema) party.Config {
 		PlaintextChannels: o.InsecureChannels,
 		Parallelism:       o.Parallelism,
 		LocalChunkBytes:   o.StreamChunkBytes,
+		SessionTimeout:    o.SessionTimeout,
+		PhaseTimeout:      o.PhaseTimeout,
 		RNG:               rng.KindAESCTR,
 	}
 	if o.Masking == PerPairMasking {
@@ -263,17 +278,36 @@ func (o Options) toConfig(schema Schema) party.Config {
 	return cfg
 }
 
+// Session failure classification. Every abnormal session end is wrapped
+// under one of these sentinels; test with errors.Is.
+var (
+	// ErrSessionTimeout classifies watchdog failures: a party exceeded
+	// Options.SessionTimeout, or no traffic moved for Options.PhaseTimeout.
+	ErrSessionTimeout = party.ErrSessionTimeout
+	// ErrAborted classifies deliberate terminations: a peer failed and
+	// sent an abort frame naming its reason, or the caller cancelled the
+	// context passed to ClusterContext.
+	ErrAborted = party.ErrAborted
+)
+
 // Cluster runs the complete multi-party session in-process: key agreement,
 // the three comparison protocols, dissimilarity assembly, hierarchical
 // clustering and result publication. parts must be in ascending site-name
 // order; reqs maps holder names to their clustering requests (missing
 // entries default to average linkage with k=2).
 func Cluster(schema Schema, parts []Partition, reqs map[string]ClusterRequest, opts Options) (*SessionOutcome, error) {
+	return ClusterContext(context.Background(), schema, parts, reqs, opts)
+}
+
+// ClusterContext is Cluster bounded by a caller context: cancelling ctx
+// aborts every party's session (classified under ErrAborted) and unwinds
+// promptly even mid-stream.
+func ClusterContext(ctx context.Context, schema Schema, parts []Partition, reqs map[string]ClusterRequest, opts Options) (*SessionOutcome, error) {
 	var random party.RandomSource
 	if opts.Random != nil {
 		random = opts.Random
 	}
-	return party.RunInMemory(opts.toConfig(schema), parts, reqs, random)
+	return party.RunInMemoryContext(ctx, opts.toConfig(schema), parts, reqs, random)
 }
 
 // BuildDissimilarity runs the session's construction phase and returns the
