@@ -11,6 +11,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,10 +22,12 @@ import (
 	"ppclust/internal/dissim"
 	"ppclust/internal/editdist"
 	"ppclust/internal/hcluster"
+	"ppclust/internal/netid"
 	"ppclust/internal/pam"
 	"ppclust/internal/party"
 	"ppclust/internal/protocol"
 	"ppclust/internal/rng"
+	"ppclust/internal/server"
 	"ppclust/internal/wire"
 )
 
@@ -64,6 +69,10 @@ type benchResult struct {
 	AllocsOp  int64   `json:"allocs_per_op"`
 	BytesOp   int64   `json:"bytes_per_op"`
 	GoMaxProc int     `json:"gomaxprocs"`
+	// P99Ns and SessionsPerSec are reported by the session-multitenant
+	// family only: tail per-session latency and aggregate throughput.
+	P99Ns          float64 `json:"p99_ns,omitempty"`
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
 }
 
 // benchFamilies are the hot paths the perf trajectory tracks: the numeric
@@ -77,9 +86,12 @@ type benchResult struct {
 // session engine; n is the global object count), since PR 4 the
 // session-stream family: one big-triangle attribute over
 // bandwidth-limited store-and-forward links, sweeping the local-matrix
-// chunk size against the monolithic wire shape, and since PR 5 its
+// chunk size against the monolithic wire shape, since PR 5 its
 // both-large rows, where equal partitions make the pairwise S matrix the
-// dominant payload and the chunked pairwise streaming the lever.
+// dominant payload and the chunked pairwise streaming the lever, and
+// since PR 7 the session-multitenant family: the same total workload as N
+// concurrent tenant sessions on the multi-tenant server vs one big
+// session, reporting p99 per-session latency and sessions/sec.
 func benchFamilies() []struct {
 	name string
 	n    int
@@ -297,6 +309,114 @@ func benchFamilies() []struct {
 		bothParts = append(bothParts, dataset.Partition{Site: site, Table: tab})
 	}
 
+	// session-multitenant: the same total workload (480 objects over TP
+	// links with 1 ms propagation and a 64 MB/s bottleneck) sliced two
+	// ways across the PR 7 multi-tenant server — four small tenant
+	// sessions running concurrently under admission control vs one big
+	// session. Besides ns/op the family reports per-session p99 wall time
+	// and aggregate sessions/sec: tenancy amortizes link latency across
+	// sessions and sidesteps the monolith's O(n²) triangle, at the price
+	// of per-session overheads the 1-big row doesn't pay.
+	multiTenant := func(b *testing.B, nSessions, rowsPerHolder int) {
+		mtHolders := []string{"A", "B"}
+		tables := map[string]*dataset.Table{}
+		for pi, site := range mtHolders {
+			tab := dataset.MustNewTable(streamSchema)
+			for r := 0; r < rowsPerHolder; r++ {
+				tab.MustAppendRow((float64(r*43+pi) + 0.5) * 1.000011)
+			}
+			tables[site] = tab
+		}
+		// The phase timeout is a safety net only: a wedged session fails
+		// the benchmark descriptively instead of hanging the run.
+		scfg := party.Config{Schema: streamSchema, Variant: party.Float64Variant, PhaseTimeout: 30 * time.Second}
+		mgr, err := server.New(server.Config{
+			Holders: mtHolders,
+			Session: scfg,
+			// Headroom above nSessions: a finished session's slot releases
+			// an instant after its holders return, so the next iteration's
+			// arrivals briefly overlap; the queue absorbs any remainder.
+			MaxSessions: 2 * nSessions,
+			QueueDepth:  4 * nSessions,
+			Random:      func(session string) io.Reader { return detRandom(party.TPName) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer mgr.Close()
+		var linkSeed atomic.Uint64
+		runSession := func(id string) error {
+			hA, tA := wire.Pipe()
+			hB, tB := wire.Pipe()
+			ab, ba := wire.Pipe()
+			defer func() {
+				for _, c := range []wire.Conduit{hA, hB, ab, ba} {
+					c.Close()
+				}
+			}()
+			link := func(c wire.Conduit) wire.Conduit {
+				return wire.Link(c, time.Millisecond, 0, 64<<20, linkSeed.Add(1))
+			}
+			mgr.Submit(netid.Hello{Name: "A", Session: id, Version: netid.Version}, link(tA), nil)
+			mgr.Submit(netid.Hello{Name: "B", Session: id, Version: netid.Version}, link(tB), nil)
+			errs := make(chan error, 2)
+			run := func(name, peer string, tp, hh wire.Conduit) {
+				h, err := party.NewHolder(name, tables[name], mtHolders, scfg, party.ClusterRequest{K: 2},
+					map[string]wire.Conduit{party.TPName: tp, peer: hh}, detRandom(name))
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, err = h.Run()
+				errs <- err
+			}
+			go run("A", "B", hA, ab)
+			go run("B", "A", hB, ba)
+			if err := <-errs; err != nil {
+				return err
+			}
+			return <-errs
+		}
+		b.ReportAllocs()
+		var mu sync.Mutex
+		var lat []time.Duration
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errCh := make(chan error, nSessions)
+			for s := 0; s < nSessions; s++ {
+				id := fmt.Sprintf("iter%d-s%d", i, s)
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					t0 := time.Now()
+					if err := runSession(id); err != nil {
+						errCh <- err
+						return
+					}
+					mu.Lock()
+					lat = append(lat, time.Since(t0))
+					mu.Unlock()
+				}(id)
+			}
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				b.Fatal(err)
+			default:
+			}
+		}
+		elapsed := time.Since(start)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		if len(lat) > 0 {
+			p99 := lat[(99*len(lat)+99)/100-1]
+			b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
+		}
+		if sec := elapsed.Seconds(); sec > 0 {
+			b.ReportMetric(float64(nSessions*b.N)/sec, "sessions/sec")
+		}
+	}
+
 	return []struct {
 		name string
 		n    int
@@ -324,6 +444,8 @@ func benchFamilies() []struct {
 		{"session-stream/both-large-mono", 1200, func(b *testing.B) { sessionStream(b, bothParts, false, -1) }},
 		{"session-stream/both-large-chunk-256k", 1200, func(b *testing.B) { sessionStream(b, bothParts, false, 256<<10) }},
 		{"session-stream/both-large-chunk-64k", 1200, func(b *testing.B) { sessionStream(b, bothParts, false, 64<<10) }},
+		{"session-multitenant/4x120", 480, func(b *testing.B) { multiTenant(b, 4, 60) }},
+		{"session-multitenant/1x480", 480, func(b *testing.B) { multiTenant(b, 1, 240) }},
 		{"editdist-ccm-scratch", 24, func(b *testing.B) {
 			sc := editdist.MustUnitScratch()
 			b.ReportAllocs()
@@ -362,13 +484,15 @@ func runBenchJSON(w io.Writer, path string) error {
 		for _, fam := range benchFamilies() {
 			r := testing.Benchmark(fam.fn)
 			res := benchResult{
-				Family:    fam.name,
-				N:         fam.n,
-				Iters:     r.N,
-				NsPerOp:   float64(r.T.Nanoseconds()) / float64(r.N),
-				AllocsOp:  r.AllocsPerOp(),
-				BytesOp:   r.AllocedBytesPerOp(),
-				GoMaxProc: gmp,
+				Family:         fam.name,
+				N:              fam.n,
+				Iters:          r.N,
+				NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsOp:       r.AllocsPerOp(),
+				BytesOp:        r.AllocedBytesPerOp(),
+				GoMaxProc:      gmp,
+				P99Ns:          r.Extra["p99-ns"],
+				SessionsPerSec: r.Extra["sessions/sec"],
 			}
 			results = append(results, res)
 			fmt.Fprintf(w, "%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",

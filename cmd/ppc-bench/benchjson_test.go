@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 
 	"ppclust/internal/protocol"
@@ -53,5 +54,18 @@ func TestNumericBatchAllocsRegression(t *testing.T) {
 	if got > budget {
 		t.Fatalf("numeric-batch/serial round costs %.1f allocs/op; recorded %d, budget %.1f (+20%%)",
 			got, recorded, budget)
+	}
+}
+
+// BenchmarkSessionMultiTenant exposes the session-multitenant family rows
+// to `go test -bench`, so the CI bench smoke (1 iteration) exercises the
+// multi-tenant server path — admission, concurrent tenant sessions over
+// shaped links, and slot recycling — and fails loudly if it regresses.
+func BenchmarkSessionMultiTenant(b *testing.B) {
+	for _, fam := range benchFamilies() {
+		if !strings.HasPrefix(fam.name, "session-multitenant/") {
+			continue
+		}
+		b.Run(strings.TrimPrefix(fam.name, "session-multitenant/"), fam.fn)
 	}
 }

@@ -13,6 +13,13 @@
 //	    -holders A,B,C -peers A=hostA:9001 -schema ...
 //	ppc-holder -name C -data c.csv -tp tp:9000 \
 //	    -holders A,B,C -peers A=hostA:9001,B=hostB:9002 -schema ...
+//
+// Against a multi-tenant third party, add -session to name the tenant
+// session: the holder sends the extended hello, waits for the typed
+// admission response, and exits with code 5 when the server refuses
+// (retrying first, with capped exponential backoff, when the refusal is
+// retryable — e.g. the server is draining). All dials retry transient
+// failures under -connect-retries / -connect-backoff.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	mrand "math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -46,14 +54,25 @@ const maxAcceptRetries = 10
 
 const acceptBackoff = 100 * time.Millisecond
 
+// admissionTimeout bounds the wait for the multi-tenant server's admission
+// response. The accept is deferred until the whole session has gathered,
+// so this must outlast the server's gather window (default 2m), not just a
+// round trip.
+const admissionTimeout = 5 * time.Minute
+
+// maxConnectBackoff caps the exponential connect backoff.
+const maxConnectBackoff = 5 * time.Second
+
 // Exit codes distinguish the session failure classes so supervisors can
 // react without parsing messages: 1 protocol/transport error, 2 usage,
-// 3 watchdog timeout, 4 session abort (peer failure or local signal).
+// 3 watchdog timeout, 4 session abort (peer failure or local signal),
+// 5 admission refused by the server (typed ppc/reject frame).
 const (
 	exitProtocol = 1
 	exitUsage    = 2
 	exitTimeout  = 3
 	exitAbort    = 4
+	exitRefused  = 5
 )
 
 func main() {
@@ -67,6 +86,8 @@ func main() {
 func reportFailure(err error) int {
 	class, code := "protocol", exitProtocol
 	switch {
+	case errors.Is(err, ppclust.ErrSessionRefused):
+		class, code = "refused", exitRefused
 	case errors.Is(err, ppclust.ErrSessionTimeout):
 		class, code = "timeout", exitTimeout
 	case errors.Is(err, ppclust.ErrAborted):
@@ -91,6 +112,9 @@ func run() error {
 	variant := flag.String("variant", "float64", "numeric arithmetic: float64, int64 or modp")
 	sessionTimeout := flag.Duration("session-timeout", 0, "bound on the whole session (0 = unbounded)")
 	phaseTimeout := flag.Duration("phase-timeout", 2*time.Minute, "watchdog bound on session inactivity (0 = disabled)")
+	session := flag.String("session", "", "session ID for a multi-tenant third party (empty = legacy single-session hello)")
+	connectRetries := flag.Int("connect-retries", 5, "connect attempts per target before giving up")
+	connectBackoff := flag.Duration("connect-backoff", 200*time.Millisecond, "initial connect backoff (doubles per attempt, capped, jittered)")
 	flag.Parse()
 
 	holders := splitNonEmpty(*holdersFlag)
@@ -156,8 +180,18 @@ func run() error {
 		}
 	}()
 
-	// Dial the third party, announcing our name.
-	tpConn, err := dialAndAnnounce(*tpAddr, *name)
+	d := &dialer{
+		retries: *connectRetries,
+		backoff: *connectBackoff,
+		rnd:     mrand.New(mrand.NewSource(time.Now().UnixNano())),
+	}
+
+	// Dial the third party. With -session the extended hello names the
+	// tenant session and the admission response is awaited — a typed
+	// refusal (capacity, budget, version skew, …) surfaces here instead of
+	// a hang or a dead socket mid-protocol. Retryable refusals (server
+	// draining) re-dial under the same backoff as connect failures.
+	tpConn, err := d.dial("third party", *tpAddr, tpHandshake(*name, *session))
 	if err != nil {
 		return fmt.Errorf("dialing third party: %w", err)
 	}
@@ -173,7 +207,9 @@ func run() error {
 			if !ok {
 				return fmt.Errorf("no -peers address for lower-named holder %s", h)
 			}
-			c, err := dialAndAnnounce(addr, *name)
+			c, err := d.dial("peer "+h, addr, func(c net.Conn) error {
+				return netid.AnnounceWithin(c, *name, handshakeTimeout)
+			})
 			if err != nil {
 				return fmt.Errorf("dialing peer %s: %w", h, err)
 			}
@@ -240,19 +276,80 @@ func run() error {
 	return nil
 }
 
-// dialAndAnnounce connects to addr and writes the netid preamble under a
-// deadline; a peer that accepts but never drains the socket cannot wedge
-// session setup.
-func dialAndAnnounce(addr, name string) (net.Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
-	if err != nil {
-		return nil, err
+// tpHandshake announces to the third party: the extended session hello
+// followed by the admission wait when a session ID is set, the legacy
+// name-only preamble otherwise.
+func tpHandshake(name, session string) func(net.Conn) error {
+	return func(c net.Conn) error {
+		if session == "" {
+			return netid.AnnounceWithin(c, name, handshakeTimeout)
+		}
+		if err := netid.AnnounceSessionWithin(c, name, session, handshakeTimeout); err != nil {
+			return err
+		}
+		return netid.AwaitAdmission(c, admissionTimeout)
 	}
-	if err := netid.AnnounceWithin(c, name, handshakeTimeout); err != nil {
-		c.Close()
-		return nil, err
+}
+
+// dialer connects with capped exponential backoff and jitter, so a fleet
+// of holders restarting together does not hammer a recovering server in
+// lockstep.
+type dialer struct {
+	retries int
+	backoff time.Duration
+	rnd     *mrand.Rand
+}
+
+// dial connects to addr and runs the handshake, retrying dial and
+// handshake failures up to retries times. A typed admission refusal ends
+// the attempts immediately unless the reject reason is retryable (server
+// draining).
+func (d *dialer) dial(what, addr string, handshake func(net.Conn) error) (net.Conn, error) {
+	var last error
+	for attempt := 0; ; attempt++ {
+		c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+		if err == nil {
+			if err = handshake(c); err == nil {
+				return c, nil
+			}
+			c.Close()
+			var rej *netid.RejectedError
+			if errors.As(err, &rej) && !rej.Retryable() {
+				// Final by construction: the server named a constraint no
+				// retry relieves (wrong version, unknown holder, full queue).
+				return nil, err
+			}
+		}
+		last = err
+		if attempt+1 >= d.retries {
+			return nil, fmt.Errorf("%s: giving up after %d attempts: %w", what, attempt+1, last)
+		}
+		delay := d.delay(attempt)
+		log.Printf("event=connect-retry target=%q attempt=%d/%d delay=%v err=%q",
+			what, attempt+1, d.retries, delay, err)
+		time.Sleep(delay)
 	}
-	return c, nil
+}
+
+// delay is the backoff before attempt+2: the initial backoff doubled per
+// attempt, capped at maxConnectBackoff, jittered uniformly over
+// [half, full] so synchronized restarts spread out.
+func (d *dialer) delay(attempt int) time.Duration {
+	base := d.backoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	for i := 0; i < attempt && base < maxConnectBackoff; i++ {
+		base *= 2
+	}
+	if base > maxConnectBackoff {
+		base = maxConnectBackoff
+	}
+	half := base / 2
+	if d.rnd == nil || half <= 0 {
+		return base
+	}
+	return half + time.Duration(d.rnd.Int63n(int64(half)+1))
 }
 
 func splitNonEmpty(s string) []string {

@@ -1,20 +1,25 @@
 // ppc-tp runs the third party of the privacy-preserving clustering protocol
-// as a TCP server: it accepts one connection per expected data holder, runs
-// the session and prints what it published.
+// as a long-lived multi-tenant TCP server: holders announcing the same
+// session ID are matched into one session, many sessions run concurrently
+// under admission control and resource budgets, and a termination signal
+// drains gracefully. The -once flag restores the historical single-session
+// behaviour: serve exactly one session, print its report, exit.
 //
 // Usage:
 //
-//	ppc-tp -listen :9000 -holders A,B,C \
+//	ppc-tp -listen :9000 -holders A,B,C -max-sessions 4 \
 //	    -schema "age:numeric,diag:categorical,seq:alphanumeric:dna"
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -23,26 +28,12 @@ import (
 	"time"
 
 	"ppclust"
-	"ppclust/internal/netid"
 )
 
-// handshakeTimeout bounds how long a freshly accepted connection may take
-// to announce its holder name. Without it, a client that connects and
-// goes silent would block the accept loop forever while the legitimate
-// holders wait.
-const handshakeTimeout = 10 * time.Second
-
-// maxAcceptRetries bounds consecutive Accept failures before the server
-// gives up; transient errors (aborted connections, momentary descriptor
-// exhaustion) are retried after a short backoff instead of killing a
-// server other holders are already connected to.
-const maxAcceptRetries = 10
-
-const acceptBackoff = 100 * time.Millisecond
-
-// Exit codes distinguish the session failure classes so supervisors can
-// react without parsing messages: 1 protocol/transport error, 2 usage,
-// 3 watchdog timeout, 4 session abort (peer failure or local signal).
+// Exit codes distinguish the failure classes so supervisors can react
+// without parsing messages: 1 protocol/transport error, 2 usage, 3
+// watchdog timeout, 4 session abort (peer failure, forced drain or local
+// signal).
 const (
 	exitProtocol = 1
 	exitUsage    = 2
@@ -66,8 +57,16 @@ func reportFailure(err error) int {
 	case errors.Is(err, ppclust.ErrAborted):
 		class, code = "abort", exitAbort
 	}
-	log.Printf("event=session-failed class=%s err=%q", class, err)
+	log.Printf("event=server-failed class=%s err=%q", class, err)
 	return code
+}
+
+// completion is one finished tenant session, as observed by -once and the
+// report printer.
+type completion struct {
+	session string
+	report  *ppclust.TPReport
+	err     error
 }
 
 func run() error {
@@ -76,8 +75,17 @@ func run() error {
 	schemaFlag := flag.String("schema", "", "schema spec, e.g. age:numeric,seq:alphanumeric:dna (required)")
 	perPair := flag.Bool("perpair", false, "use per-pair masking (frequency-attack countermeasure)")
 	variant := flag.String("variant", "float64", "numeric arithmetic: float64, int64 or modp")
-	sessionTimeout := flag.Duration("session-timeout", 0, "bound on the whole session (0 = unbounded)")
-	phaseTimeout := flag.Duration("phase-timeout", 2*time.Minute, "watchdog bound on session inactivity (0 = disabled)")
+	sessionTimeout := flag.Duration("session-timeout", 0, "bound on each tenant session (0 = unbounded)")
+	phaseTimeout := flag.Duration("phase-timeout", 2*time.Minute, "watchdog bound on per-session inactivity (0 = disabled)")
+	maxSessions := flag.Int("max-sessions", 4, "concurrently admitted tenant sessions")
+	queueDepth := flag.Int("queue-depth", 0, "sessions that may queue for a slot (0 = refuse when saturated)")
+	budgetBytes := flag.Int64("budget-bytes", 0, "global memory budget across sessions (0 = unbounded; requires -max-objects)")
+	maxObjects := flag.Int("max-objects", 0, "per-session object cap, enforced at census (0 = uncapped)")
+	gatherTimeout := flag.Duration("gather-timeout", 2*time.Minute, "bound on an admitted session gathering its holders (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "graceful-drain bound after a termination signal (0 = wait forever)")
+	debugAddr := flag.String("debug-addr", "", "expvar endpoint address, e.g. localhost:9090 (empty = disabled)")
+	once := flag.Bool("once", false, "serve exactly one session, print its report, then exit")
+	printReports := flag.Bool("print-reports", false, "print every completed session's published results (implied by -once)")
 	flag.Parse()
 
 	holders := splitNonEmpty(*holdersFlag)
@@ -97,65 +105,107 @@ func run() error {
 	opts.SessionTimeout = *sessionTimeout
 	opts.PhaseTimeout = *phaseTimeout
 
+	if *once {
+		*maxSessions = 1
+		*printReports = true
+	}
+	completions := make(chan completion, 16)
+	srv, err := ppclust.NewTPServer(holders, schema, opts, ppclust.TPServerOptions{
+		MaxSessions:       *maxSessions,
+		QueueDepth:        *queueDepth,
+		GlobalBudgetBytes: *budgetBytes,
+		MaxSessionObjects: *maxObjects,
+		GatherTimeout:     *gatherTimeout,
+		Logf:              log.Printf,
+		OnComplete: func(session string, report *ppclust.TPReport, err error) {
+			select {
+			case completions <- completion{session: session, report: report, err: err}:
+			default: // nobody is consuming fast enough; never block a session
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	if *debugAddr != "" {
+		expvar.Publish("ppc_server", expvar.Func(func() any { return srv.Metrics().Snapshot() }))
+		go func() {
+			log.Printf("event=debug-endpoint addr=%s path=/debug/vars", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("event=debug-endpoint-failed err=%q", err)
+			}
+		}()
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	log.Printf("third party listening on %s for holders %v", ln.Addr(), holders)
+	log.Printf("third party listening on %s for holders %v (max-sessions=%d queue=%d)",
+		ln.Addr(), holders, *maxSessions, *queueDepth)
 
-	conns := make(map[string]net.Conn, len(holders))
-	defer func() {
-		for _, c := range conns {
-			c.Close()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln, ppclust.TPServeConfig{}) }()
+
+	// First termination signal: stop accepting and drain gracefully.
+	// A second signal during the drain aborts the stragglers immediately.
+	signals := make(chan os.Signal, 2)
+	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(signals)
+
+	var onceResult error
+	drain := false
+	for !drain {
+		select {
+		case sig := <-signals:
+			log.Printf("event=drain-signal signal=%v", sig)
+			drain = true
+		case err := <-served:
+			// The accept loop died on its own (listener failure).
+			if err != nil {
+				srv.Close()
+				return err
+			}
+			drain = true
+		case c := <-completions:
+			if c.err == nil && *printReports {
+				printReport(c)
+			}
+			if *once {
+				onceResult = c.err
+				drain = true
+			}
+		}
+	}
+
+	ln.Close()
+	ctx := context.Background()
+	if *drainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *drainTimeout)
+		defer cancel()
+	}
+	go func() {
+		if _, ok := <-signals; ok {
+			log.Printf("event=drain-aborted reason=second-signal")
+			srv.Close()
 		}
 	}()
-	retries := 0
-	for len(conns) < len(holders) {
-		conn, err := ln.Accept()
-		if err != nil {
-			retries++
-			if retries > maxAcceptRetries {
-				return fmt.Errorf("accept failed %d times in a row, giving up: %w", retries, err)
-			}
-			log.Printf("accept (retry %d/%d): %v", retries, maxAcceptRetries, err)
-			time.Sleep(acceptBackoff)
-			continue
-		}
-		retries = 0
-		name, err := netid.AcceptWithin(conn, handshakeTimeout)
-		if err != nil {
-			log.Printf("rejecting connection from %s: %v", conn.RemoteAddr(), err)
-			conn.Close()
-			continue
-		}
-		if !contains(holders, name) || conns[name] != nil {
-			log.Printf("rejecting unexpected holder %q", name)
-			conn.Close()
-			continue
-		}
-		log.Printf("holder %s connected from %s", name, conn.RemoteAddr())
-		conns[name] = conn
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("%w: %w", ppclust.ErrAborted, err)
 	}
+	log.Printf("event=server-stopped sessions-completed=%d", srv.Metrics().Completed())
+	return onceResult
+}
 
-	sess, err := ppclust.NewThirdPartySession(holders, schema, opts, conns)
-	if err != nil {
-		return err
-	}
-	// A termination signal aborts the session cleanly: holders receive an
-	// abort frame naming the cause instead of observing a dead socket.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	report, err := sess.RunContext(ctx)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("session complete: %d objects, %d attribute matrices\n",
-		len(report.ObjectIDs), len(report.AttributeMatrices))
-	for holder, res := range report.Results {
+func printReport(c completion) {
+	fmt.Printf("session %q complete: %d objects, %d attribute matrices\n",
+		c.session, len(c.report.ObjectIDs), len(c.report.AttributeMatrices))
+	for holder, res := range c.report.Results {
 		fmt.Printf("\npublished to %s (linkage=%v, k=%d):\n%s", holder, res.Linkage, res.K, res.Format())
 	}
-	return nil
 }
 
 func splitNonEmpty(s string) []string {
@@ -166,15 +216,6 @@ func splitNonEmpty(s string) []string {
 		}
 	}
 	return out
-}
-
-func contains(list []string, v string) bool {
-	for _, x := range list {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
 
 func buildOptions(perPair bool, variant string) (ppclust.Options, error) {

@@ -1,9 +1,23 @@
 // Package netid is the tiny connection-labeling preamble the TCP
 // deployment tools use: the dialing party announces its protocol name
 // before the session handshake so the acceptor can route the connection.
+//
+// Two hello forms share the wire. The legacy hello — one length byte, then
+// the party name — is what single-session deployments have always sent. The
+// extended hello adds a protocol version and a session ID, so a multi-tenant
+// third-party server can route many concurrent sessions on one listener;
+// holders announcing the same session ID are matched into one session. An
+// acceptor that speaks the extension answers every extended hello with an
+// admission response: a one-byte accept, or a typed reject frame
+// ("ppc/reject" in docs/WIRE.md) naming why the connection was refused —
+// capacity, queue overflow, budget, drain, version skew. Legacy hellos get
+// no response, which is what keeps old holders working against both old and
+// new acceptors (see the compatibility notes in docs/WIRE.md).
 package netid
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,6 +26,29 @@ import (
 
 // maxName bounds announced names.
 const maxName = 64
+
+// maxSession bounds announced session IDs.
+const maxSession = 64
+
+// Version is the extended-hello protocol version this package speaks. An
+// acceptor refuses hellos from the future (RejectVersion) rather than
+// guessing at their layout.
+const Version = 1
+
+// magicExtended marks an extended hello. It is deliberately an invalid
+// legacy name length (> maxName), so a legacy acceptor that receives an
+// extended hello fails the preamble with its usual descriptive error
+// instead of misreading the frame.
+const magicExtended = 0xFF
+
+// Admission response status bytes.
+const (
+	statusAccept = 0x00
+	statusReject = 0x01
+)
+
+// maxRejectDetail bounds the free-text detail of a reject frame.
+const maxRejectDetail = 512
 
 // Announce writes the caller's party name on a fresh connection.
 func Announce(conn net.Conn, name string) error {
@@ -68,4 +105,267 @@ func AcceptWithin(conn net.Conn, timeout time.Duration) (string, error) {
 		return "", err
 	}
 	return name, nil
+}
+
+// Hello is a parsed connection preamble. Version 0 with an empty Session
+// is a legacy single-session hello; extended hellos carry the dialer's
+// protocol version and session ID (the empty session ID names the default
+// session, so a versioned hello without -session routes exactly like a
+// legacy one).
+type Hello struct {
+	Name    string
+	Session string
+	Version int
+}
+
+// Extended reports whether the hello used the extended form — only then
+// does the dialer await an admission response.
+func (h Hello) Extended() bool { return h.Version > 0 }
+
+// AnnounceSession writes the extended hello: magic, version, the caller's
+// party name and its session ID. The acceptor answers with an admission
+// response (AwaitAdmission); a legacy acceptor instead fails its preamble
+// descriptively on the magic byte, which is the documented signal that the
+// server does not speak sessions.
+func AnnounceSession(conn net.Conn, name, session string) error {
+	if name == "" || len(name) > maxName {
+		return fmt.Errorf("netid: invalid name %q", name)
+	}
+	if len(session) > maxSession {
+		return fmt.Errorf("netid: session ID %q longer than %d bytes", session, maxSession)
+	}
+	buf := make([]byte, 0, 4+len(name)+len(session))
+	buf = append(buf, magicExtended, Version, byte(len(name)))
+	buf = append(buf, name...)
+	buf = append(buf, byte(len(session)))
+	buf = append(buf, session...)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// AnnounceSessionWithin is AnnounceSession under a write deadline, cleared
+// before returning (cf. AnnounceWithin).
+func AnnounceSessionWithin(conn net.Conn, name, session string, timeout time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if err := AnnounceSession(conn, name, session); err != nil {
+		return err
+	}
+	return conn.SetWriteDeadline(time.Time{})
+}
+
+// AcceptHello reads either hello form from a fresh connection: the first
+// byte distinguishes a legacy length prefix from the extended magic. A
+// legacy hello parses to Version 0 and the default (empty) session, which
+// is how old single-session holders keep working against a multi-tenant
+// acceptor. A hello claiming a version newer than this package understands
+// is returned intact with its claimed Version — the acceptor decides
+// whether to refuse it (RejectVersion) rather than this layer guessing at
+// an unknown layout; bytes past the version-1 fields stay unread, so the
+// refusal must close the connection.
+func AcceptHello(conn net.Conn) (Hello, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return Hello{}, fmt.Errorf("netid: reading hello: %w", err)
+	}
+	if first[0] != magicExtended {
+		// Legacy hello: first byte is the name length.
+		if first[0] == 0 || int(first[0]) > maxName {
+			return Hello{}, fmt.Errorf("netid: invalid name length %d", first[0])
+		}
+		name := make([]byte, first[0])
+		if _, err := io.ReadFull(conn, name); err != nil {
+			return Hello{}, fmt.Errorf("netid: reading name: %w", err)
+		}
+		return Hello{Name: string(name)}, nil
+	}
+	var ver [1]byte
+	if _, err := io.ReadFull(conn, ver[:]); err != nil {
+		return Hello{}, fmt.Errorf("netid: reading hello version: %w", err)
+	}
+	if ver[0] == 0 {
+		return Hello{}, fmt.Errorf("netid: invalid extended hello version 0")
+	}
+	var l [1]byte
+	if _, err := io.ReadFull(conn, l[:]); err != nil {
+		return Hello{}, fmt.Errorf("netid: reading name length: %w", err)
+	}
+	if l[0] == 0 || int(l[0]) > maxName {
+		return Hello{}, fmt.Errorf("netid: invalid name length %d", l[0])
+	}
+	name := make([]byte, l[0])
+	if _, err := io.ReadFull(conn, name); err != nil {
+		return Hello{}, fmt.Errorf("netid: reading name: %w", err)
+	}
+	if _, err := io.ReadFull(conn, l[:]); err != nil {
+		return Hello{}, fmt.Errorf("netid: reading session length: %w", err)
+	}
+	if int(l[0]) > maxSession {
+		return Hello{}, fmt.Errorf("netid: invalid session length %d", l[0])
+	}
+	session := make([]byte, l[0])
+	if _, err := io.ReadFull(conn, session); err != nil {
+		return Hello{}, fmt.Errorf("netid: reading session: %w", err)
+	}
+	return Hello{Name: string(name), Session: string(session), Version: int(ver[0])}, nil
+}
+
+// AcceptHelloWithin is AcceptHello under a read deadline, cleared before
+// returning (cf. AcceptWithin).
+func AcceptHelloWithin(conn net.Conn, timeout time.Duration) (Hello, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return Hello{}, err
+	}
+	h, err := AcceptHello(conn)
+	if err != nil {
+		return Hello{}, err
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return Hello{}, err
+	}
+	return h, nil
+}
+
+// RejectCode types the reason an admission was refused, so holders and
+// their supervisors can branch without parsing free text.
+type RejectCode byte
+
+const (
+	// RejectCapacity: the server is at -max-sessions with no admission
+	// queue configured (or the queue is disabled for this class).
+	RejectCapacity RejectCode = iota + 1
+	// RejectQueueFull: the server is saturated and the bounded admission
+	// queue is full — the backpressure limit, never a silent hang.
+	RejectQueueFull
+	// RejectBudget: admitting the session would exceed the server's global
+	// resource budget.
+	RejectBudget
+	// RejectDraining: the server is draining for shutdown and admits no
+	// new work. Retryable — a restarted server will accept again.
+	RejectDraining
+	// RejectVersion: the hello's protocol version is not supported.
+	RejectVersion
+	// RejectSession: the session ID is invalid or conflicts with session
+	// state (e.g. the session already failed).
+	RejectSession
+	// RejectUnknownHolder: the announced name is not one of the holders
+	// this server serves sessions for.
+	RejectUnknownHolder
+	// RejectDuplicateHolder: this session already has a connection for the
+	// announced holder name.
+	RejectDuplicateHolder
+	// RejectTimeout: the session did not gather all of its holders within
+	// the server's gather deadline; its parked connections are refused.
+	RejectTimeout
+)
+
+// String names the code as it appears in reject frames, logs and metrics.
+func (c RejectCode) String() string {
+	switch c {
+	case RejectCapacity:
+		return "capacity"
+	case RejectQueueFull:
+		return "queue-full"
+	case RejectBudget:
+		return "budget"
+	case RejectDraining:
+		return "draining"
+	case RejectVersion:
+		return "version"
+	case RejectSession:
+		return "session"
+	case RejectUnknownHolder:
+		return "unknown-holder"
+	case RejectDuplicateHolder:
+		return "duplicate-holder"
+	case RejectTimeout:
+		return "gather-timeout"
+	default:
+		return fmt.Sprintf("code-%d", byte(c))
+	}
+}
+
+// ErrRejected classifies every admission refusal; test with errors.Is and
+// errors.As (*RejectedError) for the typed code.
+var ErrRejected = errors.New("netid: admission refused")
+
+// RejectedError is a typed admission refusal, carried by the reject frame.
+type RejectedError struct {
+	Code   RejectCode
+	Detail string
+}
+
+func (e *RejectedError) Error() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("netid: admission refused (%s)", e.Code)
+	}
+	return fmt.Sprintf("netid: admission refused (%s): %s", e.Code, e.Detail)
+}
+
+// Unwrap ties every refusal to the ErrRejected class.
+func (e *RejectedError) Unwrap() error { return ErrRejected }
+
+// Retryable reports whether re-dialing later can reasonably succeed: a
+// draining server is being replaced, so holders racing a restart should
+// back off and reconnect rather than exit.
+func (e *RejectedError) Retryable() bool { return e.Code == RejectDraining }
+
+// SendAccept answers an extended hello with admission. The session
+// handshake frames follow on the same connection.
+func SendAccept(conn net.Conn) error {
+	_, err := conn.Write([]byte{statusAccept})
+	return err
+}
+
+// SendReject answers an extended hello with a typed refusal and detail
+// (truncated to a bounded length). The caller closes the connection after;
+// nothing may follow a reject frame.
+func SendReject(conn net.Conn, code RejectCode, detail string) error {
+	if len(detail) > maxRejectDetail {
+		detail = detail[:maxRejectDetail]
+	}
+	buf := make([]byte, 0, 4+len(detail))
+	buf = append(buf, statusReject, byte(code))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(detail)))
+	buf = append(buf, detail...)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// AwaitAdmission reads the admission response that follows an extended
+// hello: nil on accept, a *RejectedError (classified under ErrRejected) on
+// a typed refusal. The timeout bounds the whole wait — a saturated server
+// parks the connection in its admission queue and answers only once a slot
+// frees, so this deadline is the dialer's backpressure patience. The read
+// deadline is cleared before returning so the session owns the
+// connection's timeout policy afterwards.
+func AwaitAdmission(conn net.Conn, timeout time.Duration) error {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return fmt.Errorf("netid: reading admission response: %w", err)
+	}
+	switch status[0] {
+	case statusAccept:
+		return conn.SetReadDeadline(time.Time{})
+	case statusReject:
+		var hdr [3]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return fmt.Errorf("netid: reading reject frame: %w", err)
+		}
+		n := binary.BigEndian.Uint16(hdr[1:3])
+		if n > maxRejectDetail {
+			return fmt.Errorf("netid: reject detail length %d exceeds %d", n, maxRejectDetail)
+		}
+		detail := make([]byte, n)
+		if _, err := io.ReadFull(conn, detail); err != nil {
+			return fmt.Errorf("netid: reading reject detail: %w", err)
+		}
+		return &RejectedError{Code: RejectCode(hdr[0]), Detail: string(detail)}
+	default:
+		return fmt.Errorf("netid: invalid admission response status %d", status[0])
+	}
 }

@@ -1,6 +1,7 @@
 package netid
 
 import (
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -44,6 +45,164 @@ func TestAcceptRejectsGarbage(t *testing.T) {
 	go a.Write([]byte{0})
 	if _, err := Accept(b); err == nil {
 		t.Fatal("zero length accepted")
+	}
+}
+
+func TestExtendedHelloRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- AnnounceSessionWithin(a, "HolderA", "tenant-7", time.Second) }()
+	h, err := AcceptHelloWithin(b, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "HolderA" || h.Session != "tenant-7" || h.Version != Version {
+		t.Fatalf("hello = %+v", h)
+	}
+	if !h.Extended() {
+		t.Fatal("extended hello not marked extended")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegacyHelloParsesAsDefaultSession(t *testing.T) {
+	// Old single-session holders keep working against a multi-tenant
+	// acceptor: their hello routes to the default (empty) session and no
+	// admission response is owed.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- Announce(a, "HolderB") }()
+	h, err := AcceptHello(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "HolderB" || h.Session != "" || h.Version != 0 {
+		t.Fatalf("hello = %+v", h)
+	}
+	if h.Extended() {
+		t.Fatal("legacy hello marked extended")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegacyAcceptorRejectsExtendedHelloDescriptively(t *testing.T) {
+	// A new holder announcing a session to an old single-session TP must
+	// fail the old preamble with a descriptive error, not a misparse: the
+	// extended magic is an invalid legacy name length.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go AnnounceSession(a, "HolderA", "tenant-7")
+	_, err := Accept(b)
+	if err == nil || !strings.Contains(err.Error(), "invalid name length 255") {
+		t.Fatalf("err = %v, want invalid name length 255", err)
+	}
+}
+
+func TestAnnounceSessionValidation(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := AnnounceSession(a, "", "s"); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := AnnounceSession(a, "H", strings.Repeat("s", 65)); err == nil {
+		t.Fatal("oversized session accepted")
+	}
+}
+
+func TestFutureVersionHelloSurvivesParse(t *testing.T) {
+	// A version-2 hello parses through the version-1 fields and reports
+	// its claimed version, so the acceptor can refuse it with RejectVersion
+	// instead of a parse error.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte{magicExtended, 2, 1, 'H', 2, 's', '2'})
+	h, err := AcceptHello(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 2 || h.Name != "H" || h.Session != "s2" {
+		t.Fatalf("hello = %+v", h)
+	}
+}
+
+func TestAdmissionAcceptAndReject(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		serve func(c net.Conn) error
+		check func(t *testing.T, err error)
+	}{
+		{"accept", SendAccept, func(t *testing.T, err error) {
+			if err != nil {
+				t.Fatalf("accept: %v", err)
+			}
+		}},
+		{"reject", func(c net.Conn) error {
+			return SendReject(c, RejectQueueFull, "3 sessions active, queue of 2 full")
+		}, func(t *testing.T, err error) {
+			if !errors.Is(err, ErrRejected) {
+				t.Fatalf("err = %v, want ErrRejected", err)
+			}
+			var re *RejectedError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v, want *RejectedError", err)
+			}
+			if re.Code != RejectQueueFull || re.Code.String() != "queue-full" {
+				t.Fatalf("code = %v", re.Code)
+			}
+			if re.Detail != "3 sessions active, queue of 2 full" {
+				t.Fatalf("detail = %q", re.Detail)
+			}
+			if re.Retryable() {
+				t.Fatal("queue-full marked retryable")
+			}
+		}},
+		{"reject-draining-retryable", func(c net.Conn) error {
+			return SendReject(c, RejectDraining, "")
+		}, func(t *testing.T, err error) {
+			var re *RejectedError
+			if !errors.As(err, &re) || !re.Retryable() {
+				t.Fatalf("err = %v, want retryable draining refusal", err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := net.Pipe()
+			defer a.Close()
+			defer b.Close()
+			done := make(chan error, 1)
+			go func() { done <- tc.serve(a) }()
+			tc.check(t, AwaitAdmission(b, time.Second))
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAwaitAdmissionTimesOutOnParkedConnection(t *testing.T) {
+	// A server that parks the connection past the dialer's patience is a
+	// deadline error, never a hang.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	err := AwaitAdmission(b, 30*time.Millisecond)
+	if err == nil || errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want plain deadline error", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not applied")
 	}
 }
 

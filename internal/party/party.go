@@ -144,6 +144,15 @@ type Config struct {
 	// effective bound is between one and two PhaseTimeouts after the
 	// last frame. 0 disables the watchdog. Local, like SessionTimeout.
 	PhaseTimeout time.Duration
+	// OnCensus, when set on a third party, is called with the gathered
+	// per-holder object counts after the census is received and before it
+	// is broadcast — the one point where the true session size is first
+	// known. Returning an error refuses the session: the third party
+	// aborts with the error (classified, peers notified) before any
+	// partition-sized payload moves. The multi-tenant server uses it to
+	// enforce per-session resource budgets; holders ignore it. Local
+	// policy, not part of the session agreement.
+	OnCensus func(counts []int) error
 }
 
 // DefaultLocalChunkBytes is the local-matrix streaming chunk size when
@@ -230,6 +239,45 @@ func (c Config) pairChunkCount(t dataset.AttrType, rows, cols int) int {
 		return 1
 	}
 	return dissim.RectChunkCount(rows, cols, b/c.pairCellBytes(t))
+}
+
+// EstimateSessionBytes is the third party's worst-case resident memory
+// for one session of numHolders holders and totalObjects global objects
+// under this config — the admission-control number the multi-tenant
+// server reserves against its global budget before letting a session
+// start. It is a deliberate overestimate built from the same constants
+// that size the pipeline:
+//
+//   - the assembled matrices: nAttr normalized attribute matrices plus
+//     one merged matrix, each a condensed float64 triangle of
+//     totalObjects·(totalObjects−1)/2 cells;
+//   - the demux mailboxes: numHolders demultiplexers × (nAttr+1) lanes ×
+//     laneBuffer frames, each up to one chunk;
+//   - stage scratch: pipelineDepth stages, each decoding, evaluating and
+//     installing a few chunk-sized buffers at once.
+//
+// A monolithic configuration (LocalChunkBytes < 0) prices each "chunk"
+// at the full triangle, which is exactly the pre-streaming resident
+// shape. The estimate is a pure function of public shape (schema, census,
+// chunking) — it never consults private data.
+func (c Config) EstimateSessionBytes(numHolders, totalObjects int) int64 {
+	if numHolders < 0 {
+		numHolders = 0
+	}
+	n := int64(totalObjects)
+	if n < 0 {
+		n = 0
+	}
+	triangle := 8 * n * (n - 1) / 2
+	chunk := int64(c.chunkBudgetBytes())
+	if chunk < 0 || chunk > triangle {
+		chunk = triangle
+	}
+	nAttr := int64(len(c.Schema.Attrs))
+	matrices := (nAttr + 1) * triangle
+	mailboxes := int64(numHolders) * (nAttr + 1) * laneBuffer * chunk
+	scratch := int64(pipelineDepth) * 4 * chunk
+	return matrices + mailboxes + scratch
 }
 
 // normalized validates the config and fills defaults. The schema's
@@ -513,6 +561,12 @@ func holderIndex(holders []string, name string) (int, error) {
 	}
 	return 0, fmt.Errorf("party: holder %q not in session", name)
 }
+
+// ValidateHolders checks a holder name list the way every party
+// constructor does — at least two holders, sorted, unique, no empty name
+// and none colliding with TPName — so admission layers can refuse a
+// malformed roster descriptively before spending a session slot on it.
+func ValidateHolders(holders []string) error { return validHolderNames(holders) }
 
 // validHolderNames checks the holder name list for ordering and collisions.
 func validHolderNames(holders []string) error {

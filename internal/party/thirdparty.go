@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"ppclust/internal/catdist"
 	"ppclust/internal/dataset"
@@ -19,6 +20,16 @@ import (
 	"ppclust/internal/rng"
 	"ppclust/internal/wire"
 )
+
+// activeStages counts the pipeline stage goroutines currently live across
+// every ThirdParty in the process — the stage-pool occupancy gauge the
+// multi-tenant server exports. Process-wide on purpose: occupancy is a
+// statement about the machine's compute in flight, not about one session.
+var activeStages atomic.Int64
+
+// ActiveStages reports how many pipeline stage goroutines are running
+// right now, summed over all concurrent third-party sessions.
+func ActiveStages() int64 { return activeStages.Load() }
 
 // pipelineDepth bounds how many attribute stages may be in flight at the
 // third party at once: the stage pool has this many goroutines, and each
@@ -317,6 +328,8 @@ func (tp *ThirdParty) runPipelined() (*TPReport, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			activeStages.Add(1)
+			defer activeStages.Add(-1)
 			eng := tp.engines.Get()
 			defer tp.engines.Put(eng)
 			for attr := range attrCh {
@@ -457,6 +470,15 @@ func (tp *ThirdParty) census() error {
 			return fmt.Errorf("party: negative count from %s", h)
 		}
 		tp.counts[i] = c.Count
+	}
+	if tp.cfg.OnCensus != nil {
+		// The budget hook sits between gathering and broadcast: the true
+		// session size is known, no partition-sized payload has moved, and
+		// a refusal aborts the session with the hook's reason (classified,
+		// holders notified) instead of letting it start over budget.
+		if err := tp.cfg.OnCensus(append([]int(nil), tp.counts...)); err != nil {
+			return fmt.Errorf("party: census refused: %w", err)
+		}
 	}
 	census := censusBody{Holders: tp.holders, Counts: tp.counts}
 	for _, h := range tp.holders {

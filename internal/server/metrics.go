@@ -1,0 +1,112 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"ppclust/internal/party"
+	"ppclust/internal/wire"
+)
+
+// Metrics is the manager's observability surface: monotonic counters and
+// gauges kept with atomics, plus one wire.Counter every session conduit is
+// metered through. Expose Snapshot on an expvar endpoint (cmd/ppc-tp's
+// -debug-addr does) or poll it directly in tests.
+type Metrics struct {
+	admitted  atomic.Int64
+	refused   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	drained   atomic.Int64
+
+	activeSessions atomic.Int64
+	queued         atomic.Int64
+
+	reservedHW atomic.Int64
+	estimateHW atomic.Int64
+
+	// Wire meters every session conduit at the server's edge (outside the
+	// encryption layer), summed over all tenants: received bytes are
+	// holder→TP traffic, sent bytes are TP→holder traffic.
+	Wire wire.Counter
+}
+
+// Admitted returns the number of sessions ever admitted (gathering slot
+// granted), including those later refused at gather timeout.
+func (m *Metrics) Admitted() int64 { return m.admitted.Load() }
+
+// Refused returns the number of typed admission refusals sent (or, for
+// legacy hellos owed no frame, connections closed in refusal).
+func (m *Metrics) Refused() int64 { return m.refused.Load() }
+
+// Completed returns the number of sessions that ran to a published report.
+func (m *Metrics) Completed() int64 { return m.completed.Load() }
+
+// Failed returns the number of sessions that ended in a classified error.
+func (m *Metrics) Failed() int64 { return m.failed.Load() }
+
+// Active returns the sessions currently holding a slot (gathering or
+// running).
+func (m *Metrics) Active() int64 { return m.activeSessions.Load() }
+
+// Queued returns the sessions currently parked in the admission queue.
+func (m *Metrics) Queued() int64 { return m.queued.Load() }
+
+// noteReserved records a new reservation total for the high-water mark.
+func (m *Metrics) noteReserved(total int64) {
+	for {
+		hw := m.reservedHW.Load()
+		if total <= hw || m.reservedHW.CompareAndSwap(hw, total) {
+			return
+		}
+	}
+}
+
+// noteEstimate records one session's census-time budget estimate for the
+// high-water mark — the true-size counterpart of the admission-time
+// reservation.
+func (m *Metrics) noteEstimate(estimate int64) {
+	for {
+		hw := m.estimateHW.Load()
+		if estimate <= hw || m.estimateHW.CompareAndSwap(hw, estimate) {
+			return
+		}
+	}
+}
+
+// Snapshot renders every counter under its documented name (the names are
+// the stable operational interface; docs/ARCHITECTURE.md lists them):
+//
+//	sessions_admitted   sessions ever granted a slot
+//	sessions_active     gauge: slots held now (gathering + running)
+//	sessions_queued     gauge: parked in the admission queue
+//	sessions_refused    typed refusals sent
+//	sessions_completed  reports published
+//	sessions_failed     classified session failures
+//	sessions_drained    sessions that finished during a drain
+//	wire_sent_bytes / wire_sent_frames / wire_recv_bytes / wire_recv_frames
+//	                    summed session traffic at the server edge
+//	stage_pool_active   gauge: pipeline stage goroutines running now
+//	budget_reserved_high_water_bytes
+//	                    peak summed admission reservations
+//	budget_estimate_high_water_bytes
+//	                    peak census-time per-session estimate
+func (m *Metrics) Snapshot() map[string]int64 {
+	sentB, sentF := m.Wire.Sent()
+	recvB, recvF := m.Wire.Received()
+	return map[string]int64{
+		"sessions_admitted":                m.admitted.Load(),
+		"sessions_active":                  m.activeSessions.Load(),
+		"sessions_queued":                  m.queued.Load(),
+		"sessions_refused":                 m.refused.Load(),
+		"sessions_completed":               m.completed.Load(),
+		"sessions_failed":                  m.failed.Load(),
+		"sessions_drained":                 m.drained.Load(),
+		"wire_sent_bytes":                  int64(sentB),
+		"wire_sent_frames":                 int64(sentF),
+		"wire_recv_bytes":                  int64(recvB),
+		"wire_recv_frames":                 int64(recvF),
+		"stage_pool_active":                party.ActiveStages(),
+		"budget_reserved_high_water_bytes": m.reservedHW.Load(),
+		"budget_estimate_high_water_bytes": m.estimateHW.Load(),
+	}
+}

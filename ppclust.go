@@ -11,6 +11,7 @@ import (
 	"ppclust/internal/dissim"
 	"ppclust/internal/hcluster"
 	"ppclust/internal/linkage"
+	"ppclust/internal/netid"
 	"ppclust/internal/outlier"
 	"ppclust/internal/pam"
 	"ppclust/internal/party"
@@ -288,6 +289,12 @@ var (
 	// sent an abort frame naming its reason, or the caller cancelled the
 	// context passed to ClusterContext.
 	ErrAborted = party.ErrAborted
+	// ErrSessionRefused classifies typed admission refusals from the
+	// multi-tenant third-party server: the hello was answered with a
+	// ppc/reject frame (capacity, queue-full, budget, draining, version
+	// skew, …) instead of an accept. Holders see it from the admission
+	// wait; the reject frame's reason survives in the error text.
+	ErrSessionRefused = netid.ErrRejected
 )
 
 // Cluster runs the complete multi-party session in-process: key agreement,

@@ -3,8 +3,10 @@ package ppclust
 import (
 	"io"
 	"net"
+	"time"
 
 	"ppclust/internal/party"
+	"ppclust/internal/server"
 	"ppclust/internal/wire"
 )
 
@@ -51,4 +53,79 @@ func optRandom(opts Options, name string) io.Reader {
 		return nil
 	}
 	return opts.Random(name)
+}
+
+// TPServer is the multi-tenant third-party server: one listener serving
+// many concurrent sessions, keyed by the session ID in the extended hello.
+// Feed it a listener with Serve, stop it with Drain (graceful: running
+// sessions finish, new arrivals get a retryable refusal) or Close
+// (immediate, classified aborts). See docs/ARCHITECTURE.md ("Multi-tenant
+// TP server").
+type TPServer = server.Manager
+
+// TPServeConfig tunes the server's TCP accept path (handshake timeout and
+// concurrency, accept retries, admission-response deadline). The zero
+// value selects sensible defaults.
+type TPServeConfig = server.ServeConfig
+
+// TPServerMetrics is the server's counter surface; Snapshot renders every
+// counter under its documented name.
+type TPServerMetrics = server.Metrics
+
+// TPServerOptions is the server-side admission policy: how many tenant
+// sessions may run at once, how many may queue, and what resources each
+// may claim.
+type TPServerOptions struct {
+	// MaxSessions bounds concurrently admitted sessions (gathering plus
+	// running). 0 means 1.
+	MaxSessions int
+	// QueueDepth bounds the admission queue; 0 disables queueing, so
+	// saturated arrivals are refused immediately.
+	QueueDepth int
+	// GlobalBudgetBytes caps the summed per-session memory reservations;
+	// each admitted session reserves EstimateSessionBytes(schema, opts,
+	// holders, MaxSessionObjects). 0 disables the budget.
+	GlobalBudgetBytes int64
+	// MaxSessionObjects caps one session's total object count, enforced at
+	// census time. Required when GlobalBudgetBytes is set. 0 disables.
+	MaxSessionObjects int
+	// GatherTimeout bounds an admitted session's wait for its remaining
+	// holders; on expiry the gathered connections are refused with the
+	// typed gather-timeout reason. 0 disables.
+	GatherTimeout time.Duration
+	// OnComplete, when set, observes every session outcome.
+	OnComplete func(session string, report *TPReport, err error)
+	// Logf receives the structured event log; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// NewTPServer builds the multi-tenant third-party server: every tenant
+// session runs under the same out-of-band agreement (holders, schema,
+// opts) and the admission policy in srv. When opts.Random is set, each
+// session's third party draws from opts.Random(ThirdPartyName).
+func NewTPServer(holders []string, schema Schema, opts Options, srv TPServerOptions) (*TPServer, error) {
+	cfg := server.Config{
+		Holders:           holders,
+		Session:           opts.toConfig(schema),
+		MaxSessions:       srv.MaxSessions,
+		QueueDepth:        srv.QueueDepth,
+		GlobalBudgetBytes: srv.GlobalBudgetBytes,
+		MaxSessionObjects: srv.MaxSessionObjects,
+		GatherTimeout:     srv.GatherTimeout,
+		OnComplete:        srv.OnComplete,
+		Logf:              srv.Logf,
+	}
+	if opts.Random != nil {
+		cfg.Random = func(session string) io.Reader { return opts.Random(ThirdPartyName) }
+	}
+	return server.New(cfg)
+}
+
+// EstimateSessionBytes prices one session under the server's budget
+// formula: the resident matrices plus the streaming mailboxes and scratch
+// a session of totalObjects objects claims at its peak. It is the per-
+// session reservation NewTPServer charges against GlobalBudgetBytes, and
+// the number to size -budget-bytes with.
+func EstimateSessionBytes(schema Schema, opts Options, numHolders, totalObjects int) int64 {
+	return opts.toConfig(schema).EstimateSessionBytes(numHolders, totalObjects)
 }
