@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -73,6 +74,10 @@ type benchResult struct {
 	// family only: tail per-session latency and aggregate throughput.
 	P99Ns          float64 `json:"p99_ns,omitempty"`
 	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
+	// ShardPeakBytes is reported by the session-sharded family only: the
+	// largest per-shard condensed-matrix slice, which drops ~1/K as the
+	// row-range partition widens.
+	ShardPeakBytes float64 `json:"shard_peak_bytes,omitempty"`
 }
 
 // benchFamilies are the hot paths the perf trajectory tracks: the numeric
@@ -91,7 +96,10 @@ type benchResult struct {
 // dominant payload and the chunked pairwise streaming the lever, and
 // since PR 7 the session-multitenant family: the same total workload as N
 // concurrent tenant sessions on the multi-tenant server vs one big
-// session, reporting p99 per-session latency and sessions/sec.
+// session, reporting p99 per-session latency and sessions/sec, and since
+// PR 8 the session-sharded family: the both-large session with the third
+// party split into K row-range shards behind the merge coordinator,
+// reporting the widest per-shard triangle slice alongside wall time.
 func benchFamilies() []struct {
 	name string
 	n    int
@@ -417,6 +425,43 @@ func benchFamilies() []struct {
 		}
 	}
 
+	// session-sharded: the both-large session (equal 600-object
+	// partitions, responder→TP S matrix dominant) with the third party
+	// split into K row-range shards, every TP-side lane — control and
+	// shard — behind the same 1 ms / 64 MB/s store-and-forward link. K=1
+	// is the degenerate coordinator and must match the single-TP rows;
+	// K=2 and K=4 drain the triangle over parallel lanes. Reports are
+	// bit-identical at every K (pinned by internal/party's differential
+	// tests). Besides ns/op the family reports the widest per-shard
+	// condensed-triangle slice, which falls ~1/K as the partition widens.
+	sessionSharded := func(b *testing.B, k int) {
+		cfg := party.Config{Schema: streamSchema, Variant: party.Float64Variant, TPShards: k}
+		tpEnd := func(s string) bool {
+			return s == party.TPName || strings.HasPrefix(s, party.TPName+"#")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linkSeed := uint64(0)
+			tpLink := func(owner, peer string, c wire.Conduit) wire.Conduit {
+				if !tpEnd(owner) && !tpEnd(peer) {
+					return c
+				}
+				linkSeed++
+				return wire.Link(c, time.Millisecond, 0, 64<<20, linkSeed)
+			}
+			if _, err := party.RunInMemoryWrapped(cfg, bothParts, nil, detRandom, tpLink); err != nil {
+				b.Fatal(err)
+			}
+		}
+		peak := 0
+		for _, r := range dissim.ShardRanges(1200, k) {
+			if cells := r[1]*(r[1]-1)/2 - r[0]*(r[0]-1)/2; 8*cells > peak {
+				peak = 8 * cells
+			}
+		}
+		b.ReportMetric(float64(peak), "shard-peak-bytes")
+	}
+
 	return []struct {
 		name string
 		n    int
@@ -446,6 +491,9 @@ func benchFamilies() []struct {
 		{"session-stream/both-large-chunk-64k", 1200, func(b *testing.B) { sessionStream(b, bothParts, false, 64<<10) }},
 		{"session-multitenant/4x120", 480, func(b *testing.B) { multiTenant(b, 4, 60) }},
 		{"session-multitenant/1x480", 480, func(b *testing.B) { multiTenant(b, 1, 240) }},
+		{"session-sharded/shards-1", 1200, func(b *testing.B) { sessionSharded(b, 1) }},
+		{"session-sharded/shards-2", 1200, func(b *testing.B) { sessionSharded(b, 2) }},
+		{"session-sharded/shards-4", 1200, func(b *testing.B) { sessionSharded(b, 4) }},
 		{"editdist-ccm-scratch", 24, func(b *testing.B) {
 			sc := editdist.MustUnitScratch()
 			b.ReportAllocs()
@@ -493,6 +541,7 @@ func runBenchJSON(w io.Writer, path string) error {
 				GoMaxProc:      gmp,
 				P99Ns:          r.Extra["p99-ns"],
 				SessionsPerSec: r.Extra["sessions/sec"],
+				ShardPeakBytes: r.Extra["shard-peak-bytes"],
 			}
 			results = append(results, res)
 			fmt.Fprintf(w, "%-28s %12.0f ns/op %8d allocs/op %10d B/op\n",

@@ -15,11 +15,14 @@
 //	    -holders A,B,C -peers A=hostA:9001,B=hostB:9002 -schema ...
 //
 // Against a multi-tenant third party, add -session to name the tenant
-// session: the holder sends the extended hello, waits for the typed
+// session: the holder sends the versioned hello, waits for the typed
 // admission response, and exits with code 5 when the server refuses
 // (retrying first, with capped exponential backoff, when the refusal is
-// retryable — e.g. the server is draining). All dials retry transient
-// failures under -connect-retries / -connect-backoff.
+// retryable — e.g. the server is draining). The routing admission carries
+// the server's TP shard count: when the third party is sharded (ppc-tp
+// -shards K), the holder automatically dials one extra connection per
+// shard lane — no holder-side flag. All dials retry transient failures
+// under -connect-retries / -connect-backoff.
 package main
 
 import (
@@ -186,16 +189,33 @@ func run() error {
 		rnd:     mrand.New(mrand.NewSource(time.Now().UnixNano())),
 	}
 
-	// Dial the third party. With -session the extended hello names the
-	// tenant session and the admission response is awaited — a typed
+	// Dial the third party. With -session the versioned hello names the
+	// tenant session and the routing admission is awaited — a typed
 	// refusal (capacity, budget, version skew, …) surfaces here instead of
-	// a hang or a dead socket mid-protocol. Retryable refusals (server
-	// draining) re-dial under the same backoff as connect failures.
-	tpConn, err := d.dial("third party", *tpAddr, tpHandshake(*name, *session))
+	// a hang or a dead socket mid-protocol, and the accept carries the
+	// session's TP shard count. Retryable refusals (server draining)
+	// re-dial under the same backoff as connect failures.
+	tpShards := 1
+	tpConn, err := d.dial("third party", *tpAddr, tpHandshake(*name, *session, &tpShards))
 	if err != nil {
 		return fmt.Errorf("dialing third party: %w", err)
 	}
 	conns[ppclust.ThirdPartyName] = tpConn
+
+	// A sharded third party needs one extra connection per shard lane; the
+	// server matches them into the session by (name, session, shard).
+	if tpShards > 1 {
+		log.Printf("third party shards the session %d ways; dialing shard lanes", tpShards)
+		for s := 0; s < tpShards; s++ {
+			shardConn, err := d.dial(fmt.Sprintf("third party shard %d", s), *tpAddr,
+				shardHandshake(*name, *session, s))
+			if err != nil {
+				return fmt.Errorf("dialing third party shard %d: %w", s, err)
+			}
+			conns[ppclust.TPShardConduitName(s)] = shardConn
+		}
+	}
+	opts.TPShards = tpShards
 
 	// Dial every lower-named peer.
 	var expectHigher []string
@@ -276,18 +296,38 @@ func run() error {
 	return nil
 }
 
-// tpHandshake announces to the third party: the extended session hello
-// followed by the admission wait when a session ID is set, the legacy
-// name-only preamble otherwise.
-func tpHandshake(name, session string) func(net.Conn) error {
+// tpHandshake announces to the third party: the versioned session hello
+// followed by the routing-admission wait when a session ID is set — the
+// accept carries the session's TP shard count, written to *shards — and
+// the legacy name-only preamble otherwise.
+func tpHandshake(name, session string, shards *int) func(net.Conn) error {
 	return func(c net.Conn) error {
 		if session == "" {
 			return netid.AnnounceWithin(c, name, handshakeTimeout)
 		}
-		if err := netid.AnnounceSessionWithin(c, name, session, handshakeTimeout); err != nil {
+		if err := netid.AnnounceSessionShardWithin(c, name, session, -1, handshakeTimeout); err != nil {
 			return err
 		}
-		return netid.AwaitAdmission(c, admissionTimeout)
+		k, err := netid.AwaitAdmissionRouting(c, admissionTimeout)
+		if err != nil {
+			return err
+		}
+		if shards != nil {
+			*shards = k
+		}
+		return nil
+	}
+}
+
+// shardHandshake announces one shard-lane connection: the versioned hello
+// carrying the lane index, then the routing-admission wait.
+func shardHandshake(name, session string, shard int) func(net.Conn) error {
+	return func(c net.Conn) error {
+		if err := netid.AnnounceSessionShardWithin(c, name, session, shard, handshakeTimeout); err != nil {
+			return err
+		}
+		_, err := netid.AwaitAdmissionRouting(c, admissionTimeout)
+		return err
 	}
 }
 

@@ -43,7 +43,7 @@ func admissionServer(t *testing.T, script []*netid.RejectedError) (addr string, 
 					netid.SendReject(conn, script[i].Code, script[i].Detail)
 					return
 				}
-				netid.SendAccept(conn)
+				netid.SendAcceptRouting(conn, 1)
 				// Keep the accepted connection open until the dialer is done
 				// with it; closing immediately could race the accept read.
 				time.Sleep(50 * time.Millisecond)
@@ -75,11 +75,11 @@ func TestDialRetriesConnectFailuresThenSucceeds(t *testing.T) {
 		}
 		defer conn.Close()
 		if _, err := netid.AcceptHelloWithin(conn, time.Second); err == nil {
-			netid.SendAccept(conn)
+			netid.SendAcceptRouting(conn, 1)
 			time.Sleep(50 * time.Millisecond)
 		}
 	}()
-	conn, err := testDialer(10).dial("third party", addr, tpHandshake("A", "s1"))
+	conn, err := testDialer(10).dial("third party", addr, tpHandshake("A", "s1", nil))
 	if err != nil {
 		t.Fatalf("dial never recovered: %v", err)
 	}
@@ -94,7 +94,7 @@ func TestDialTypedRefusalIsFinal(t *testing.T) {
 		{Code: netid.RejectCapacity, Detail: "full"},
 		{Code: netid.RejectCapacity, Detail: "full"},
 	})
-	_, err := testDialer(5).dial("third party", addr, tpHandshake("A", "s1"))
+	_, err := testDialer(5).dial("third party", addr, tpHandshake("A", "s1", nil))
 	if err == nil {
 		t.Fatal("refused dial succeeded")
 	}
@@ -120,7 +120,7 @@ func TestDialRetryableRefusalRetries(t *testing.T) {
 		{Code: netid.RejectDraining, Detail: "draining"},
 		nil, // second attempt admitted
 	})
-	conn, err := testDialer(5).dial("third party", addr, tpHandshake("A", "s1"))
+	conn, err := testDialer(5).dial("third party", addr, tpHandshake("A", "s1", nil))
 	if err != nil {
 		t.Fatalf("dial did not survive a retryable refusal: %v", err)
 	}
@@ -137,7 +137,7 @@ func TestDialGivesUpAfterRetries(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close() // nothing listens: every dial fails
-	_, err = testDialer(3).dial("third party", addr, tpHandshake("A", "s1"))
+	_, err = testDialer(3).dial("third party", addr, tpHandshake("A", "s1", nil))
 	if err == nil {
 		t.Fatal("dial to a dead address succeeded")
 	}
@@ -193,7 +193,7 @@ func TestLegacyHandshakeSendsNoSession(t *testing.T) {
 		}
 		// Deliberately send nothing back: legacy clients must not wait.
 	}()
-	conn, err := testDialer(1).dial("third party", ln.Addr().String(), tpHandshake("B", ""))
+	conn, err := testDialer(1).dial("third party", ln.Addr().String(), tpHandshake("B", "", nil))
 	if err != nil {
 		t.Fatalf("legacy dial: %v", err)
 	}

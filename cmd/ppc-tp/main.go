@@ -3,7 +3,11 @@
 // session ID are matched into one session, many sessions run concurrently
 // under admission control and resource budgets, and a termination signal
 // drains gracefully. The -once flag restores the historical single-session
-// behaviour: serve exactly one session, print its report, exit.
+// behaviour: serve exactly one session, print its report, exit. The
+// -shards flag splits each session's third party into K row-range shards
+// behind a merge coordinator — holders learn the shard count from the
+// routing admission and dial one extra connection per shard; reports are
+// bit-identical to the single-TP path at every K.
 //
 // Usage:
 //
@@ -75,6 +79,7 @@ func run() error {
 	schemaFlag := flag.String("schema", "", "schema spec, e.g. age:numeric,seq:alphanumeric:dna (required)")
 	perPair := flag.Bool("perpair", false, "use per-pair masking (frequency-attack countermeasure)")
 	variant := flag.String("variant", "float64", "numeric arithmetic: float64, int64 or modp")
+	shards := flag.Int("shards", 1, "row-range TP shards per session (1 = single third party; results are bit-identical at every setting)")
 	sessionTimeout := flag.Duration("session-timeout", 0, "bound on each tenant session (0 = unbounded)")
 	phaseTimeout := flag.Duration("phase-timeout", 2*time.Minute, "watchdog bound on per-session inactivity (0 = disabled)")
 	maxSessions := flag.Int("max-sessions", 4, "concurrently admitted tenant sessions")
@@ -104,6 +109,7 @@ func run() error {
 	}
 	opts.SessionTimeout = *sessionTimeout
 	opts.PhaseTimeout = *phaseTimeout
+	opts.TPShards = *shards
 
 	if *once {
 		*maxSessions = 1
@@ -143,8 +149,8 @@ func run() error {
 		return err
 	}
 	defer ln.Close()
-	log.Printf("third party listening on %s for holders %v (max-sessions=%d queue=%d)",
-		ln.Addr(), holders, *maxSessions, *queueDepth)
+	log.Printf("third party listening on %s for holders %v (max-sessions=%d queue=%d shards=%d)",
+		ln.Addr(), holders, *maxSessions, *queueDepth, *shards)
 
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(ln, ppclust.TPServeConfig{}) }()

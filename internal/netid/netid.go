@@ -30,10 +30,21 @@ const maxName = 64
 // maxSession bounds announced session IDs.
 const maxSession = 64
 
-// Version is the extended-hello protocol version this package speaks. An
-// acceptor refuses hellos from the future (RejectVersion) rather than
-// guessing at their layout.
+// Version is the baseline extended-hello protocol version. An acceptor
+// refuses hellos from the future (RejectVersion) rather than guessing at
+// their layout.
 const Version = 1
+
+// VersionSharded is the extended-hello version that adds a one-byte shard
+// lane to the preamble, so a sharded third-party server can route a
+// holder's control connection and its K shard connections on one
+// listener. Version-2 hellos are answered with a routing admission
+// (SendAcceptRouting) that carries the session's shard count.
+const VersionSharded = 2
+
+// MaxShards bounds the shard index a version-2 hello can carry (the lane
+// byte reserves 0x00 for the control connection).
+const MaxShards = 254
 
 // magicExtended marks an extended hello. It is deliberately an invalid
 // legacy name length (> maxName), so a legacy acceptor that receives an
@@ -116,6 +127,12 @@ type Hello struct {
 	Name    string
 	Session string
 	Version int
+	// Lane is the TP conduit lane a version-2 hello announces, in wire
+	// form: 0 for the control connection (and for every version-0/1
+	// hello, which predate lanes), s+1 for the conduit to TP shard s.
+	// The zero value is the control lane, so hand-built hellos route like
+	// legacy ones.
+	Lane int
 }
 
 // Extended reports whether the hello used the extended form — only then
@@ -143,6 +160,44 @@ func AnnounceSession(conn net.Conn, name, session string) error {
 	return err
 }
 
+// AnnounceSessionShard writes the version-2 hello: the extended fields
+// plus the shard lane byte. shard -1 announces the control connection,
+// shard s >= 0 the conduit to TP shard s. The acceptor answers with a
+// routing admission carrying the session's shard count
+// (AwaitAdmissionRouting); acceptors that only speak version 1 refuse the
+// hello with RejectVersion.
+func AnnounceSessionShard(conn net.Conn, name, session string, shard int) error {
+	if name == "" || len(name) > maxName {
+		return fmt.Errorf("netid: invalid name %q", name)
+	}
+	if len(session) > maxSession {
+		return fmt.Errorf("netid: session ID %q longer than %d bytes", session, maxSession)
+	}
+	if shard < -1 || shard >= MaxShards {
+		return fmt.Errorf("netid: shard %d outside [-1, %d)", shard, MaxShards)
+	}
+	buf := make([]byte, 0, 5+len(name)+len(session))
+	buf = append(buf, magicExtended, VersionSharded, byte(len(name)))
+	buf = append(buf, name...)
+	buf = append(buf, byte(len(session)))
+	buf = append(buf, session...)
+	buf = append(buf, byte(shard+1))
+	_, err := conn.Write(buf)
+	return err
+}
+
+// AnnounceSessionShardWithin is AnnounceSessionShard under a write
+// deadline, cleared before returning (cf. AnnounceWithin).
+func AnnounceSessionShardWithin(conn net.Conn, name, session string, shard int, timeout time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if err := AnnounceSessionShard(conn, name, session, shard); err != nil {
+		return err
+	}
+	return conn.SetWriteDeadline(time.Time{})
+}
+
 // AnnounceSessionWithin is AnnounceSession under a write deadline, cleared
 // before returning (cf. AnnounceWithin).
 func AnnounceSessionWithin(conn net.Conn, name, session string, timeout time.Duration) error {
@@ -159,10 +214,11 @@ func AnnounceSessionWithin(conn net.Conn, name, session string, timeout time.Dur
 // byte distinguishes a legacy length prefix from the extended magic. A
 // legacy hello parses to Version 0 and the default (empty) session, which
 // is how old single-session holders keep working against a multi-tenant
-// acceptor. A hello claiming a version newer than this package understands
-// is returned intact with its claimed Version — the acceptor decides
-// whether to refuse it (RejectVersion) rather than this layer guessing at
-// an unknown layout; bytes past the version-1 fields stay unread, so the
+// acceptor. A version-2 hello additionally carries the shard lane byte. A
+// hello claiming a version newer than this package understands is
+// returned intact with its claimed Version — the acceptor decides whether
+// to refuse it (RejectVersion) rather than this layer guessing at an
+// unknown layout; bytes past the version-2 fields stay unread, so the
 // refusal must close the connection.
 func AcceptHello(conn net.Conn) (Hello, error) {
 	var first [1]byte
@@ -208,7 +264,15 @@ func AcceptHello(conn net.Conn) (Hello, error) {
 	if _, err := io.ReadFull(conn, session); err != nil {
 		return Hello{}, fmt.Errorf("netid: reading session: %w", err)
 	}
-	return Hello{Name: string(name), Session: string(session), Version: int(ver[0])}, nil
+	h := Hello{Name: string(name), Session: string(session), Version: int(ver[0])}
+	if ver[0] == VersionSharded {
+		var lane [1]byte
+		if _, err := io.ReadFull(conn, lane[:]); err != nil {
+			return Hello{}, fmt.Errorf("netid: reading shard lane: %w", err)
+		}
+		h.Lane = int(lane[0])
+	}
+	return h, nil
 }
 
 // AcceptHelloWithin is AcceptHello under a read deadline, cleared before
@@ -318,6 +382,21 @@ func SendAccept(conn net.Conn) error {
 	return err
 }
 
+// SendAcceptRouting answers a version-2 hello with admission plus the
+// routing preamble: the session's TP shard count. The dialer is expected
+// to establish one conduit per shard (to ShardName(0..shards-1)) before
+// the party handshake; shards == 1 means the single-TP path with no shard
+// conduits. Version-1 dialers never receive this form — they cannot read
+// the count, so a sharded server admits them only when shards == 1
+// (SendAccept) and refuses otherwise (RejectVersion).
+func SendAcceptRouting(conn net.Conn, shards int) error {
+	if shards < 1 || shards > MaxShards {
+		return fmt.Errorf("netid: shard count %d outside [1, %d]", shards, MaxShards)
+	}
+	_, err := conn.Write([]byte{statusAccept, byte(shards)})
+	return err
+}
+
 // SendReject answers an extended hello with a typed refusal and detail
 // (truncated to a bounded length). The caller closes the connection after;
 // nothing may follow a reject frame.
@@ -352,20 +431,55 @@ func AwaitAdmission(conn net.Conn, timeout time.Duration) error {
 	case statusAccept:
 		return conn.SetReadDeadline(time.Time{})
 	case statusReject:
-		var hdr [3]byte
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return fmt.Errorf("netid: reading reject frame: %w", err)
-		}
-		n := binary.BigEndian.Uint16(hdr[1:3])
-		if n > maxRejectDetail {
-			return fmt.Errorf("netid: reject detail length %d exceeds %d", n, maxRejectDetail)
-		}
-		detail := make([]byte, n)
-		if _, err := io.ReadFull(conn, detail); err != nil {
-			return fmt.Errorf("netid: reading reject detail: %w", err)
-		}
-		return &RejectedError{Code: RejectCode(hdr[0]), Detail: string(detail)}
+		return readReject(conn)
 	default:
 		return fmt.Errorf("netid: invalid admission response status %d", status[0])
 	}
+}
+
+// AwaitAdmissionRouting reads the routing admission that follows a
+// version-2 hello: the session's TP shard count on accept, a
+// *RejectedError on a typed refusal. Deadline semantics match
+// AwaitAdmission.
+func AwaitAdmissionRouting(conn net.Conn, timeout time.Duration) (int, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return 0, fmt.Errorf("netid: reading admission response: %w", err)
+	}
+	switch status[0] {
+	case statusAccept:
+		var count [1]byte
+		if _, err := io.ReadFull(conn, count[:]); err != nil {
+			return 0, fmt.Errorf("netid: reading shard count: %w", err)
+		}
+		if count[0] < 1 {
+			return 0, fmt.Errorf("netid: invalid shard count %d", count[0])
+		}
+		return int(count[0]), conn.SetReadDeadline(time.Time{})
+	case statusReject:
+		return 0, readReject(conn)
+	default:
+		return 0, fmt.Errorf("netid: invalid admission response status %d", status[0])
+	}
+}
+
+// readReject parses the typed refusal frame that follows a reject status
+// byte.
+func readReject(conn net.Conn) error {
+	var hdr [3]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return fmt.Errorf("netid: reading reject frame: %w", err)
+	}
+	n := binary.BigEndian.Uint16(hdr[1:3])
+	if n > maxRejectDetail {
+		return fmt.Errorf("netid: reject detail length %d exceeds %d", n, maxRejectDetail)
+	}
+	detail := make([]byte, n)
+	if _, err := io.ReadFull(conn, detail); err != nil {
+		return fmt.Errorf("netid: reading reject detail: %w", err)
+	}
+	return &RejectedError{Code: RejectCode(hdr[0]), Detail: string(detail)}
 }

@@ -120,19 +120,23 @@ func TestAnnounceSessionValidation(t *testing.T) {
 }
 
 func TestFutureVersionHelloSurvivesParse(t *testing.T) {
-	// A version-2 hello parses through the version-1 fields and reports
-	// its claimed version, so the acceptor can refuse it with RejectVersion
-	// instead of a parse error.
+	// A version-3 hello parses through the version-2 fields known to this
+	// package (minus the shard lane, which only version 2 defines) and
+	// reports its claimed version, so the acceptor can refuse it with
+	// RejectVersion instead of a parse error.
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	go a.Write([]byte{magicExtended, 2, 1, 'H', 2, 's', '2'})
+	go a.Write([]byte{magicExtended, 3, 1, 'H', 2, 's', '2'})
 	h, err := AcceptHello(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Version != 2 || h.Name != "H" || h.Session != "s2" {
+	if h.Version != 3 || h.Name != "H" || h.Session != "s2" {
 		t.Fatalf("hello = %+v", h)
+	}
+	if h.Lane != 0 {
+		t.Fatalf("future hello claims lane %d, want 0", h.Lane)
 	}
 }
 
@@ -229,5 +233,102 @@ func TestAcceptWithinTimesOutOnSilentClient(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardedHelloRoundTrip covers the version-2 preamble end to end: the
+// control hello (shard -1, wire lane 0) and shard-lane hellos round-trip
+// name, session, version and lane through AnnounceSessionShardWithin /
+// AcceptHello.
+func TestShardedHelloRoundTrip(t *testing.T) {
+	for _, shard := range []int{-1, 0, 3} {
+		a, b := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- AnnounceSessionShardWithin(a, "HolderA", "tenant-7", shard, time.Second) }()
+		h, err := AcceptHelloWithin(b, time.Second)
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		if h.Name != "HolderA" || h.Session != "tenant-7" || h.Version != VersionSharded {
+			t.Fatalf("shard %d: hello = %+v", shard, h)
+		}
+		if h.Lane != shard+1 {
+			t.Fatalf("shard %d: lane = %d, want %d", shard, h.Lane, shard+1)
+		}
+		if !h.Extended() {
+			t.Fatalf("shard %d: sharded hello not marked extended", shard)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+func TestAnnounceSessionShardValidation(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := AnnounceSessionShard(a, "H", "s", -2); err == nil {
+		t.Fatal("shard -2 accepted")
+	}
+	if err := AnnounceSessionShard(a, "H", "s", MaxShards); err == nil {
+		t.Fatalf("shard %d accepted", MaxShards)
+	}
+}
+
+// TestRoutingAdmission: the routing accept carries the session's shard
+// count to the holder; rejects flow through the same typed path as the
+// version-1 admission; and a plain version-1 accept (no count byte) is a
+// descriptive error, never a misparse or a hang.
+func TestRoutingAdmission(t *testing.T) {
+	serve := func(f func(c net.Conn) error) (net.Conn, chan error) {
+		a, b := net.Pipe()
+		t.Cleanup(func() { a.Close(); b.Close() })
+		done := make(chan error, 1)
+		go func() { done <- f(a) }()
+		return b, done
+	}
+
+	b, done := serve(func(c net.Conn) error { return SendAcceptRouting(c, 4) })
+	k, err := AwaitAdmissionRouting(b, time.Second)
+	if err != nil || k != 4 {
+		t.Fatalf("routing accept: k=%d err=%v, want 4", k, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	b, done = serve(func(c net.Conn) error { return SendReject(c, RejectVersion, "no") })
+	if _, err := AwaitAdmissionRouting(b, time.Second); !errors.Is(err, ErrRejected) {
+		t.Fatalf("routing reject: %v, want ErrRejected", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// A v1 accept closes (or stalls) before the count byte arrives.
+	b, done = serve(func(c net.Conn) error {
+		if err := SendAccept(c); err != nil {
+			return err
+		}
+		return c.Close()
+	})
+	if k, err := AwaitAdmissionRouting(b, time.Second); err == nil {
+		t.Fatalf("count-less accept parsed as %d shards", k)
+	}
+	<-done
+}
+
+func TestSendAcceptRoutingValidation(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := SendAcceptRouting(a, 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if err := SendAcceptRouting(a, MaxShards+1); err == nil {
+		t.Fatalf("%d shards accepted", MaxShards+1)
 	}
 }

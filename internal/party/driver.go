@@ -108,6 +108,29 @@ func RunInMemoryWrappedContext(ctx context.Context, cfg Config, parts []dataset.
 		}
 		addLink(holders[i], TPName)
 	}
+	// Shard conduits: one extra link per (holder, shard) when the session
+	// shards the third party. The holder keys its end by the shard name;
+	// the third party keys every shard end by ShardConduitKey, so one flat
+	// conduit map carries all K+1 lanes per holder. Traffic names the links
+	// "A->TP#0" / "TP#0->A".
+	if k := cfg.shardCount(); k > 1 {
+		for _, h := range holders {
+			for s := 0; s < k; s++ {
+				name := ShardName(s)
+				ca, cb := wire.Pipe()
+				raw = append(raw, ca, cb)
+				ctrA, ctrB := &wire.Counter{}, &wire.Counter{}
+				traffic[LinkName(h, name)] = ctrA
+				traffic[LinkName(name, h)] = ctrB
+				wa, wb := ca, cb
+				if wrap != nil {
+					wa, wb = wrap(h, name, ca), wrap(name, h, cb)
+				}
+				conduitFor[h][name] = wire.Meter(wa, ctrA)
+				conduitFor[TPName][ShardConduitKey(h, s)] = wire.Meter(wb, ctrB)
+			}
+		}
+	}
 	closeAll := func() {
 		for _, c := range raw {
 			c.Close()

@@ -33,11 +33,19 @@ type Holder struct {
 
 	identity *keys.Identity
 	tp       *wire.Endpoint
+	shards   []*wire.Endpoint // TP shard endpoints; empty on the single-TP path
 	peers    map[string]*wire.Endpoint
 	masters  map[string][]byte // pairwise master secrets by peer name
 	counts   map[string]int
 	groupKey detenc.Key
 	guard    *guard
+
+	// Sharded routing, derived from the census (see exchangeCensus):
+	// shardRanges is the global row partition, offset this holder's global
+	// row offset — together they tell the holder which shard owns each of
+	// its rows.
+	shardRanges [][2]int
+	offset      int
 }
 
 // NewHolder prepares a data holder named name holding table, with direct
@@ -71,6 +79,13 @@ func NewHolder(name string, table *dataset.Table, holders []string, cfg Config, 
 	}
 	if conduits[TPName] == nil {
 		return nil, fmt.Errorf("party: holder %s missing conduit to %s", name, TPName)
+	}
+	if k := cfg.shardCount(); k > 1 {
+		for s := 0; s < k; s++ {
+			if conduits[ShardName(s)] == nil {
+				return nil, fmt.Errorf("party: holder %s missing conduit to %s", name, ShardName(s))
+			}
+		}
 	}
 	h := &Holder{
 		name:    name,
@@ -152,6 +167,46 @@ func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
 			h.tp = ep
 		} else {
 			h.peers[peer] = ep
+		}
+	}
+	// Shard conduits, ascending, right after the TP control conduit — the
+	// same order the third party handshakes them in, and both sides send
+	// their hello before reading the peer's, so no conduit ordering can
+	// deadlock. The shards present the TP identity (the master must match
+	// the control conduit's), but each conduit derives its own channel key
+	// salted by the shard name.
+	if k := h.cfg.shardCount(); k > 1 {
+		h.shards = make([]*wire.Endpoint, k)
+		for s := 0; s < k; s++ {
+			name := ShardName(s)
+			bound := h.guard.bind(conduits[name])
+			ep := wire.NewEndpoint(bound)
+			if err := ep.SendBody(wire.Message{From: h.name, To: name, Kind: kindHello, Attr: -1}, hello); err != nil {
+				return fmt.Errorf("party: %s hello to %s: %w", h.name, name, err)
+			}
+			var peerHello helloBody
+			if _, err := expectMsg(ep, kindHello, &peerHello); err != nil {
+				return fmt.Errorf("party: %s hello from %s: %w", h.name, name, err)
+			}
+			if peerHello.Fingerprint != fp {
+				return fmt.Errorf("party: %s and %s disagree on the schema", h.name, name)
+			}
+			master, err := h.identity.Master(peerHello.Public)
+			if err != nil {
+				return fmt.Errorf("party: %s master with %s: %w", h.name, name, err)
+			}
+			if string(master) != string(h.masters[TPName]) {
+				return fmt.Errorf("party: %s presented a different identity than %s", name, TPName)
+			}
+			secured := bound
+			if !h.cfg.PlaintextChannels {
+				key := keys.DeriveKey(master, keys.PurposeChannel, h.name, name)
+				secured, err = wire.Secure(bound, key, true)
+				if err != nil {
+					return err
+				}
+			}
+			h.shards[s] = wire.NewEndpoint(secured)
 		}
 	}
 	// With every channel established the holder can explain a failure to
@@ -242,6 +297,18 @@ func (h *Holder) exchangeCensus() error {
 	}
 	if h.counts[h.name] != h.table.Len() {
 		return fmt.Errorf("party: census miscounts %s", h.name)
+	}
+	if k := h.cfg.shardCount(); k > 1 {
+		// The census fixes the global row layout, so the shard partition —
+		// identical to the coordinator's — is known from here on.
+		total := 0
+		for i, c := range census.Counts {
+			if i < h.index {
+				h.offset += c
+			}
+			total += c
+		}
+		h.shardRanges = dissim.ShardRanges(total, k)
 	}
 	return nil
 }
@@ -362,6 +429,25 @@ func (h *Holder) sendLocalMatrix(attr int) error {
 		return err
 	}
 	local := dissim.FromLocalPar(h.table.Len(), h.workers, distFn)
+	if len(h.shards) > 0 {
+		// Sharded routing: each shard receives exactly the rows it owns,
+		// chunked by the range-restricted schedule the shard derives too.
+		// Shards the holder's rows don't intersect receive nothing.
+		for s, r := range h.shardRanges {
+			llo, lhi := shardRowsOf(r[0], r[1], h.offset, local.N())
+			if llo >= lhi {
+				continue
+			}
+			msg := wire.Message{From: h.name, To: ShardName(s), Kind: kindLocal, Attr: attr}
+			for _, ch := range h.cfg.localChunksRange(llo, lhi) {
+				body := localBody{N: local.N(), Lo: ch[0], Hi: ch[1], Cells: local.PackedRowsView(ch[0], ch[1])}
+				if err := h.shards[s].SendBody(msg, body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	for _, ch := range h.cfg.localChunks(local.N()) {
 		msg := wire.Message{From: h.name, To: TPName, Kind: kindLocal, Attr: attr}
 		body := localBody{N: local.N(), Lo: ch[0], Hi: ch[1], Cells: local.PackedRowsView(ch[0], ch[1])}
@@ -475,27 +561,70 @@ func (h *Holder) initiate(attr int, j, k string) error {
 		return err
 	}
 	responderRows := h.counts[k]
-	var body numDisguisedBody
+	var full numDisguisedBody
 	switch h.cfg.Variant {
 	case Float64Variant:
-		body.Float, err = h.eng.NumericInitiatorFloat(col, jk, jt, h.cfg.FloatParams, h.cfg.Mode, responderRows)
+		full.Float, err = h.eng.NumericInitiatorFloat(col, jk, jt, h.cfg.FloatParams, h.cfg.Mode, responderRows)
 	case Int64Variant:
 		ints, cerr := toInts(col, h.cfg.IntParams)
 		if cerr != nil {
 			return cerr
 		}
-		body.Int, err = h.eng.NumericInitiatorInt(ints, jk, jt, h.cfg.IntParams, h.cfg.Mode, responderRows)
+		full.Int, err = h.eng.NumericInitiatorInt(ints, jk, jt, h.cfg.IntParams, h.cfg.Mode, responderRows)
 	case ModPVariant:
 		ints, cerr := toIntsUnbounded(col)
 		if cerr != nil {
 			return cerr
 		}
-		body.ModP, err = h.eng.NumericInitiatorModP(ints, jk, jt, h.cfg.Mode, responderRows)
+		full.ModP, err = h.eng.NumericInitiatorModP(ints, jk, jt, h.cfg.Mode, responderRows)
 	}
 	if err != nil {
 		return err
 	}
-	return h.peers[k].SendBody(msg, body)
+	// The disguised matrix streams as bounded row-range chunks in the
+	// shared pairChunks schedule — it is responderRows×cols in per-pair
+	// mode, the session's last partition-quadratic payload to be chunked,
+	// so a monolithic frame would re-impose the wire.MaxFrame ceiling the
+	// rest of the session has shed. Batch mode disguises a single masked
+	// row and travels as one frame under any budget. The chunk bodies are
+	// zero-copy sub-matrix views of a payload dropped right after the
+	// final chunk.
+	disgRows := disguisedRows(h.cfg.Mode, responderRows)
+	for _, ch := range h.cfg.pairChunks(a.Type, disgRows, len(col)) {
+		if err := h.peers[k].SendBody(msg, disguisedView(&full, disgRows, ch)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// disguisedRows is the row count of one pair's disguised matrix — the
+// shape both ends derive independently (the responder needs it to compute
+// the chunk schedule before the first frame): the responder's census count
+// in per-pair mode, one masked row in batch mode.
+func disguisedRows(mode protocol.Mode, responderRows int) int {
+	if mode == protocol.PerPair {
+		return responderRows
+	}
+	return 1
+}
+
+// disguisedView is the zero-copy row-range chunk [ch[0], ch[1]) of a
+// disguised matrix, mirroring the numSBody sub-views of respond.
+func disguisedView(full *numDisguisedBody, rows int, ch [2]int) numDisguisedBody {
+	body := numDisguisedBody{Rows: rows, Lo: ch[0], Hi: ch[1]}
+	switch {
+	case full.Float != nil:
+		body.Float = &protocol.Float64Matrix{Rows: ch[1] - ch[0], Cols: full.Float.Cols,
+			Cell: full.Float.Cell[ch[0]*full.Float.Cols : ch[1]*full.Float.Cols]}
+	case full.Int != nil:
+		body.Int = &protocol.Int64Matrix{Rows: ch[1] - ch[0], Cols: full.Int.Cols,
+			Cell: full.Int.Cell[ch[0]*full.Int.Cols : ch[1]*full.Int.Cols]}
+	case full.ModP != nil:
+		body.ModP = &protocol.ElementMatrix{Rows: ch[1] - ch[0], Cols: full.ModP.Cols,
+			Cell: full.ModP.Cell[ch[0]*full.ModP.Cols : ch[1]*full.ModP.Cols]}
+	}
+	return body
 }
 
 // respond is the DHK role for one (attribute, pair): combine the
@@ -537,6 +666,23 @@ func (h *Holder) respond(attr int, j, k string) error {
 		}
 		m := h.eng.AlphaResponder(own, disg.Strings, a.Alphabet)
 		msg.Kind = kindAlphaM
+		if len(h.shards) > 0 {
+			for sh, r := range h.shardRanges {
+				rlo, rhi := shardRowsOf(r[0], r[1], h.offset, rows)
+				if rlo >= rhi {
+					continue
+				}
+				smsg := msg
+				smsg.To = ShardName(sh)
+				for _, ch := range h.cfg.pairChunksRange(a.Type, rlo, rhi, cols) {
+					body := alphaMBody{Rows: rows, Lo: ch[0], Hi: ch[1], M: m[ch[0]:ch[1]]}
+					if err := h.shards[sh].SendBody(smsg, body); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
 		for _, ch := range h.cfg.pairChunks(a.Type, rows, cols) {
 			body := alphaMBody{Rows: rows, Lo: ch[0], Hi: ch[1], M: m[ch[0]:ch[1]]}
 			if err := h.tp.SendBody(msg, body); err != nil {
@@ -546,9 +692,32 @@ func (h *Holder) respond(attr int, j, k string) error {
 		return nil
 	}
 
-	var disg numDisguisedBody
-	if _, err := expectMsg(h.peers[j], kindNumDisg, &disg); err != nil {
-		return err
+	// The disguised matrix arrives as the chunk stream initiate produces:
+	// both ends derive the identical schedule (disguisedRows × the
+	// initiator's census count), so the responder validates each frame's
+	// claimed range against its own schedule and reassembles before the
+	// combine — framing only, the combined payload is bit-identical to the
+	// former monolithic message at every chunk budget.
+	disgRows := disguisedRows(h.cfg.Mode, rows)
+	var disg numSBody
+	for ci, sched := range h.cfg.pairChunks(a.Type, disgRows, cols) {
+		var chunk numDisguisedBody
+		if _, err := expectMsg(h.peers[j], kindNumDisg, &chunk); err != nil {
+			return err
+		}
+		if chunk.Rows != disgRows {
+			return fmt.Errorf("party: %s disguised payload for pair (%s,%s) claims %d rows, expected %d",
+				j, j, k, chunk.Rows, disgRows)
+		}
+		if chunk.Lo != sched[0] || chunk.Hi != sched[1] {
+			return fmt.Errorf("party: %s pair (%s,%s) disguised chunk %d covers rows [%d,%d), schedule says [%d,%d)",
+				j, j, k, ci, chunk.Lo, chunk.Hi, sched[0], sched[1])
+		}
+		cs := numSBody{Rows: chunk.Rows, Lo: chunk.Lo, Hi: chunk.Hi,
+			Int: chunk.Int, Float: chunk.Float, ModP: chunk.ModP}
+		if err := appendNumChunk(&disg, &cs, sched, disgRows, cols); err != nil {
+			return fmt.Errorf("party: %s pair (%s,%s) disguised chunk %d %w", j, j, k, ci, err)
+		}
 	}
 	jk := rng.New(h.cfg.RNG, h.seedJK(j, attr))
 	col, err := h.numericValues(attr)
@@ -584,24 +753,46 @@ func (h *Holder) respond(attr int, j, k string) error {
 	if err != nil {
 		return err
 	}
-	for _, ch := range h.cfg.pairChunks(a.Type, rows, cols) {
-		body := numSBody{Rows: rows, Lo: ch[0], Hi: ch[1]}
-		switch {
-		case s.Float != nil:
-			body.Float = &protocol.Float64Matrix{Rows: ch[1] - ch[0], Cols: s.Float.Cols,
-				Cell: s.Float.Cell[ch[0]*s.Float.Cols : ch[1]*s.Float.Cols]}
-		case s.Int != nil:
-			body.Int = &protocol.Int64Matrix{Rows: ch[1] - ch[0], Cols: s.Int.Cols,
-				Cell: s.Int.Cell[ch[0]*s.Int.Cols : ch[1]*s.Int.Cols]}
-		case s.ModP != nil:
-			body.ModP = &protocol.ElementMatrix{Rows: ch[1] - ch[0], Cols: s.ModP.Cols,
-				Cell: s.ModP.Cell[ch[0]*s.ModP.Cols : ch[1]*s.ModP.Cols]}
+	if len(h.shards) > 0 {
+		for sh, r := range h.shardRanges {
+			rlo, rhi := shardRowsOf(r[0], r[1], h.offset, rows)
+			if rlo >= rhi {
+				continue
+			}
+			smsg := msg
+			smsg.To = ShardName(sh)
+			for _, ch := range h.cfg.pairChunksRange(a.Type, rlo, rhi, cols) {
+				if err := h.shards[sh].SendBody(smsg, numSView(&s, rows, ch)); err != nil {
+					return err
+				}
+			}
 		}
-		if err := h.tp.SendBody(msg, body); err != nil {
+		return nil
+	}
+	for _, ch := range h.cfg.pairChunks(a.Type, rows, cols) {
+		if err := h.tp.SendBody(msg, numSView(&s, rows, ch)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// numSView is the zero-copy row-range chunk [ch[0], ch[1]) of a masked S/M
+// payload.
+func numSView(s *numSBody, rows int, ch [2]int) numSBody {
+	body := numSBody{Rows: rows, Lo: ch[0], Hi: ch[1]}
+	switch {
+	case s.Float != nil:
+		body.Float = &protocol.Float64Matrix{Rows: ch[1] - ch[0], Cols: s.Float.Cols,
+			Cell: s.Float.Cell[ch[0]*s.Float.Cols : ch[1]*s.Float.Cols]}
+	case s.Int != nil:
+		body.Int = &protocol.Int64Matrix{Rows: ch[1] - ch[0], Cols: s.Int.Cols,
+			Cell: s.Int.Cell[ch[0]*s.Int.Cols : ch[1]*s.Int.Cols]}
+	case s.ModP != nil:
+		body.ModP = &protocol.ElementMatrix{Rows: ch[1] - ch[0], Cols: s.ModP.Cols,
+			Cell: s.ModP.Cell[ch[0]*s.ModP.Cols : ch[1]*s.ModP.Cols]}
+	}
+	return body
 }
 
 func (h *Holder) sendRequest() error {

@@ -103,7 +103,7 @@ func (c *kindCappingConduit) Send(frame []byte) error {
 // pairCapParts builds a two-holder numeric session in which both
 // partitions are large enough that the responder's masked S matrix (the
 // |B|×|A| comparison payload) gob-encodes well past the test cap.
-func pairCapParts(t *testing.T, rowsA, rowsB int) []dataset.Partition {
+func pairCapParts(t testing.TB, rowsA, rowsB int) []dataset.Partition {
 	t.Helper()
 	schema := dataset.Schema{Attrs: []dataset.Attribute{{Name: "x", Type: dataset.Numeric}}}
 	var parts []dataset.Partition

@@ -37,6 +37,8 @@ package party
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"ppclust/internal/dataset"
@@ -50,6 +52,23 @@ import (
 // TPName is the third party's protocol name. Holder names must differ from
 // it.
 const TPName = "TP"
+
+// MaxTPShards bounds Config.TPShards: the admission routing preamble
+// carries the shard count in one byte, with 0 reserved for the control
+// lane.
+const MaxTPShards = 254
+
+// ShardName is the conduit name of third-party shard i as a holder sees
+// it: holders key their shard conduits by it, and it salts the per-conduit
+// channel key derivation so control and shard channels never share AES-GCM
+// keys. Holder names must not collide with it (enforced alongside the
+// TPName collision check).
+func ShardName(i int) string { return TPName + "#" + strconv.Itoa(i) }
+
+// ShardConduitKey is the conduit-map key under which the third party
+// receives holder `holder`'s conduit to shard i (the TP side of the same
+// link a holder keys by ShardName(i)).
+func ShardConduitKey(holder string, i int) string { return holder + "#" + strconv.Itoa(i) }
 
 // Variant selects the arithmetic of the numeric comparison protocol.
 type Variant int
@@ -116,8 +135,25 @@ type Config struct {
 	// protocol compute with wire I/O — instead of the pipelined session
 	// engine. Reports are bit-identical either way; benchmarks use this
 	// as the baseline and differential tests pin the equivalence. Only
-	// the third party consults it.
+	// the third party consults it, and only when TPShards ≤ 1: the
+	// serial engine is the single-TP reference point the sharded path is
+	// differentially pinned against.
 	SerialTP bool
+	// TPShards splits the third party into that many row-range shards
+	// plus a merge coordinator (0 and 1 both select the single-TP path,
+	// byte-for-byte the pre-sharding code). Each shard owns a contiguous
+	// range of global triangle rows (dissim.ShardRanges over the census
+	// total): holders fan each comparison attribute's local and pairwise
+	// chunk frames to the owning shard's conduit, each shard evaluates
+	// and assembles exactly its slice, and the coordinator merges the
+	// slices and normalizes — bit-identical to the single-TP session for
+	// every K. It is part of the session agreement: holder and third
+	// party must agree (the server's admission routing preamble carries
+	// the count to holders), and every holder needs conduits named
+	// ShardName(0..K−1) next to the TPName control conduit. Tag-based
+	// attributes, census, clustering requests and results stay on the
+	// control conduit. At most MaxTPShards.
+	TPShards int
 	// LocalChunkBytes bounds the frames the session's partition-sized
 	// payloads stream in: each local dissimilarity triangle (holder→TP)
 	// and each pairwise-protocol S/M comparison matrix (responder→TP) is
@@ -241,12 +277,74 @@ func (c Config) pairChunkCount(t dataset.AttrType, rows, cols int) int {
 	return dissim.RectChunkCount(rows, cols, b/c.pairCellBytes(t))
 }
 
+// shardCount resolves TPShards: anything below 2 is the single-TP path.
+func (c Config) shardCount() int {
+	if c.TPShards < 1 {
+		return 1
+	}
+	return c.TPShards
+}
+
+// localChunksRange is localChunks restricted to triangle rows [lo, hi) —
+// the schedule of one holder's local-matrix stream toward the shard that
+// owns those rows. localChunksRange(0, n) equals localChunks(n), so the
+// single-TP schedule is the one-shard special case.
+func (c Config) localChunksRange(lo, hi int) [][2]int {
+	b := c.chunkBudgetBytes()
+	if b < 0 {
+		return [][2]int{{lo, hi}}
+	}
+	return dissim.RowChunksRange(lo, hi, b/8)
+}
+
+// pairChunksRange is pairChunks restricted to responder rows [lo, hi) —
+// the schedule of one responder→shard S/M stream for the shard owning
+// those rows. pairChunksRange(t, 0, rows, cols) equals
+// pairChunks(t, rows, cols).
+func (c Config) pairChunksRange(t dataset.AttrType, lo, hi, cols int) [][2]int {
+	b := c.chunkBudgetBytes()
+	if b < 0 {
+		return [][2]int{{lo, hi}}
+	}
+	return dissim.RectChunksRange(lo, hi, cols, b/c.pairCellBytes(t))
+}
+
+// pairChunkCountRange is len(pairChunksRange(t, lo, hi, cols)) without
+// materializing the schedule, for the shard demux lane quotas.
+func (c Config) pairChunkCountRange(t dataset.AttrType, lo, hi, cols int) int {
+	b := c.chunkBudgetBytes()
+	if b < 0 {
+		return 1
+	}
+	return dissim.RectChunkCountRange(lo, hi, cols, b/c.pairCellBytes(t))
+}
+
+// shardRowsOf intersects global triangle rows [lo, hi) with the rows a
+// holder of global offset off and object count n contributes, returning
+// the holder-local row range (empty ranges come back as [x, x)). Holder
+// and shard derive the identical intersection from the census, so both
+// know every frame's row range — and the shard demux lane quotas — before
+// the first frame moves.
+func shardRowsOf(lo, hi, off, n int) (int, int) {
+	rlo, rhi := lo-off, hi-off
+	if rlo < 0 {
+		rlo = 0
+	}
+	if rhi > n {
+		rhi = n
+	}
+	if rhi < rlo {
+		rhi = rlo
+	}
+	return rlo, rhi
+}
+
 // EstimateSessionBytes is the third party's worst-case resident memory
-// for one session of numHolders holders and totalObjects global objects
-// under this config — the admission-control number the multi-tenant
-// server reserves against its global budget before letting a session
-// start. It is a deliberate overestimate built from the same constants
-// that size the pipeline:
+// for one session of numHolders holders, totalObjects global objects and
+// `shards` TP shards (≤1 = single TP) under this config — the
+// admission-control number the multi-tenant server reserves against its
+// global budget before letting a session start. It is a deliberate
+// overestimate built from the same constants that size the pipeline:
 //
 //   - the assembled matrices: nAttr normalized attribute matrices plus
 //     one merged matrix, each a condensed float64 triangle of
@@ -256,11 +354,20 @@ func (c Config) pairChunkCount(t dataset.AttrType, rows, cols int) int {
 //   - stage scratch: pipelineDepth stages, each decoding, evaluating and
 //     installing a few chunk-sized buffers at once.
 //
+// Sharding does NOT multiply the matrix term: the K shard slices of one
+// attribute partition its triangle, so all slices resident before the
+// coordinator's merge add up to at most one extra triangle in aggregate —
+// regardless of K. What does scale with K is the per-shard plumbing: each
+// shard runs its own demuxes (mailboxes bounded by the per-shard slice,
+// not the full chunk) and its own stage scratch. Pricing the session at
+// K× the single-TP estimate would over-reserve by roughly the matrix
+// term times K−1.
+//
 // A monolithic configuration (LocalChunkBytes < 0) prices each "chunk"
 // at the full triangle, which is exactly the pre-streaming resident
 // shape. The estimate is a pure function of public shape (schema, census,
-// chunking) — it never consults private data.
-func (c Config) EstimateSessionBytes(numHolders, totalObjects int) int64 {
+// chunking, shard count) — it never consults private data.
+func (c Config) EstimateSessionBytes(numHolders, totalObjects, shards int) int64 {
 	if numHolders < 0 {
 		numHolders = 0
 	}
@@ -277,6 +384,20 @@ func (c Config) EstimateSessionBytes(numHolders, totalObjects int) int64 {
 	matrices := (nAttr + 1) * triangle
 	mailboxes := int64(numHolders) * (nAttr + 1) * laneBuffer * chunk
 	scratch := int64(pipelineDepth) * 4 * chunk
+	if shards > 1 {
+		// Aggregate resident shard slices before the merge: one extra
+		// triangle total, however many shards partition it.
+		matrices += triangle
+		// Per-shard demux mailboxes and stage scratch. A shard never
+		// buffers more than its own slice, so its chunk price is capped
+		// at the slice size.
+		shardChunk := chunk
+		if slice := triangle / int64(shards); shardChunk > slice {
+			shardChunk = slice
+		}
+		mailboxes += int64(shards) * int64(numHolders) * nAttr * laneBuffer * shardChunk
+		scratch += int64(shards) * int64(pipelineDepth) * 2 * shardChunk
+	}
 	return matrices + mailboxes + scratch
 }
 
@@ -297,6 +418,9 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.FloatParams == (protocol.FloatParams{}) {
 		c.FloatParams = protocol.DefaultFloatParams
+	}
+	if c.TPShards > MaxTPShards {
+		return c, fmt.Errorf("party: TPShards %d exceeds the maximum of %d", c.TPShards, MaxTPShards)
 	}
 	return c, nil
 }
@@ -435,11 +559,19 @@ type localBody struct {
 	Cells  []float64
 }
 
-// numDisguisedBody is the initiator→responder numeric message.
+// numDisguisedBody is one chunk of the initiator→responder numeric
+// message: rows [Lo, Hi) of the disguised matrix, streamed in the shared
+// pairChunks schedule — the same budget that bounds responder→TP frames,
+// so no session message grows with the partition. Rows is the full
+// disguised row count (the responder's census count in per-pair mode, 1
+// in batch mode), repeated per chunk so every frame validates on its own;
+// exactly one variant pointer is set, holding the (Hi−Lo)×cols sub-matrix.
 type numDisguisedBody struct {
-	Int   *protocol.Int64Matrix
-	Float *protocol.Float64Matrix
-	ModP  *protocol.ElementMatrix
+	Rows   int
+	Lo, Hi int
+	Int    *protocol.Int64Matrix
+	Float  *protocol.Float64Matrix
+	ModP   *protocol.ElementMatrix
 }
 
 // numSBody is one chunk of the responder→TP numeric message: rows
@@ -580,6 +712,11 @@ func validHolderNames(holders []string) error {
 	for _, h := range holders {
 		if h == "" || h == TPName {
 			return fmt.Errorf("party: invalid holder name %q", h)
+		}
+		if strings.Contains(h, "#") {
+			// "#" is reserved for the shard conduit namespace: ShardName
+			// on the holder side, ShardConduitKey on the third party's.
+			return fmt.Errorf("party: holder name %q may not contain '#'", h)
 		}
 		if seen[h] {
 			return fmt.Errorf("party: duplicate holder name %q", h)

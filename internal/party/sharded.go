@@ -1,0 +1,318 @@
+package party
+
+// The sharded third party splits the TP role into two composable halves:
+//
+//   - a shard owns a contiguous range of global triangle rows
+//     (dissim.ShardRanges over the census total). Holders fan each
+//     comparison attribute's local-matrix and S/M chunk frames to the
+//     owning shard's conduit; the shard demultiplexes its lanes, evaluates
+//     each chunk row-exactly (the protocol engine's *Rows methods, with
+//     AdvanceThirdParty* positioning the per-pair keystream for mid-block
+//     starts) and assembles exactly its slice with a SliceAssembler;
+//   - the coordinator runs everything else unchanged: handshake, census,
+//     the tag-based attributes, clustering requests and result publication
+//     all stay on the per-holder control conduit. When the shards finish,
+//     it concatenates their slices into each attribute's condensed matrix
+//     (SetPackedRows) and normalizes.
+//
+// Shards run in-process under the coordinator's session guard — the split
+// partitions rows, wire lanes and resident memory (each shard holds ~1/K
+// of every attribute triangle), not trust. Bit-identity with the single-TP
+// path holds for every K: chunk evaluation is sequence-identical (pinned
+// by the protocol row tests), slice assembly writes each cell exactly once
+// with the same value (pinned by the dissim slice tests), and max is
+// associative, so the merged matrix, its normalization scale and every
+// downstream clustering result match the single-TP session byte for byte.
+// TPShards ≤ 1 never reaches this file.
+
+import (
+	"fmt"
+	"sync"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/dissim"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+	"ppclust/internal/wire"
+)
+
+// attrSlice is one shard's assembled slice of one comparison attribute:
+// the packed cells of the shard's global row range plus their maximum
+// (folded into the merged matrix's max cache by SetPackedRows).
+type attrSlice struct {
+	cells []float64
+	max   float64
+}
+
+// runSharded is the coordinator's session body for TPShards > 1 —
+// the sharded counterpart of runPipelined.
+func (tp *ThirdParty) runSharded() (*TPReport, error) {
+	attrs := tp.cfg.Schema.Attrs
+	nAttr := len(attrs)
+	reqLane := nAttr
+
+	total := 0
+	offsets := make([]int, len(tp.counts))
+	for i, c := range tp.counts {
+		offsets[i] = total
+		total += c
+	}
+	// ShardRanges never emits an empty range, so fewer than K shards are
+	// active when the session has fewer rows than shards; the surplus
+	// conduits stay idle (both sides derive the same partition from the
+	// census, so holders send nothing on them either).
+	ranges := dissim.ShardRanges(total, len(tp.shardEps))
+
+	classify := func(m *wire.Message) (int, error) {
+		if m.Kind == kindAbort {
+			return 0, peerAbortError(m)
+		}
+		if m.Kind == kindRequest {
+			return reqLane, nil
+		}
+		if m.Attr < 0 || m.Attr >= nAttr {
+			return 0, fmt.Errorf("party: message %q for attribute %d outside schema", m.Kind, m.Attr)
+		}
+		return m.Attr, nil
+	}
+	// Control demuxes carry the tag columns and the clustering request
+	// only — comparison-attribute traffic flows on the shard conduits.
+	ctl := make([]*wire.Demux, len(tp.holders))
+	for hi, h := range tp.holders {
+		counts := make([]int, nAttr+1)
+		for attr, a := range attrs {
+			if tagBased(a.Type) {
+				counts[attr] = 1
+			}
+		}
+		counts[reqLane] = 1
+		ctl[hi] = wire.NewDemux(tp.eps[h], counts, laneBuffer, classify)
+	}
+	// Shard demuxes, with lane quotas restricted to each holder's row
+	// intersection with the shard. A holder with no rows in a shard sends
+	// nothing there: every quota is zero, the lanes close immediately and
+	// the reader never touches the conduit.
+	shardDemux := make([][]*wire.Demux, len(ranges))
+	for s, r := range ranges {
+		shardDemux[s] = make([]*wire.Demux, len(tp.holders))
+		for hi, h := range tp.holders {
+			llo, lhi := shardRowsOf(r[0], r[1], offsets[hi], tp.counts[hi])
+			counts := make([]int, nAttr)
+			if llo < lhi {
+				for attr, a := range attrs {
+					if tagBased(a.Type) {
+						continue
+					}
+					counts[attr] = len(tp.cfg.localChunksRange(llo, lhi))
+					for j := 0; j < hi; j++ {
+						counts[attr] += tp.cfg.pairChunkCountRange(a.Type, llo, lhi, tp.counts[j])
+					}
+				}
+			}
+			shardDemux[s][hi] = wire.NewDemux(tp.shardEps[s][h], counts, laneBuffer, classify)
+		}
+	}
+	stopAll := func() {
+		for _, d := range ctl {
+			d.Stop()
+		}
+		for _, ds := range shardDemux {
+			for _, d := range ds {
+				d.Stop()
+			}
+		}
+	}
+	defer stopAll()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			stopAll()
+		}
+		mu.Unlock()
+	}
+
+	matrices := make([]*dissim.Matrix, nAttr)
+	scales := make([]float64, nAttr)
+	slices := make([][]attrSlice, len(ranges))
+
+	var wg sync.WaitGroup
+	for s, r := range ranges {
+		slices[s] = make([]attrSlice, nAttr)
+		wg.Add(1)
+		go func(s int, r [2]int) {
+			defer wg.Done()
+			tp.runShard(s, r, shardDemux[s], slices[s], fail)
+		}(s, r)
+	}
+	// The coordinator assembles the tag-based attributes from the control
+	// lanes while the shards stream — the same stage-pool shape as the
+	// pipelined single-TP engine.
+	var tagAttrs []int
+	for attr, a := range attrs {
+		if tagBased(a.Type) {
+			tagAttrs = append(tagAttrs, attr)
+		}
+	}
+	if len(tagAttrs) > 0 {
+		tagCh := make(chan int, len(tagAttrs))
+		for _, attr := range tagAttrs {
+			tagCh <- attr
+		}
+		close(tagCh)
+		for w, width := 0, tp.stageWidth(len(tagAttrs)); w < width; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				activeStages.Add(1)
+				defer activeStages.Add(-1)
+				for attr := range tagCh {
+					var m *dissim.Matrix
+					var err error
+					if attrs[attr].Type == dataset.Categorical {
+						m, err = tp.assembleCategorical(attr, demuxSource{ds: ctl, lane: attr})
+					} else {
+						m, err = tp.assembleHierarchical(attr, demuxSource{ds: ctl, lane: attr})
+					}
+					if err != nil {
+						fail(fmt.Errorf("party: assembling attribute %q: %w", attrs[attr].Name, err))
+						return
+					}
+					scales[attr] = m.NormalizePar(tp.workers)
+					matrices[attr] = m
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Merge: concatenate each comparison attribute's shard slices into the
+	// condensed matrix and normalize. The slices partition the triangle,
+	// SetPackedRows folds each slice's maximum into the matrix's max
+	// cache, and max is associative — so the scale, and with element-wise
+	// division every cell, is bit-identical to the single-TP assembly.
+	for attr, a := range attrs {
+		if tagBased(a.Type) {
+			continue
+		}
+		m := dissim.New(total)
+		for s, r := range ranges {
+			if err := m.SetPackedRows(r[0], r[1], slices[s][attr].cells); err != nil {
+				return nil, fmt.Errorf("party: merging attribute %q slice of shard %d: %w", a.Name, s, err)
+			}
+		}
+		scales[attr] = m.NormalizePar(tp.workers)
+		matrices[attr] = m
+	}
+
+	return tp.finish(matrices, scales, func(hi int) (requestBody, error) {
+		var req requestBody
+		_, err := ctl[hi].Expect(reqLane, kindRequest, &req)
+		return req, err
+	})
+}
+
+// runShard is one shard's session body: a stage pool (bounded exactly like
+// the single-TP pipeline's) pulls the comparison attributes through
+// receive → evaluate → slice-assemble, writing each finished slice into
+// out[attr]. Errors flow through fail, which stops every demux of the
+// session so sibling shards and the coordinator unwind too.
+func (tp *ThirdParty) runShard(s int, r [2]int, demux []*wire.Demux, out []attrSlice, fail func(error)) {
+	attrs := tp.cfg.Schema.Attrs
+	var comp []int
+	for attr, a := range attrs {
+		if !tagBased(a.Type) {
+			comp = append(comp, attr)
+		}
+	}
+	if len(comp) == 0 {
+		return
+	}
+	attrCh := make(chan int, len(comp))
+	for _, attr := range comp {
+		attrCh <- attr
+	}
+	close(attrCh)
+	var wg sync.WaitGroup
+	for w, width := 0, tp.stageWidth(len(comp)); w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			activeStages.Add(1)
+			defer activeStages.Add(-1)
+			eng := tp.engines.Get()
+			defer tp.engines.Put(eng)
+			for attr := range attrCh {
+				cells, max, err := tp.assembleShardSlice(eng, r, demux, attr)
+				if err != nil {
+					fail(fmt.Errorf("party: shard %d assembling attribute %q: %w", s, attrs[attr].Name, err))
+					return
+				}
+				out[attr] = attrSlice{cells: cells, max: max}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// assembleShardSlice builds one comparison attribute's slice of global
+// rows [r[0], r[1]): each intersecting holder's local chunk frames, then
+// each pair's S/M chunk frames over the responder-row intersection — the
+// exact receive loops of the single-TP pipeline (recvLocalRows,
+// recvPairRows) over the shard-restricted schedules.
+func (tp *ThirdParty) assembleShardSlice(eng *protocol.Engine, r [2]int, demux []*wire.Demux, attr int) ([]float64, float64, error) {
+	a := tp.cfg.Schema.Attrs[attr]
+	sa, err := dissim.NewSliceAssembler(tp.counts, r[0], r[1], tp.workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	src := demuxSource{ds: demux, lane: attr}
+	for hi, h := range tp.holders {
+		llo, lhi := sa.LocalRows(hi)
+		if llo >= lhi {
+			continue
+		}
+		if err := tp.recvLocalRows(sa, src, hi, h, attr, tp.cfg.localChunksRange(llo, lhi)); err != nil {
+			return nil, 0, err
+		}
+	}
+	for _, pair := range sortedPairs(tp.holders) {
+		ji, ki := pair[0], pair[1]
+		rlo, rhi := sa.CrossRows(ki)
+		if rlo >= rhi {
+			continue
+		}
+		j, k := tp.holders[ji], tp.holders[ki]
+		cols := tp.counts[ji]
+		jt := rng.New(tp.cfg.RNG, tp.seedJT(attr, j, k))
+		// Per-pair masking consumes the keystream row-major with no
+		// re-initialization, so a shard whose range starts mid-block first
+		// draws and discards the earlier rows' masks — its first chunk
+		// then evaluates at the exact keystream position the monolithic
+		// pass would use. Batch and alphanumeric evaluation rewind per
+		// chunk and need no positioning (the Advance calls no-op).
+		if a.Type != dataset.Alphanumeric {
+			switch tp.cfg.Variant {
+			case Float64Variant:
+				eng.AdvanceThirdPartyFloat(jt, rlo, cols, tp.cfg.FloatParams, tp.cfg.Mode)
+			case Int64Variant:
+				eng.AdvanceThirdPartyInt(jt, rlo, cols, tp.cfg.IntParams, tp.cfg.Mode)
+			case ModPVariant:
+				eng.AdvanceThirdPartyModP(jt, rlo, cols, tp.cfg.Mode)
+			}
+		}
+		chunks := tp.cfg.pairChunksRange(a.Type, rlo, rhi, cols)
+		if err := tp.recvPairRows(eng, sa, src, attr, ji, ki, jt, chunks); err != nil {
+			return nil, 0, err
+		}
+	}
+	return sa.Done()
+}

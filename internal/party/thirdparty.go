@@ -63,6 +63,12 @@ type ThirdParty struct {
 	masters  map[string][]byte
 	counts   []int
 	guard    *guard
+
+	// shardEps[s][holder] is shard s's endpoint to that holder; empty
+	// (nil) on the single-TP path. All shards run in-process under the
+	// coordinator's guard — the shard split partitions rows and wire
+	// lanes, not trust.
+	shardEps []map[string]*wire.Endpoint
 }
 
 // TPReport is the third party's session outcome. AttributeMatrices and
@@ -98,6 +104,18 @@ func NewThirdParty(holders []string, cfg Config, conduits map[string]wire.Condui
 			return nil, fmt.Errorf("party: third party missing conduit to %s", h)
 		}
 	}
+	if k := cfg.shardCount(); k > 1 {
+		if cfg.SerialTP {
+			return nil, fmt.Errorf("party: SerialTP is the single-TP reference engine and requires TPShards <= 1, have %d", k)
+		}
+		for _, h := range holders {
+			for s := 0; s < k; s++ {
+				if conduits[ShardConduitKey(h, s)] == nil {
+					return nil, fmt.Errorf("party: third party missing shard conduit %q", ShardConduitKey(h, s))
+				}
+			}
+		}
+	}
 	tp := &ThirdParty{
 		holders: holders,
 		cfg:     cfg,
@@ -127,6 +145,12 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 	}
 	fp := schemaFingerprint(tp.cfg.Schema)
 	hello := helloBody{Public: tp.identity.PublicBytes(), Fingerprint: fp}
+	if k := tp.cfg.shardCount(); k > 1 {
+		tp.shardEps = make([]map[string]*wire.Endpoint, k)
+		for s := range tp.shardEps {
+			tp.shardEps[s] = make(map[string]*wire.Endpoint)
+		}
+	}
 	for _, h := range tp.holders {
 		// bind sits directly on the raw conduit — below the AES-GCM layer —
 		// so a lifecycle cancel closes the real transport and unparks any
@@ -157,6 +181,44 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 			}
 		}
 		tp.eps[h] = wire.NewEndpoint(secured)
+		// Shard conduits, ascending, right after the holder's control
+		// conduit — the holder handshakes them in the same order, and both
+		// sides send their hello before reading the peer's, so no conduit
+		// ordering can deadlock. The shards reuse the TP identity (one
+		// X25519 agreement per holder, so the master is unchanged), but
+		// each conduit derives its own channel key salted by the shard
+		// name — control and shard channels never share AES-GCM keys.
+		for s := range tp.shardEps {
+			name := ShardName(s)
+			sb := tp.guard.bind(conduits[ShardConduitKey(h, s)])
+			sep := wire.NewEndpoint(sb)
+			if err := sep.SendBody(wire.Message{From: name, To: h, Kind: kindHello, Attr: -1}, hello); err != nil {
+				return err
+			}
+			var shardHello helloBody
+			if _, err := expectMsg(sep, kindHello, &shardHello); err != nil {
+				return fmt.Errorf("party: %s hello from %s: %w", name, h, err)
+			}
+			if shardHello.Fingerprint != fp {
+				return fmt.Errorf("party: %s and %s disagree on the schema", name, h)
+			}
+			shardMaster, err := tp.identity.Master(shardHello.Public)
+			if err != nil {
+				return err
+			}
+			if string(shardMaster) != string(master) {
+				return fmt.Errorf("party: %s presented a different identity on shard conduit %s", h, name)
+			}
+			ssecured := sb
+			if !tp.cfg.PlaintextChannels {
+				key := keys.DeriveKey(master, keys.PurposeChannel, h, name)
+				ssecured, err = wire.Secure(sb, key, false)
+				if err != nil {
+					return err
+				}
+			}
+			tp.shardEps[s][h] = wire.NewEndpoint(ssecured)
+		}
 	}
 	// With every channel established the third party can explain a failure
 	// to its peers: abort frames go to every holder.
@@ -239,6 +301,9 @@ func (tp *ThirdParty) run() (*TPReport, error) {
 		return nil, err
 	}
 	tp.guard.setPhase("assemble")
+	if len(tp.shardEps) > 0 {
+		return tp.runSharded()
+	}
 	if tp.cfg.SerialTP {
 		return tp.runSerial()
 	}
@@ -503,10 +568,10 @@ func (tp *ThirdParty) census() error {
 func (tp *ThirdParty) recvLocal(asm *dissim.Assembler, src attrSource, hi int, h string, attr int) error {
 	n := tp.counts[hi]
 	chunks := tp.cfg.localChunks(n)
-	var mono []float64
-	if tp.cfg.SerialTP {
-		mono = make([]float64, 0, n*(n-1)/2)
+	if !tp.cfg.SerialTP {
+		return tp.recvLocalRows(asm, src, hi, h, attr, chunks)
 	}
+	mono := make([]float64, 0, n*(n-1)/2)
 	for ci, ch := range chunks {
 		var body localBody
 		m, err := src.expect(hi, kindLocal, &body)
@@ -523,20 +588,53 @@ func (tp *ThirdParty) recvLocal(asm *dissim.Assembler, src attrSource, hi int, h
 			return fmt.Errorf("party: %s local chunk %d covers rows [%d,%d), schedule says [%d,%d)",
 				h, ci, body.Lo, body.Hi, ch[0], ch[1])
 		}
-		if tp.cfg.SerialTP {
-			mono = append(mono, body.Cells...)
-			continue
-		}
-		if err := asm.SetLocalRows(hi, body.Lo, body.Hi, body.Cells); err != nil {
-			return err
-		}
+		mono = append(mono, body.Cells...)
 	}
-	if tp.cfg.SerialTP {
-		local, err := dissim.FromPacked(n, mono)
+	local, err := dissim.FromPacked(n, mono)
+	if err != nil {
+		return err
+	}
+	return asm.SetLocal(hi, local)
+}
+
+// localInstaller and crossInstaller are the row-exact install surfaces
+// shared by the global Assembler (single TP) and the SliceAssembler (one
+// TP shard) — the receive loops are written against them once, so shard
+// assembly is the same code over a restricted schedule.
+type localInstaller interface {
+	SetLocalRows(p, lo, hi int, cells []float64) error
+}
+
+type crossInstaller interface {
+	SetCrossRows(j, k, lo, hi int, at func(m, n int) float64) error
+}
+
+// recvLocalRows consumes one holder's local-matrix chunk stream for one
+// attribute, restricted to the given schedule, installing each row-range
+// frame the moment it arrives. The single-TP pipeline passes the full
+// localChunks schedule; a shard passes localChunksRange over its
+// holder-local intersection.
+func (tp *ThirdParty) recvLocalRows(inst localInstaller, src attrSource, hi int, h string, attr int, chunks [][2]int) error {
+	n := tp.counts[hi]
+	for ci, ch := range chunks {
+		var body localBody
+		m, err := src.expect(hi, kindLocal, &body)
 		if err != nil {
 			return err
 		}
-		return asm.SetLocal(hi, local)
+		if m.Attr != attr {
+			return fmt.Errorf("party: %s sent local matrix for attr %d, want %d", h, m.Attr, attr)
+		}
+		if body.N != n {
+			return fmt.Errorf("party: %s local matrix has %d objects, census says %d", h, body.N, n)
+		}
+		if body.Lo != ch[0] || body.Hi != ch[1] {
+			return fmt.Errorf("party: %s local chunk %d covers rows [%d,%d), schedule says [%d,%d)",
+				h, ci, body.Lo, body.Hi, ch[0], ch[1])
+		}
+		if err := inst.SetLocalRows(hi, body.Lo, body.Hi, body.Cells); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -601,6 +699,21 @@ func (tp *ThirdParty) recvPair(eng *protocol.Engine, asm *dissim.Assembler, src 
 	if tp.cfg.SerialTP {
 		return tp.recvPairSerial(eng, asm, src, attr, ji, ki, jt, chunks)
 	}
+	return tp.recvPairRows(eng, asm, src, attr, ji, ki, jt, chunks)
+}
+
+// recvPairRows consumes the S/M chunk frames of one (attribute, pair)
+// covering the scheduled responder row ranges, evaluating and installing
+// each chunk the moment it arrives. The single-TP pipeline passes the
+// full pairChunks schedule and a fresh jt; a shard passes pairChunksRange
+// over its responder-row intersection with jt pre-positioned by the
+// engine's AdvanceThirdParty* (per-pair mode consumes the keystream
+// row-major with no re-initialization, so a shard starting mid-block must
+// first draw and discard the earlier rows' masks).
+func (tp *ThirdParty) recvPairRows(eng *protocol.Engine, inst crossInstaller, src attrSource, attr, ji, ki int, jt rng.Stream, chunks [][2]int) error {
+	a := tp.cfg.Schema.Attrs[attr]
+	j, k := tp.holders[ji], tp.holders[ki]
+	rows, cols := tp.counts[ki], tp.counts[ji]
 	for ci, ch := range chunks {
 		var block func(m, n int) float64
 		var bRows, bCols int
@@ -665,7 +778,7 @@ func (tp *ThirdParty) recvPair(eng *protocol.Engine, asm *dissim.Assembler, src 
 			return fmt.Errorf("party: block (%s,%s) rows [%d,%d) have %d columns, census says %d",
 				j, k, ch[0], ch[1], bCols, cols)
 		}
-		if err := asm.SetCrossRows(ji, ki, ch[0], ch[1], block); err != nil {
+		if err := inst.SetCrossRows(ji, ki, ch[0], ch[1], block); err != nil {
 			return err
 		}
 	}

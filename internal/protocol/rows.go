@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ppclust/internal/alphabet"
+	"ppclust/internal/modp"
 	"ppclust/internal/rng"
 )
 
@@ -82,6 +83,42 @@ func (e *Engine) NumericThirdPartyModPRows(chunk *ElementMatrix, lo, hi int, jt 
 		return nil, err
 	}
 	return e.NumericThirdPartyModP(chunk, jt, mode)
+}
+
+// AdvanceThirdPartyInt positions jt for a third party that evaluates only
+// rows [rows, ·) of one pair's S matrix: in PerPair mode it draws and
+// discards the masks of the first `rows` responder rows (rows·cols values,
+// via the same FillInt64n the evaluation uses, so rejection-sampled word
+// consumption is identical), leaving jt at the exact keystream position the
+// monolithic pass would have reached. Batch and alphanumeric evaluation
+// rewind jt per chunk, so those modes need no positioning and the call is a
+// no-op. This is the entry point for TP shards whose row range starts
+// mid-block.
+func (e *Engine) AdvanceThirdPartyInt(jt rng.Stream, rows, cols int, params IntParams, mode Mode) {
+	if mode != PerPair || rows <= 0 || cols <= 0 {
+		return
+	}
+	buf := e.i64buf(rows * cols)
+	rng.FillInt64n(jt, buf, params.MaskRange)
+}
+
+// AdvanceThirdPartyFloat is the real-valued form of AdvanceThirdPartyInt.
+func (e *Engine) AdvanceThirdPartyFloat(jt rng.Stream, rows, cols int, params FloatParams, mode Mode) {
+	if mode != PerPair || rows <= 0 || cols <= 0 {
+		return
+	}
+	buf := e.f64buf(rows * cols)
+	rng.FillFloat64(jt, buf)
+}
+
+// AdvanceThirdPartyModP is the Z_p form of AdvanceThirdPartyInt.
+func (e *Engine) AdvanceThirdPartyModP(jt rng.Stream, rows, cols int, mode Mode) {
+	if mode != PerPair || rows <= 0 || cols <= 0 {
+		return
+	}
+	for i := 0; i < rows*cols; i++ {
+		modp.Random(jt)
+	}
 }
 
 // AlphaThirdPartyRows is Figure 10 restricted to rows [lo, hi) of the

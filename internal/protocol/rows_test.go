@@ -180,6 +180,117 @@ func TestAlphaThirdPartyRowsMatchesMonolithic(t *testing.T) {
 	}
 }
 
+// TestAdvanceThirdPartyPositionsStream: after AdvanceThirdParty* consumes
+// the masks of the first lo rows, evaluating only rows [lo, m) must
+// reproduce exactly those rows of the monolithic evaluation — the
+// property a TP shard whose row range starts mid-block relies on. In
+// Batch mode the advance is a no-op and full evaluation still matches.
+func TestAdvanceThirdPartyPositionsStream(t *testing.T) {
+	const n, m = 11, 10
+	s := rng.NewXoshiro(rng.SeedFromUint64(41))
+	xs := make([]int64, n)
+	ys := make([]int64, m)
+	for i := range xs {
+		xs[i] = rng.Int64Range(s, -300, 300)
+	}
+	for i := range ys {
+		ys[i] = rng.Int64Range(s, -300, 300)
+	}
+	fx := make([]float64, n)
+	fy := make([]float64, m)
+	for i := range fx {
+		fx[i] = rng.Float64(s) * 25
+	}
+	for i := range fy {
+		fy[i] = rng.Float64(s) * 25
+	}
+	seedJK := rng.SeedFromUint64(51)
+	seedJT := rng.SeedFromUint64(52)
+	e := NewEngine(2)
+
+	for _, mode := range []Mode{Batch, PerPair} {
+		rows := 0
+		if mode == PerPair {
+			rows = m
+		}
+		dI, err := e.NumericInitiatorInt(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), DefaultIntParams, mode, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sI, err := e.NumericResponderInt(dI, ys, rng.NewAESCTR(seedJK), DefaultIntParams, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantI, err := e.NumericThirdPartyInt(sI, rng.NewAESCTR(seedJT), DefaultIntParams, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dF, err := e.NumericInitiatorFloat(fx, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), DefaultFloatParams, mode, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sF, err := e.NumericResponderFloat(dF, fy, rng.NewAESCTR(seedJK), DefaultFloatParams, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantF, err := e.NumericThirdPartyFloat(sF, rng.NewAESCTR(seedJT), DefaultFloatParams, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dM, err := e.NumericInitiatorModP(xs, rng.NewAESCTR(seedJK), rng.NewAESCTR(seedJT), mode, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sM, err := e.NumericResponderModP(dM, ys, rng.NewAESCTR(seedJK), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantM, err := e.NumericThirdPartyModP(sM, rng.NewAESCTR(seedJT), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, lo := range []int{0, 1, 4, m - 1} {
+			name := fmt.Sprintf("%v/lo=%d", mode, lo)
+			jtI := rng.NewAESCTR(seedJT)
+			jtF := rng.NewAESCTR(seedJT)
+			jtM := rng.NewAESCTR(seedJT)
+			e.AdvanceThirdPartyInt(jtI, lo, n, DefaultIntParams, mode)
+			e.AdvanceThirdPartyFloat(jtF, lo, n, DefaultFloatParams, mode)
+			e.AdvanceThirdPartyModP(jtM, lo, n, mode)
+			for _, ch := range rowRanges(m-lo, 3) {
+				clo, chi := lo+ch[0], lo+ch[1]
+				cI := &Int64Matrix{Rows: chi - clo, Cols: n, Cell: sI.Cell[clo*n : chi*n]}
+				gI, err := e.NumericThirdPartyIntRows(cI, clo, chi, jtI, DefaultIntParams, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cF := &Float64Matrix{Rows: chi - clo, Cols: n, Cell: sF.Cell[clo*n : chi*n]}
+				gF, err := e.NumericThirdPartyFloatRows(cF, clo, chi, jtF, DefaultFloatParams, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cM := &ElementMatrix{Rows: chi - clo, Cols: n, Cell: sM.Cell[clo*n : chi*n]}
+				gM, err := e.NumericThirdPartyModPRows(cM, clo, chi, jtM, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < (chi-clo)*n; i++ {
+					if gI.Cell[i] != wantI.Cell[clo*n+i] {
+						t.Fatalf("%s: int rows [%d,%d) differ at %d", name, clo, chi, i)
+					}
+					if gF.Cell[i] != wantF.Cell[clo*n+i] {
+						t.Fatalf("%s: float rows [%d,%d) differ at %d", name, clo, chi, i)
+					}
+					if gM.Cell[i] != wantM.Cell[clo*n+i] {
+						t.Fatalf("%s: modp rows [%d,%d) differ at %d", name, clo, chi, i)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestThirdPartyRowsShapeValidation: a chunk whose matrix does not cover
 // exactly the scheduled row range is rejected with a descriptive error.
 func TestThirdPartyRowsShapeValidation(t *testing.T) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"ppclust/internal/party"
@@ -24,10 +25,20 @@ type Metrics struct {
 	reservedHW atomic.Int64
 	estimateHW atomic.Int64
 
+	// shardsActive gauges the in-process TP shard engines currently
+	// serving running sessions (shard count × running sessions when the
+	// server shards; always 0 on the single-TP path).
+	shardsActive atomic.Int64
+
 	// Wire meters every session conduit at the server's edge (outside the
 	// encryption layer), summed over all tenants: received bytes are
 	// holder→TP traffic, sent bytes are TP→holder traffic.
 	Wire wire.Counter
+
+	// shardWire meters each shard lane's conduits separately (in addition
+	// to Wire, which still sums everything). Sized to the shard count by
+	// New; nil on the single-TP path.
+	shardWire []wire.Counter
 }
 
 // Admitted returns the number of sessions ever admitted (gathering slot
@@ -86,6 +97,10 @@ func (m *Metrics) noteEstimate(estimate int64) {
 //	wire_sent_bytes / wire_sent_frames / wire_recv_bytes / wire_recv_frames
 //	                    summed session traffic at the server edge
 //	stage_pool_active   gauge: pipeline stage goroutines running now
+//	shards_active       gauge: in-process TP shard engines serving running
+//	                    sessions (0 on the single-TP path)
+//	wire_*_shard<N>     per-shard-lane traffic (present only when the
+//	                    server shards the third party)
 //	budget_reserved_high_water_bytes
 //	                    peak summed admission reservations
 //	budget_estimate_high_water_bytes
@@ -93,7 +108,7 @@ func (m *Metrics) noteEstimate(estimate int64) {
 func (m *Metrics) Snapshot() map[string]int64 {
 	sentB, sentF := m.Wire.Sent()
 	recvB, recvF := m.Wire.Received()
-	return map[string]int64{
+	snap := map[string]int64{
 		"sessions_admitted":                m.admitted.Load(),
 		"sessions_active":                  m.activeSessions.Load(),
 		"sessions_queued":                  m.queued.Load(),
@@ -106,7 +121,17 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"wire_recv_bytes":                  int64(recvB),
 		"wire_recv_frames":                 int64(recvF),
 		"stage_pool_active":                party.ActiveStages(),
+		"shards_active":                    m.shardsActive.Load(),
 		"budget_reserved_high_water_bytes": m.reservedHW.Load(),
 		"budget_estimate_high_water_bytes": m.estimateHW.Load(),
 	}
+	for s := range m.shardWire {
+		sb, sf := m.shardWire[s].Sent()
+		rb, rf := m.shardWire[s].Received()
+		snap[fmt.Sprintf("wire_sent_bytes_shard%d", s)] = int64(sb)
+		snap[fmt.Sprintf("wire_sent_frames_shard%d", s)] = int64(sf)
+		snap[fmt.Sprintf("wire_recv_bytes_shard%d", s)] = int64(rb)
+		snap[fmt.Sprintf("wire_recv_frames_shard%d", s)] = int64(rf)
+	}
+	return snap
 }

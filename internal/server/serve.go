@@ -106,17 +106,20 @@ func (m *Manager) Serve(ln net.Listener, sc ServeConfig) error {
 func (m *Manager) SubmitConn(hello netid.Hello, conn net.Conn, responseTimeout time.Duration) {
 	var r Responder
 	if hello.Extended() {
-		r = &connResponder{conn: conn, timeout: responseTimeout}
+		r = &connResponder{conn: conn, timeout: responseTimeout,
+			routing: hello.Version >= netid.VersionSharded}
 	}
 	m.Submit(hello, wire.TCPPooled(conn), r)
 }
 
 // connResponder writes netid admission responses on a net.Conn under a
 // write deadline, cleared after the accept so the session owns the
-// connection's timeout policy.
+// connection's timeout policy. routing selects the version-2 accept form,
+// which carries the session's shard count.
 type connResponder struct {
 	conn    net.Conn
 	timeout time.Duration
+	routing bool
 }
 
 func (r *connResponder) deadline() time.Time {
@@ -126,11 +129,17 @@ func (r *connResponder) deadline() time.Time {
 	return time.Now().Add(r.timeout)
 }
 
-func (r *connResponder) Accept() error {
+func (r *connResponder) Accept(shards int) error {
 	if err := r.conn.SetWriteDeadline(r.deadline()); err != nil {
 		return err
 	}
-	if err := netid.SendAccept(r.conn); err != nil {
+	var err error
+	if r.routing {
+		err = netid.SendAcceptRouting(r.conn, shards)
+	} else {
+		err = netid.SendAccept(r.conn)
+	}
+	if err != nil {
 		return err
 	}
 	return r.conn.SetWriteDeadline(time.Time{})

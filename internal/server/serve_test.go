@@ -187,8 +187,9 @@ func TestServeFutureVersionRejectedOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	// Hand-rolled extended hello with version netid.Version+1.
-	frame := []byte{0xFF, byte(netid.Version + 1), 1, 'A', 2, 's', '9'}
+	// Hand-rolled extended hello claiming one version past the newest the
+	// server speaks.
+	frame := []byte{0xFF, byte(netid.VersionSharded + 1), 1, 'A', 2, 's', '9'}
 	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}

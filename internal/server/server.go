@@ -42,10 +42,17 @@ import (
 // fields are server-local policy.
 type Config struct {
 	// Holders is the sorted roster every session must gather — each
-	// session needs one connection per holder name.
+	// session needs one connection per holder name (plus one per TP shard
+	// when Session.TPShards > 1).
 	Holders []string
 	// Session is the shared session agreement (schema, variant, chunking,
-	// timeouts) each per-session ThirdParty runs under.
+	// timeouts, TP shard count) each per-session ThirdParty runs under.
+	// When Session.TPShards > 1 the server serves the sharded third party:
+	// every holder must announce a version-2 hello on its control
+	// connection — the routing admission carries the shard count — and
+	// then dial one version-2 connection per shard lane. Version-0/1
+	// holders are admitted only when TPShards <= 1 (they cannot read the
+	// routing preamble); see docs/WIRE.md for the compatibility matrix.
 	Session party.Config
 	// MaxSessions bounds concurrently admitted sessions (gathering plus
 	// running). 0 or negative means 1.
@@ -90,6 +97,8 @@ type Config struct {
 type Manager struct {
 	cfg        Config
 	perSession int64 // budget reservation per admitted session
+	shards     int   // TP shard count every session runs with (1 = single TP)
+	connsPer   int   // connections a session gathers: holders × (1 + shard lanes)
 	metrics    *Metrics
 
 	rootCtx    context.Context
@@ -116,27 +125,37 @@ const (
 // session is one tenant: its identity, its gathered connections, and its
 // admission state.
 type session struct {
-	id     string
-	state  int
+	id    string
+	state int
+	// conns is keyed by conduit key: the holder name for control
+	// connections, party.ShardConduitKey(holder, s) for shard lanes —
+	// exactly the conduit map party.NewThirdParty expects.
 	conns  map[string]*tenantConn
-	order  []string // holder names in join order, for deterministic replies
+	order  []string // conduit keys in join order, for deterministic replies
 	gather *time.Timer
 }
 
 // tenantConn is one holder's connection into a session: the metered
 // conduit the ThirdParty will run over and the pending admission reply
-// (nil for legacy hellos, which are owed no response).
+// (nil for legacy hellos, which are owed no response). accepted records
+// that the admission accept has been sent — a sharded session answers its
+// connections at join time (the routing accept is what tells a holder to
+// dial its shard lanes), and an accepted connection can no longer be sent
+// a reject frame, only closed.
 type tenantConn struct {
-	conduit wire.Conduit
-	respond Responder
+	conduit  wire.Conduit
+	respond  Responder
+	accepted bool
 }
 
 // Responder delivers the admission decision on one extended-hello
-// connection's transport. Accept is followed by the session handshake on
-// the same connection; Reject is terminal — the manager closes the conduit
+// connection's transport. Accept carries the session's TP shard count
+// (rendered as the routing admission for version-2 hellos, the plain
+// accept for version-1) and is followed by the session handshake on the
+// same connection; Reject is terminal — the manager closes the conduit
 // after it. A nil Responder (legacy hello) is owed no response.
 type Responder interface {
-	Accept() error
+	Accept(shards int) error
 	Reject(code netid.RejectCode, detail string) error
 }
 
@@ -151,22 +170,42 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.QueueDepth < 0 {
 		cfg.QueueDepth = 0
 	}
+	shards := cfg.Session.TPShards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > party.MaxTPShards {
+		return nil, fmt.Errorf("server: %d TP shards exceeds the maximum of %d", shards, party.MaxTPShards)
+	}
+	connsPer := len(cfg.Holders)
+	if shards > 1 {
+		connsPer = len(cfg.Holders) * (1 + shards)
+	}
 	var perSession int64
 	if cfg.GlobalBudgetBytes > 0 {
 		if cfg.MaxSessionObjects <= 0 {
 			return nil, errors.New("server: GlobalBudgetBytes requires MaxSessionObjects to price a session")
 		}
-		perSession = cfg.Session.EstimateSessionBytes(len(cfg.Holders), cfg.MaxSessionObjects)
+		// The shard-aware estimate prices the aggregate sharded footprint
+		// (slices partition the triangle; lane buffers scale with the shard
+		// count but shrink with the per-shard chunk), not K full sessions.
+		perSession = cfg.Session.EstimateSessionBytes(len(cfg.Holders), cfg.MaxSessionObjects, shards)
 		if perSession > cfg.GlobalBudgetBytes {
 			return nil, fmt.Errorf("server: budget %d bytes admits no session (one session reserves %d)",
 				cfg.GlobalBudgetBytes, perSession)
 		}
 	}
+	metrics := &Metrics{}
+	if shards > 1 {
+		metrics.shardWire = make([]wire.Counter, shards)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
 		cfg:        cfg,
 		perSession: perSession,
-		metrics:    &Metrics{},
+		shards:     shards,
+		connsPer:   connsPer,
+		metrics:    metrics,
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		sessions:   make(map[string]*session),
@@ -187,7 +226,7 @@ func (m *Manager) logf(format string, args ...any) {
 // owed) and closes its conduit. Called with m.mu NOT held — replies may
 // block on a slow client's socket.
 func (m *Manager) refuseConn(tc *tenantConn, code netid.RejectCode, detail string) {
-	if tc.respond != nil {
+	if tc.respond != nil && !tc.accepted {
 		_ = tc.respond.Reject(code, detail)
 	}
 	_ = tc.conduit.Close()
@@ -222,16 +261,40 @@ func (m *Manager) refuseSession(s *session, code netid.RejectCode, detail string
 // patience and the gather timer. The manager owns c from this call on:
 // it is closed after the session runs, or with the refusal.
 func (m *Manager) Submit(hello netid.Hello, c wire.Conduit, respond Responder) {
-	tc := &tenantConn{conduit: wire.Meter(c, &m.metrics.Wire), respond: respond}
-	if hello.Version > netid.Version {
+	metered := wire.Meter(c, &m.metrics.Wire)
+	if hello.Lane > 0 && hello.Lane <= len(m.metrics.shardWire) {
+		// Shard lanes are metered twice: into the summed session traffic
+		// and into the lane's own counter.
+		metered = wire.Meter(metered, &m.metrics.shardWire[hello.Lane-1])
+	}
+	tc := &tenantConn{conduit: metered, respond: respond}
+	if hello.Version > netid.VersionSharded {
 		m.refuse(hello, tc, netid.RejectVersion,
-			fmt.Sprintf("hello version %d, server speaks up to %d", hello.Version, netid.Version))
+			fmt.Sprintf("hello version %d, server speaks up to %d", hello.Version, netid.VersionSharded))
+		return
+	}
+	if m.shards > 1 && hello.Version < netid.VersionSharded {
+		// A pre-shard holder cannot read the routing admission, so it could
+		// never establish its shard lanes; refuse it descriptively instead
+		// of wedging the gather.
+		m.refuse(hello, tc, netid.RejectVersion,
+			fmt.Sprintf("server shards the third party %d ways; announce a version-%d hello",
+				m.shards, netid.VersionSharded))
 		return
 	}
 	if !contains(m.cfg.Holders, hello.Name) {
 		m.refuse(hello, tc, netid.RejectUnknownHolder,
 			fmt.Sprintf("holder %q not in roster %v", hello.Name, m.cfg.Holders))
 		return
+	}
+	if hello.Lane > m.shards || (m.shards == 1 && hello.Lane > 0) {
+		m.refuse(hello, tc, netid.RejectSession,
+			fmt.Sprintf("shard lane %d outside the session's %d shards", hello.Lane-1, m.shards))
+		return
+	}
+	key := hello.Name
+	if hello.Lane > 0 {
+		key = party.ShardConduitKey(hello.Name, hello.Lane-1)
 	}
 
 	m.mu.Lock()
@@ -247,19 +310,57 @@ func (m *Manager) Submit(hello netid.Hello, c wire.Conduit, respond Responder) {
 		m.refuse(hello, tc, code, detail)
 		return
 	}
-	if s.state == stateRunning || s.conns[hello.Name] != nil {
+	if s.state == stateRunning || s.conns[key] != nil {
 		m.mu.Unlock()
 		m.refuse(hello, tc, netid.RejectDuplicateHolder,
-			fmt.Sprintf("session %q already has a connection for holder %q", hello.Session, hello.Name))
+			fmt.Sprintf("session %q already has a connection for %q", hello.Session, key))
 		return
 	}
-	s.conns[hello.Name] = tc
-	s.order = append(s.order, hello.Name)
-	start := s.state == stateGathering && len(s.conns) == len(m.cfg.Holders)
+	s.conns[key] = tc
+	s.order = append(s.order, key)
+	start := s.state == stateGathering && len(s.conns) == m.connsPer
+	var accepts []*tenantConn
 	if start {
 		m.startLocked(s)
+	} else if s.state == stateGathering {
+		// Sharded sessions answer their connections as they join: the
+		// routing accept is what tells a holder to dial its shard lanes, so
+		// deferring it to the full roster would deadlock the gather. The
+		// accepts are sent outside the lock; a session that completes on
+		// this join instead leaves them to runSession, which sends every
+		// outstanding accept before the handshake — never concurrently with
+		// it.
+		accepts = m.pendingAcceptsLocked(s)
 	}
 	m.mu.Unlock()
+	m.sendAccepts(accepts)
+}
+
+// pendingAcceptsLocked collects (and marks) the unanswered accepts of a
+// gathering sharded session, with m.mu held. Single-TP sessions defer all
+// accepts to runSession, preserving the legacy reply timing.
+func (m *Manager) pendingAcceptsLocked(s *session) []*tenantConn {
+	if m.shards <= 1 {
+		return nil
+	}
+	var out []*tenantConn
+	for _, key := range s.order {
+		if tc := s.conns[key]; tc.respond != nil && !tc.accepted {
+			tc.accepted = true
+			out = append(out, tc)
+		}
+	}
+	return out
+}
+
+// sendAccepts delivers admission accepts collected under the lock. Called
+// with m.mu NOT held — replies may block on a slow client's socket.
+func (m *Manager) sendAccepts(accepts []*tenantConn) {
+	for _, tc := range accepts {
+		if err := tc.respond.Accept(m.shards); err != nil {
+			m.logf("event=admission-accept-failed err=%q", err)
+		}
+	}
 }
 
 // pendingSession resolves where a brand-new session lands, with m.mu held:
@@ -326,10 +427,11 @@ func (m *Manager) admitLocked(s *session) bool {
 }
 
 // releaseLocked frees a session's slot and budget and promotes the head of
-// the admission queue, with m.mu held. Returns the promoted session if its
-// promotion completed its roster, so the caller can start it outside the
-// lock bookkeeping. (startLocked is called here directly — same lock.)
-func (m *Manager) releaseLocked(s *session) {
+// the admission queue, with m.mu held. A promoted session whose roster is
+// already complete starts here (startLocked — same lock); a promoted
+// sharded session still gathering has accepts to send, returned for the
+// caller to deliver outside the lock.
+func (m *Manager) releaseLocked(s *session) []*tenantConn {
 	if s.gather != nil {
 		s.gather.Stop()
 	}
@@ -337,6 +439,7 @@ func (m *Manager) releaseLocked(s *session) {
 	m.active--
 	m.reserved -= m.perSession
 	m.metrics.activeSessions.Add(-1)
+	var accepts []*tenantConn
 	for len(m.pending) > 0 {
 		next := m.pending[0]
 		if !m.admitLocked(next) {
@@ -344,10 +447,13 @@ func (m *Manager) releaseLocked(s *session) {
 		}
 		m.pending = m.pending[1:]
 		m.metrics.queued.Add(-1)
-		if len(next.conns) == len(m.cfg.Holders) {
+		if len(next.conns) == m.connsPer {
 			m.startLocked(next)
+		} else {
+			accepts = append(accepts, m.pendingAcceptsLocked(next)...)
 		}
 	}
+	return accepts
 }
 
 // gatherExpired fires when an admitted session's roster never completed:
@@ -360,11 +466,12 @@ func (m *Manager) gatherExpired(s *session) {
 		return
 	}
 	s.state = stateDone
-	m.releaseLocked(s)
+	accepts := m.releaseLocked(s)
 	m.mu.Unlock()
+	m.sendAccepts(accepts)
 	m.refuseSession(s, netid.RejectTimeout,
-		fmt.Sprintf("session %q gathered %d of %d holders within %v",
-			s.id, len(s.conns), len(m.cfg.Holders), m.cfg.GatherTimeout))
+		fmt.Sprintf("session %q gathered %d of %d connections within %v",
+			s.id, len(s.conns), m.connsPer, m.cfg.GatherTimeout))
 }
 
 // startLocked transitions a fully gathered session to running and hands it
@@ -386,22 +493,27 @@ func (m *Manager) startLocked(s *session) {
 func (m *Manager) runSession(s *session) {
 	defer m.wg.Done()
 	for _, name := range s.order {
-		if tc := s.conns[name]; tc.respond != nil {
-			if err := tc.respond.Accept(); err != nil {
+		if tc := s.conns[name]; tc.respond != nil && !tc.accepted {
+			if err := tc.respond.Accept(m.shards); err != nil {
 				// A broken admission reply means a broken connection; the
 				// session handshake on it will fail and classify the session.
-				m.logf("event=admission-accept-failed session=%q holder=%s err=%q", s.id, name, err)
+				m.logf("event=admission-accept-failed session=%q conn=%s err=%q", s.id, name, err)
 			}
 		}
 	}
 
+	if m.shards > 1 {
+		m.metrics.shardsActive.Add(int64(m.shards))
+		defer m.metrics.shardsActive.Add(-int64(m.shards))
+	}
 	report, err := m.serveSession(s)
 
 	m.mu.Lock()
 	s.state = stateDone
-	m.releaseLocked(s)
+	accepts := m.releaseLocked(s)
 	draining := m.draining
 	m.mu.Unlock()
+	m.sendAccepts(accepts)
 
 	// Close the session's conduits only after the run: on success the
 	// result frames are already flushed (TCP writes complete before Run
@@ -443,9 +555,11 @@ func (m *Manager) serveSession(s *session) (*party.TPReport, error) {
 		if m.cfg.MaxSessionObjects > 0 && total > m.cfg.MaxSessionObjects {
 			return fmt.Errorf("session %q has %d objects, server cap is %d", s.id, total, m.cfg.MaxSessionObjects)
 		}
-		m.metrics.noteEstimate(cfg.EstimateSessionBytes(len(m.cfg.Holders), total))
+		m.metrics.noteEstimate(cfg.EstimateSessionBytes(len(m.cfg.Holders), total, m.shards))
 		return nil
 	}
+	// s.conns is already keyed the way party.NewThirdParty expects: holder
+	// names for control conduits, ShardConduitKey for shard lanes.
 	conduits := make(map[string]wire.Conduit, len(s.conns))
 	for name, tc := range s.conns {
 		conduits[name] = tc.conduit
@@ -486,6 +600,8 @@ func (m *Manager) Drain(ctx context.Context) error {
 		}
 	}
 	for _, s := range gathering {
+		// Draining admits nothing, so promotions cannot happen and no
+		// accepts come back.
 		m.releaseLocked(s)
 	}
 	for range pending {

@@ -63,7 +63,7 @@ type pipeResponder struct{ ch chan error }
 
 func newPipeResponder() *pipeResponder { return &pipeResponder{ch: make(chan error, 1)} }
 
-func (r *pipeResponder) Accept() error { r.ch <- nil; return nil }
+func (r *pipeResponder) Accept(shards int) error { r.ch <- nil; return nil }
 
 func (r *pipeResponder) Reject(code netid.RejectCode, detail string) error {
 	r.ch <- &netid.RejectedError{Code: code, Detail: detail}
@@ -339,7 +339,7 @@ func TestCapacityRefusalWithoutQueue(t *testing.T) {
 // reason — and admits fine once the first session's reservation releases.
 func TestBudgetRefusal(t *testing.T) {
 	session := testSession()
-	budget := session.EstimateSessionBytes(len(roster), 100)
+	budget := session.EstimateSessionBytes(len(roster), 100, 1)
 	m, done := newManager(t, Config{
 		MaxSessions:       5,
 		GlobalBudgetBytes: budget,
@@ -421,7 +421,7 @@ func TestGatherTimeoutRefusesParkedHolders(t *testing.T) {
 	te := newTenant(t, "slow")
 	te.submit(m, "A")
 	rej := expectReject(t, te.resp["A"], netid.RejectTimeout)
-	if !strings.Contains(rej.Detail, "1 of 2 holders") {
+	if !strings.Contains(rej.Detail, "1 of 2 connections") {
 		t.Fatalf("gather-timeout detail %q", rej.Detail)
 	}
 	waitUntil(t, "slot release", func() bool { return m.Metrics().Active() == 0 })
@@ -538,7 +538,7 @@ func TestUnknownDuplicateAndVersionRefusals(t *testing.T) {
 	c3, s3 := wire.Pipe()
 	defer c3.Close()
 	r3 := newPipeResponder()
-	m.Submit(netid.Hello{Name: "B", Session: "s2", Version: netid.Version + 1}, s3, r3)
+	m.Submit(netid.Hello{Name: "B", Session: "s2", Version: netid.VersionSharded + 1}, s3, r3)
 	rej := expectReject(t, r3, netid.RejectVersion)
 	if !strings.Contains(rej.Detail, "server speaks up to") {
 		t.Fatalf("version detail %q", rej.Detail)

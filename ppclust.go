@@ -246,6 +246,18 @@ type Options struct {
 	// results are bit-identical at every setting. See docs/WIRE.md for
 	// the chunk-frame schemas.
 	StreamChunkBytes int
+	// TPShards splits the third party into this many row-range shards
+	// with a merge coordinator: each shard owns a contiguous range of the
+	// session's global rows, holders fan their comparison-attribute chunk
+	// streams to the owning shard's conduit, and the coordinator merges
+	// the assembled slices before clustering. Peak per-shard resident
+	// memory drops roughly by the shard count; results are bit-identical
+	// to the single-TP session at every setting. 0 and 1 both select the
+	// single-TP path. The count is part of the session agreement: every
+	// party must run the same value, and holders need one extra conduit
+	// per shard (TPShardConduitName) next to the control conduit. See
+	// docs/ARCHITECTURE.md ("Sharded third party").
+	TPShards int
 	// Random supplies per-party randomness (nil = crypto/rand), used by
 	// tests and reproducible experiments.
 	Random func(partyName string) io.Reader
@@ -269,6 +281,7 @@ func (o Options) toConfig(schema Schema) party.Config {
 		PlaintextChannels: o.InsecureChannels,
 		Parallelism:       o.Parallelism,
 		LocalChunkBytes:   o.StreamChunkBytes,
+		TPShards:          o.TPShards,
 		SessionTimeout:    o.SessionTimeout,
 		PhaseTimeout:      o.PhaseTimeout,
 		RNG:               rng.KindAESCTR,

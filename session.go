@@ -13,6 +13,18 @@ import (
 // ThirdPartyName is the reserved protocol name of the third party.
 const ThirdPartyName = party.TPName
 
+// TPShardConduitName is the conduit-map key a holder uses for its
+// connection to TP shard s when the session runs with Options.TPShards
+// > 1 ("TP#0", "TP#1", …). Holders of a sharded session pass these keys
+// in the conns map of NewHolderSession next to ThirdPartyName.
+func TPShardConduitName(s int) string { return party.ShardName(s) }
+
+// TPShardConduitKey is the conduit-map key the third party uses for
+// holder's connection to shard s in NewThirdPartySession's conns map
+// ("A#0", "A#1", …). The multi-tenant TPServer keys its gathered shard
+// connections this way automatically.
+func TPShardConduitKey(holder string, s int) string { return party.ShardConduitKey(holder, s) }
+
 // HolderSession is a data holder's side of a session over
 // caller-established connections (TCP deployment).
 type HolderSession = party.Holder
@@ -127,5 +139,9 @@ func NewTPServer(holders []string, schema Schema, opts Options, srv TPServerOpti
 // session reservation NewTPServer charges against GlobalBudgetBytes, and
 // the number to size -budget-bytes with.
 func EstimateSessionBytes(schema Schema, opts Options, numHolders, totalObjects int) int64 {
-	return opts.toConfig(schema).EstimateSessionBytes(numHolders, totalObjects)
+	shards := opts.TPShards
+	if shards < 1 {
+		shards = 1
+	}
+	return opts.toConfig(schema).EstimateSessionBytes(numHolders, totalObjects, shards)
 }
