@@ -99,7 +99,12 @@ type benchResult struct {
 // session, reporting p99 per-session latency and sessions/sec, and since
 // PR 8 the session-sharded family: the both-large session with the third
 // party split into K row-range shards behind the merge coordinator,
-// reporting the widest per-shard triangle slice alongside wall time.
+// reporting the widest per-shard triangle slice alongside wall time, and
+// since PR 9 the session-reconnect family: the equal-partition session
+// over the same 1 ms / 64 MB/s TP links, measuring the fault-free cost of
+// arming the mid-session resume layer (replay cache + watermarks) against
+// the unarmed baseline, and the wall-time cost of a session whose
+// holder→TP lane flaps mid-stream and recovers through watermarked replay.
 func benchFamilies() []struct {
 	name string
 	n    int
@@ -462,6 +467,46 @@ func benchFamilies() []struct {
 		b.ReportMetric(float64(peak), "shard-peak-bytes")
 	}
 
+	// session-reconnect: equal 200-object partitions over the usual
+	// 1 ms / 64 MB/s TP links. baseline runs unarmed; armed prices the
+	// resume layer's replay cache and watermark accounting on a fault-free
+	// run (the steady-state cost of -reconnect-window); flap-recover cuts
+	// holder B's TP lane at its 6th transport frame — mid-stream — and
+	// includes the redial, watermark exchange and replay in the measured
+	// wall time. Reports are bit-identical across all three rows (pinned
+	// by internal/party's differential reconnect tests).
+	var reconParts []dataset.Partition
+	for pi, site := range []string{"A", "B"} {
+		tab := dataset.MustNewTable(streamSchema)
+		for r := 0; r < 200; r++ {
+			tab.MustAppendRow((float64(r*37+pi) + 0.25) * 1.000003)
+		}
+		reconParts = append(reconParts, dataset.Partition{Site: site, Table: tab})
+	}
+	sessionReconnect := func(b *testing.B, window time.Duration, flap bool) {
+		cfg := party.Config{Schema: streamSchema, Variant: party.Float64Variant, ResumeWindow: window}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linkSeed := uint64(0)
+			var flapped atomic.Bool
+			wrap := func(owner, peer string, c wire.Conduit) wire.Conduit {
+				if owner == party.TPName {
+					linkSeed++
+					c = wire.Link(c, time.Millisecond, 0, 64<<20, linkSeed)
+				}
+				// Only the first conduit instance of B's TP lane carries the
+				// fault; the redialed replacement must flow clean.
+				if flap && owner == "B" && peer == party.TPName && flapped.CompareAndSwap(false, true) {
+					c = wire.Fault(c, wire.FaultSpec{Kind: wire.FaultFlap, Frame: 6})
+				}
+				return c
+			}
+			if _, err := party.RunInMemoryWrapped(cfg, reconParts, nil, detRandom, wrap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
 	return []struct {
 		name string
 		n    int
@@ -494,6 +539,9 @@ func benchFamilies() []struct {
 		{"session-sharded/shards-1", 1200, func(b *testing.B) { sessionSharded(b, 1) }},
 		{"session-sharded/shards-2", 1200, func(b *testing.B) { sessionSharded(b, 2) }},
 		{"session-sharded/shards-4", 1200, func(b *testing.B) { sessionSharded(b, 4) }},
+		{"session-reconnect/baseline", 400, func(b *testing.B) { sessionReconnect(b, 0, false) }},
+		{"session-reconnect/armed", 400, func(b *testing.B) { sessionReconnect(b, 10*time.Second, false) }},
+		{"session-reconnect/flap-recover", 400, func(b *testing.B) { sessionReconnect(b, 10*time.Second, true) }},
 		{"editdist-ccm-scratch", 24, func(b *testing.B) {
 			sc := editdist.MustUnitScratch()
 			b.ReportAllocs()

@@ -23,6 +23,13 @@
 // -shards K), the holder automatically dials one extra connection per
 // shard lane — no holder-side flag. All dials retry transient failures
 // under -connect-retries / -connect-backoff.
+//
+// With -reconnect-window (and -session), a severed third-party connection
+// mid-session no longer kills the run: the holder redials the server under
+// the same -connect-retries / -connect-backoff policy, performs the
+// version-3 resume handshake, and the session continues bit-identically
+// after a watermarked replay. The window must match the server's
+// (ppc-tp -reconnect-window). An unrecoverable sever exits with code 6.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -69,13 +77,16 @@ const maxConnectBackoff = 5 * time.Second
 // Exit codes distinguish the session failure classes so supervisors can
 // react without parsing messages: 1 protocol/transport error, 2 usage,
 // 3 watchdog timeout, 4 session abort (peer failure or local signal),
-// 5 admission refused by the server (typed ppc/reject frame).
+// 5 admission refused by the server (typed ppc/reject frame),
+// 6 disconnected mid-session beyond recovery (no reconnect window armed,
+// or the server refused the resume terminally).
 const (
-	exitProtocol = 1
-	exitUsage    = 2
-	exitTimeout  = 3
-	exitAbort    = 4
-	exitRefused  = 5
+	exitProtocol     = 1
+	exitUsage        = 2
+	exitTimeout      = 3
+	exitAbort        = 4
+	exitRefused      = 5
+	exitDisconnected = 6
 )
 
 func main() {
@@ -89,6 +100,11 @@ func main() {
 func reportFailure(err error) int {
 	class, code := "protocol", exitProtocol
 	switch {
+	// Disconnected is checked first: a terminal resume refusal wraps both
+	// the sever class and the server's typed reject, and the sever is the
+	// operative fact for a supervisor deciding whether to restart.
+	case errors.Is(err, ppclust.ErrDisconnected):
+		class, code = "disconnected", exitDisconnected
 	case errors.Is(err, ppclust.ErrSessionRefused):
 		class, code = "refused", exitRefused
 	case errors.Is(err, ppclust.ErrSessionTimeout):
@@ -118,6 +134,7 @@ func run() error {
 	session := flag.String("session", "", "session ID for a multi-tenant third party (empty = legacy single-session hello)")
 	connectRetries := flag.Int("connect-retries", 5, "connect attempts per target before giving up")
 	connectBackoff := flag.Duration("connect-backoff", 200*time.Millisecond, "initial connect backoff (doubles per attempt, capped, jittered)")
+	reconnectWindow := flag.Duration("reconnect-window", 0, "grace period to redial the third party after a mid-session sever (0 = disabled; requires -session, must match the server's)")
 	flag.Parse()
 
 	holders := splitNonEmpty(*holdersFlag)
@@ -152,6 +169,10 @@ func run() error {
 	}
 	opts.SessionTimeout = *sessionTimeout
 	opts.PhaseTimeout = *phaseTimeout
+	opts.ReconnectWindow = *reconnectWindow
+	if *reconnectWindow > 0 && *session == "" {
+		return fmt.Errorf("-reconnect-window requires -session: only the multi-tenant server routes resume hellos")
+	}
 
 	f, err := os.Open(*dataPath)
 	if err != nil {
@@ -274,8 +295,19 @@ func run() error {
 		}
 	}
 
-	sess, err := ppclust.NewHolderSession(*name, table, holders, schema, opts,
-		ppclust.ClusterRequest{Method: method, Linkage: link, K: *k}, conns)
+	req := ppclust.ClusterRequest{Method: method, Linkage: link, K: *k}
+	var sess *ppclust.HolderSession
+	if *reconnectWindow > 0 {
+		// Resume redials share the connect policy: the same -connect-retries
+		// attempt bound and the same capped, jittered exponential backoff
+		// that governed the initial dials.
+		sess, err = ppclust.NewResumableHolderSession(*name, table, holders, schema, opts, req, conns, *session,
+			func(ctx context.Context) (net.Conn, error) {
+				return d.dialRaw(ctx, "third party (resume)", *tpAddr)
+			})
+	} else {
+		sess, err = ppclust.NewHolderSession(*name, table, holders, schema, opts, req, conns)
+	}
 	if err != nil {
 		return err
 	}
@@ -337,6 +369,7 @@ func shardHandshake(name, session string, shard int) func(net.Conn) error {
 type dialer struct {
 	retries int
 	backoff time.Duration
+	mu      sync.Mutex // guards rnd: resume redials jitter off the main goroutine
 	rnd     *mrand.Rand
 }
 
@@ -389,7 +422,38 @@ func (d *dialer) delay(attempt int) time.Duration {
 	if d.rnd == nil || half <= 0 {
 		return base
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return half + time.Duration(d.rnd.Int63n(int64(half)+1))
+}
+
+// dialRaw connects to addr under the same retry and backoff policy as dial
+// but performs no handshake — the resume preamble is the session's job —
+// and honors ctx between attempts, so an expiring reconnect window stops
+// the retries instead of sleeping through its own deadline.
+func (d *dialer) dialRaw(ctx context.Context, what, addr string) (net.Conn, error) {
+	var last error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+		if err == nil {
+			return c, nil
+		}
+		last = err
+		if attempt+1 >= d.retries {
+			return nil, fmt.Errorf("%s: giving up after %d attempts: %w", what, attempt+1, last)
+		}
+		delay := d.delay(attempt)
+		log.Printf("event=connect-retry target=%q attempt=%d/%d delay=%v err=%q",
+			what, attempt+1, d.retries, delay, err)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
 }
 
 func splitNonEmpty(s string) []string {

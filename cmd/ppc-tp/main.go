@@ -7,7 +7,11 @@
 // -shards flag splits each session's third party into K row-range shards
 // behind a merge coordinator — holders learn the shard count from the
 // routing admission and dial one extra connection per shard; reports are
-// bit-identical to the single-TP path at every K.
+// bit-identical to the single-TP path at every K. With -reconnect-window,
+// a session whose holder lane is severed mid-run parks degraded for that
+// grace period and accepts the holder's version-3 resume redial instead of
+// aborting; the sessions_degraded gauge and reconnects_accepted/_refused
+// counters on -debug-addr track the mechanism.
 //
 // Usage:
 //
@@ -82,6 +86,7 @@ func run() error {
 	shards := flag.Int("shards", 1, "row-range TP shards per session (1 = single third party; results are bit-identical at every setting)")
 	sessionTimeout := flag.Duration("session-timeout", 0, "bound on each tenant session (0 = unbounded)")
 	phaseTimeout := flag.Duration("phase-timeout", 2*time.Minute, "watchdog bound on per-session inactivity (0 = disabled)")
+	reconnectWindow := flag.Duration("reconnect-window", 0, "grace period a session with a severed holder lane waits degraded for a version-3 resume redial (0 = severs abort immediately; must match the holders')")
 	maxSessions := flag.Int("max-sessions", 4, "concurrently admitted tenant sessions")
 	queueDepth := flag.Int("queue-depth", 0, "sessions that may queue for a slot (0 = refuse when saturated)")
 	budgetBytes := flag.Int64("budget-bytes", 0, "global memory budget across sessions (0 = unbounded; requires -max-objects)")
@@ -110,6 +115,7 @@ func run() error {
 	opts.SessionTimeout = *sessionTimeout
 	opts.PhaseTimeout = *phaseTimeout
 	opts.TPShards = *shards
+	opts.ReconnectWindow = *reconnectWindow
 
 	if *once {
 		*maxSessions = 1

@@ -145,6 +145,15 @@
 // fault-injection harness that pins it all under the race detector — is
 // specified in docs/ARCHITECTURE.md.
 //
+// Severed transports need not be fatal: with Options.ReconnectWindow
+// armed, a holder↔third-party conduit that dies mid-session parks the
+// session in a degraded state instead of failing it, the holder redials
+// (NewResumableHolderSession over TCP), and a watermarked handshake
+// replays exactly the frames the other side never installed — the
+// resumed session completes bit-identically to a fault-free run. Severs
+// beyond recovery classify under ErrDisconnected. See
+// docs/ARCHITECTURE.md ("Degraded sessions & resume").
+//
 // # Documentation map
 //
 // The systems-level architecture — session stage pipeline, determinism
@@ -167,5 +176,7 @@
 // session over bandwidth-limited store-and-forward links sweeping the
 // local-matrix chunk size against the monolithic wire shape, then
 // BENCH_5.json adding that family's both-partitions-large rows, where the
-// chunked pairwise S/M streaming is the lever).
+// chunked pairwise S/M streaming is the lever, then BENCH_9.json adding
+// the session-reconnect family: baseline vs armed reconnect window vs a
+// mid-session lane flap recovered by watermarked replay).
 package ppclust

@@ -42,6 +42,16 @@ const Version = 1
 // (SendAcceptRouting) that carries the session's shard count.
 const VersionSharded = 2
 
+// VersionResume is the extended-hello version a holder sends when
+// re-dialing a severed conduit of a live session: the version-2 fields
+// plus a proposed transport epoch and the holder's per-lane frame
+// watermarks (frames sent / frames received on the dead conduit). The
+// acceptor matches it to the degraded session and answers with a resume
+// grant (SendAcceptResume) carrying its own watermarks, so both ends
+// replay exactly the frames the other never installed. Version-3 hellos
+// never create sessions; v0–v2 admission is unchanged.
+const VersionResume = 3
+
 // MaxShards bounds the shard index a version-2 hello can carry (the lane
 // byte reserves 0x00 for the control connection).
 const MaxShards = 254
@@ -133,11 +143,25 @@ type Hello struct {
 	// The zero value is the control lane, so hand-built hellos route like
 	// legacy ones.
 	Lane int
+	// Epoch is the transport epoch a version-3 resume hello proposes for
+	// the rebound conduit — strictly greater than every epoch the lane has
+	// used, so both ends agree which transport instance carries the replay
+	// (and derive a fresh channel key from it).
+	Epoch uint32
+	// Sent and Recv are the dialer's frame watermarks for the severed lane:
+	// how many frames it had sent on, and received from, the dead conduit.
+	// Version-3 only.
+	Sent uint64
+	Recv uint64
 }
 
 // Extended reports whether the hello used the extended form — only then
 // does the dialer await an admission response.
 func (h Hello) Extended() bool { return h.Version > 0 }
+
+// Resume reports whether the hello asks to resume a severed lane of a live
+// session rather than join a new one.
+func (h Hello) Resume() bool { return h.Version == VersionResume }
 
 // AnnounceSession writes the extended hello: magic, version, the caller's
 // party name and its session ID. The acceptor answers with an admission
@@ -193,6 +217,47 @@ func AnnounceSessionShardWithin(conn net.Conn, name, session string, shard int, 
 		return err
 	}
 	if err := AnnounceSessionShard(conn, name, session, shard); err != nil {
+		return err
+	}
+	return conn.SetWriteDeadline(time.Time{})
+}
+
+// AnnounceResume writes the version-3 resume hello: the version-2 fields,
+// then the proposed transport epoch and the dialer's frame watermarks for
+// the severed lane (big-endian). shard follows the AnnounceSessionShard
+// convention: -1 for the control conduit, s >= 0 for shard s. The acceptor
+// answers with a resume grant (AwaitResumeGrant) or a typed refusal; v0–v2
+// acceptors refuse the unknown version (RejectVersion).
+func AnnounceResume(conn net.Conn, name, session string, shard int, epoch uint32, sent, recv uint64) error {
+	if name == "" || len(name) > maxName {
+		return fmt.Errorf("netid: invalid name %q", name)
+	}
+	if len(session) > maxSession {
+		return fmt.Errorf("netid: session ID %q longer than %d bytes", session, maxSession)
+	}
+	if shard < -1 || shard >= MaxShards {
+		return fmt.Errorf("netid: shard %d outside [-1, %d)", shard, MaxShards)
+	}
+	buf := make([]byte, 0, 25+len(name)+len(session))
+	buf = append(buf, magicExtended, VersionResume, byte(len(name)))
+	buf = append(buf, name...)
+	buf = append(buf, byte(len(session)))
+	buf = append(buf, session...)
+	buf = append(buf, byte(shard+1))
+	buf = binary.BigEndian.AppendUint32(buf, epoch)
+	buf = binary.BigEndian.AppendUint64(buf, sent)
+	buf = binary.BigEndian.AppendUint64(buf, recv)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// AnnounceResumeWithin is AnnounceResume under a write deadline, cleared
+// before returning (cf. AnnounceWithin).
+func AnnounceResumeWithin(conn net.Conn, name, session string, shard int, epoch uint32, sent, recv uint64, timeout time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if err := AnnounceResume(conn, name, session, shard, epoch, sent, recv); err != nil {
 		return err
 	}
 	return conn.SetWriteDeadline(time.Time{})
@@ -265,12 +330,21 @@ func AcceptHello(conn net.Conn) (Hello, error) {
 		return Hello{}, fmt.Errorf("netid: reading session: %w", err)
 	}
 	h := Hello{Name: string(name), Session: string(session), Version: int(ver[0])}
-	if ver[0] == VersionSharded {
+	if ver[0] == VersionSharded || ver[0] == VersionResume {
 		var lane [1]byte
 		if _, err := io.ReadFull(conn, lane[:]); err != nil {
 			return Hello{}, fmt.Errorf("netid: reading shard lane: %w", err)
 		}
 		h.Lane = int(lane[0])
+	}
+	if ver[0] == VersionResume {
+		var marks [20]byte
+		if _, err := io.ReadFull(conn, marks[:]); err != nil {
+			return Hello{}, fmt.Errorf("netid: reading resume watermarks: %w", err)
+		}
+		h.Epoch = binary.BigEndian.Uint32(marks[0:4])
+		h.Sent = binary.BigEndian.Uint64(marks[4:12])
+		h.Recv = binary.BigEndian.Uint64(marks[12:20])
 	}
 	return h, nil
 }
@@ -322,6 +396,11 @@ const (
 	// RejectTimeout: the session did not gather all of its holders within
 	// the server's gather deadline; its parked connections are refused.
 	RejectTimeout
+	// RejectResume: a version-3 resume hello was refused — the session or
+	// lane is unknown, the session already aborted, or the offered
+	// watermarks are stale/backward relative to the server's. Not
+	// retryable: the streamed state the resume depends on is gone.
+	RejectResume
 )
 
 // String names the code as it appears in reject frames, logs and metrics.
@@ -345,6 +424,8 @@ func (c RejectCode) String() string {
 		return "duplicate-holder"
 	case RejectTimeout:
 		return "gather-timeout"
+	case RejectResume:
+		return "resume"
 	default:
 		return fmt.Sprintf("code-%d", byte(c))
 	}
@@ -394,6 +475,21 @@ func SendAcceptRouting(conn net.Conn, shards int) error {
 		return fmt.Errorf("netid: shard count %d outside [1, %d]", shards, MaxShards)
 	}
 	_, err := conn.Write([]byte{statusAccept, byte(shards)})
+	return err
+}
+
+// SendAcceptResume answers a version-3 resume hello with a resume grant:
+// admission plus the acceptor's own frame watermarks for the lane (frames
+// it had sent, frames it had received and installed — big-endian). The
+// dialer replays everything past recv; the acceptor replays everything
+// past the hello's Recv. Secure-channel re-establishment under the agreed
+// epoch follows on the same connection.
+func SendAcceptResume(conn net.Conn, sent, recv uint64) error {
+	buf := make([]byte, 0, 17)
+	buf = append(buf, statusAccept)
+	buf = binary.BigEndian.AppendUint64(buf, sent)
+	buf = binary.BigEndian.AppendUint64(buf, recv)
+	_, err := conn.Write(buf)
 	return err
 }
 
@@ -463,6 +559,34 @@ func AwaitAdmissionRouting(conn net.Conn, timeout time.Duration) (int, error) {
 		return 0, readReject(conn)
 	default:
 		return 0, fmt.Errorf("netid: invalid admission response status %d", status[0])
+	}
+}
+
+// AwaitResumeGrant reads the resume grant that follows a version-3 hello:
+// the acceptor's (sent, recv) watermarks for the lane on accept, a
+// *RejectedError on a typed refusal. Deadline semantics match
+// AwaitAdmission.
+func AwaitResumeGrant(conn net.Conn, timeout time.Duration) (sent, recv uint64, err error) {
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, 0, err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		return 0, 0, fmt.Errorf("netid: reading resume grant: %w", err)
+	}
+	switch status[0] {
+	case statusAccept:
+		var marks [16]byte
+		if _, err := io.ReadFull(conn, marks[:]); err != nil {
+			return 0, 0, fmt.Errorf("netid: reading resume watermarks: %w", err)
+		}
+		sent = binary.BigEndian.Uint64(marks[0:8])
+		recv = binary.BigEndian.Uint64(marks[8:16])
+		return sent, recv, conn.SetReadDeadline(time.Time{})
+	case statusReject:
+		return 0, 0, readReject(conn)
+	default:
+		return 0, 0, fmt.Errorf("netid: invalid resume grant status %d", status[0])
 	}
 }
 

@@ -120,19 +120,19 @@ func TestAnnounceSessionValidation(t *testing.T) {
 }
 
 func TestFutureVersionHelloSurvivesParse(t *testing.T) {
-	// A version-3 hello parses through the version-2 fields known to this
-	// package (minus the shard lane, which only version 2 defines) and
-	// reports its claimed version, so the acceptor can refuse it with
-	// RejectVersion instead of a parse error.
+	// A version-4 hello parses through the version-1 fields known to this
+	// package (minus the lane and resume fields, which versions 2 and 3
+	// define) and reports its claimed version, so the acceptor can refuse
+	// it with RejectVersion instead of a parse error.
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	go a.Write([]byte{magicExtended, 3, 1, 'H', 2, 's', '2'})
+	go a.Write([]byte{magicExtended, 4, 1, 'H', 2, 's', '2'})
 	h, err := AcceptHello(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Version != 3 || h.Name != "H" || h.Session != "s2" {
+	if h.Version != 4 || h.Name != "H" || h.Session != "s2" {
 		t.Fatalf("hello = %+v", h)
 	}
 	if h.Lane != 0 {
@@ -330,5 +330,104 @@ func TestSendAcceptRoutingValidation(t *testing.T) {
 	}
 	if err := SendAcceptRouting(a, MaxShards+1); err == nil {
 		t.Fatalf("%d shards accepted", MaxShards+1)
+	}
+}
+
+func TestResumeHelloRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- AnnounceResumeWithin(a, "HolderB", "tenant-9", 2, 5, 1234, 99, time.Second)
+	}()
+	h, err := AcceptHelloWithin(b, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	want := Hello{Name: "HolderB", Session: "tenant-9", Version: VersionResume,
+		Lane: 3, Epoch: 5, Sent: 1234, Recv: 99}
+	if h != want {
+		t.Fatalf("hello = %+v, want %+v", h, want)
+	}
+	if !h.Resume() || !h.Extended() {
+		t.Fatal("v3 hello must report Resume and Extended")
+	}
+}
+
+func TestResumeHelloControlLane(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go AnnounceResume(a, "HolderA", "s", -1, 1, 7, 7)
+	h, err := AcceptHello(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Lane != 0 {
+		t.Fatalf("control lane = %d, want 0", h.Lane)
+	}
+}
+
+func TestResumeGrantRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() { done <- SendAcceptResume(a, 4321, 17) }()
+	sent, recv, err := AwaitResumeGrant(b, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if sent != 4321 || recv != 17 {
+		t.Fatalf("grant = (%d, %d)", sent, recv)
+	}
+}
+
+func TestResumeGrantReject(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go SendReject(a, RejectResume, "watermark behind installed rows")
+	_, _, err := AwaitResumeGrant(b, time.Second)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	var re *RejectedError
+	if !errors.As(err, &re) || re.Code != RejectResume {
+		t.Fatalf("err = %v, want RejectResume", err)
+	}
+	if re.Code.String() != "resume" {
+		t.Fatalf("code string = %q", re.Code.String())
+	}
+	if re.Retryable() {
+		t.Fatal("resume reject must not be retryable")
+	}
+}
+
+// TestFutureVersionPassthrough pins the forward-compat contract: a hello
+// claiming a version newer than VersionResume is returned intact with its
+// claimed version and no extra fields consumed, so the acceptor can refuse
+// it (RejectVersion) without this layer guessing at the layout.
+func TestFutureVersionPassthrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go a.Write([]byte{0xFF, 4, 1, 'H', 1, 's'})
+	h, err := AcceptHello(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 4 || h.Name != "H" || h.Session != "s" {
+		t.Fatalf("hello = %+v", h)
+	}
+	if h.Resume() {
+		t.Fatal("future version must not classify as resume")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"ppclust/internal/dataset"
 	"ppclust/internal/dissim"
@@ -131,8 +132,49 @@ func RunInMemoryWrappedContext(ctx context.Context, cfg Config, parts []dataset.
 			}
 		}
 	}
+	// Mid-session resume plumbing: when the session arms a reconnect
+	// window and the caller supplied no Redial, the driver stands in for
+	// the deployment's dialer and acceptor — a holder redial creates a
+	// fresh pipe, runs the validation the network acceptor would run, and
+	// hands the TP end to the granted ticket on its own goroutine (the two
+	// replays must drain each other concurrently). Replacement pipes pass
+	// through the same wrap under the same (owner, peer) names, so chaos
+	// wraps decide per lane instance whether the replacement flaps too.
+	var tpCell atomic.Pointer[ThirdParty]
+	var redialMu sync.Mutex
+	var redialRaw []wire.Conduit
+	holderCfg := cfg
+	if cfg.ResumeWindow > 0 && cfg.Redial == nil {
+		holderCfg.Redial = func(_ context.Context, holder string, lane int, st ResumeState) (wire.Conduit, ResumeGrant, error) {
+			tp := tpCell.Load()
+			if tp == nil {
+				return nil, ResumeGrant{}, errors.New("party: third party not accepting yet")
+			}
+			ticket, err := tp.Resume(holder, lane, st.Epoch, st.Sent, st.Recv)
+			if err != nil {
+				return nil, ResumeGrant{}, err
+			}
+			peer := laneConduitName(lane)
+			ca, cb := wire.Pipe()
+			redialMu.Lock()
+			redialRaw = append(redialRaw, ca, cb)
+			redialMu.Unlock()
+			wa, wb := ca, cb
+			if wrap != nil {
+				wa, wb = wrap(holder, peer, ca), wrap(peer, holder, cb)
+			}
+			go ticket.Complete(wb)
+			return wa, ticket.Grant(), nil
+		}
+	}
 	closeAll := func() {
 		for _, c := range raw {
+			c.Close()
+		}
+		redialMu.Lock()
+		rr := redialRaw
+		redialMu.Unlock()
+		for _, c := range rr {
 			c.Close()
 		}
 	}
@@ -150,7 +192,7 @@ func RunInMemoryWrappedContext(ctx context.Context, cfg Config, parts []dataset.
 		go func(p dataset.Partition) {
 			defer wg.Done()
 			req := reqs[p.Site]
-			h, err := NewHolder(p.Site, p.Table, holders, cfg, req, conduitFor[p.Site], random(p.Site))
+			h, err := NewHolder(p.Site, p.Table, holders, holderCfg, req, conduitFor[p.Site], random(p.Site))
 			if err != nil {
 				holderCh <- holderOut{name: p.Site, err: err}
 				closeAll()
@@ -175,6 +217,7 @@ func RunInMemoryWrappedContext(ctx context.Context, cfg Config, parts []dataset.
 			closeAll()
 			return
 		}
+		tpCell.Store(tp)
 		report, tpErr = tp.RunContext(ctx)
 		if tpErr != nil {
 			closeAll()

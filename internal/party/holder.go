@@ -162,6 +162,12 @@ func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
 				return err
 			}
 		}
+		// The TP control lane (not holder↔holder conduits) is resumable:
+		// the Reconn sits above the channel so a sever parks the lane and
+		// the redial loop replaces the transport underneath the endpoint.
+		if peer == TPName && h.resumable() {
+			secured = h.armResume(secured, peer, 0)
+		}
 		ep = wire.NewEndpoint(secured)
 		if peer == TPName {
 			h.tp = ep
@@ -205,6 +211,9 @@ func (h *Holder) handshakeAll(conduits map[string]wire.Conduit) error {
 				if err != nil {
 					return err
 				}
+			}
+			if h.resumable() {
+				secured = h.armResume(secured, name, s+1)
 			}
 			h.shards[s] = wire.NewEndpoint(secured)
 		}

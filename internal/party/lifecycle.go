@@ -25,6 +25,14 @@ var (
 	// frame naming its reason, or the caller cancelled the context passed
 	// to RunContext.
 	ErrAborted = errors.New("party: session aborted")
+	// ErrDisconnected classifies mid-session transport severs that were
+	// not (or could not be) resumed: a conduit closed under a live session
+	// after the handshake, and either no reconnect window was configured
+	// or the resume was refused. The chain keeps the underlying
+	// wire.ErrClosed, so errors.Is sees both the class and the transport
+	// fact. Handshake-time severs keep their plain transport
+	// classification — no session existed yet to disconnect from.
+	ErrDisconnected = errors.New("party: disconnected mid-session")
 )
 
 // errSessionDone is the cancel cause of a session that ended cleanly; it
@@ -66,12 +74,14 @@ type guard struct {
 	phase    string
 	seq      uint64 // progress marks; compared by the watchdog tick
 	lastSeq  uint64
+	degraded int // resumable lanes currently down; suspends the watchdog
 	watchdog *time.Timer
 	notify   func(reason string) // sends abort frames; set once endpoints exist
 	failed   bool
 	cause    error // first failure's cause; recorded before peers are notified
 	released bool
-	releases []func() // wire.Bind releases + context cancels, run on release
+	releases []func()       // wire.Bind releases + context cancels, run on release
+	binds    []wire.Conduit // bound conduits; closed by a release after a failure
 }
 
 // newGuard arms a party's lifecycle: the session deadline (if any) starts
@@ -102,6 +112,7 @@ func (g *guard) bind(c wire.Conduit) wire.Conduit {
 	bc, release := wire.Bind(g.ctx, c)
 	g.mu.Lock()
 	g.releases = append(g.releases, release)
+	g.binds = append(g.binds, c)
 	g.mu.Unlock()
 	return &guardedConduit{inner: bc, g: g}
 }
@@ -147,6 +158,48 @@ func (g *guard) setPhase(phase string) {
 	g.mu.Unlock()
 }
 
+// phaseName reports the current phase for diagnostics.
+func (g *guard) phaseName() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.phase
+}
+
+// noteDegraded marks one resumable lane down: while any lane is degraded
+// the phase watchdog is suspended — the reconnect window, not the
+// inactivity bound, governs how long a degraded session may sit idle.
+// noteRestored ends one lane's degradation (rebind or window expiry) and
+// counts as progress, so the watchdog re-arms from the recovery, not from
+// the last pre-sever frame.
+func (g *guard) noteDegraded() {
+	g.mu.Lock()
+	g.degraded++
+	g.mu.Unlock()
+}
+
+func (g *guard) noteRestored() {
+	g.mu.Lock()
+	if g.degraded > 0 {
+		g.degraded--
+	}
+	g.seq++
+	g.mu.Unlock()
+}
+
+// failure reports why the guard is no longer watching: the recorded
+// failure cause, errSessionDone after a clean release, or nil while live.
+func (g *guard) failure() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.failed {
+		return g.cause
+	}
+	if g.released {
+		return errSessionDone
+	}
+	return nil
+}
+
 // setNotify installs the abort-frame sender once the party's endpoints
 // exist. Failures before this point (mid-handshake) tear down without
 // notifying; peers observe the conduit close instead.
@@ -166,7 +219,7 @@ func (g *guard) tick() {
 		g.mu.Unlock()
 		return
 	}
-	if g.seq != g.lastSeq {
+	if g.seq != g.lastSeq || g.degraded > 0 {
 		g.lastSeq = g.seq
 		g.watchdog.Reset(g.phaseTimeout)
 		g.mu.Unlock()
@@ -224,7 +277,20 @@ func (g *guard) release() {
 	}
 	releases := g.releases
 	g.releases = nil
+	failed := g.failed
+	binds := g.binds
+	g.binds = nil
 	g.mu.Unlock()
+	if failed {
+		// A release after a failure is teardown, not a clean handover: the
+		// run goroutine can unwind during fail's notify grace, and detaching
+		// the watchers then would leave fail's cancel with nothing to close —
+		// abort senders parked in a downed resumable lane would never
+		// unblock. Close the bound conduits synchronously instead.
+		for _, c := range binds {
+			c.Close()
+		}
+	}
 	for _, r := range releases {
 		r()
 	}
@@ -265,12 +331,30 @@ func (g *guard) abort(err error) error {
 	}
 	if cause != nil && !errors.Is(cause, errSessionDone) {
 		g.fail(cause) // no-op unless the deadline fired without a fail()
-		if errors.Is(err, ErrSessionTimeout) || errors.Is(err, ErrAborted) {
+		if errors.Is(err, ErrSessionTimeout) || errors.Is(err, ErrAborted) || errors.Is(err, ErrDisconnected) {
 			return err
 		}
 		return fmt.Errorf("%w (local error: %v)", cause, err)
 	}
+	err = g.classify(err)
 	g.fail(err)
+	return err
+}
+
+// classify maps an unclassified local failure to its session class: a
+// reconnect window that ran out is a timeout naming the degraded phase; a
+// post-handshake transport close is a mid-session disconnect (the chain
+// keeps wire.ErrClosed). Already-classified errors pass through.
+func (g *guard) classify(err error) error {
+	switch {
+	case errors.Is(err, ErrSessionTimeout) || errors.Is(err, ErrAborted) || errors.Is(err, ErrDisconnected):
+		return err
+	case errors.Is(err, wire.ErrReconnectExpired):
+		return fmt.Errorf("%w: %s: degraded past the reconnect window in phase %q: %w",
+			ErrSessionTimeout, g.name, g.phaseName(), err)
+	case errors.Is(err, wire.ErrClosed) && g.phaseName() != "handshake":
+		return fmt.Errorf("%w: %s: %w", ErrDisconnected, g.name, err)
+	}
 	return err
 }
 

@@ -189,6 +189,36 @@ type Config struct {
 	// enforce per-session resource budgets; holders ignore it. Local
 	// policy, not part of the session agreement.
 	OnCensus func(counts []int) error
+	// ResumeWindow, when positive, makes a mid-session sever of a
+	// holder↔TP conduit recoverable instead of fatal: the lane parks in a
+	// degraded state for up to this long while a replacement transport is
+	// negotiated, and the session resumes bit-identical to a fault-free
+	// run once the lane rebinds (frames the peer never installed are
+	// replayed exactly once, duplicates dropped). The third party arms
+	// every holder lane with just the window; a holder additionally needs
+	// Redial to re-establish transports. When the window runs out the
+	// session fails with ErrSessionTimeout naming the degraded phase. 0
+	// keeps the pre-resume behavior: the first sever aborts the session,
+	// classified under ErrDisconnected. Holder↔holder conduits are never
+	// resumable — severing one always aborts.
+	ResumeWindow time.Duration
+	// Redial, set on a holder alongside ResumeWindow, re-establishes a
+	// severed TP lane: it dials a replacement transport, delivers the
+	// holder's resume state (epoch proposal and frame watermarks) to the
+	// third party, and returns the raw replacement conduit plus the third
+	// party's grant. The holder layers its own channel protection over
+	// the returned conduit — Redial hands back a bare transport, exactly
+	// what a dialer produces. Returning an error wrapping ErrResumeStale,
+	// ErrResumeAborted or ErrResumeUnknown is fatal; any other error is
+	// retried with capped backoff until the window expires.
+	Redial RedialFunc
+	// OnConduitDown fires when a resumable lane severs and its reconnect
+	// window opens; OnConduitUp fires when the lane rebinds. peer is the
+	// conduit's peer name, lane its resume lane index (0 = control,
+	// s+1 = shard s). Observer hooks for gauges and logs — they run on
+	// lifecycle goroutines and must not block.
+	OnConduitDown func(peer string, lane int, cause error)
+	OnConduitUp   func(peer string, lane int)
 }
 
 // DefaultLocalChunkBytes is the local-matrix streaming chunk size when

@@ -1,0 +1,400 @@
+package party
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ppclust/internal/keys"
+	"ppclust/internal/wire"
+)
+
+// Mid-session reconnect and resume.
+//
+// When Config.ResumeWindow is positive, every holder↔TP lane — the
+// control conduit and each shard conduit — is wrapped in a wire.Reconn
+// directly above its AES-GCM channel. A transport sever then parks the
+// lane instead of failing the session: both ends keep exact frame
+// watermarks (protocol frames sent and installed), the holder redials
+// through Config.Redial carrying its watermarks and an epoch proposal,
+// the third party validates the hello against its own watermarks and
+// grants the resume, and each side replays exactly the frames the other
+// never installed — over a fresh AES-GCM channel keyed for the new epoch,
+// so no nonce sequence is ever reused. The protocol layers above observe
+// the same frames in the same order as on a fault-free run, which is why
+// resumed sessions are bit-identical (pinned by the differential chaos
+// tests).
+//
+// The typed refusals below are the resume control plane's vocabulary:
+// which of them a redial surfaces decides whether the holder keeps
+// retrying (duplicate, transient dial failure) or fails the session
+// (stale watermarks, coordinator-side abort, unknown lane).
+var (
+	// ErrResumeStale refuses a resume hello whose watermarks or epoch are
+	// inconsistent with the third party's state: a watermark that moved
+	// backward, claims of frames never sent, or an epoch proposal not
+	// beyond the current transport epoch. Fatal to the resume loop.
+	ErrResumeStale = errors.New("party: resume hello is stale")
+	// ErrResumeDuplicate refuses a resume hello for a lane whose original
+	// conduit is still live, or while another resume for the lane is in
+	// flight — a duplicate holder. Retryable: the genuine holder's next
+	// attempt lands once the live conduit actually fails.
+	ErrResumeDuplicate = errors.New("party: duplicate holder for resume lane")
+	// ErrResumeAborted refuses a resume because the session is already
+	// over on the coordinator side — aborted, failed, or cleanly
+	// complete. Fatal to the resume loop.
+	ErrResumeAborted = errors.New("party: session no longer resumable")
+	// ErrResumeUnknown refuses a resume hello naming a lane the third
+	// party never armed: unknown holder, lane index out of range, or a
+	// session that was not configured for resume. Fatal.
+	ErrResumeUnknown = errors.New("party: unknown resume lane")
+)
+
+// ResumeState is a holder's side of a resume negotiation: the transport
+// epoch it proposes for the replacement conduit (strictly greater than
+// any epoch the lane has used) and its frame watermarks — protocol frames
+// it sent on the lane and frames it installed from the third party.
+type ResumeState struct {
+	Epoch uint32
+	Sent  uint64
+	Recv  uint64
+}
+
+// ResumeGrant is the third party's acceptance: its own watermarks for the
+// lane. Sent tells the holder how many TP frames exist (the holder's
+// receiver drains the replayed tail it is missing); Recv tells the holder
+// which of its frames the TP installed, so the holder replays from
+// exactly the first missing one.
+type ResumeGrant struct {
+	Sent uint64
+	Recv uint64
+}
+
+// RedialFunc re-establishes one severed holder↔TP lane. It must dial a
+// replacement transport, deliver state to the third party (in a
+// deployment: a version-3 netid resume hello), and return the raw conduit
+// together with the grant. The holder layers its own channel protection
+// over the conduit. Errors wrapping ErrResumeStale, ErrResumeAborted or
+// ErrResumeUnknown abort the session; anything else is retried with
+// capped backoff until the reconnect window expires.
+type RedialFunc func(ctx context.Context, holder string, lane int, state ResumeState) (wire.Conduit, ResumeGrant, error)
+
+// Resume lane indices: 0 is the control conduit, s+1 is shard s — the
+// same convention the netid resume hello carries on the wire.
+func laneConduitName(lane int) string {
+	if lane == 0 {
+		return TPName
+	}
+	return ShardName(lane - 1)
+}
+
+// resumeChannelKey derives the AES-GCM key for one (lane, epoch): epoch 0
+// is the handshake-time channel key, every later epoch salts the purpose
+// so a rebound transport never reuses a nonce sequence.
+func resumeChannelKey(master []byte, holder, lane string, epoch uint32) [32]byte {
+	purpose := keys.PurposeChannel
+	if epoch > 0 {
+		purpose = fmt.Sprintf("%s/resume/%d", keys.PurposeChannel, epoch)
+	}
+	return keys.DeriveKey(master, purpose, holder, lane)
+}
+
+// Holder resume backoff: the redial loop starts fast (a flap is usually
+// over by the time it is observed) and backs off to a bounded cadence so
+// a long outage does not hammer the coordinator's acceptor.
+const (
+	resumeBackoffMin = 25 * time.Millisecond
+	resumeBackoffMax = time.Second
+)
+
+// resumable reports whether this holder arms mid-session resume on its TP
+// lanes: it needs both the grace window and a way to dial replacements.
+func (h *Holder) resumable() bool {
+	return h.cfg.ResumeWindow > 0 && h.cfg.Redial != nil
+}
+
+// armResume wraps one secured TP lane in a Reconn and returns the guarded
+// conduit the endpoint reads: a sever now parks the lane, suspends the
+// watchdog, and starts the redial loop; window expiry fails the session
+// with a timeout naming the degraded phase.
+func (h *Holder) armResume(secured wire.Conduit, peer string, lane int) wire.Conduit {
+	rc := wire.NewReconn(secured, h.cfg.ResumeWindow)
+	// One redial loop per lane at a time: a replay failure inside Rebind
+	// re-enters the down state and fires onDown again while the original
+	// loop is still retrying.
+	var loopMu sync.Mutex
+	looping := false
+	rc.SetHooks(
+		func(cause error) {
+			h.guard.noteDegraded()
+			if hook := h.cfg.OnConduitDown; hook != nil {
+				hook(peer, lane, cause)
+			}
+			loopMu.Lock()
+			already := looping
+			looping = true
+			loopMu.Unlock()
+			if already {
+				return
+			}
+			h.resumeLoop(rc, peer, lane)
+			loopMu.Lock()
+			looping = false
+			loopMu.Unlock()
+		},
+		func() {
+			h.guard.noteRestored()
+			if hook := h.cfg.OnConduitUp; hook != nil {
+				hook(peer, lane)
+			}
+		},
+		func(err error) {
+			h.guard.noteRestored()
+			h.guard.fail(fmt.Errorf("%w: %s: lane to %s degraded past the reconnect window in phase %q: %w",
+				ErrSessionTimeout, h.name, peer, h.guard.phaseName(), err))
+		},
+	)
+	return h.guard.bind(rc)
+}
+
+// resumeLoop drives one lane back up: read the watermarks the parked lane
+// settled on, propose a fresh epoch, redial, secure the replacement under
+// the epoch key and rebind. Runs on the Reconn's onDown goroutine.
+func (h *Holder) resumeLoop(rc *wire.Reconn, peer string, lane int) {
+	backoff := resumeBackoffMin
+	for attempt := uint32(0); ; attempt++ {
+		select {
+		case <-rc.Failed():
+			return // window expired (onExpire classified it) or session torn down
+		case <-h.guard.ctx.Done():
+			return
+		default:
+		}
+		sent, recv, down := rc.State()
+		if !down {
+			return
+		}
+		// Propose beyond both our epoch and any epoch a half-completed
+		// earlier attempt may have installed on the third party's side.
+		epoch := rc.Epoch() + 1 + attempt
+		conduit, grant, err := h.cfg.Redial(h.guard.ctx, h.name, lane, ResumeState{Epoch: epoch, Sent: sent, Recv: recv})
+		if err != nil {
+			if errors.Is(err, ErrResumeStale) || errors.Is(err, ErrResumeAborted) ||
+				errors.Is(err, ErrResumeUnknown) || h.guard.ctx.Err() != nil {
+				h.guard.fail(fmt.Errorf("%w: %s: resume of lane to %s refused: %w",
+					ErrDisconnected, h.name, peer, err))
+				return
+			}
+			if !h.resumeWait(rc, backoff) {
+				return
+			}
+			backoff = nextBackoff(backoff)
+			continue
+		}
+		secured, err := h.resumeSecure(conduit, peer, epoch)
+		if err != nil {
+			conduit.Close()
+			if !h.resumeWait(rc, backoff) {
+				return
+			}
+			backoff = nextBackoff(backoff)
+			continue
+		}
+		if err := rc.Rebind(secured, grant.Recv, epoch); err != nil {
+			secured.Close()
+			if !h.resumeWait(rc, backoff) {
+				return
+			}
+			backoff = nextBackoff(backoff)
+			continue
+		}
+		return
+	}
+}
+
+func nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > resumeBackoffMax {
+		d = resumeBackoffMax
+	}
+	return d
+}
+
+// resumeWait sleeps one backoff step, aborting early when the lane turns
+// terminal or the session ends.
+func (h *Holder) resumeWait(rc *wire.Reconn, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-rc.Failed():
+		return false
+	case <-h.guard.ctx.Done():
+		return false
+	}
+}
+
+// resumeSecure layers the holder's lifecycle binding and epoch-keyed
+// channel protection over a raw replacement transport — the same stack
+// the handshake built, minus the hello (identity was established once;
+// resume authenticates by knowing the epoch key).
+func (h *Holder) resumeSecure(raw wire.Conduit, peer string, epoch uint32) (wire.Conduit, error) {
+	bound := h.guard.bind(raw)
+	if h.cfg.PlaintextChannels {
+		return bound, nil
+	}
+	key := resumeChannelKey(h.masters[TPName], h.name, peer, epoch)
+	return wire.Secure(bound, key, true)
+}
+
+// laneKey identifies one resumable lane on the third party.
+type laneKey struct {
+	holder string
+	lane   int
+}
+
+// resumeLane is the third party's record of one armed lane.
+type resumeLane struct {
+	holder string
+	lane   int
+	rc     *wire.Reconn
+
+	mu       sync.Mutex
+	resuming bool // a granted resume is completing; refuses duplicates
+}
+
+// armResume wraps one secured holder lane in a Reconn, records it in the
+// resume registry, and returns the guarded conduit the endpoint reads.
+// The third party side is passive: it parks on a sever and waits for
+// Resume to deliver a replacement.
+func (tp *ThirdParty) armResume(secured wire.Conduit, holder string, lane int) wire.Conduit {
+	rc := wire.NewReconn(secured, tp.cfg.ResumeWindow)
+	if tp.resumeLanes == nil {
+		tp.resumeLanes = make(map[laneKey]*resumeLane)
+	}
+	tp.resumeLanes[laneKey{holder, lane}] = &resumeLane{holder: holder, lane: lane, rc: rc}
+	rc.SetHooks(
+		func(cause error) {
+			tp.guard.noteDegraded()
+			if hook := tp.cfg.OnConduitDown; hook != nil {
+				hook(holder, lane, cause)
+			}
+		},
+		func() {
+			tp.guard.noteRestored()
+			if hook := tp.cfg.OnConduitUp; hook != nil {
+				hook(holder, lane)
+			}
+		},
+		func(err error) {
+			tp.guard.noteRestored()
+			tp.guard.fail(fmt.Errorf("%w: %s: %s lane to %s degraded past the reconnect window in phase %q: %w",
+				ErrSessionTimeout, TPName, laneConduitName(lane), holder, tp.guard.phaseName(), err))
+		},
+	)
+	return tp.guard.bind(rc)
+}
+
+// Resumable reports whether this third party arms reconnect windows on
+// its holder lanes — whether Resume can ever succeed.
+func (tp *ThirdParty) Resumable() bool { return tp.cfg.ResumeWindow > 0 }
+
+// Resume validates a holder's resume hello against the lane's state and,
+// on success, claims the lane and returns a ticket. The caller (the
+// server's acceptor, or the in-memory driver) sends the ticket's Grant to
+// the holder, then calls Complete with the replacement transport — on its
+// own goroutine, because Complete replays frames and the holder drains
+// them concurrently with its own replay.
+//
+// Refusals are typed: ErrResumeUnknown (no such lane), ErrResumeAborted
+// (session over), ErrResumeDuplicate (lane still live, or another resume
+// in flight), ErrResumeStale (epoch or watermarks inconsistent).
+func (tp *ThirdParty) Resume(holder string, lane int, epoch uint32, sent, recv uint64) (*ResumeTicket, error) {
+	l := tp.resumeLanes[laneKey{holder, lane}]
+	if l == nil {
+		return nil, fmt.Errorf("%w: holder %q lane %d", ErrResumeUnknown, holder, lane)
+	}
+	if cause := tp.guard.failure(); cause != nil {
+		return nil, fmt.Errorf("%w: %v", ErrResumeAborted, cause)
+	}
+	if cause := l.rc.Cause(); cause != nil {
+		return nil, fmt.Errorf("%w: lane terminal: %v", ErrResumeAborted, cause)
+	}
+	tpSent, tpRecv, down := l.rc.State()
+	if !down {
+		return nil, fmt.Errorf("%w: holder %q lane %d is still connected", ErrResumeDuplicate, holder, lane)
+	}
+	if epoch <= l.rc.Epoch() {
+		return nil, fmt.Errorf("%w: epoch %d not beyond current %d", ErrResumeStale, epoch, l.rc.Epoch())
+	}
+	if recv > tpSent {
+		return nil, fmt.Errorf("%w: hello claims %d frames installed, only %d were sent", ErrResumeStale, recv, tpSent)
+	}
+	if sent < tpRecv {
+		return nil, fmt.Errorf("%w: hello watermark moved backward (claims %d frames sent, %d already installed)",
+			ErrResumeStale, sent, tpRecv)
+	}
+	l.mu.Lock()
+	if l.resuming {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: another resume for holder %q lane %d is in flight", ErrResumeDuplicate, holder, lane)
+	}
+	l.resuming = true
+	l.mu.Unlock()
+	return &ResumeTicket{tp: tp, lane: l, epoch: epoch, holderRecv: recv, tpSent: tpSent, tpRecv: tpRecv}, nil
+}
+
+// ResumeTicket is a granted resume waiting for its replacement transport.
+type ResumeTicket struct {
+	tp         *ThirdParty
+	lane       *resumeLane
+	epoch      uint32
+	holderRecv uint64
+	tpSent     uint64
+	tpRecv     uint64
+}
+
+// Grant is the acceptance the holder needs: the third party's watermarks.
+func (t *ResumeTicket) Grant() ResumeGrant { return ResumeGrant{Sent: t.tpSent, Recv: t.tpRecv} }
+
+// Abandon releases a granted ticket without a transport — the grant never
+// reached the holder. The lane stays down, the window keeps running, and
+// a later Resume (same holder, higher epoch) can claim it again.
+func (t *ResumeTicket) Abandon() {
+	t.lane.mu.Lock()
+	t.lane.resuming = false
+	t.lane.mu.Unlock()
+}
+
+// Complete installs the replacement transport: lifecycle binding and the
+// epoch-keyed channel go over the raw conduit, then the lane rebinds and
+// replays the frames the holder never installed. Call on its own
+// goroutine — the replay only drains once the holder's side is rebound
+// too. On error the lane returns to the down state (window permitting)
+// and a later Resume may try again.
+func (t *ResumeTicket) Complete(raw wire.Conduit) error {
+	defer func() {
+		t.lane.mu.Lock()
+		t.lane.resuming = false
+		t.lane.mu.Unlock()
+	}()
+	bound := t.tp.guard.bind(raw)
+	secured := bound
+	if !t.tp.cfg.PlaintextChannels {
+		key := resumeChannelKey(t.tp.masters[t.lane.holder], t.lane.holder, laneConduitName(t.lane.lane), t.epoch)
+		var err error
+		secured, err = wire.Secure(bound, key, false)
+		if err != nil {
+			raw.Close()
+			return err
+		}
+	}
+	if err := t.lane.rc.Rebind(secured, t.holderRecv, t.epoch); err != nil {
+		secured.Close()
+		return err
+	}
+	return nil
+}

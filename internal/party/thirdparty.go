@@ -69,6 +69,11 @@ type ThirdParty struct {
 	// coordinator's guard — the shard split partitions rows and wire
 	// lanes, not trust.
 	shardEps []map[string]*wire.Endpoint
+
+	// resumeLanes registers each Reconn-armed holder lane for Resume;
+	// nil unless Config.ResumeWindow is positive. Written only during the
+	// handshake, read-only after — Resume may be called concurrently.
+	resumeLanes map[laneKey]*resumeLane
 }
 
 // TPReport is the third party's session outcome. AttributeMatrices and
@@ -180,6 +185,11 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 				return err
 			}
 		}
+		// Resumable sessions park a severed holder lane in the Reconn and
+		// wait for the acceptor to deliver a replacement via Resume.
+		if tp.cfg.ResumeWindow > 0 {
+			secured = tp.armResume(secured, h, 0)
+		}
 		tp.eps[h] = wire.NewEndpoint(secured)
 		// Shard conduits, ascending, right after the holder's control
 		// conduit — the holder handshakes them in the same order, and both
@@ -216,6 +226,9 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 				if err != nil {
 					return err
 				}
+			}
+			if tp.cfg.ResumeWindow > 0 {
+				ssecured = tp.armResume(ssecured, h, s+1)
 			}
 			tp.shardEps[s][h] = wire.NewEndpoint(ssecured)
 		}

@@ -30,6 +30,13 @@ type Metrics struct {
 	// server shards; always 0 on the single-TP path).
 	shardsActive atomic.Int64
 
+	// Reconnect counters: sessionsDegraded gauges sessions with at least
+	// one lane down inside its reconnect window; reconnAccepted and
+	// reconnRefused count resume hellos granted and refused.
+	sessionsDegraded atomic.Int64
+	reconnAccepted   atomic.Int64
+	reconnRefused    atomic.Int64
+
 	// Wire meters every session conduit at the server's edge (outside the
 	// encryption layer), summed over all tenants: received bytes are
 	// holder→TP traffic, sent bytes are TP→holder traffic.
@@ -58,6 +65,17 @@ func (m *Metrics) Failed() int64 { return m.failed.Load() }
 // Active returns the sessions currently holding a slot (gathering or
 // running).
 func (m *Metrics) Active() int64 { return m.activeSessions.Load() }
+
+// Degraded returns the sessions currently holding at least one severed
+// lane inside its reconnect window.
+func (m *Metrics) Degraded() int64 { return m.sessionsDegraded.Load() }
+
+// ReconnectsAccepted returns the resume hellos granted.
+func (m *Metrics) ReconnectsAccepted() int64 { return m.reconnAccepted.Load() }
+
+// ReconnectsRefused returns the resume hellos refused (typed reject or
+// undeliverable grant).
+func (m *Metrics) ReconnectsRefused() int64 { return m.reconnRefused.Load() }
 
 // Queued returns the sessions currently parked in the admission queue.
 func (m *Metrics) Queued() int64 { return m.queued.Load() }
@@ -94,6 +112,10 @@ func (m *Metrics) noteEstimate(estimate int64) {
 //	sessions_completed  reports published
 //	sessions_failed     classified session failures
 //	sessions_drained    sessions that finished during a drain
+//	sessions_degraded   gauge: sessions with a severed lane inside its
+//	                    reconnect window
+//	reconnects_accepted resume hellos granted
+//	reconnects_refused  resume hellos refused
 //	wire_sent_bytes / wire_sent_frames / wire_recv_bytes / wire_recv_frames
 //	                    summed session traffic at the server edge
 //	stage_pool_active   gauge: pipeline stage goroutines running now
@@ -116,6 +138,9 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"sessions_completed":               m.completed.Load(),
 		"sessions_failed":                  m.failed.Load(),
 		"sessions_drained":                 m.drained.Load(),
+		"sessions_degraded":                m.sessionsDegraded.Load(),
+		"reconnects_accepted":              m.reconnAccepted.Load(),
+		"reconnects_refused":               m.reconnRefused.Load(),
 		"wire_sent_bytes":                  int64(sentB),
 		"wire_sent_frames":                 int64(sentF),
 		"wire_recv_bytes":                  int64(recvB),

@@ -145,6 +145,16 @@ func (r *connResponder) Accept(shards int) error {
 	return r.conn.SetWriteDeadline(time.Time{})
 }
 
+func (r *connResponder) AcceptResume(sent, recv uint64) error {
+	if err := r.conn.SetWriteDeadline(r.deadline()); err != nil {
+		return err
+	}
+	if err := netid.SendAcceptResume(r.conn, sent, recv); err != nil {
+		return err
+	}
+	return r.conn.SetWriteDeadline(time.Time{})
+}
+
 func (r *connResponder) Reject(code netid.RejectCode, detail string) error {
 	if err := r.conn.SetWriteDeadline(r.deadline()); err != nil {
 		return err

@@ -189,7 +189,7 @@ func TestServeFutureVersionRejectedOverTCP(t *testing.T) {
 	defer conn.Close()
 	// Hand-rolled extended hello claiming one version past the newest the
 	// server speaks.
-	frame := []byte{0xFF, byte(netid.VersionSharded + 1), 1, 'A', 2, 's', '9'}
+	frame := []byte{0xFF, byte(netid.VersionResume + 1), 1, 'A', 2, 's', '9'}
 	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}

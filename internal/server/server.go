@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppclust/internal/netid"
@@ -133,6 +134,13 @@ type session struct {
 	conns  map[string]*tenantConn
 	order  []string // conduit keys in join order, for deterministic replies
 	gather *time.Timer
+	// tp is the running ThirdParty, published under m.mu once the session
+	// goroutine constructs it; the resume path validates version-3 hellos
+	// against it. Nil while gathering and after done.
+	tp *party.ThirdParty
+	// resumed collects replacement conduits granted to reconnecting
+	// holders; the session goroutine closes them with the originals.
+	resumed []wire.Conduit
 }
 
 // tenantConn is one holder's connection into a session: the metered
@@ -157,6 +165,15 @@ type tenantConn struct {
 type Responder interface {
 	Accept(shards int) error
 	Reject(code netid.RejectCode, detail string) error
+}
+
+// ResumeResponder is the additional capability a Responder needs to grant
+// a version-3 resume hello: the grant carries the server's own frame
+// watermarks for the severed lane, so the holder knows where to restart
+// its streams. Responders lacking it (or nil legacy responders) make the
+// resume unanswerable and the hello is refused.
+type ResumeResponder interface {
+	AcceptResume(sent, recv uint64) error
 }
 
 // New validates the configuration and returns an idle Manager.
@@ -268,9 +285,13 @@ func (m *Manager) Submit(hello netid.Hello, c wire.Conduit, respond Responder) {
 		metered = wire.Meter(metered, &m.metrics.shardWire[hello.Lane-1])
 	}
 	tc := &tenantConn{conduit: metered, respond: respond}
-	if hello.Version > netid.VersionSharded {
+	if hello.Version > netid.VersionResume {
 		m.refuse(hello, tc, netid.RejectVersion,
-			fmt.Sprintf("hello version %d, server speaks up to %d", hello.Version, netid.VersionSharded))
+			fmt.Sprintf("hello version %d, server speaks up to %d", hello.Version, netid.VersionResume))
+		return
+	}
+	if hello.Resume() {
+		m.resume(hello, tc)
 		return
 	}
 	if m.shards > 1 && hello.Version < netid.VersionSharded {
@@ -334,6 +355,79 @@ func (m *Manager) Submit(hello netid.Hello, c wire.Conduit, respond Responder) {
 	}
 	m.mu.Unlock()
 	m.sendAccepts(accepts)
+}
+
+// resume handles a version-3 resume hello: a holder redialing a severed
+// lane of a running session. The manager validates against the session's
+// live ThirdParty (which owns the per-lane watermarks and the reconnect
+// window), answers with a resume grant carrying the server's own
+// watermarks, and hands the replacement conduit to the granted ticket on
+// its own goroutine — the two ends replay their unconfirmed tails into
+// each other concurrently. Resumes are deliberately admitted while
+// draining: a drain lets running sessions finish, and a running session
+// with a severed lane can only finish by healing it.
+func (m *Manager) resume(hello netid.Hello, tc *tenantConn) {
+	refuse := func(code netid.RejectCode, detail string) {
+		m.metrics.reconnRefused.Add(1)
+		m.logf("event=resume-refused session=%q holder=%s lane=%d code=%s detail=%q",
+			hello.Session, hello.Name, hello.Lane, code, detail)
+		m.refuseConn(tc, code, detail)
+	}
+	rr, ok := tc.respond.(ResumeResponder)
+	if !ok {
+		refuse(netid.RejectResume, "connection cannot carry a resume grant")
+		return
+	}
+	m.mu.Lock()
+	s := m.sessions[hello.Session]
+	var tp *party.ThirdParty
+	if s != nil && s.state == stateRunning {
+		tp = s.tp
+	}
+	m.mu.Unlock()
+	if tp == nil {
+		refuse(netid.RejectResume, fmt.Sprintf("session %q is not running here", hello.Session))
+		return
+	}
+	if !tp.Resumable() {
+		refuse(netid.RejectResume, "session was not armed with a reconnect window")
+		return
+	}
+	ticket, err := tp.Resume(hello.Name, hello.Lane, hello.Epoch, hello.Sent, hello.Recv)
+	if err != nil {
+		code := netid.RejectResume
+		if errors.Is(err, party.ErrResumeDuplicate) {
+			code = netid.RejectDuplicateHolder
+		}
+		refuse(code, err.Error())
+		return
+	}
+	grant := ticket.Grant()
+	if err := rr.AcceptResume(grant.Sent, grant.Recv); err != nil {
+		// The grant never reached the holder, so it will redial; put the
+		// lane back the way Resume found it by failing this attempt.
+		ticket.Abandon()
+		m.metrics.reconnRefused.Add(1)
+		m.logf("event=resume-grant-failed session=%q holder=%s lane=%d err=%q",
+			hello.Session, hello.Name, hello.Lane, err)
+		_ = tc.conduit.Close()
+		return
+	}
+	tc.accepted = true
+	m.mu.Lock()
+	if s.state == stateRunning {
+		s.resumed = append(s.resumed, tc.conduit)
+	}
+	m.mu.Unlock()
+	m.metrics.reconnAccepted.Add(1)
+	m.logf("event=resume-accepted session=%q holder=%s lane=%d epoch=%d",
+		hello.Session, hello.Name, hello.Lane, hello.Epoch)
+	go func() {
+		if err := ticket.Complete(tc.conduit); err != nil {
+			m.logf("event=resume-rebind-failed session=%q holder=%s lane=%d err=%q",
+				hello.Session, hello.Name, hello.Lane, err)
+		}
+	}()
 }
 
 // pendingAcceptsLocked collects (and marks) the unanswered accepts of a
@@ -510,6 +604,8 @@ func (m *Manager) runSession(s *session) {
 
 	m.mu.Lock()
 	s.state = stateDone
+	s.tp = nil // resumes race the teardown; withdraw the handle first
+	resumed := s.resumed
 	accepts := m.releaseLocked(s)
 	draining := m.draining
 	m.mu.Unlock()
@@ -522,6 +618,9 @@ func (m *Manager) runSession(s *session) {
 	// grace.
 	for _, tc := range s.conns {
 		_ = tc.conduit.Close()
+	}
+	for _, c := range resumed {
+		_ = c.Close()
 	}
 
 	switch {
@@ -547,6 +646,28 @@ func (m *Manager) runSession(s *session) {
 // before any partition-sized payload moves.
 func (m *Manager) serveSession(s *session) (*party.TPReport, error) {
 	cfg := m.cfg.Session
+	// Degraded-session accounting: the session counts as degraded while at
+	// least one of its lanes is down inside the reconnect window. The
+	// residual is settled after the run — a session that fails with lanes
+	// still down must not pin the gauge.
+	var lanesDown atomic.Int64
+	cfg.OnConduitDown = func(holder string, lane int, cause error) {
+		if lanesDown.Add(1) == 1 {
+			m.metrics.sessionsDegraded.Add(1)
+		}
+		m.logf("event=lane-down session=%q holder=%s lane=%d cause=%q", s.id, holder, lane, cause)
+	}
+	cfg.OnConduitUp = func(holder string, lane int) {
+		if lanesDown.Add(-1) == 0 {
+			m.metrics.sessionsDegraded.Add(-1)
+		}
+		m.logf("event=lane-up session=%q holder=%s lane=%d", s.id, holder, lane)
+	}
+	defer func() {
+		if lanesDown.Swap(0) > 0 {
+			m.metrics.sessionsDegraded.Add(-1)
+		}
+	}()
 	cfg.OnCensus = func(counts []int) error {
 		total := 0
 		for _, c := range counts {
@@ -572,6 +693,11 @@ func (m *Manager) serveSession(s *session) (*party.TPReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Publish the handle the resume path validates against; withdrawn by
+	// runSession before the conduits close.
+	m.mu.Lock()
+	s.tp = tp
+	m.mu.Unlock()
 	return tp.RunContext(m.rootCtx)
 }
 

@@ -538,7 +538,7 @@ func TestUnknownDuplicateAndVersionRefusals(t *testing.T) {
 	c3, s3 := wire.Pipe()
 	defer c3.Close()
 	r3 := newPipeResponder()
-	m.Submit(netid.Hello{Name: "B", Session: "s2", Version: netid.VersionSharded + 1}, s3, r3)
+	m.Submit(netid.Hello{Name: "B", Session: "s2", Version: netid.VersionResume + 1}, s3, r3)
 	rej := expectReject(t, r3, netid.RejectVersion)
 	if !strings.Contains(rej.Detail, "server speaks up to") {
 		t.Fatalf("version detail %q", rej.Detail)

@@ -40,6 +40,11 @@ const (
 	// without delivering it; the frame is lost but the conduit stays
 	// usable. Survivable when a Retry layer sits above the fault.
 	FaultTransient
+	// FaultFlap closes the conduit instead of delivering frame Frame, like
+	// FaultCut, but labels the sever as a link flap: the transport accepts
+	// a re-dial, so a session layered over Reconn survives by rebinding a
+	// fresh conduit and replaying from the peer's watermark.
+	FaultFlap
 )
 
 // String names the fault kind.
@@ -55,6 +60,8 @@ func (k FaultKind) String() string {
 		return "corrupt"
 	case FaultTransient:
 		return "transient"
+	case FaultFlap:
+		return "flap"
 	default:
 		return "unknown"
 	}
@@ -108,7 +115,7 @@ func (f *faultConduit) Send(frame []byte) error {
 		if n == f.spec.Frame && !sleepInterruptible(f.spec.Stall, f.closed) {
 			return ErrClosed
 		}
-	case FaultCut:
+	case FaultCut, FaultFlap:
 		if n >= f.spec.Frame {
 			f.Close()
 			return ErrClosed

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 )
 
 // TCP adapts a net.Conn into a Conduit using 4-byte big-endian length
@@ -50,7 +51,7 @@ func (t *tcpConduit) Send(frame []byte) error {
 	// count per frame is halved.
 	bufs := net.Buffers{hdr[:], frame}
 	if _, err := bufs.WriteTo(t.conn); err != nil {
-		if t.isClosed() || errors.Is(err, net.ErrClosed) {
+		if t.isClosed() || errors.Is(err, net.ErrClosed) || severed(err) {
 			return ErrClosed
 		}
 		return fmt.Errorf("wire: writing frame: %w", err)
@@ -92,16 +93,27 @@ func (t *tcpConduit) Recv() ([]byte, error) {
 
 // recvErr maps every way the stream can end to ErrClosed — a clean EOF at
 // a frame boundary, a peer that vanished mid-frame (io.ErrUnexpectedEOF on
-// the header tail or body), and a local Close racing a blocked read
-// (net.ErrClosed) — so callers observe the Conduit contract's ErrClosed
-// rather than transport-specific errors. Anything else is a genuine
-// transport fault and keeps its cause.
+// the header tail or body), a local Close racing a blocked read
+// (net.ErrClosed), and a connection torn down under the read (reset) — so
+// callers observe the Conduit contract's ErrClosed rather than transport-
+// specific errors. The mapping matters beyond tidiness: the reconnect
+// layer parks a lane only when the cause is ErrClosed, so a real network
+// sever must classify as one or mid-session resume would never engage.
+// Anything else is a genuine transport fault and keeps its cause.
 func (t *tcpConduit) recvErr(stage string, err error) error {
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
-		errors.Is(err, net.ErrClosed) || t.isClosed() {
+		errors.Is(err, net.ErrClosed) || t.isClosed() || severed(err) {
 		return ErrClosed
 	}
 	return fmt.Errorf("wire: reading frame %s: %w", stage, err)
+}
+
+// severed reports the errno signatures of a peer that vanished — the
+// connection reset a dead peer's RST produces, and the broken pipe of
+// writing after it. Both mean "the conduit is gone", which is exactly
+// ErrClosed's contract.
+func severed(err error) bool {
+	return errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
 }
 
 func (t *tcpConduit) Close() error {

@@ -272,6 +272,22 @@ type Options struct {
 	// becomes a descriptive error instead of a hang. 0 (the default)
 	// disables the watchdog.
 	PhaseTimeout time.Duration
+	// ReconnectWindow arms mid-session reconnect: when positive, a
+	// severed holder↔third-party conduit parks the session in a degraded
+	// state for this grace period instead of aborting it. The third party
+	// accepts a version-3 resume hello for the severed lane within the
+	// window (the multi-tenant server routes these automatically), replays
+	// exactly the frames past the peer's installed watermark, and the
+	// session continues bit-identically to a fault-free run. A holder
+	// additionally needs a redial path: NewResumableHolderSession for TCP
+	// deployments (cmd/ppc-holder wires it from -connect-retries /
+	// -connect-backoff). If the window expires with the lane still down,
+	// the session fails under ErrSessionTimeout naming the degraded phase;
+	// a sever with no window (the 0 default) fails immediately under
+	// ErrDisconnected. The window is part of the session agreement: run
+	// the same value on every party. See docs/ARCHITECTURE.md
+	// ("Degraded sessions & resume").
+	ReconnectWindow time.Duration
 }
 
 func (o Options) toConfig(schema Schema) party.Config {
@@ -284,6 +300,7 @@ func (o Options) toConfig(schema Schema) party.Config {
 		TPShards:          o.TPShards,
 		SessionTimeout:    o.SessionTimeout,
 		PhaseTimeout:      o.PhaseTimeout,
+		ResumeWindow:      o.ReconnectWindow,
 		RNG:               rng.KindAESCTR,
 	}
 	if o.Masking == PerPairMasking {
@@ -308,6 +325,13 @@ var (
 	// skew, …) instead of an accept. Holders see it from the admission
 	// wait; the reject frame's reason survives in the error text.
 	ErrSessionRefused = netid.ErrRejected
+	// ErrDisconnected classifies unrecoverable mid-session transport
+	// severs: a conduit died after the handshake with no reconnect window
+	// armed (Options.ReconnectWindow zero), or the resume path refused
+	// terminally (stale watermarks, duplicate holder, session already
+	// aborted). A window that expires with the lane still down is
+	// classified ErrSessionTimeout instead, naming the degraded phase.
+	ErrDisconnected = party.ErrDisconnected
 )
 
 // Cluster runs the complete multi-party session in-process: key agreement,

@@ -1,10 +1,14 @@
 package ppclust
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
 	"net"
 	"time"
 
+	"ppclust/internal/netid"
 	"ppclust/internal/party"
 	"ppclust/internal/server"
 	"ppclust/internal/wire"
@@ -58,6 +62,82 @@ func NewThirdPartySession(holders []string, schema Schema, opts Options, conns m
 		conduits[peer] = wire.TCPPooled(c)
 	}
 	return party.NewThirdParty(holders, opts.toConfig(schema), conduits, optRandom(opts, ThirdPartyName))
+}
+
+// resumeHandshakeTimeout bounds each leg of a resume redial's preamble:
+// the version-3 hello write and the grant (or typed refusal) read. Unlike
+// first admission, a resume is decided immediately — the session is
+// already running — so no gather-window-sized wait is needed.
+const resumeHandshakeTimeout = 30 * time.Second
+
+// TPDialFunc dials a fresh connection to the third-party server for a
+// resume redial. Implementations should retry transient connect failures
+// themselves (cmd/ppc-holder reuses its -connect-retries/-connect-backoff
+// policy); the session retries the redial as a whole until its reconnect
+// window expires or the server refuses terminally.
+type TPDialFunc func(ctx context.Context) (net.Conn, error)
+
+// NewResumableHolderSession is NewHolderSession for TCP deployments with
+// Options.ReconnectWindow armed: session names the tenant session (the ID
+// announced in the hello to the multi-tenant server) and dialTP opens a
+// fresh connection to that server when a TP lane is severed mid-session.
+// On a sever the session parks degraded, redials through dialTP, performs
+// the version-3 resume handshake (watermarked hello, grant await), and
+// replays exactly the unacknowledged frames — the run completes
+// bit-identically to a fault-free one. Peer-holder conduits are not
+// resumable; only the holder↔TP lanes are.
+func NewResumableHolderSession(name string, table *Table, holders []string, schema Schema, opts Options, req ClusterRequest, conns map[string]net.Conn, session string, dialTP TPDialFunc) (*HolderSession, error) {
+	if dialTP == nil {
+		return nil, errors.New("ppclust: NewResumableHolderSession requires a dial function")
+	}
+	conduits := make(map[string]wire.Conduit, len(conns))
+	for peer, c := range conns {
+		conduits[peer] = wire.TCPPooled(c)
+	}
+	cfg := opts.toConfig(schema)
+	cfg.Redial = tcpRedial(session, dialTP)
+	return party.NewHolder(name, table, holders, cfg, req, conduits, optRandom(opts, name))
+}
+
+// tcpRedial adapts a TCP dialer into the session's redial hook: dial,
+// announce the version-3 resume hello for the severed lane, await the
+// server's watermark grant, and hand the pooled conduit back for replay.
+func tcpRedial(session string, dialTP TPDialFunc) party.RedialFunc {
+	return func(ctx context.Context, holder string, lane int, st party.ResumeState) (wire.Conduit, party.ResumeGrant, error) {
+		c, err := dialTP(ctx)
+		if err != nil {
+			return nil, party.ResumeGrant{}, err
+		}
+		// The hello's shard field follows the announce convention: -1 is
+		// the control conduit, s >= 0 the lane to TP shard s — exactly the
+		// session lane number shifted by one.
+		if err := netid.AnnounceResumeWithin(c, holder, session, lane-1, st.Epoch, st.Sent, st.Recv, resumeHandshakeTimeout); err != nil {
+			c.Close()
+			return nil, party.ResumeGrant{}, err
+		}
+		sent, recv, err := netid.AwaitResumeGrant(c, resumeHandshakeTimeout)
+		if err != nil {
+			c.Close()
+			return nil, party.ResumeGrant{}, mapResumeReject(err)
+		}
+		return wire.TCPPooled(c), party.ResumeGrant{Sent: sent, Recv: recv}, nil
+	}
+}
+
+// mapResumeReject translates the server's typed resume refusal into the
+// session's resume classes: a duplicate-holder refusal (the server has not
+// yet observed the sever) and anything retryable stay transient, so the
+// redial loop tries again under its backoff; every other typed refusal is
+// terminal and stops the loop instead of burning the reconnect window.
+func mapResumeReject(err error) error {
+	var rej *netid.RejectedError
+	if !errors.As(err, &rej) {
+		return err // transport failure: retry
+	}
+	if rej.Code == netid.RejectDuplicateHolder || rej.Retryable() {
+		return err
+	}
+	return fmt.Errorf("%w: %w", party.ErrResumeAborted, err)
 }
 
 func optRandom(opts Options, name string) io.Reader {
