@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"sort"
@@ -105,6 +107,11 @@ type benchResult struct {
 // arming the mid-session resume layer (replay cache + watermarks) against
 // the unarmed baseline, and the wall-time cost of a session whose
 // holder→TP lane flaps mid-stream and recovers through watermarked replay.
+// Since PR 10 the session-shardproc family prices the cross-process worker
+// protocol: the same sharded session with its K shard pipelines behind
+// real localhost TCP links (v4 shard registration, AES-GCM worker
+// channels) served by in-process shard workers, against the in-process
+// sharded rows as the overhead baseline.
 func benchFamilies() []struct {
 	name string
 	n    int
@@ -467,6 +474,70 @@ func benchFamilies() []struct {
 		b.ReportMetric(float64(peak), "shard-peak-bytes")
 	}
 
+	// session-shardproc: the session-sharded workload with its K shard
+	// pipelines running behind the cross-process worker protocol — the
+	// coordinator dials each shard over real localhost TCP, registers
+	// with the v4 shard hello and relays holder frames over an AES-GCM
+	// worker channel. The workers are in-process party.ShardServers, so
+	// the rows price the control protocol and the extra encrypt/relay
+	// hop, not subprocess spawn noise. Holder-visible lanes carry the
+	// same 1 ms / 64 MB/s links as session-sharded, making the delta
+	// against those rows the worker-relay overhead. Reports stay
+	// bit-identical to every other family row at the same n (pinned by
+	// internal/party's and internal/proctest's differential tests).
+	sessionShardProc := func(b *testing.B, k int) {
+		srv, err := party.NewShardServer(party.ShardServerConfig{Schema: streamSchema})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+		addr := ln.Addr().String()
+		dial := func(session string) party.ShardDialFunc {
+			return func(ctx context.Context, shard int, state party.ResumeState) (wire.Conduit, party.ResumeGrant, error) {
+				var d net.Dialer
+				conn, err := d.DialContext(ctx, "tcp", addr)
+				if err != nil {
+					return nil, party.ResumeGrant{}, err
+				}
+				if err := netid.AnnounceShardRegistrationWithin(conn, party.TPName, session, shard,
+					state.Epoch, state.Sent, state.Recv, 10*time.Second); err != nil {
+					conn.Close()
+					return nil, party.ResumeGrant{}, err
+				}
+				sent, recv, err := netid.AwaitResumeGrant(conn, 10*time.Second)
+				if err != nil {
+					conn.Close()
+					return nil, party.ResumeGrant{}, err
+				}
+				return wire.TCPPooled(conn), party.ResumeGrant{Sent: sent, Recv: recv}, nil
+			}
+		}
+		tpEnd := func(s string) bool {
+			return s == party.TPName || strings.HasPrefix(s, party.TPName+"#")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := party.Config{Schema: streamSchema, Variant: party.Float64Variant, TPShards: k,
+				ShardDial: dial(fmt.Sprintf("bench-shardproc-%d-%d", k, i))}
+			linkSeed := uint64(0)
+			tpLink := func(owner, peer string, c wire.Conduit) wire.Conduit {
+				if !tpEnd(owner) && !tpEnd(peer) {
+					return c
+				}
+				linkSeed++
+				return wire.Link(c, time.Millisecond, 0, 64<<20, linkSeed)
+			}
+			if _, err := party.RunInMemoryWrapped(cfg, bothParts, nil, detRandom, tpLink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
 	// session-reconnect: equal 200-object partitions over the usual
 	// 1 ms / 64 MB/s TP links. baseline runs unarmed; armed prices the
 	// resume layer's replay cache and watermark accounting on a fault-free
@@ -539,6 +610,8 @@ func benchFamilies() []struct {
 		{"session-sharded/shards-1", 1200, func(b *testing.B) { sessionSharded(b, 1) }},
 		{"session-sharded/shards-2", 1200, func(b *testing.B) { sessionSharded(b, 2) }},
 		{"session-sharded/shards-4", 1200, func(b *testing.B) { sessionSharded(b, 4) }},
+		{"session-shardproc/workers-2", 1200, func(b *testing.B) { sessionShardProc(b, 2) }},
+		{"session-shardproc/workers-4", 1200, func(b *testing.B) { sessionShardProc(b, 4) }},
 		{"session-reconnect/baseline", 400, func(b *testing.B) { sessionReconnect(b, 0, false) }},
 		{"session-reconnect/armed", 400, func(b *testing.B) { sessionReconnect(b, 10*time.Second, false) }},
 		{"session-reconnect/flap-recover", 400, func(b *testing.B) { sessionReconnect(b, 10*time.Second, true) }},

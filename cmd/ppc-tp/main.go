@@ -7,7 +7,11 @@
 // -shards flag splits each session's third party into K row-range shards
 // behind a merge coordinator — holders learn the shard count from the
 // routing admission and dial one extra connection per shard; reports are
-// bit-identical to the single-TP path at every K. With -reconnect-window,
+// bit-identical to the single-TP path at every K. With -shard-addrs, the
+// shard pipelines run in external ppc-shard worker processes at the given
+// addresses instead of in-process goroutines; holders connect exactly the
+// same way, and a restarted worker heals its degraded sessions inside
+// -reconnect-window. With -reconnect-window,
 // a session whose holder lane is severed mid-run parks degraded for that
 // grace period and accepts the holder's version-3 resume redial instead of
 // aborting; the sessions_degraded gauge and reconnects_accepted/_refused
@@ -84,6 +88,7 @@ func run() error {
 	perPair := flag.Bool("perpair", false, "use per-pair masking (frequency-attack countermeasure)")
 	variant := flag.String("variant", "float64", "numeric arithmetic: float64, int64 or modp")
 	shards := flag.Int("shards", 1, "row-range TP shards per session (1 = single third party; results are bit-identical at every setting)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated ppc-shard worker addresses, one per shard (empty = run shards in-process; requires -shards > 1)")
 	sessionTimeout := flag.Duration("session-timeout", 0, "bound on each tenant session (0 = unbounded)")
 	phaseTimeout := flag.Duration("phase-timeout", 2*time.Minute, "watchdog bound on per-session inactivity (0 = disabled)")
 	reconnectWindow := flag.Duration("reconnect-window", 0, "grace period a session with a severed holder lane waits degraded for a version-3 resume redial (0 = severs abort immediately; must match the holders')")
@@ -100,6 +105,18 @@ func run() error {
 
 	holders := splitNonEmpty(*holdersFlag)
 	if len(holders) < 2 || *schemaFlag == "" {
+		flag.Usage()
+		os.Exit(exitUsage)
+	}
+	if *shards < 1 || *shards > ppclust.MaxTPShards {
+		fmt.Fprintf(flag.CommandLine.Output(), "ppc-tp: -shards %d outside [1, %d]\n", *shards, ppclust.MaxTPShards)
+		flag.Usage()
+		os.Exit(exitUsage)
+	}
+	workerAddrs := splitNonEmpty(*shardAddrs)
+	if len(workerAddrs) > 0 && len(workerAddrs) != *shards {
+		fmt.Fprintf(flag.CommandLine.Output(), "ppc-tp: %d -shard-addrs entries for -shards %d (need exactly one worker per shard)\n",
+			len(workerAddrs), *shards)
 		flag.Usage()
 		os.Exit(exitUsage)
 	}
@@ -123,6 +140,7 @@ func run() error {
 	}
 	completions := make(chan completion, 16)
 	srv, err := ppclust.NewTPServer(holders, schema, opts, ppclust.TPServerOptions{
+		ShardAddrs:        workerAddrs,
 		MaxSessions:       *maxSessions,
 		QueueDepth:        *queueDepth,
 		GlobalBudgetBytes: *budgetBytes,

@@ -337,6 +337,130 @@ func TestSetPackedRowsValidation(t *testing.T) {
 	}
 }
 
+// TestSliceAssemblerSingleRowSlices drives one assembler per row — the
+// K = n extreme, where the first slice ([0,1)) holds zero packed cells —
+// and checks the merge is still bit-identical to the monolithic assembly.
+func TestSliceAssemblerSingleRowSlices(t *testing.T) {
+	counts := []int{2, 1, 3}
+	want := shardTestAssemble(t, counts)
+	total := want.N()
+	offsets := []int{0, 2, 3}
+	got := New(total)
+	for _, r := range ShardRanges(total, total) {
+		if r[1]-r[0] != 1 {
+			t.Fatalf("ShardRanges(%d,%d) produced multi-row range %v", total, total, r)
+		}
+		sa, err := NewSliceAssembler(counts, r[0], r[1], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range counts {
+			llo, lhi := sa.LocalRows(p)
+			if llo >= lhi {
+				continue
+			}
+			local := FromLocal(counts[p], func(i, j int) float64 {
+				return shardTestDistance(offsets[p]+i, offsets[p]+j)
+			})
+			if err := sa.SetLocalRows(p, llo, lhi, local.PackedRowsView(llo, lhi)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for kk := 1; kk < len(counts); kk++ {
+			rlo, rhi := sa.CrossRows(kk)
+			if rlo >= rhi {
+				continue
+			}
+			for j := 0; j < kk; j++ {
+				j, kk := j, kk
+				if err := sa.SetCrossRows(j, kk, rlo, rhi, func(m, n int) float64 {
+					return shardTestDistance(offsets[kk]+rlo+m, offsets[j]+n)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cells, _, err := sa.Done()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantCells := r[1]*(r[1]-1)/2 - r[0]*(r[0]-1)/2; len(cells) != wantCells {
+			t.Fatalf("slice %v has %d cells, want %d", r, len(cells), wantCells)
+		}
+		if err := got.SetPackedRows(r[0], r[1], cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !got.EqualWithin(want, 0) {
+		t.Fatal("single-row-slice merge differs from monolithic assembly")
+	}
+}
+
+// TestSliceAssemblerNoDoubleInstall pins the cursor discipline a
+// re-registered shard worker leans on: a span already covered cannot be
+// installed again (replay after a resume recomputes into a FRESH
+// assembler, never re-installs into the old one), and a completed
+// assembler rejects all further installs.
+func TestSliceAssemblerNoDoubleInstall(t *testing.T) {
+	counts := []int{3, 2}
+	sa, err := NewSliceAssembler(counts, 0, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local0 := FromLocal(3, func(i, j int) float64 { return shardTestDistance(i, j) })
+	if err := sa.SetLocalRows(0, 0, 3, local0.PackedRowsView(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the identical span must be rejected, not silently merged.
+	if err := sa.SetLocalRows(0, 0, 3, local0.PackedRowsView(0, 3)); err == nil {
+		t.Fatal("double local install accepted")
+	}
+	local1 := FromLocal(2, func(i, j int) float64 { return shardTestDistance(3+i, 3+j) })
+	if err := sa.SetLocalRows(1, 0, 2, local1.PackedRowsView(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.SetCrossRows(0, 1, 0, 2, func(m, n int) float64 {
+		return shardTestDistance(3+m, n)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.SetCrossRows(0, 1, 0, 2, func(m, n int) float64 { return 0 }); err == nil {
+		t.Fatal("double cross install accepted")
+	}
+	if _, _, err := sa.Done(); err != nil {
+		t.Fatal(err)
+	}
+	// Past Done the assembler is sealed: even a hypothetical late replay
+	// frame cannot corrupt the handed-off slice.
+	if err := sa.SetLocalRows(0, 3, 3, nil); err == nil {
+		t.Fatal("local install after Done accepted")
+	}
+	if err := sa.SetCrossRows(0, 1, 2, 2, nil); err == nil {
+		t.Fatal("cross install after Done accepted")
+	}
+}
+
+// TestSetPackedRowsOverwrite covers the coordinator-merge fallback: a
+// second install over a non-zero region is accepted (last write wins) but
+// invalidates the max cache, so Max() rescans instead of trusting a stale
+// running maximum.
+func TestSetPackedRowsOverwrite(t *testing.T) {
+	m := New(4)
+	if err := m.SetPackedRows(0, 4, []float64{9, 1, 2, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Max(); got != 9 {
+		t.Fatalf("Max = %v, want 9", got)
+	}
+	// Overwrite shrinks the true maximum; a live cache would report 9.
+	if err := m.SetPackedRows(0, 4, []float64{4, 1, 2, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Max(); got != 4 {
+		t.Fatalf("Max after overwrite = %v, want 4", got)
+	}
+}
+
 // TestNormalizeSliceMatchesNormalize pins that dividing shard slices by
 // the folded global max is bit-identical to normalizing the whole matrix.
 func TestNormalizeSliceMatchesNormalize(t *testing.T) {

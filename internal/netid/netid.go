@@ -52,6 +52,20 @@ const VersionSharded = 2
 // never create sessions; v0–v2 admission is unchanged.
 const VersionResume = 3
 
+// VersionShardProc is the hello version a shard worker process accepts
+// from its coordinator: the version-3 layout reinterpreted as a shard
+// registration. The lane byte carries the shard index the coordinator is
+// assigning (shard s as s+1, like every lane byte), and the watermark
+// fields carry the coordinator's frame counters for the link — zero on a
+// first registration, the live counters on a re-registration after the
+// link (or the worker) died. The worker answers with a resume grant
+// (SendAcceptResume) carrying its own counters: (0, 0) from a freshly
+// started process, so the coordinator replays the full cached stream.
+// Version-4 hellos are never valid at the third-party server itself —
+// holders don't send them and the server refuses unknown-from-the-future
+// versions — they exist only on coordinator↔shard links.
+const VersionShardProc = 4
+
 // MaxShards bounds the shard index a version-2 hello can carry (the lane
 // byte reserves 0x00 for the control connection).
 const MaxShards = 254
@@ -163,6 +177,12 @@ func (h Hello) Extended() bool { return h.Version > 0 }
 // session rather than join a new one.
 func (h Hello) Resume() bool { return h.Version == VersionResume }
 
+// ShardRegistration reports whether the hello is a coordinator registering
+// (or re-registering) with a shard worker process rather than a holder
+// joining or resuming a session. The Lane field carries the assigned shard
+// as shard+1; Epoch/Sent/Recv carry the coordinator's link state.
+func (h Hello) ShardRegistration() bool { return h.Version == VersionShardProc }
+
 // AnnounceSession writes the extended hello: magic, version, the caller's
 // party name and its session ID. The acceptor answers with an admission
 // response (AwaitAdmission); a legacy acceptor instead fails its preamble
@@ -263,6 +283,50 @@ func AnnounceResumeWithin(conn net.Conn, name, session string, shard int, epoch 
 	return conn.SetWriteDeadline(time.Time{})
 }
 
+// AnnounceShardRegistration writes the version-4 shard-registration hello
+// a coordinator sends to a shard worker process: the version-3 layout with
+// the registering party's name, the session ID, the shard index being
+// assigned (always a real shard — workers have no control lane, so shard
+// must be in [0, MaxShards)), the transport epoch the coordinator proposes
+// and its frame watermarks for the link (zero on first contact). The
+// worker answers with a resume grant carrying its own watermarks
+// (AwaitResumeGrant): (0, 0) from a fresh process, its live counters when
+// it survived a link flap.
+func AnnounceShardRegistration(conn net.Conn, name, session string, shard int, epoch uint32, sent, recv uint64) error {
+	if name == "" || len(name) > maxName {
+		return fmt.Errorf("netid: invalid name %q", name)
+	}
+	if len(session) > maxSession {
+		return fmt.Errorf("netid: session ID %q longer than %d bytes", session, maxSession)
+	}
+	if shard < 0 || shard >= MaxShards {
+		return fmt.Errorf("netid: shard %d outside [0, %d)", shard, MaxShards)
+	}
+	buf := make([]byte, 0, 25+len(name)+len(session))
+	buf = append(buf, magicExtended, VersionShardProc, byte(len(name)))
+	buf = append(buf, name...)
+	buf = append(buf, byte(len(session)))
+	buf = append(buf, session...)
+	buf = append(buf, byte(shard+1))
+	buf = binary.BigEndian.AppendUint32(buf, epoch)
+	buf = binary.BigEndian.AppendUint64(buf, sent)
+	buf = binary.BigEndian.AppendUint64(buf, recv)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// AnnounceShardRegistrationWithin is AnnounceShardRegistration under a
+// write deadline, cleared before returning (cf. AnnounceWithin).
+func AnnounceShardRegistrationWithin(conn net.Conn, name, session string, shard int, epoch uint32, sent, recv uint64, timeout time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if err := AnnounceShardRegistration(conn, name, session, shard, epoch, sent, recv); err != nil {
+		return err
+	}
+	return conn.SetWriteDeadline(time.Time{})
+}
+
 // AnnounceSessionWithin is AnnounceSession under a write deadline, cleared
 // before returning (cf. AnnounceWithin).
 func AnnounceSessionWithin(conn net.Conn, name, session string, timeout time.Duration) error {
@@ -275,19 +339,20 @@ func AnnounceSessionWithin(conn net.Conn, name, session string, timeout time.Dur
 	return conn.SetWriteDeadline(time.Time{})
 }
 
-// AcceptHello reads either hello form from a fresh connection: the first
-// byte distinguishes a legacy length prefix from the extended magic. A
-// legacy hello parses to Version 0 and the default (empty) session, which
-// is how old single-session holders keep working against a multi-tenant
-// acceptor. A version-2 hello additionally carries the shard lane byte. A
-// hello claiming a version newer than this package understands is
-// returned intact with its claimed Version — the acceptor decides whether
-// to refuse it (RejectVersion) rather than this layer guessing at an
-// unknown layout; bytes past the version-2 fields stay unread, so the
-// refusal must close the connection.
-func AcceptHello(conn net.Conn) (Hello, error) {
+// ParseHello reads either hello form from r: the first byte distinguishes
+// a legacy length prefix from the extended magic. A legacy hello parses to
+// Version 0 and the default (empty) session, which is how old
+// single-session holders keep working against a multi-tenant acceptor. A
+// version-2 hello additionally carries the shard lane byte; versions 3
+// (resume) and 4 (shard registration) carry the lane plus the epoch and
+// watermark fields. A hello claiming a version newer than this package
+// understands is returned intact with its claimed Version — the acceptor
+// decides whether to refuse it (RejectVersion) rather than this layer
+// guessing at an unknown layout; bytes past the version-2 fields stay
+// unread, so the refusal must close the connection.
+func ParseHello(r io.Reader) (Hello, error) {
 	var first [1]byte
-	if _, err := io.ReadFull(conn, first[:]); err != nil {
+	if _, err := io.ReadFull(r, first[:]); err != nil {
 		return Hello{}, fmt.Errorf("netid: reading hello: %w", err)
 	}
 	if first[0] != magicExtended {
@@ -296,50 +361,50 @@ func AcceptHello(conn net.Conn) (Hello, error) {
 			return Hello{}, fmt.Errorf("netid: invalid name length %d", first[0])
 		}
 		name := make([]byte, first[0])
-		if _, err := io.ReadFull(conn, name); err != nil {
+		if _, err := io.ReadFull(r, name); err != nil {
 			return Hello{}, fmt.Errorf("netid: reading name: %w", err)
 		}
 		return Hello{Name: string(name)}, nil
 	}
 	var ver [1]byte
-	if _, err := io.ReadFull(conn, ver[:]); err != nil {
+	if _, err := io.ReadFull(r, ver[:]); err != nil {
 		return Hello{}, fmt.Errorf("netid: reading hello version: %w", err)
 	}
 	if ver[0] == 0 {
 		return Hello{}, fmt.Errorf("netid: invalid extended hello version 0")
 	}
 	var l [1]byte
-	if _, err := io.ReadFull(conn, l[:]); err != nil {
+	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return Hello{}, fmt.Errorf("netid: reading name length: %w", err)
 	}
 	if l[0] == 0 || int(l[0]) > maxName {
 		return Hello{}, fmt.Errorf("netid: invalid name length %d", l[0])
 	}
 	name := make([]byte, l[0])
-	if _, err := io.ReadFull(conn, name); err != nil {
+	if _, err := io.ReadFull(r, name); err != nil {
 		return Hello{}, fmt.Errorf("netid: reading name: %w", err)
 	}
-	if _, err := io.ReadFull(conn, l[:]); err != nil {
+	if _, err := io.ReadFull(r, l[:]); err != nil {
 		return Hello{}, fmt.Errorf("netid: reading session length: %w", err)
 	}
 	if int(l[0]) > maxSession {
 		return Hello{}, fmt.Errorf("netid: invalid session length %d", l[0])
 	}
 	session := make([]byte, l[0])
-	if _, err := io.ReadFull(conn, session); err != nil {
+	if _, err := io.ReadFull(r, session); err != nil {
 		return Hello{}, fmt.Errorf("netid: reading session: %w", err)
 	}
 	h := Hello{Name: string(name), Session: string(session), Version: int(ver[0])}
-	if ver[0] == VersionSharded || ver[0] == VersionResume {
+	if ver[0] >= VersionSharded && ver[0] <= VersionShardProc {
 		var lane [1]byte
-		if _, err := io.ReadFull(conn, lane[:]); err != nil {
+		if _, err := io.ReadFull(r, lane[:]); err != nil {
 			return Hello{}, fmt.Errorf("netid: reading shard lane: %w", err)
 		}
 		h.Lane = int(lane[0])
 	}
-	if ver[0] == VersionResume {
+	if ver[0] == VersionResume || ver[0] == VersionShardProc {
 		var marks [20]byte
-		if _, err := io.ReadFull(conn, marks[:]); err != nil {
+		if _, err := io.ReadFull(r, marks[:]); err != nil {
 			return Hello{}, fmt.Errorf("netid: reading resume watermarks: %w", err)
 		}
 		h.Epoch = binary.BigEndian.Uint32(marks[0:4])
@@ -347,6 +412,11 @@ func AcceptHello(conn net.Conn) (Hello, error) {
 		h.Recv = binary.BigEndian.Uint64(marks[12:20])
 	}
 	return h, nil
+}
+
+// AcceptHello is ParseHello on a fresh connection.
+func AcceptHello(conn net.Conn) (Hello, error) {
+	return ParseHello(conn)
 }
 
 // AcceptHelloWithin is AcceptHello under a read deadline, cleared before
@@ -576,12 +646,10 @@ func AwaitResumeGrant(conn net.Conn, timeout time.Duration) (sent, recv uint64, 
 	}
 	switch status[0] {
 	case statusAccept:
-		var marks [16]byte
-		if _, err := io.ReadFull(conn, marks[:]); err != nil {
-			return 0, 0, fmt.Errorf("netid: reading resume watermarks: %w", err)
+		sent, recv, err = parseResumeGrant(conn)
+		if err != nil {
+			return 0, 0, err
 		}
-		sent = binary.BigEndian.Uint64(marks[0:8])
-		recv = binary.BigEndian.Uint64(marks[8:16])
 		return sent, recv, conn.SetReadDeadline(time.Time{})
 	case statusReject:
 		return 0, 0, readReject(conn)
@@ -590,11 +658,26 @@ func AwaitResumeGrant(conn net.Conn, timeout time.Duration) (sent, recv uint64, 
 	}
 }
 
-// readReject parses the typed refusal frame that follows a reject status
-// byte.
+// parseResumeGrant reads the watermark body of an accepted resume grant:
+// the acceptor's sent and received frame counts, big-endian.
+func parseResumeGrant(r io.Reader) (sent, recv uint64, err error) {
+	var marks [16]byte
+	if _, err := io.ReadFull(r, marks[:]); err != nil {
+		return 0, 0, fmt.Errorf("netid: reading resume watermarks: %w", err)
+	}
+	return binary.BigEndian.Uint64(marks[0:8]), binary.BigEndian.Uint64(marks[8:16]), nil
+}
+
+// readReject is parseReject on a connection.
 func readReject(conn net.Conn) error {
+	return parseReject(conn)
+}
+
+// parseReject parses the typed refusal frame that follows a reject status
+// byte.
+func parseReject(r io.Reader) error {
 	var hdr [3]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return fmt.Errorf("netid: reading reject frame: %w", err)
 	}
 	n := binary.BigEndian.Uint16(hdr[1:3])
@@ -602,7 +685,7 @@ func readReject(conn net.Conn) error {
 		return fmt.Errorf("netid: reject detail length %d exceeds %d", n, maxRejectDetail)
 	}
 	detail := make([]byte, n)
-	if _, err := io.ReadFull(conn, detail); err != nil {
+	if _, err := io.ReadFull(r, detail); err != nil {
 		return fmt.Errorf("netid: reading reject detail: %w", err)
 	}
 	return &RejectedError{Code: RejectCode(hdr[0]), Detail: string(detail)}

@@ -120,19 +120,19 @@ func TestAnnounceSessionValidation(t *testing.T) {
 }
 
 func TestFutureVersionHelloSurvivesParse(t *testing.T) {
-	// A version-4 hello parses through the version-1 fields known to this
-	// package (minus the lane and resume fields, which versions 2 and 3
+	// A version-5 hello parses through the version-1 fields known to this
+	// package (minus the lane and watermark fields, which versions 2–4
 	// define) and reports its claimed version, so the acceptor can refuse
 	// it with RejectVersion instead of a parse error.
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	go a.Write([]byte{magicExtended, 4, 1, 'H', 2, 's', '2'})
+	go a.Write([]byte{magicExtended, 5, 1, 'H', 2, 's', '2'})
 	h, err := AcceptHello(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Version != 4 || h.Name != "H" || h.Session != "s2" {
+	if h.Version != 5 || h.Name != "H" || h.Session != "s2" {
 		t.Fatalf("hello = %+v", h)
 	}
 	if h.Lane != 0 {
@@ -412,22 +412,69 @@ func TestResumeGrantReject(t *testing.T) {
 }
 
 // TestFutureVersionPassthrough pins the forward-compat contract: a hello
-// claiming a version newer than VersionResume is returned intact with its
-// claimed version and no extra fields consumed, so the acceptor can refuse
-// it (RejectVersion) without this layer guessing at the layout.
+// claiming a version newer than VersionShardProc is returned intact with
+// its claimed version and no extra fields consumed, so the acceptor can
+// refuse it (RejectVersion) without this layer guessing at the layout.
 func TestFutureVersionPassthrough(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	go a.Write([]byte{0xFF, 4, 1, 'H', 1, 's'})
+	go a.Write([]byte{0xFF, 5, 1, 'H', 1, 's'})
 	h, err := AcceptHello(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Version != 4 || h.Name != "H" || h.Session != "s" {
+	if h.Version != 5 || h.Name != "H" || h.Session != "s" {
 		t.Fatalf("hello = %+v", h)
 	}
+	if h.Resume() || h.ShardRegistration() {
+		t.Fatal("future version must not classify as resume or registration")
+	}
+}
+
+// TestShardRegistrationRoundTrip covers the version-4 preamble: the
+// coordinator's shard-registration hello round-trips name, session, shard
+// lane, epoch and watermarks through AnnounceShardRegistrationWithin /
+// AcceptHello, and classifies as a registration (never a holder resume).
+func TestShardRegistrationRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- AnnounceShardRegistrationWithin(a, "TP", "tenant-3", 2, 7, 41, 8, time.Second)
+	}()
+	h, err := AcceptHelloWithin(b, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	want := Hello{Name: "TP", Session: "tenant-3", Version: VersionShardProc,
+		Lane: 3, Epoch: 7, Sent: 41, Recv: 8}
+	if h != want {
+		t.Fatalf("hello = %+v, want %+v", h, want)
+	}
+	if !h.ShardRegistration() || !h.Extended() {
+		t.Fatal("v4 hello must report ShardRegistration and Extended")
+	}
 	if h.Resume() {
-		t.Fatal("future version must not classify as resume")
+		t.Fatal("v4 hello must not classify as a holder resume")
+	}
+}
+
+func TestAnnounceShardRegistrationValidation(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := AnnounceShardRegistration(a, "TP", "s", -1, 0, 0, 0); err == nil {
+		t.Fatal("shard -1 accepted (workers have no control lane)")
+	}
+	if err := AnnounceShardRegistration(a, "TP", "s", MaxShards, 0, 0, 0); err == nil {
+		t.Fatalf("shard %d accepted", MaxShards)
+	}
+	if err := AnnounceShardRegistration(a, "", "s", 0, 0, 0, 0); err == nil {
+		t.Fatal("empty name accepted")
 	}
 }

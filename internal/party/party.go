@@ -219,6 +219,27 @@ type Config struct {
 	// lifecycle goroutines and must not block.
 	OnConduitDown func(peer string, lane int, cause error)
 	OnConduitUp   func(peer string, lane int)
+	// ShardDial, set on the third party alongside TPShards > 1, promotes
+	// the shards to separate worker processes: instead of running shard
+	// goroutines, the coordinator dials one ppc-shard worker per active
+	// range through this hook, hands each its slice offer and relays the
+	// holders' shard-lane frames to it. The hook performs the shard
+	// registration (netid v4 hello carrying state) and returns the raw
+	// replacement transport plus the worker's grant; the coordinator
+	// layers key agreement and AES-GCM on top — worker links are always
+	// encrypted, Config.PlaintextChannels notwithstanding. With
+	// ResumeWindow > 0 a severed worker link (crashed process, dropped
+	// connection) redials through the same hook and the replacement
+	// worker recomputes the slice from a full replay; the session heals
+	// bit-identically. Holders ignore this field.
+	ShardDial ShardDialFunc
+	// OnShardProcUp fires when a worker link establishes (epoch 0 on
+	// first contact, the rebind epoch after a redial); OnShardProcDown
+	// fires when a worker link severs and its reconnect window opens.
+	// Observer hooks for gauges and logs — they run on lifecycle
+	// goroutines and must not block.
+	OnShardProcUp   func(shard int, epoch uint32)
+	OnShardProcDown func(shard int, cause error)
 }
 
 // DefaultLocalChunkBytes is the local-matrix streaming chunk size when
@@ -554,6 +575,14 @@ const (
 	kindRequest   wire.Kind = "ppc/cluster-request"
 	kindResult    wire.Kind = "ppc/result"
 	kindAbort     wire.Kind = "ppc/abort"
+
+	// Coordinator↔shard-worker control protocol (shardproc.go /
+	// shardserver.go). Aborts reuse kindAbort in both directions.
+	kindShardOffer wire.Kind = "ppc/shard-offer"
+	kindShardFrame wire.Kind = "ppc/shard-frame"
+	kindShardSlice wire.Kind = "ppc/shard-slice"
+	kindShardBeat  wire.Kind = "ppc/shard-heartbeat"
+	kindShardDone  wire.Kind = "ppc/shard-done"
 )
 
 // helloBody carries a party's public key and schema fingerprint.
@@ -663,6 +692,59 @@ type resultBody struct {
 	Linkage        int
 	K              int
 }
+
+// shardOfferBody is the coordinator→worker slice hand-off: everything a
+// fresh worker process needs to run one shard of the session — the shard's
+// global row range, the census, the session agreement knobs, and the
+// per-(attribute, pair) mask-stream seeds (the workers have no key
+// agreement with the holders, so the coordinator, which derived the
+// masters during the handshake, forwards exactly the seeds the slice
+// needs; the masters themselves never leave the coordinator). The schema
+// is not carried: worker and coordinator each hold their own copy and the
+// offer's fingerprint pins the agreement.
+type shardOfferBody struct {
+	Shard       int
+	Lo, Hi      int
+	Holders     []string
+	Counts      []int
+	Fingerprint string
+
+	Mode            protocol.Mode
+	Variant         Variant
+	RNG             rng.Kind
+	IntParams       protocol.IntParams
+	FloatParams     protocol.FloatParams
+	LocalChunkBytes int
+	Parallelism     int
+
+	// Seeds[attr][p] is the mask-stream seed of attribute attr and the
+	// p-th pair in sortedPairs(Holders) order.
+	Seeds [][]rng.Seed
+}
+
+// shardFrameBody relays one holder frame, byte for byte, to the worker.
+// Message.Attr carries the holder's census index; the worker feeds the
+// bytes into that holder's demux, reproducing the exact stream an
+// in-process shard would read.
+type shardFrameBody struct {
+	Frame []byte
+}
+
+// shardSliceBody returns one finished attribute slice from a worker:
+// the packed cells of the shard's global row range plus their maximum.
+type shardSliceBody struct {
+	Attr  int
+	Cells []float64
+	Max   float64
+}
+
+// shardBeatBody is a worker's liveness heartbeat; its only effect is
+// feeding the coordinator's phase watchdog.
+type shardBeatBody struct{}
+
+// shardDoneBody ends a worker's run cleanly after the coordinator has
+// collected every slice.
+type shardDoneBody struct{}
 
 // abortBody carries a failing party's reason to its peers. An abort frame
 // (kindAbort, Attr −1) may arrive on any conduit at any point after the

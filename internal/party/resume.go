@@ -225,6 +225,12 @@ func nextBackoff(d time.Duration) time.Duration {
 // resumeWait sleeps one backoff step, aborting early when the lane turns
 // terminal or the session ends.
 func (h *Holder) resumeWait(rc *wire.Reconn, d time.Duration) bool {
+	return waitBackoff(h.guard, rc, d)
+}
+
+// waitBackoff is resumeWait for any redialing party: true after a full
+// backoff step, false when the lane turns terminal or the session ends.
+func waitBackoff(g *guard, rc *wire.Reconn, d time.Duration) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -232,7 +238,7 @@ func (h *Holder) resumeWait(rc *wire.Reconn, d time.Duration) bool {
 		return true
 	case <-rc.Failed():
 		return false
-	case <-h.guard.ctx.Done():
+	case <-g.ctx.Done():
 		return false
 	}
 }

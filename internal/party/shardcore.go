@@ -1,0 +1,308 @@
+package party
+
+// shardCore is one TP shard's stage pipeline, detached from the ThirdParty
+// session object so the same code drives both deployments of the sharded
+// third party:
+//
+//   - in-process (PR 8): the coordinator builds a core from its own session
+//     state and runs K of them as goroutines under its guard;
+//   - cross-process: a ppc-shard worker builds a core from the
+//     coordinator's slice offer (census, range, per-pair mask seeds) and
+//     runs exactly one, fed by relayed holder frames.
+//
+// The core holds only what the shard math needs — the session agreement,
+// the census, the compute budget and the per-(attribute, pair) mask-stream
+// seeds — and never the channel masters, which stay on the coordinator.
+// Because the demux lane quotas, the chunk schedules and the keystream
+// positioning are all pure functions of (Config, census, range), a core fed
+// the same per-holder frame bytes produces bit-identical slices wherever it
+// runs; that is the whole cross-process bit-identity argument.
+
+import (
+	"fmt"
+	"sync"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/dissim"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+	"ppclust/internal/wire"
+)
+
+type shardCore struct {
+	cfg     Config
+	holders []string
+	counts  []int
+	workers int
+	engines *protocol.EnginePool
+	// seed yields the shared mask-stream seed of (attr, pair (j, k)) — the
+	// coordinator derives it from the key agreement (ThirdParty.seedJT), a
+	// worker looks it up in the slice offer.
+	seed func(attr int, j, k string) rng.Seed
+}
+
+// core builds the third party's own shard pipeline view — the in-process
+// deployment, and the source of the single-TP receive loops (recvLocal,
+// recvPair delegate here so shard assembly is the same code over a
+// restricted schedule).
+func (tp *ThirdParty) core() *shardCore {
+	return &shardCore{cfg: tp.cfg, holders: tp.holders, counts: tp.counts,
+		workers: tp.workers, engines: tp.engines, seed: tp.seedJT}
+}
+
+// stageWidthFor resolves a stage-pool size: at most pipelineDepth, never
+// more than there are attributes, and never more than the Parallelism
+// worker budget — a party pinned to Parallelism 1 runs its assembly compute
+// serially (readers still prefetch the wire), and higher budgets never
+// multiply total compute goroutines by the full depth on small machines.
+func stageWidthFor(nAttr, workers int) int {
+	width := pipelineDepth
+	if width > nAttr {
+		width = nAttr
+	}
+	if width > workers {
+		width = workers
+	}
+	if width < 1 {
+		width = 1
+	}
+	return width
+}
+
+// shardLaneQuotas is the per-attribute frame quota of holder hi's stream
+// toward the shard owning global rows [r[0], r[1]): the local-matrix chunks
+// of the holder-local row intersection plus the S/M chunks of every pair
+// the holder responds in, restricted the same way. Every party — the
+// holder, the in-process shard demux, the coordinator's relay pumps and a
+// worker process's own demux — derives the identical vector from (Config,
+// census, range) alone, so the exact stream length is known before the
+// first frame moves. A holder with no rows in the shard has an all-zero
+// vector and sends nothing there.
+func shardLaneQuotas(cfg Config, counts, offsets []int, hi int, r [2]int) []int {
+	attrs := cfg.Schema.Attrs
+	quotas := make([]int, len(attrs))
+	llo, lhi := shardRowsOf(r[0], r[1], offsets[hi], counts[hi])
+	if llo >= lhi {
+		return quotas
+	}
+	for attr, a := range attrs {
+		if tagBased(a.Type) {
+			continue
+		}
+		quotas[attr] = len(cfg.localChunksRange(llo, lhi))
+		for j := 0; j < hi; j++ {
+			quotas[attr] += cfg.pairChunkCountRange(a.Type, llo, lhi, counts[j])
+		}
+	}
+	return quotas
+}
+
+// runShard is one shard's session body: a stage pool (bounded exactly like
+// the single-TP pipeline's) pulls the comparison attributes through
+// receive → evaluate → slice-assemble, writing each finished slice into
+// out[attr]. Errors flow through fail, which the caller wires to stop every
+// demux of the session so sibling shards and the coordinator unwind too.
+func (c *shardCore) runShard(s int, r [2]int, demux []*wire.Demux, out []attrSlice, fail func(error)) {
+	attrs := c.cfg.Schema.Attrs
+	var comp []int
+	for attr, a := range attrs {
+		if !tagBased(a.Type) {
+			comp = append(comp, attr)
+		}
+	}
+	if len(comp) == 0 {
+		return
+	}
+	attrCh := make(chan int, len(comp))
+	for _, attr := range comp {
+		attrCh <- attr
+	}
+	close(attrCh)
+	var wg sync.WaitGroup
+	for w, width := 0, stageWidthFor(len(comp), c.workers); w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			activeStages.Add(1)
+			defer activeStages.Add(-1)
+			eng := c.engines.Get()
+			defer c.engines.Put(eng)
+			for attr := range attrCh {
+				cells, max, err := c.assembleShardSlice(eng, r, demux, attr)
+				if err != nil {
+					fail(fmt.Errorf("party: shard %d assembling attribute %q: %w", s, attrs[attr].Name, err))
+					return
+				}
+				out[attr] = attrSlice{cells: cells, max: max}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// assembleShardSlice builds one comparison attribute's slice of global
+// rows [r[0], r[1]): each intersecting holder's local chunk frames, then
+// each pair's S/M chunk frames over the responder-row intersection — the
+// exact receive loops of the single-TP pipeline (recvLocalRows,
+// recvPairRows) over the shard-restricted schedules.
+func (c *shardCore) assembleShardSlice(eng *protocol.Engine, r [2]int, demux []*wire.Demux, attr int) ([]float64, float64, error) {
+	a := c.cfg.Schema.Attrs[attr]
+	sa, err := dissim.NewSliceAssembler(c.counts, r[0], r[1], c.workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	src := demuxSource{ds: demux, lane: attr}
+	for hi, h := range c.holders {
+		llo, lhi := sa.LocalRows(hi)
+		if llo >= lhi {
+			continue
+		}
+		if err := c.recvLocalRows(sa, src, hi, h, attr, c.cfg.localChunksRange(llo, lhi)); err != nil {
+			return nil, 0, err
+		}
+	}
+	for _, pair := range sortedPairs(c.holders) {
+		ji, ki := pair[0], pair[1]
+		rlo, rhi := sa.CrossRows(ki)
+		if rlo >= rhi {
+			continue
+		}
+		j, k := c.holders[ji], c.holders[ki]
+		cols := c.counts[ji]
+		jt := rng.New(c.cfg.RNG, c.seed(attr, j, k))
+		// Per-pair masking consumes the keystream row-major with no
+		// re-initialization, so a shard whose range starts mid-block first
+		// draws and discards the earlier rows' masks — its first chunk
+		// then evaluates at the exact keystream position the monolithic
+		// pass would use. Batch and alphanumeric evaluation rewind per
+		// chunk and need no positioning (the Advance calls no-op).
+		if a.Type != dataset.Alphanumeric {
+			switch c.cfg.Variant {
+			case Float64Variant:
+				eng.AdvanceThirdPartyFloat(jt, rlo, cols, c.cfg.FloatParams, c.cfg.Mode)
+			case Int64Variant:
+				eng.AdvanceThirdPartyInt(jt, rlo, cols, c.cfg.IntParams, c.cfg.Mode)
+			case ModPVariant:
+				eng.AdvanceThirdPartyModP(jt, rlo, cols, c.cfg.Mode)
+			}
+		}
+		chunks := c.cfg.pairChunksRange(a.Type, rlo, rhi, cols)
+		if err := c.recvPairRows(eng, sa, src, attr, ji, ki, jt, chunks); err != nil {
+			return nil, 0, err
+		}
+	}
+	return sa.Done()
+}
+
+// recvLocalRows consumes one holder's local-matrix chunk stream for one
+// attribute, restricted to the given schedule, installing each row-range
+// frame the moment it arrives. The single-TP pipeline passes the full
+// localChunks schedule; a shard passes localChunksRange over its
+// holder-local intersection.
+func (c *shardCore) recvLocalRows(inst localInstaller, src attrSource, hi int, h string, attr int, chunks [][2]int) error {
+	n := c.counts[hi]
+	for ci, ch := range chunks {
+		var body localBody
+		m, err := src.expect(hi, kindLocal, &body)
+		if err != nil {
+			return err
+		}
+		if m.Attr != attr {
+			return fmt.Errorf("party: %s sent local matrix for attr %d, want %d", h, m.Attr, attr)
+		}
+		if body.N != n {
+			return fmt.Errorf("party: %s local matrix has %d objects, census says %d", h, body.N, n)
+		}
+		if body.Lo != ch[0] || body.Hi != ch[1] {
+			return fmt.Errorf("party: %s local chunk %d covers rows [%d,%d), schedule says [%d,%d)",
+				h, ci, body.Lo, body.Hi, ch[0], ch[1])
+		}
+		if err := inst.SetLocalRows(hi, body.Lo, body.Hi, body.Cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvPairRows consumes the S/M chunk frames of one (attribute, pair)
+// covering the scheduled responder row ranges, evaluating and installing
+// each chunk the moment it arrives. The single-TP pipeline passes the
+// full pairChunks schedule and a fresh jt; a shard passes pairChunksRange
+// over its responder-row intersection with jt pre-positioned by the
+// engine's AdvanceThirdParty* (per-pair mode consumes the keystream
+// row-major with no re-initialization, so a shard starting mid-block must
+// first draw and discard the earlier rows' masks).
+func (c *shardCore) recvPairRows(eng *protocol.Engine, inst crossInstaller, src attrSource, attr, ji, ki int, jt rng.Stream, chunks [][2]int) error {
+	a := c.cfg.Schema.Attrs[attr]
+	j, k := c.holders[ji], c.holders[ki]
+	rows, cols := c.counts[ki], c.counts[ji]
+	for ci, ch := range chunks {
+		var block func(m, n int) float64
+		var bRows, bCols int
+		if a.Type == dataset.Alphanumeric {
+			var body alphaMBody
+			if _, err := src.expect(ki, kindAlphaM, &body); err != nil {
+				return err
+			}
+			if err := checkPairChunk(j, k, ci, ch, body.Rows, body.Lo, body.Hi, rows); err != nil {
+				return err
+			}
+			dists, err := eng.AlphaThirdPartyRows(body.M, body.Lo, body.Hi, a.Alphabet, jt)
+			if err != nil {
+				return err
+			}
+			bRows, bCols = dists.Rows, dists.Cols
+			block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+		} else {
+			var body numSBody
+			if _, err := src.expect(ki, kindNumS, &body); err != nil {
+				return err
+			}
+			if err := checkPairChunk(j, k, ci, ch, body.Rows, body.Lo, body.Hi, rows); err != nil {
+				return err
+			}
+			switch c.cfg.Variant {
+			case Float64Variant:
+				if body.Float == nil {
+					return fmt.Errorf("party: missing float payload from %s", k)
+				}
+				dists, err := eng.NumericThirdPartyFloatRows(body.Float, ch[0], ch[1], jt, c.cfg.FloatParams, c.cfg.Mode)
+				if err != nil {
+					return err
+				}
+				bRows, bCols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return dists.At(m, n) }
+			case Int64Variant:
+				if body.Int == nil {
+					return fmt.Errorf("party: missing int payload from %s", k)
+				}
+				dists, err := eng.NumericThirdPartyIntRows(body.Int, ch[0], ch[1], jt, c.cfg.IntParams, c.cfg.Mode)
+				if err != nil {
+					return err
+				}
+				bRows, bCols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+			case ModPVariant:
+				if body.ModP == nil {
+					return fmt.Errorf("party: missing modp payload from %s", k)
+				}
+				dists, err := eng.NumericThirdPartyModPRows(body.ModP, ch[0], ch[1], jt, c.cfg.Mode)
+				if err != nil {
+					return err
+				}
+				bRows, bCols = dists.Rows, dists.Cols
+				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
+			}
+		}
+		// A zero-row chunk (empty responder) carries no usable column
+		// count and is never consulted during assembly.
+		if bRows > 0 && bCols != cols {
+			return fmt.Errorf("party: block (%s,%s) rows [%d,%d) have %d columns, census says %d",
+				j, k, ch[0], ch[1], bCols, cols)
+		}
+		if err := inst.SetCrossRows(ji, ki, ch[0], ch[1], block); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,15 +15,18 @@ package party
 //     it concatenates their slices into each attribute's condensed matrix
 //     (SetPackedRows) and normalizes.
 //
-// Shards run in-process under the coordinator's session guard — the split
-// partitions rows, wire lanes and resident memory (each shard holds ~1/K
-// of every attribute triangle), not trust. Bit-identity with the single-TP
-// path holds for every K: chunk evaluation is sequence-identical (pinned
-// by the protocol row tests), slice assembly writes each cell exactly once
-// with the same value (pinned by the dissim slice tests), and max is
-// associative, so the merged matrix, its normalization scale and every
-// downstream clustering result match the single-TP session byte for byte.
-// TPShards ≤ 1 never reaches this file.
+// The shard pipeline itself lives in shardCore (shardcore.go) and has two
+// deployments: in-process goroutines under the coordinator's session guard
+// (this file), or separate ppc-shard worker processes driven over the
+// coordinator↔shard control protocol (shardproc.go, shardserver.go). The
+// split partitions rows, wire lanes and resident memory (each shard holds
+// ~1/K of every attribute triangle), not trust. Bit-identity with the
+// single-TP path holds for every K: chunk evaluation is sequence-identical
+// (pinned by the protocol row tests), slice assembly writes each cell
+// exactly once with the same value (pinned by the dissim slice tests), and
+// max is associative, so the merged matrix, its normalization scale and
+// every downstream clustering result match the single-TP session byte for
+// byte. TPShards ≤ 1 never reaches this file.
 
 import (
 	"fmt"
@@ -31,8 +34,6 @@ import (
 
 	"ppclust/internal/dataset"
 	"ppclust/internal/dissim"
-	"ppclust/internal/protocol"
-	"ppclust/internal/rng"
 	"ppclust/internal/wire"
 )
 
@@ -44,8 +45,112 @@ type attrSlice struct {
 	max   float64
 }
 
-// runSharded is the coordinator's session body for TPShards > 1 —
-// the sharded counterpart of runPipelined.
+// shardClassifier routes a sharded session's demux traffic: aborts fail the
+// lane, clustering requests land past the attribute lanes, everything else
+// routes by attribute. Both coordinator deployments and the worker process
+// use the same routing (the worker's demuxes simply have no request lane).
+func shardClassifier(nAttr, reqLane int) func(m *wire.Message) (int, error) {
+	return func(m *wire.Message) (int, error) {
+		if m.Kind == kindAbort {
+			return 0, peerAbortError(m)
+		}
+		if m.Kind == kindRequest && reqLane >= 0 {
+			return reqLane, nil
+		}
+		if m.Attr < 0 || m.Attr >= nAttr {
+			return 0, fmt.Errorf("party: message %q for attribute %d outside schema", m.Kind, m.Attr)
+		}
+		return m.Attr, nil
+	}
+}
+
+// controlDemuxes builds the coordinator's per-holder control demuxes for a
+// sharded session: the tag columns and the clustering request only —
+// comparison-attribute traffic flows on the shard conduits.
+func (tp *ThirdParty) controlDemuxes(reqLane int, classify func(m *wire.Message) (int, error)) []*wire.Demux {
+	attrs := tp.cfg.Schema.Attrs
+	ctl := make([]*wire.Demux, len(tp.holders))
+	for hi, h := range tp.holders {
+		counts := make([]int, len(attrs)+1)
+		for attr, a := range attrs {
+			if tagBased(a.Type) {
+				counts[attr] = 1
+			}
+		}
+		counts[reqLane] = 1
+		ctl[hi] = wire.NewDemux(tp.eps[h], counts, laneBuffer, classify)
+	}
+	return ctl
+}
+
+// runTagStages assembles the tag-based attributes from the control lanes on
+// a stage pool (the same shape as the pipelined single-TP engine's) while
+// the shards stream, adding its workers to wg.
+func (tp *ThirdParty) runTagStages(ctl []*wire.Demux, matrices []*dissim.Matrix, scales []float64, wg *sync.WaitGroup, fail func(error)) {
+	attrs := tp.cfg.Schema.Attrs
+	var tagAttrs []int
+	for attr, a := range attrs {
+		if tagBased(a.Type) {
+			tagAttrs = append(tagAttrs, attr)
+		}
+	}
+	if len(tagAttrs) == 0 {
+		return
+	}
+	tagCh := make(chan int, len(tagAttrs))
+	for _, attr := range tagAttrs {
+		tagCh <- attr
+	}
+	close(tagCh)
+	for w, width := 0, tp.stageWidth(len(tagAttrs)); w < width; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			activeStages.Add(1)
+			defer activeStages.Add(-1)
+			for attr := range tagCh {
+				var m *dissim.Matrix
+				var err error
+				if attrs[attr].Type == dataset.Categorical {
+					m, err = tp.assembleCategorical(attr, demuxSource{ds: ctl, lane: attr})
+				} else {
+					m, err = tp.assembleHierarchical(attr, demuxSource{ds: ctl, lane: attr})
+				}
+				if err != nil {
+					fail(fmt.Errorf("party: assembling attribute %q: %w", attrs[attr].Name, err))
+					return
+				}
+				scales[attr] = m.NormalizePar(tp.workers)
+				matrices[attr] = m
+			}
+		}()
+	}
+}
+
+// mergeShardSlices concatenates each comparison attribute's shard slices
+// into the condensed matrix and normalizes. The slices partition the
+// triangle, SetPackedRows folds each slice's maximum into the matrix's max
+// cache, and max is associative — so the scale, and with element-wise
+// division every cell, is bit-identical to the single-TP assembly.
+func (tp *ThirdParty) mergeShardSlices(total int, ranges [][2]int, slices [][]attrSlice, matrices []*dissim.Matrix, scales []float64) error {
+	for attr, a := range tp.cfg.Schema.Attrs {
+		if tagBased(a.Type) {
+			continue
+		}
+		m := dissim.New(total)
+		for s, r := range ranges {
+			if err := m.SetPackedRows(r[0], r[1], slices[s][attr].cells); err != nil {
+				return fmt.Errorf("party: merging attribute %q slice of shard %d: %w", a.Name, s, err)
+			}
+		}
+		scales[attr] = m.NormalizePar(tp.workers)
+		matrices[attr] = m
+	}
+	return nil
+}
+
+// runSharded is the coordinator's session body for TPShards > 1 with
+// in-process shards — the sharded counterpart of runPipelined.
 func (tp *ThirdParty) runSharded() (*TPReport, error) {
 	attrs := tp.cfg.Schema.Attrs
 	nAttr := len(attrs)
@@ -63,31 +168,8 @@ func (tp *ThirdParty) runSharded() (*TPReport, error) {
 	// census, so holders send nothing on them either).
 	ranges := dissim.ShardRanges(total, len(tp.shardEps))
 
-	classify := func(m *wire.Message) (int, error) {
-		if m.Kind == kindAbort {
-			return 0, peerAbortError(m)
-		}
-		if m.Kind == kindRequest {
-			return reqLane, nil
-		}
-		if m.Attr < 0 || m.Attr >= nAttr {
-			return 0, fmt.Errorf("party: message %q for attribute %d outside schema", m.Kind, m.Attr)
-		}
-		return m.Attr, nil
-	}
-	// Control demuxes carry the tag columns and the clustering request
-	// only — comparison-attribute traffic flows on the shard conduits.
-	ctl := make([]*wire.Demux, len(tp.holders))
-	for hi, h := range tp.holders {
-		counts := make([]int, nAttr+1)
-		for attr, a := range attrs {
-			if tagBased(a.Type) {
-				counts[attr] = 1
-			}
-		}
-		counts[reqLane] = 1
-		ctl[hi] = wire.NewDemux(tp.eps[h], counts, laneBuffer, classify)
-	}
+	classify := shardClassifier(nAttr, reqLane)
+	ctl := tp.controlDemuxes(reqLane, classify)
 	// Shard demuxes, with lane quotas restricted to each holder's row
 	// intersection with the shard. A holder with no rows in a shard sends
 	// nothing there: every quota is zero, the lanes close immediately and
@@ -96,20 +178,8 @@ func (tp *ThirdParty) runSharded() (*TPReport, error) {
 	for s, r := range ranges {
 		shardDemux[s] = make([]*wire.Demux, len(tp.holders))
 		for hi, h := range tp.holders {
-			llo, lhi := shardRowsOf(r[0], r[1], offsets[hi], tp.counts[hi])
-			counts := make([]int, nAttr)
-			if llo < lhi {
-				for attr, a := range attrs {
-					if tagBased(a.Type) {
-						continue
-					}
-					counts[attr] = len(tp.cfg.localChunksRange(llo, lhi))
-					for j := 0; j < hi; j++ {
-						counts[attr] += tp.cfg.pairChunkCountRange(a.Type, llo, lhi, tp.counts[j])
-					}
-				}
-			}
-			shardDemux[s][hi] = wire.NewDemux(tp.shardEps[s][h], counts, laneBuffer, classify)
+			shardDemux[s][hi] = wire.NewDemux(tp.shardEps[s][h],
+				shardLaneQuotas(tp.cfg, tp.counts, offsets, hi, r), laneBuffer, classify)
 		}
 	}
 	stopAll := func() {
@@ -141,76 +211,24 @@ func (tp *ThirdParty) runSharded() (*TPReport, error) {
 	scales := make([]float64, nAttr)
 	slices := make([][]attrSlice, len(ranges))
 
+	core := tp.core()
 	var wg sync.WaitGroup
 	for s, r := range ranges {
 		slices[s] = make([]attrSlice, nAttr)
 		wg.Add(1)
 		go func(s int, r [2]int) {
 			defer wg.Done()
-			tp.runShard(s, r, shardDemux[s], slices[s], fail)
+			core.runShard(s, r, shardDemux[s], slices[s], fail)
 		}(s, r)
 	}
-	// The coordinator assembles the tag-based attributes from the control
-	// lanes while the shards stream — the same stage-pool shape as the
-	// pipelined single-TP engine.
-	var tagAttrs []int
-	for attr, a := range attrs {
-		if tagBased(a.Type) {
-			tagAttrs = append(tagAttrs, attr)
-		}
-	}
-	if len(tagAttrs) > 0 {
-		tagCh := make(chan int, len(tagAttrs))
-		for _, attr := range tagAttrs {
-			tagCh <- attr
-		}
-		close(tagCh)
-		for w, width := 0, tp.stageWidth(len(tagAttrs)); w < width; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				activeStages.Add(1)
-				defer activeStages.Add(-1)
-				for attr := range tagCh {
-					var m *dissim.Matrix
-					var err error
-					if attrs[attr].Type == dataset.Categorical {
-						m, err = tp.assembleCategorical(attr, demuxSource{ds: ctl, lane: attr})
-					} else {
-						m, err = tp.assembleHierarchical(attr, demuxSource{ds: ctl, lane: attr})
-					}
-					if err != nil {
-						fail(fmt.Errorf("party: assembling attribute %q: %w", attrs[attr].Name, err))
-						return
-					}
-					scales[attr] = m.NormalizePar(tp.workers)
-					matrices[attr] = m
-				}
-			}()
-		}
-	}
+	tp.runTagStages(ctl, matrices, scales, &wg, fail)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 
-	// Merge: concatenate each comparison attribute's shard slices into the
-	// condensed matrix and normalize. The slices partition the triangle,
-	// SetPackedRows folds each slice's maximum into the matrix's max
-	// cache, and max is associative — so the scale, and with element-wise
-	// division every cell, is bit-identical to the single-TP assembly.
-	for attr, a := range attrs {
-		if tagBased(a.Type) {
-			continue
-		}
-		m := dissim.New(total)
-		for s, r := range ranges {
-			if err := m.SetPackedRows(r[0], r[1], slices[s][attr].cells); err != nil {
-				return nil, fmt.Errorf("party: merging attribute %q slice of shard %d: %w", a.Name, s, err)
-			}
-		}
-		scales[attr] = m.NormalizePar(tp.workers)
-		matrices[attr] = m
+	if err := tp.mergeShardSlices(total, ranges, slices, matrices, scales); err != nil {
+		return nil, err
 	}
 
 	return tp.finish(matrices, scales, func(hi int) (requestBody, error) {
@@ -218,101 +236,4 @@ func (tp *ThirdParty) runSharded() (*TPReport, error) {
 		_, err := ctl[hi].Expect(reqLane, kindRequest, &req)
 		return req, err
 	})
-}
-
-// runShard is one shard's session body: a stage pool (bounded exactly like
-// the single-TP pipeline's) pulls the comparison attributes through
-// receive → evaluate → slice-assemble, writing each finished slice into
-// out[attr]. Errors flow through fail, which stops every demux of the
-// session so sibling shards and the coordinator unwind too.
-func (tp *ThirdParty) runShard(s int, r [2]int, demux []*wire.Demux, out []attrSlice, fail func(error)) {
-	attrs := tp.cfg.Schema.Attrs
-	var comp []int
-	for attr, a := range attrs {
-		if !tagBased(a.Type) {
-			comp = append(comp, attr)
-		}
-	}
-	if len(comp) == 0 {
-		return
-	}
-	attrCh := make(chan int, len(comp))
-	for _, attr := range comp {
-		attrCh <- attr
-	}
-	close(attrCh)
-	var wg sync.WaitGroup
-	for w, width := 0, tp.stageWidth(len(comp)); w < width; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			activeStages.Add(1)
-			defer activeStages.Add(-1)
-			eng := tp.engines.Get()
-			defer tp.engines.Put(eng)
-			for attr := range attrCh {
-				cells, max, err := tp.assembleShardSlice(eng, r, demux, attr)
-				if err != nil {
-					fail(fmt.Errorf("party: shard %d assembling attribute %q: %w", s, attrs[attr].Name, err))
-					return
-				}
-				out[attr] = attrSlice{cells: cells, max: max}
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// assembleShardSlice builds one comparison attribute's slice of global
-// rows [r[0], r[1]): each intersecting holder's local chunk frames, then
-// each pair's S/M chunk frames over the responder-row intersection — the
-// exact receive loops of the single-TP pipeline (recvLocalRows,
-// recvPairRows) over the shard-restricted schedules.
-func (tp *ThirdParty) assembleShardSlice(eng *protocol.Engine, r [2]int, demux []*wire.Demux, attr int) ([]float64, float64, error) {
-	a := tp.cfg.Schema.Attrs[attr]
-	sa, err := dissim.NewSliceAssembler(tp.counts, r[0], r[1], tp.workers)
-	if err != nil {
-		return nil, 0, err
-	}
-	src := demuxSource{ds: demux, lane: attr}
-	for hi, h := range tp.holders {
-		llo, lhi := sa.LocalRows(hi)
-		if llo >= lhi {
-			continue
-		}
-		if err := tp.recvLocalRows(sa, src, hi, h, attr, tp.cfg.localChunksRange(llo, lhi)); err != nil {
-			return nil, 0, err
-		}
-	}
-	for _, pair := range sortedPairs(tp.holders) {
-		ji, ki := pair[0], pair[1]
-		rlo, rhi := sa.CrossRows(ki)
-		if rlo >= rhi {
-			continue
-		}
-		j, k := tp.holders[ji], tp.holders[ki]
-		cols := tp.counts[ji]
-		jt := rng.New(tp.cfg.RNG, tp.seedJT(attr, j, k))
-		// Per-pair masking consumes the keystream row-major with no
-		// re-initialization, so a shard whose range starts mid-block first
-		// draws and discards the earlier rows' masks — its first chunk
-		// then evaluates at the exact keystream position the monolithic
-		// pass would use. Batch and alphanumeric evaluation rewind per
-		// chunk and need no positioning (the Advance calls no-op).
-		if a.Type != dataset.Alphanumeric {
-			switch tp.cfg.Variant {
-			case Float64Variant:
-				eng.AdvanceThirdPartyFloat(jt, rlo, cols, tp.cfg.FloatParams, tp.cfg.Mode)
-			case Int64Variant:
-				eng.AdvanceThirdPartyInt(jt, rlo, cols, tp.cfg.IntParams, tp.cfg.Mode)
-			case ModPVariant:
-				eng.AdvanceThirdPartyModP(jt, rlo, cols, tp.cfg.Mode)
-			}
-		}
-		chunks := tp.cfg.pairChunksRange(a.Type, rlo, rhi, cols)
-		if err := tp.recvPairRows(eng, sa, src, attr, ji, ki, jt, chunks); err != nil {
-			return nil, 0, err
-		}
-	}
-	return sa.Done()
 }

@@ -1,0 +1,559 @@
+package party
+
+// Cross-process TP shards: the worker side. A ppc-shard process runs one
+// ShardServer; each coordinator registration (netid v4 hello) starts one
+// shardRun, which receives the slice offer, rebuilds the shard pipeline
+// (shardCore) from it, feeds the relayed holder frames through demuxes
+// with the shared lane quotas, and returns the finished slices. The
+// worker holds no durable state: a registration always answers with
+// watermarks (0, 0), and a re-registration for the same (session, shard)
+// supersedes the previous run — the coordinator replays the stream from
+// the beginning and the worker recomputes, which is what makes a crashed
+// worker process and a flapped link heal through the same path.
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/keys"
+	"ppclust/internal/netid"
+	"ppclust/internal/parallel"
+	"ppclust/internal/protocol"
+	"ppclust/internal/rng"
+	"ppclust/internal/wire"
+)
+
+const (
+	defaultShardHandshakeTimeout = 10 * time.Second
+	defaultShardHeartbeat        = time.Second
+)
+
+// ShardServerConfig configures one shard worker.
+type ShardServerConfig struct {
+	// Schema is the worker's copy of the session agreement's attribute
+	// list. An offer whose schema fingerprint disagrees is refused — the
+	// worker evaluates protocol payloads and must share the agreement.
+	Schema dataset.Schema
+	// HandshakeTimeout bounds registration + key agreement per connection.
+	// 0 means 10s.
+	HandshakeTimeout time.Duration
+	// HeartbeatInterval is the cadence of worker→coordinator liveness
+	// heartbeats. 0 means 1s.
+	HeartbeatInterval time.Duration
+	// OnFrame, when set, observes every relayed holder frame after it is
+	// fed to the pipeline: session, shard index and the running frame
+	// total of the current run. The multi-process test harness uses it to
+	// crash the worker at exact protocol points.
+	OnFrame func(session string, shard, total int)
+	// Logf receives worker lifecycle events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// shardRunKey identifies one coordinator's shard assignment: concurrent
+// sessions (and a coordinator running several shards against one worker
+// process) each get their own run.
+type shardRunKey struct {
+	session string
+	shard   int
+}
+
+// ShardServer accepts shard registrations and runs one shard pipeline per
+// registration. One process typically serves one shard per session, but
+// nothing in the protocol requires that — runs are independent.
+type ShardServer struct {
+	cfg ShardServerConfig
+	fp  string
+
+	mu     sync.Mutex
+	ln     net.Listener
+	runs   map[shardRunKey]*shardRun
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewShardServer validates the schema and prepares a worker.
+func NewShardServer(cfg ShardServerConfig) (*ShardServer, error) {
+	if err := cfg.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("party: shard server schema: %w", err)
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = defaultShardHandshakeTimeout
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = defaultShardHeartbeat
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &ShardServer{
+		cfg:  cfg,
+		fp:   schemaFingerprint(cfg.Schema),
+		runs: make(map[shardRunKey]*shardRun),
+	}, nil
+}
+
+// Serve accepts coordinator registrations on ln until Close. Each
+// connection is handled on its own goroutine; Serve returns nil after
+// Close, or the first non-temporary accept error.
+func (s *ShardServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("party: shard server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			s.handle(conn)
+		}(conn)
+	}
+}
+
+// Close stops accepting, severs every active run — the coordinator sees
+// the sever and redials elsewhere or fails classified — and waits for the
+// handlers to drain. This is the worker half of the server's drain
+// fan-out.
+func (s *ShardServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	runs := make([]*shardRun, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, r := range runs {
+		r.close(errors.New("party: shard worker draining"))
+	}
+	s.wg.Wait()
+}
+
+// handle runs one registration: v4 hello, unconditional (0, 0) grant, key
+// agreement, then the run loop until the coordinator finishes, aborts, or
+// the link dies.
+func (s *ShardServer) handle(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	hello, err := netid.AcceptHello(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if !hello.ShardRegistration() || hello.Lane == 0 {
+		s.cfg.Logf("event=shard-reject reason=version remote=%s", conn.RemoteAddr())
+		netid.SendReject(conn, netid.RejectVersion, "shard worker accepts the v4 shard-registration hello only")
+		conn.Close()
+		return
+	}
+	shard := int(hello.Lane) - 1
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		netid.SendReject(conn, netid.RejectDraining, "shard worker draining")
+		conn.Close()
+		return
+	}
+	// The grant is unconditionally (0, 0): a worker is always fresh for a
+	// registration. Whatever a previous generation or a severed link
+	// accumulated is unusable after the coordinator's full replay, so
+	// there are no watermarks to reconcile.
+	if err := netid.SendAcceptResume(conn, 0, 0); err != nil {
+		conn.Close()
+		return
+	}
+	secured, err := s.secure(conn, shard)
+	if err != nil {
+		s.cfg.Logf("event=shard-handshake-failed shard=%d err=%v", shard, err)
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	run := &shardRun{
+		srv:     s,
+		key:     shardRunKey{session: hello.Session, shard: shard},
+		epoch:   hello.Epoch,
+		conduit: secured,
+		ep:      wire.NewEndpoint(secured),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		secured.Close()
+		return
+	}
+	if old := s.runs[run.key]; old != nil {
+		// Re-registration after a crash of the coordinator's link (or a
+		// coordinator that never learned its old link died): the stream
+		// restarts from the beginning, so the old run must not keep
+		// half-assembled state alive.
+		old.close(errors.New("party: superseded by re-registration"))
+	}
+	s.runs[run.key] = run
+	s.mu.Unlock()
+	s.cfg.Logf("event=shard-register session=%q shard=%d epoch=%d remote=%s",
+		hello.Session, shard, hello.Epoch, conn.RemoteAddr())
+	run.serve()
+	s.mu.Lock()
+	if s.runs[run.key] == run {
+		delete(s.runs, run.key)
+	}
+	s.mu.Unlock()
+}
+
+// secure is the worker side of the link handshake: a fresh X25519
+// identity per connection (the link is transport protection only — no
+// session key material derives from it), hello exchange, AES-GCM.
+func (s *ShardServer) secure(conn net.Conn, shard int) (wire.Conduit, error) {
+	raw := wire.TCPPooled(conn)
+	ep := wire.NewEndpoint(raw)
+	name := ShardName(shard)
+	identity, err := keys.NewIdentity(name, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	hello := helloBody{Public: identity.PublicBytes(), Fingerprint: s.fp}
+	if err := ep.SendBody(wire.Message{From: name, To: TPName, Kind: kindHello, Attr: -1}, hello); err != nil {
+		return nil, err
+	}
+	var peer helloBody
+	if _, err := expectMsg(ep, kindHello, &peer); err != nil {
+		return nil, err
+	}
+	if peer.Fingerprint != s.fp {
+		return nil, errors.New("party: coordinator disagrees on the schema")
+	}
+	master, err := identity.Master(peer.Public)
+	if err != nil {
+		return nil, err
+	}
+	key := keys.DeriveKey(master, keys.PurposeChannel, TPName, name)
+	return wire.Secure(raw, key, false)
+}
+
+// shardRun is one registration's lifetime on the worker.
+type shardRun struct {
+	srv     *ShardServer
+	key     shardRunKey
+	epoch   uint32
+	conduit wire.Conduit
+	ep      *wire.Endpoint
+
+	sendMu    sync.Mutex
+	closeOnce sync.Once
+}
+
+func (r *shardRun) send(kind wire.Kind, attr int, body any) error {
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
+	return r.ep.SendBody(wire.Message{From: ShardName(r.key.shard), To: TPName, Kind: kind, Attr: attr}, body)
+}
+
+// close tears the run's link down, first explaining the failure to the
+// coordinator when there is one to explain (best-effort — on a dead link
+// the send fails immediately).
+func (r *shardRun) close(reason error) {
+	r.closeOnce.Do(func() {
+		if reason != nil {
+			msg := reason.Error()
+			if len(msg) > abortReasonLimit {
+				msg = msg[:abortReasonLimit]
+			}
+			_ = r.send(kindAbort, -1, abortBody{Reason: msg})
+		}
+		r.conduit.Close()
+	})
+}
+
+// serve runs the registration to completion: offer, then the frame loop.
+func (r *shardRun) serve() {
+	var offer shardOfferBody
+	if _, err := r.ep.Expect(kindShardOffer, &offer); err != nil {
+		r.close(nil)
+		return
+	}
+	if err := r.run(offer); err != nil {
+		r.srv.cfg.Logf("event=shard-run-failed session=%q shard=%d err=%v", r.key.session, r.key.shard, err)
+		r.close(err)
+		return
+	}
+	r.srv.cfg.Logf("event=shard-run-done session=%q shard=%d", r.key.session, r.key.shard)
+	r.close(nil)
+}
+
+// run rebuilds the shard pipeline from the offer and drives it: relayed
+// frames feed per-holder pipes whose demuxes use the shared lane quotas,
+// the pipeline computes the slices, and the slices go back ascending by
+// attribute. Returns nil on a clean coordinator-initiated end.
+func (r *shardRun) run(offer shardOfferBody) error {
+	s := r.srv
+	if offer.Fingerprint != s.fp {
+		return errors.New("party: offer schema fingerprint disagrees with this worker's schema")
+	}
+	if offer.Shard != r.key.shard {
+		return fmt.Errorf("party: offer names shard %d, registration said %d", offer.Shard, r.key.shard)
+	}
+	if err := validHolderNames(offer.Holders); err != nil {
+		return err
+	}
+	if len(offer.Counts) != len(offer.Holders) {
+		return fmt.Errorf("party: offer carries %d counts for %d holders", len(offer.Counts), len(offer.Holders))
+	}
+	cfg, err := Config{
+		Schema:          s.cfg.Schema,
+		Mode:            offer.Mode,
+		Variant:         offer.Variant,
+		RNG:             offer.RNG,
+		IntParams:       offer.IntParams,
+		FloatParams:     offer.FloatParams,
+		LocalChunkBytes: offer.LocalChunkBytes,
+		Parallelism:     offer.Parallelism,
+	}.normalized()
+	if err != nil {
+		return err
+	}
+	nAttr := len(cfg.Schema.Attrs)
+	pairs := sortedPairs(offer.Holders)
+	if len(offer.Seeds) != nAttr {
+		return fmt.Errorf("party: offer carries seeds for %d attributes, schema has %d", len(offer.Seeds), nAttr)
+	}
+	pairIdx := make(map[[2]string]int, len(pairs))
+	for pi, p := range pairs {
+		pairIdx[[2]string{offer.Holders[p[0]], offer.Holders[p[1]]}] = pi
+	}
+	for attr := range offer.Seeds {
+		if len(offer.Seeds[attr]) != len(pairs) {
+			return fmt.Errorf("party: offer attribute %d carries %d pair seeds, want %d", attr, len(offer.Seeds[attr]), len(pairs))
+		}
+	}
+	total := 0
+	offsets := make([]int, len(offer.Counts))
+	for i, c := range offer.Counts {
+		if c < 0 {
+			return fmt.Errorf("party: offer census holds a negative count for %s", offer.Holders[i])
+		}
+		offsets[i] = total
+		total += c
+	}
+	if offer.Lo < 0 || offer.Hi < offer.Lo || offer.Hi > total {
+		return fmt.Errorf("party: offer range [%d,%d) outside the census total %d", offer.Lo, offer.Hi, total)
+	}
+	rg := [2]int{offer.Lo, offer.Hi}
+	seeds := offer.Seeds
+	core := &shardCore{
+		cfg:     cfg,
+		holders: offer.Holders,
+		counts:  offer.Counts,
+		workers: parallel.Workers(cfg.Parallelism),
+		engines: protocol.NewEnginePool(cfg.Parallelism),
+		seed: func(attr int, j, k string) rng.Seed {
+			return seeds[attr][pairIdx[[2]string{j, k}]]
+		},
+	}
+
+	// One pipe + demux per holder — the write end receives the relayed
+	// frame bytes, the read end reproduces exactly the stream an
+	// in-process shard's demux would see. Holders with an all-zero quota
+	// close their lanes immediately and never touch the pipe.
+	classify := shardClassifier(nAttr, -1)
+	feeds := make([]wire.Conduit, len(offer.Holders))
+	demux := make([]*wire.Demux, len(offer.Holders))
+	quotas := make([]int, len(offer.Holders))
+	for hi := range offer.Holders {
+		a, b := wire.Pipe()
+		feeds[hi] = a
+		lanes := shardLaneQuotas(cfg, offer.Counts, offsets, hi, rg)
+		for _, q := range lanes {
+			quotas[hi] += q
+		}
+		demux[hi] = wire.NewDemux(wire.NewEndpoint(b), lanes, laneBuffer, classify)
+	}
+	stopAll := func() {
+		for _, d := range demux {
+			d.Stop()
+		}
+		for _, f := range feeds {
+			f.Close()
+		}
+	}
+	defer stopAll()
+
+	var mu sync.Mutex
+	var runErr error
+	fail := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+			for _, d := range demux {
+				d.Stop()
+			}
+		}
+		mu.Unlock()
+	}
+
+	// The pipeline computes on its own goroutine and, on success, sends
+	// the slices back itself — ascending by attribute, so the reply order
+	// is deterministic.
+	out := make([]attrSlice, nAttr)
+	computeDone := make(chan struct{})
+	go func() {
+		defer close(computeDone)
+		core.runShard(r.key.shard, rg, demux, out, fail)
+		mu.Lock()
+		failed := runErr != nil
+		mu.Unlock()
+		if failed {
+			return
+		}
+		for attr, a := range cfg.Schema.Attrs {
+			if tagBased(a.Type) {
+				continue
+			}
+			if err := r.send(kindShardSlice, attr, shardSliceBody{Attr: attr, Cells: out[attr].cells, Max: out[attr].max}); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	// Heartbeats, until the run ends or the first send fails.
+	hbStop := make(chan struct{})
+	var hbWg sync.WaitGroup
+	hbWg.Add(1)
+	go func() {
+		defer hbWg.Done()
+		t := time.NewTicker(s.cfg.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if err := r.send(kindShardBeat, -1, shardBeatBody{}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Per-holder feeders restore the concurrency structure the relay
+	// serialized away: in-process, each holder pushes its stream from its
+	// own goroutine, so one holder's backpressure (a full attribute
+	// mailbox) never stalls another holder's frames. The relayed frames
+	// all arrive on one link, so the receive loop below must never block
+	// on a pipe — each holder's frames go through a channel sized for the
+	// holder's entire quota (never more frames than that exist) and a
+	// feeder goroutine absorbs the pipe backpressure per holder.
+	feedWg := sync.WaitGroup{}
+	queues := make([]chan []byte, len(offer.Holders))
+	for hi := range offer.Holders {
+		if quotas[hi] == 0 {
+			continue
+		}
+		queues[hi] = make(chan []byte, quotas[hi])
+		feedWg.Add(1)
+		go func(hi int) {
+			defer feedWg.Done()
+			for frame := range queues[hi] {
+				if err := feeds[hi].Send(frame); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(hi)
+	}
+
+	frames := 0
+	fed := make([]int, len(offer.Holders))
+	clean := false
+	var recvErr error
+loop:
+	for {
+		m, err := r.ep.Recv()
+		if err != nil {
+			recvErr = err
+			break
+		}
+		switch m.Kind {
+		case kindShardFrame:
+			var body shardFrameBody
+			if err := wire.DecodeBody(m.Payload, &body); err != nil {
+				recvErr = err
+				break loop
+			}
+			if m.Attr < 0 || m.Attr >= len(feeds) {
+				recvErr = fmt.Errorf("party: relayed frame for holder %d outside the roster", m.Attr)
+				break loop
+			}
+			if fed[m.Attr] >= quotas[m.Attr] {
+				recvErr = fmt.Errorf("party: relayed frames for %s exceed the lane quota %d", offer.Holders[m.Attr], quotas[m.Attr])
+				break loop
+			}
+			fed[m.Attr]++
+			queues[m.Attr] <- body.Frame
+			frames++
+			if hook := s.cfg.OnFrame; hook != nil {
+				hook(r.key.session, r.key.shard, frames)
+			}
+		case kindShardDone:
+			clean = true
+			break loop
+		case kindAbort:
+			recvErr = peerAbortError(m)
+			break loop
+		default:
+			recvErr = fmt.Errorf("party: unexpected %q from coordinator", m.Kind)
+			break loop
+		}
+	}
+	close(hbStop)
+	for _, q := range queues {
+		if q != nil {
+			close(q)
+		}
+	}
+	stopAll()
+	feedWg.Wait()
+	<-computeDone
+	hbWg.Wait()
+	if clean {
+		return nil
+	}
+	mu.Lock()
+	err = runErr
+	mu.Unlock()
+	if err == nil {
+		err = recvErr
+	}
+	return err
+}

@@ -70,6 +70,13 @@ type ThirdParty struct {
 	// lanes, not trust.
 	shardEps []map[string]*wire.Endpoint
 
+	// shardConduits[s][holder] is the secured holder→shard-s conduit when
+	// the shards run as separate worker processes (Config.ShardDial set):
+	// the coordinator keeps the raw conduit instead of an endpoint and
+	// relays each frame, byte for byte, to the owning worker. Exactly one
+	// of shardEps/shardConduits is populated for a sharded session.
+	shardConduits []map[string]wire.Conduit
+
 	// resumeLanes registers each Reconn-armed holder lane for Resume;
 	// nil unless Config.ResumeWindow is positive. Written only during the
 	// handshake, read-only after — Resume may be called concurrently.
@@ -150,10 +157,19 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 	}
 	fp := schemaFingerprint(tp.cfg.Schema)
 	hello := helloBody{Public: tp.identity.PublicBytes(), Fingerprint: fp}
+	nShardLanes := 0
 	if k := tp.cfg.shardCount(); k > 1 {
-		tp.shardEps = make([]map[string]*wire.Endpoint, k)
-		for s := range tp.shardEps {
-			tp.shardEps[s] = make(map[string]*wire.Endpoint)
+		nShardLanes = k
+		if tp.remoteShards() {
+			tp.shardConduits = make([]map[string]wire.Conduit, k)
+			for s := range tp.shardConduits {
+				tp.shardConduits[s] = make(map[string]wire.Conduit)
+			}
+		} else {
+			tp.shardEps = make([]map[string]*wire.Endpoint, k)
+			for s := range tp.shardEps {
+				tp.shardEps[s] = make(map[string]*wire.Endpoint)
+			}
 		}
 	}
 	for _, h := range tp.holders {
@@ -198,7 +214,10 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 		// X25519 agreement per holder, so the master is unchanged), but
 		// each conduit derives its own channel key salted by the shard
 		// name — control and shard channels never share AES-GCM keys.
-		for s := range tp.shardEps {
+		// The holder's side is identical whether the shard runs in-process
+		// or as a worker process: in remote mode the coordinator keeps the
+		// secured conduit and relays its frames to the worker.
+		for s := 0; s < nShardLanes; s++ {
 			name := ShardName(s)
 			sb := tp.guard.bind(conduits[ShardConduitKey(h, s)])
 			sep := wire.NewEndpoint(sb)
@@ -230,7 +249,11 @@ func (tp *ThirdParty) handshakeAll(conduits map[string]wire.Conduit) error {
 			if tp.cfg.ResumeWindow > 0 {
 				ssecured = tp.armResume(ssecured, h, s+1)
 			}
-			tp.shardEps[s][h] = wire.NewEndpoint(ssecured)
+			if tp.remoteShards() {
+				tp.shardConduits[s][h] = ssecured
+			} else {
+				tp.shardEps[s][h] = wire.NewEndpoint(ssecured)
+			}
 		}
 	}
 	// With every channel established the third party can explain a failure
@@ -314,6 +337,9 @@ func (tp *ThirdParty) run() (*TPReport, error) {
 		return nil, err
 	}
 	tp.guard.setPhase("assemble")
+	if len(tp.shardConduits) > 0 {
+		return tp.runShardedRemote()
+	}
 	if len(tp.shardEps) > 0 {
 		return tp.runSharded()
 	}
@@ -433,24 +459,10 @@ func (tp *ThirdParty) runPipelined() (*TPReport, error) {
 	})
 }
 
-// stageWidth resolves the pipeline's stage-pool size: at most
-// pipelineDepth, never more than there are attributes, and never more
-// than the Parallelism worker budget — a TP pinned to Parallelism 1 runs
-// its assembly compute serially (readers still prefetch the wire), and
-// higher budgets never multiply total compute goroutines by the full
-// depth on small machines.
+// stageWidth resolves the pipeline's stage-pool size from the session's
+// Parallelism budget (see stageWidthFor).
 func (tp *ThirdParty) stageWidth(nAttr int) int {
-	width := pipelineDepth
-	if width > nAttr {
-		width = nAttr
-	}
-	if width > tp.workers {
-		width = tp.workers
-	}
-	if width < 1 {
-		width = 1
-	}
-	return width
+	return stageWidthFor(nAttr, tp.workers)
 }
 
 // runSerial is the phase-serial reference engine: attributes are
@@ -582,7 +594,7 @@ func (tp *ThirdParty) recvLocal(asm *dissim.Assembler, src attrSource, hi int, h
 	n := tp.counts[hi]
 	chunks := tp.cfg.localChunks(n)
 	if !tp.cfg.SerialTP {
-		return tp.recvLocalRows(asm, src, hi, h, attr, chunks)
+		return tp.core().recvLocalRows(asm, src, hi, h, attr, chunks)
 	}
 	mono := make([]float64, 0, n*(n-1)/2)
 	for ci, ch := range chunks {
@@ -620,36 +632,6 @@ type localInstaller interface {
 
 type crossInstaller interface {
 	SetCrossRows(j, k, lo, hi int, at func(m, n int) float64) error
-}
-
-// recvLocalRows consumes one holder's local-matrix chunk stream for one
-// attribute, restricted to the given schedule, installing each row-range
-// frame the moment it arrives. The single-TP pipeline passes the full
-// localChunks schedule; a shard passes localChunksRange over its
-// holder-local intersection.
-func (tp *ThirdParty) recvLocalRows(inst localInstaller, src attrSource, hi int, h string, attr int, chunks [][2]int) error {
-	n := tp.counts[hi]
-	for ci, ch := range chunks {
-		var body localBody
-		m, err := src.expect(hi, kindLocal, &body)
-		if err != nil {
-			return err
-		}
-		if m.Attr != attr {
-			return fmt.Errorf("party: %s sent local matrix for attr %d, want %d", h, m.Attr, attr)
-		}
-		if body.N != n {
-			return fmt.Errorf("party: %s local matrix has %d objects, census says %d", h, body.N, n)
-		}
-		if body.Lo != ch[0] || body.Hi != ch[1] {
-			return fmt.Errorf("party: %s local chunk %d covers rows [%d,%d), schedule says [%d,%d)",
-				h, ci, body.Lo, body.Hi, ch[0], ch[1])
-		}
-		if err := inst.SetLocalRows(hi, body.Lo, body.Hi, body.Cells); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // assembleComparison builds one numeric or alphanumeric attribute's global
@@ -712,90 +694,7 @@ func (tp *ThirdParty) recvPair(eng *protocol.Engine, asm *dissim.Assembler, src 
 	if tp.cfg.SerialTP {
 		return tp.recvPairSerial(eng, asm, src, attr, ji, ki, jt, chunks)
 	}
-	return tp.recvPairRows(eng, asm, src, attr, ji, ki, jt, chunks)
-}
-
-// recvPairRows consumes the S/M chunk frames of one (attribute, pair)
-// covering the scheduled responder row ranges, evaluating and installing
-// each chunk the moment it arrives. The single-TP pipeline passes the
-// full pairChunks schedule and a fresh jt; a shard passes pairChunksRange
-// over its responder-row intersection with jt pre-positioned by the
-// engine's AdvanceThirdParty* (per-pair mode consumes the keystream
-// row-major with no re-initialization, so a shard starting mid-block must
-// first draw and discard the earlier rows' masks).
-func (tp *ThirdParty) recvPairRows(eng *protocol.Engine, inst crossInstaller, src attrSource, attr, ji, ki int, jt rng.Stream, chunks [][2]int) error {
-	a := tp.cfg.Schema.Attrs[attr]
-	j, k := tp.holders[ji], tp.holders[ki]
-	rows, cols := tp.counts[ki], tp.counts[ji]
-	for ci, ch := range chunks {
-		var block func(m, n int) float64
-		var bRows, bCols int
-		if a.Type == dataset.Alphanumeric {
-			var body alphaMBody
-			if _, err := src.expect(ki, kindAlphaM, &body); err != nil {
-				return err
-			}
-			if err := checkPairChunk(j, k, ci, ch, body.Rows, body.Lo, body.Hi, rows); err != nil {
-				return err
-			}
-			dists, err := eng.AlphaThirdPartyRows(body.M, body.Lo, body.Hi, a.Alphabet, jt)
-			if err != nil {
-				return err
-			}
-			bRows, bCols = dists.Rows, dists.Cols
-			block = func(m, n int) float64 { return float64(dists.At(m, n)) }
-		} else {
-			var body numSBody
-			if _, err := src.expect(ki, kindNumS, &body); err != nil {
-				return err
-			}
-			if err := checkPairChunk(j, k, ci, ch, body.Rows, body.Lo, body.Hi, rows); err != nil {
-				return err
-			}
-			switch tp.cfg.Variant {
-			case Float64Variant:
-				if body.Float == nil {
-					return fmt.Errorf("party: missing float payload from %s", k)
-				}
-				dists, err := eng.NumericThirdPartyFloatRows(body.Float, ch[0], ch[1], jt, tp.cfg.FloatParams, tp.cfg.Mode)
-				if err != nil {
-					return err
-				}
-				bRows, bCols = dists.Rows, dists.Cols
-				block = func(m, n int) float64 { return dists.At(m, n) }
-			case Int64Variant:
-				if body.Int == nil {
-					return fmt.Errorf("party: missing int payload from %s", k)
-				}
-				dists, err := eng.NumericThirdPartyIntRows(body.Int, ch[0], ch[1], jt, tp.cfg.IntParams, tp.cfg.Mode)
-				if err != nil {
-					return err
-				}
-				bRows, bCols = dists.Rows, dists.Cols
-				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
-			case ModPVariant:
-				if body.ModP == nil {
-					return fmt.Errorf("party: missing modp payload from %s", k)
-				}
-				dists, err := eng.NumericThirdPartyModPRows(body.ModP, ch[0], ch[1], jt, tp.cfg.Mode)
-				if err != nil {
-					return err
-				}
-				bRows, bCols = dists.Rows, dists.Cols
-				block = func(m, n int) float64 { return float64(dists.At(m, n)) }
-			}
-		}
-		// A zero-row chunk (empty responder) carries no usable column
-		// count and is never consulted during assembly.
-		if bRows > 0 && bCols != cols {
-			return fmt.Errorf("party: block (%s,%s) rows [%d,%d) have %d columns, census says %d",
-				j, k, ch[0], ch[1], bCols, cols)
-		}
-		if err := inst.SetCrossRows(ji, ki, ch[0], ch[1], block); err != nil {
-			return err
-		}
-	}
-	return nil
+	return tp.core().recvPairRows(eng, asm, src, attr, ji, ki, jt, chunks)
 }
 
 // recvPairSerial is the phase-serial reference consumption of one pair's

@@ -30,6 +30,14 @@ type Metrics struct {
 	// server shards; always 0 on the single-TP path).
 	shardsActive atomic.Int64
 
+	// Worker-pool counters (ShardAddrs mode only): shardProcsActive gauges
+	// the coordinator→worker links currently connected across running
+	// sessions; shardRestarts counts worker links re-established after a
+	// degrade (each one is a worker process death or link sever the
+	// reconnect window absorbed).
+	shardProcsActive atomic.Int64
+	shardRestarts    atomic.Int64
+
 	// Reconnect counters: sessionsDegraded gauges sessions with at least
 	// one lane down inside its reconnect window; reconnAccepted and
 	// reconnRefused count resume hellos granted and refused.
@@ -46,6 +54,11 @@ type Metrics struct {
 	// to Wire, which still sums everything). Sized to the shard count by
 	// New; nil on the single-TP path.
 	shardWire []wire.Counter
+
+	// workerWire meters the coordinator→worker links of ShardAddrs mode —
+	// the control traffic to external shard processes, which never touches
+	// Wire (that counter is the holder-facing edge).
+	workerWire wire.Counter
 }
 
 // Admitted returns the number of sessions ever admitted (gathering slot
@@ -79,6 +92,13 @@ func (m *Metrics) ReconnectsRefused() int64 { return m.reconnRefused.Load() }
 
 // Queued returns the sessions currently parked in the admission queue.
 func (m *Metrics) Queued() int64 { return m.queued.Load() }
+
+// ShardProcsActive returns the coordinator→worker links currently
+// connected across running sessions (ShardAddrs mode; 0 otherwise).
+func (m *Metrics) ShardProcsActive() int64 { return m.shardProcsActive.Load() }
+
+// ShardRestarts returns the worker links re-established after a degrade.
+func (m *Metrics) ShardRestarts() int64 { return m.shardRestarts.Load() }
 
 // noteReserved records a new reservation total for the high-water mark.
 func (m *Metrics) noteReserved(total int64) {
@@ -121,8 +141,12 @@ func (m *Metrics) noteEstimate(estimate int64) {
 //	stage_pool_active   gauge: pipeline stage goroutines running now
 //	shards_active       gauge: in-process TP shard engines serving running
 //	                    sessions (0 on the single-TP path)
+//	shard_procs_active  gauge: coordinator→worker links connected now
+//	                    (ShardAddrs mode; 0 otherwise)
+//	shard_restarts      worker links re-established after a degrade
 //	wire_*_shard<N>     per-shard-lane traffic (present only when the
 //	                    server shards the third party)
+//	wire_*_workers      coordinator→worker link traffic (ShardAddrs mode)
 //	budget_reserved_high_water_bytes
 //	                    peak summed admission reservations
 //	budget_estimate_high_water_bytes
@@ -147,9 +171,17 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"wire_recv_frames":                 int64(recvF),
 		"stage_pool_active":                party.ActiveStages(),
 		"shards_active":                    m.shardsActive.Load(),
+		"shard_procs_active":               m.shardProcsActive.Load(),
+		"shard_restarts":                   m.shardRestarts.Load(),
 		"budget_reserved_high_water_bytes": m.reservedHW.Load(),
 		"budget_estimate_high_water_bytes": m.estimateHW.Load(),
 	}
+	wsb, wsf := m.workerWire.Sent()
+	wrb, wrf := m.workerWire.Received()
+	snap["wire_sent_bytes_workers"] = int64(wsb)
+	snap["wire_sent_frames_workers"] = int64(wsf)
+	snap["wire_recv_bytes_workers"] = int64(wrb)
+	snap["wire_recv_frames_workers"] = int64(wrf)
 	for s := range m.shardWire {
 		sb, sf := m.shardWire[s].Sent()
 		rb, rf := m.shardWire[s].Received()

@@ -163,6 +163,25 @@ func TestManagerResumeRoundTrip(t *testing.T) {
 	}
 }
 
+// gateConduit parks its nth Send until the gate channel closes — the
+// deterministic way to hold a session mid-stream (running, watermarks
+// live) while a test pokes the manager, regardless of how fast the
+// session would otherwise finish.
+type gateConduit struct {
+	wire.Conduit
+	gate  <-chan struct{}
+	after int
+	n     int
+}
+
+func (g *gateConduit) Send(frame []byte) error {
+	g.n++
+	if g.n == g.after {
+		<-g.gate
+	}
+	return g.Conduit.Send(frame)
+}
+
 // TestManagerResumeRefusals pins the typed refusals of the server resume
 // path: an unknown session, a lane that is still connected, and a
 // responder that cannot carry a grant.
@@ -170,6 +189,11 @@ func TestManagerResumeRefusals(t *testing.T) {
 	defer leakcheck.Check(t)
 	m, done := resumeManager(t, 10*time.Second)
 	te := newTenant(t, "live")
+	// Park holder A mid chunk-stream (the 5th frame is past the handshake,
+	// cf. the flap point above) so the session stays observably running —
+	// however fast the machine — until the refusal checks are done.
+	gate := make(chan struct{})
+	te.holder["A"] = &gateConduit{Conduit: te.holder["A"], gate: gate, after: 5}
 	holderCfg := resumeSession() // holders never flap; no Redial needed
 	holders := te.runHolders(holderCfg)
 
@@ -214,6 +238,7 @@ func TestManagerResumeRefusals(t *testing.T) {
 		t.Errorf("reconnects_refused = %d, want 2", got)
 	}
 
+	close(gate)
 	out := done.next(t)
 	if out.err != nil {
 		t.Fatalf("session failed: %v", out.err)

@@ -188,8 +188,9 @@ func TestServeFutureVersionRejectedOverTCP(t *testing.T) {
 	}
 	defer conn.Close()
 	// Hand-rolled extended hello claiming one version past the newest the
-	// server speaks.
-	frame := []byte{0xFF, byte(netid.VersionResume + 1), 1, 'A', 2, 's', '9'}
+	// protocol defines anywhere (version 4 exists, but only on
+	// coordinator↔shard-worker links — the server refuses it by number).
+	frame := []byte{0xFF, byte(netid.VersionShardProc + 1), 1, 'A', 2, 's', '9'}
 	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}

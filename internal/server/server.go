@@ -55,6 +55,17 @@ type Config struct {
 	// holders are admitted only when TPShards <= 1 (they cannot read the
 	// routing preamble); see docs/WIRE.md for the compatibility matrix.
 	Session party.Config
+	// ShardAddrs, when set, moves the session shard pipelines out of this
+	// process: entry s is the listen address of a ppc-shard worker serving
+	// shard s, and every session's coordinator dials its slice ranges there
+	// through the v4 shard-registration handshake instead of running
+	// in-process shard goroutines. Requires Session.TPShards > 1 and
+	// exactly one address per shard. Holder-facing admission is unchanged
+	// — holders still dial their K shard lanes to this server; only the
+	// stage compute moves. A dead worker degrades its sessions within
+	// Session.ResumeWindow (the coordinator redials the same address, so a
+	// restarted worker heals them) and fails them classified past it.
+	ShardAddrs []string
 	// MaxSessions bounds concurrently admitted sessions (gathering plus
 	// running). 0 or negative means 1.
 	MaxSessions int
@@ -193,6 +204,14 @@ func New(cfg Config) (*Manager, error) {
 	}
 	if shards > party.MaxTPShards {
 		return nil, fmt.Errorf("server: %d TP shards exceeds the maximum of %d", shards, party.MaxTPShards)
+	}
+	if len(cfg.ShardAddrs) > 0 {
+		if shards <= 1 {
+			return nil, errors.New("server: ShardAddrs requires Session.TPShards > 1")
+		}
+		if len(cfg.ShardAddrs) != shards {
+			return nil, fmt.Errorf("server: %d shard worker addresses for %d shards", len(cfg.ShardAddrs), shards)
+		}
 	}
 	connsPer := len(cfg.Holders)
 	if shards > 1 {
@@ -668,6 +687,9 @@ func (m *Manager) serveSession(s *session) (*party.TPReport, error) {
 			m.metrics.sessionsDegraded.Add(-1)
 		}
 	}()
+	if len(m.cfg.ShardAddrs) > 0 {
+		defer m.wireShardPool(&cfg, s.id)()
+	}
 	cfg.OnCensus = func(counts []int) error {
 		total := 0
 		for _, c := range counts {

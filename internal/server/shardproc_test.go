@@ -1,0 +1,102 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"ppclust/internal/leakcheck"
+	"ppclust/internal/party"
+)
+
+// startShardWorkers boots n party.ShardServer workers on their own
+// localhost listeners and returns their addresses, torn down with the
+// test.
+func startShardWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for s := 0; s < n; s++ {
+		srv, err := party.NewShardServer(party.ShardServerConfig{Schema: testSchema(), Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		addrs[s] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// TestShardProcSessionCompletes runs a full tenant session against a K=2
+// server whose shard pipelines live in external worker processes (real
+// ShardServers over localhost TCP): the session completes with the
+// single-TP report, the worker links are metered, and the
+// shard_procs_active gauge settles back to zero with no restarts.
+func TestShardProcSessionCompletes(t *testing.T) {
+	defer leakcheck.Check(t)
+	const k = 2
+	done := newCompletions()
+	m, err := New(Config{
+		Holders:    roster,
+		Session:    shardedSession(k),
+		ShardAddrs: startShardWorkers(t, k),
+		Random:     tpRandom,
+		OnComplete: done.hook,
+		Logf:       t.Logf,
+
+		MaxSessions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+
+	st := newShardedTenant(t, "shardproc-1", k)
+	st.submitAllSharded(m)
+	holders := st.runHoldersSharded(shardedSession(k))
+	for _, h := range roster {
+		expectAccept(t, st.resp[h])
+		for s := 0; s < k; s++ {
+			expectAccept(t, st.shardResp[party.ShardConduitKey(h, s)])
+		}
+	}
+	if err := awaitHolders(t, holders); err != nil {
+		t.Fatalf("holders failed: %v", err)
+	}
+	out := done.next(t)
+	if out.err != nil {
+		t.Fatalf("session failed: %v", out.err)
+	}
+	if out.id != "shardproc-1" || len(out.report.ObjectIDs) != 5 {
+		t.Fatalf("completion %q with %d objects", out.id, len(out.report.ObjectIDs))
+	}
+
+	snap := m.Metrics().Snapshot()
+	if got := snap["shard_procs_active"]; got != 0 {
+		t.Fatalf("shard_procs_active = %d after completion, want 0", got)
+	}
+	if got := snap["shard_restarts"]; got != 0 {
+		t.Fatalf("shard_restarts = %d on a fault-free session, want 0", got)
+	}
+	if snap["wire_sent_bytes_workers"] == 0 || snap["wire_recv_bytes_workers"] == 0 {
+		t.Fatalf("worker links not metered: sent=%d recv=%d",
+			snap["wire_sent_bytes_workers"], snap["wire_recv_bytes_workers"])
+	}
+}
+
+// TestShardProcConfigValidation pins the worker-pool admission rules: a
+// pool without sharding, and a pool sized unlike the shard count, are
+// configuration errors.
+func TestShardProcConfigValidation(t *testing.T) {
+	if _, err := New(Config{Holders: roster, Session: testSession(),
+		ShardAddrs: []string{"127.0.0.1:1"}}); err == nil {
+		t.Fatal("ShardAddrs without TPShards > 1 accepted")
+	}
+	if _, err := New(Config{Holders: roster, Session: shardedSession(2),
+		ShardAddrs: []string{"127.0.0.1:1"}}); err == nil {
+		t.Fatal("1 worker address for 2 shards accepted")
+	}
+}

@@ -29,6 +29,11 @@ func TPShardConduitName(s int) string { return party.ShardName(s) }
 // connections this way automatically.
 func TPShardConduitKey(holder string, s int) string { return party.ShardConduitKey(holder, s) }
 
+// MaxTPShards bounds Options.TPShards: the wire's admission routing and
+// shard-registration preambles carry the shard index in one byte with a
+// reserved sentinel.
+const MaxTPShards = party.MaxTPShards
+
 // HolderSession is a data holder's side of a session over
 // caller-established connections (TCP deployment).
 type HolderSession = party.Holder
@@ -185,6 +190,16 @@ type TPServerOptions struct {
 	// holders; on expiry the gathered connections are refused with the
 	// typed gather-timeout reason. 0 disables.
 	GatherTimeout time.Duration
+	// ShardAddrs moves the session shard pipelines into external
+	// ppc-shard worker processes: entry s is the listen address of the
+	// worker serving shard s. Requires Options.TPShards > 1 with exactly
+	// one address per shard. Holders connect exactly as with in-process
+	// shards; only the server's compute placement changes. A worker that
+	// dies mid-session degrades its sessions within
+	// Options.ReconnectWindow (the server redials the same address, so a
+	// restarted worker heals them) and fails them classified past it.
+	// Empty (the default) runs the shards in-process.
+	ShardAddrs []string
 	// OnComplete, when set, observes every session outcome.
 	OnComplete func(session string, report *TPReport, err error)
 	// Logf receives the structured event log; nil silences it.
@@ -199,6 +214,7 @@ func NewTPServer(holders []string, schema Schema, opts Options, srv TPServerOpti
 	cfg := server.Config{
 		Holders:           holders,
 		Session:           opts.toConfig(schema),
+		ShardAddrs:        srv.ShardAddrs,
 		MaxSessions:       srv.MaxSessions,
 		QueueDepth:        srv.QueueDepth,
 		GlobalBudgetBytes: srv.GlobalBudgetBytes,
@@ -211,6 +227,40 @@ func NewTPServer(holders []string, schema Schema, opts Options, srv TPServerOpti
 		cfg.Random = func(session string) io.Reader { return opts.Random(ThirdPartyName) }
 	}
 	return server.New(cfg)
+}
+
+// TPShardWorker is one external shard worker: a server that accepts
+// version-4 shard-registration hellos from session coordinators (a
+// TPServer running with TPServerOptions.ShardAddrs, or cmd/ppc-tp with
+// -shard-addrs) and runs one shard's stage pipeline per registered
+// session. Workers are stateless between registrations — a restarted
+// worker heals its degraded sessions by recomputing from the
+// coordinator's replay — so one worker process (cmd/ppc-shard) per
+// address is the whole deployment. Feed it a listener with Serve and
+// stop it with Close (drains: every registered run is aborted with a
+// typed reason).
+type TPShardWorker = party.ShardServer
+
+// TPShardWorkerConfig configures a shard worker. The schema must match
+// the coordinators' — every registration offer carries a schema
+// fingerprint and a mismatch is refused with a typed abort.
+type TPShardWorkerConfig struct {
+	// Schema is the session schema the worker serves.
+	Schema Schema
+	// Logf receives the worker's structured event log; nil silences it.
+	Logf func(format string, args ...any)
+	// OnFrame, when set, observes every relayed holder frame of every
+	// registered run (with the run's cumulative count) — a progress hook,
+	// also the anchor the multi-process chaos harness hangs scripted
+	// crash points on.
+	OnFrame func(session string, shard, frames int)
+}
+
+// NewTPShardWorker builds a shard worker.
+func NewTPShardWorker(cfg TPShardWorkerConfig) (*TPShardWorker, error) {
+	return party.NewShardServer(party.ShardServerConfig{
+		Schema: cfg.Schema, Logf: cfg.Logf, OnFrame: cfg.OnFrame,
+	})
 }
 
 // EstimateSessionBytes prices one session under the server's budget
